@@ -1,0 +1,31 @@
+# Convenience targets for the SIGMOD 2005 reproduction.
+
+.PHONY: install test soak bench bench-medium bench-paper examples clean
+
+install:
+	python setup.py develop
+
+test:
+	pytest tests/
+
+soak:
+	HYPOTHESIS_PROFILE=soak pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+bench-medium:
+	REPRO_BENCH_SCALE=medium pytest benchmarks/ --benchmark-only
+
+# full paper scale; the sequential baselines alone take hours in pure
+# Python — disable them with REPRO_BENCH_SEQUENTIAL=0 to get the accessed-%
+# series quickly
+bench-paper:
+	REPRO_BENCH_SCALE=paper REPRO_BENCH_SEQUENTIAL=0 pytest benchmarks/ --benchmark-only
+
+examples:
+	for script in examples/*.py; do python $$script || exit 1; done
+
+clean:
+	rm -rf build dist src/repro.egg-info .pytest_cache .hypothesis
+	find . -name __pycache__ -type d -exec rm -rf {} +

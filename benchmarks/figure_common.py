@@ -1,0 +1,163 @@
+"""Shared infrastructure for the per-figure benchmark drivers.
+
+Every figure of the paper's §5 has one driver module.  The drivers run the
+same protocol as the paper — datasets from the §5 generator (or the
+DBLP-like corpus), queries sampled from the dataset, BiBranch vs. histogram
+filtration, sequential scan as the timing baseline — and print the rows the
+corresponding figure plots.  Results are also written to
+``benchmarks/results/``.
+
+Scale
+-----
+The paper uses 2000 trees and 100 queries per dataset with a C++
+implementation.  A pure-Python Zhang–Shasha is two orders of magnitude
+slower, so the default scale is reduced; the shapes (who wins, by what
+factor, where it degrades) are preserved.  Set the environment variable
+``REPRO_BENCH_SCALE`` to ``small`` (default), ``medium``, or ``paper`` to
+choose the trade-off.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, List, Sequence
+
+from repro.bench import (
+    ComparisonReport,
+    average_pairwise_distance,
+    run_knn_comparison,
+    run_range_comparison,
+    select_queries,
+)
+from repro.datasets import SyntheticSpec, generate_dataset
+from repro.filters import BinaryBranchFilter, HistogramFilter
+from repro.trees.node import TreeNode
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@dataclass(frozen=True)
+class BenchScale:
+    """Workload sizes for one scale setting."""
+
+    name: str
+    dataset_size: int
+    query_count: int
+    #: cap on the dataset size for the largest-tree sweeps (size 125 trees
+    #: cost ~50 ms per exact distance in pure Python)
+    large_tree_dataset_size: int
+    seed_count: int
+    #: DBLP-like records are ~12 nodes, so the DBLP figures can afford a
+    #: near-paper dataset even at the small scale
+    dblp_dataset_size: int = 1000
+    dblp_query_count: int = 10
+
+
+_SCALES = {
+    "small": BenchScale("small", 150, 6, 80, 8, 1000, 10),
+    "medium": BenchScale("medium", 500, 20, 250, 15, 2000, 30),
+    "paper": BenchScale("paper", 2000, 100, 2000, 25, 2000, 100),
+}
+
+
+def current_scale() -> BenchScale:
+    """The active benchmark scale (``REPRO_BENCH_SCALE``, default small)."""
+    name = os.environ.get("REPRO_BENCH_SCALE", "small").lower()
+    if name not in _SCALES:
+        raise ValueError(
+            f"REPRO_BENCH_SCALE must be one of {sorted(_SCALES)}, got {name!r}"
+        )
+    return _SCALES[name]
+
+
+def sequential_enabled() -> bool:
+    """Whether figure drivers should time the sequential-scan baseline.
+
+    ``REPRO_BENCH_SEQUENTIAL=0`` skips it — at the ``paper`` scale the
+    baseline alone costs hours of pure-Python Zhang–Shasha, while the
+    accessed-data percentages (the figures' primary series) don't need it.
+    """
+    return os.environ.get("REPRO_BENCH_SEQUENTIAL", "1") != "0"
+
+
+def standard_filters():
+    """The two filters every figure compares (fresh instances)."""
+    return [BinaryBranchFilter(), HistogramFilter()]
+
+
+def synthetic_workload(
+    spec: SyntheticSpec, dataset_size: int, query_count: int, seed: int = 7
+):
+    """Dataset plus queries for one parameter setting (deterministic)."""
+    scale = current_scale()
+    trees = generate_dataset(
+        spec, count=dataset_size, seed_count=scale.seed_count, seed=seed
+    )
+    queries = select_queries(trees, query_count, rng=random.Random(seed + 1))
+    return trees, queries
+
+
+def range_threshold(trees: Sequence[TreeNode], fraction: float = 0.2) -> float:
+    """The paper's range radius: 1/5 of the dataset's average distance."""
+    average = average_pairwise_distance(trees, sample_pairs=150,
+                                        rng=random.Random(99))
+    return max(1.0, round(average * fraction))
+
+
+def knn_k(dataset_size: int, fraction: float = 0.0025) -> int:
+    """The paper's k: 0.25% of the dataset.
+
+    Floored at 3 — at the scaled-down dataset sizes the paper's fraction
+    would give k = 1, where both filters trivially access only the nearest
+    cluster and the comparison carries no signal.
+    """
+    return max(3, round(dataset_size * fraction))
+
+
+def save_report(figure: str, text: str) -> None:
+    """Print the figure's rows and persist them under benchmarks/results/.
+
+    Results are scoped per scale (``results/<scale>/<figure>.txt``) so a
+    medium- or paper-scale validation never overwrites the default run.
+    """
+    print()
+    print(text)
+    directory = RESULTS_DIR / current_scale().name
+    directory.mkdir(parents=True, exist_ok=True)
+    (directory / f"{figure}.txt").write_text(text + "\n")
+
+
+def sweep_synthetic(
+    figure: str,
+    specs: Dict[str, SyntheticSpec],
+    mode: str,
+    dataset_size: int,
+    query_count: int,
+) -> List[ComparisonReport]:
+    """Run one figure's parameter sweep (mode: "range" or "knn")."""
+    reports = []
+    for label, spec in specs.items():
+        trees, queries = synthetic_workload(spec, dataset_size, query_count)
+        if mode == "range":
+            threshold = range_threshold(trees)
+            report = run_range_comparison(
+                trees, queries, threshold, standard_filters(),
+                dataset_label=label,
+                include_sequential=sequential_enabled(),
+            )
+        else:
+            report = run_knn_comparison(
+                trees, queries, knn_k(len(trees)), standard_filters(),
+                dataset_label=label,
+                include_sequential=sequential_enabled(),
+            )
+        reports.append(report)
+    return reports
+
+
+def accessed(report: ComparisonReport, name: str) -> float:
+    """Shortcut: a filter's average accessed-data percentage."""
+    return report.filter_report(name).accessed_pct

@@ -1,0 +1,58 @@
+"""Ablation: restricted edit-distance variants vs. the general distance.
+
+The §2.1 survey contrasts the general edit distance with Selkow's top-down
+distance and Zhang's constrained distance.  This bench quantifies the
+trade-off on a synthetic workload: how far above the general distance each
+restricted variant sits (they are upper bounds) and what each costs per
+pair.
+"""
+
+import random
+import time
+
+from repro.datasets import SyntheticSpec, generate_dataset
+from repro.editdist import (
+    alignment_distance,
+    constrained_edit_distance,
+    selkow_edit_distance,
+    tree_edit_distance,
+)
+
+from benchmarks.figure_common import save_report
+
+
+def test_ablation_distance_variants(benchmark):
+    spec = SyntheticSpec(fanout_mean=4, fanout_stddev=0.5,
+                         size_mean=40, size_stddev=2, label_count=8,
+                         decay=0.08)
+    trees = generate_dataset(spec, count=30, seed=9)
+    rng = random.Random(10)
+    pairs = [tuple(rng.sample(trees, 2)) for _ in range(40)]
+    results = {}
+
+    def measure():
+        for name, fn in [
+            ("ZhangShasha", tree_edit_distance),
+            ("Alignment", alignment_distance),
+            ("Constrained", constrained_edit_distance),
+            ("Selkow", selkow_edit_distance),
+        ]:
+            start = time.perf_counter()
+            values = [fn(a, b) for a, b in pairs]
+            seconds = (time.perf_counter() - start) / len(pairs)
+            results[name] = (sum(values) / len(values), seconds)
+        return results
+
+    benchmark.pedantic(measure, rounds=1, iterations=1)
+    base = results["ZhangShasha"][0]
+    rows = ["== Ablation: restricted edit-distance variants =="]
+    for name, (mean, seconds) in results.items():
+        rows.append(
+            f"  {name:<14} mean distance {mean:7.2f} "
+            f"({mean / base:4.2f}x general)  {seconds * 1000:8.3f} ms/pair"
+        )
+    save_report("ablation_distance_variants", "\n".join(rows))
+
+    # the upper-bound hierarchy must hold on averages too
+    assert results["Selkow"][0] >= results["Constrained"][0] >= base
+    assert results["Alignment"][0] >= base

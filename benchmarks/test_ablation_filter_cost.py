@@ -1,0 +1,75 @@
+"""Ablation: per-pair cost of each lower bound vs. the exact distance.
+
+The complexity argument of §4.4: the optimistic bound costs
+``O((|T1|+|T2|)·log min(|T1|,|T2|))`` per pair while the exact edit distance
+costs ``O(|T1||T2|·…)``.  This bench times, per tree-pair: BDist, the
+positional SearchLBound, the histogram bound, the Guha traversal-string
+bound (quadratic!), and the Zhang–Shasha distance — demonstrating why the
+traversal-string filter "is not scalable to our problem" (§2.2).
+"""
+
+import random
+import time
+
+from repro.datasets import SyntheticSpec, generate_dataset
+from repro.editdist import EditDistanceCounter
+from repro.filters import (
+    BinaryBranchFilter,
+    BranchCountFilter,
+    HistogramFilter,
+    TraversalStringFilter,
+)
+
+from benchmarks.figure_common import save_report
+
+
+def _time_pairs(label, fn, pairs):
+    start = time.perf_counter()
+    for a, b in pairs:
+        fn(a, b)
+    elapsed = (time.perf_counter() - start) / len(pairs)
+    return f"  {label:<18}{elapsed * 1000:>10.3f} ms/pair"
+
+
+def test_ablation_filter_cost(benchmark):
+    spec = SyntheticSpec(fanout_mean=4, fanout_stddev=0.5,
+                         size_mean=50, size_stddev=2, label_count=8, decay=0.05)
+    trees = generate_dataset(spec, count=40, seed=3)
+    rng = random.Random(4)
+    pairs = [tuple(rng.sample(trees, 2)) for _ in range(60)]
+
+    rows = ["== Ablation: per-pair cost of bounds vs exact distance =="]
+    timings = {}
+
+    def measure():
+        counter = EditDistanceCounter()
+        candidates = {
+            "BDist/5": BranchCountFilter(),
+            "SearchLBound": BinaryBranchFilter(),
+            "Histogram": HistogramFilter(),
+            "TraversalSED": TraversalStringFilter(),
+        }
+        for label, flt in candidates.items():
+            signatures = {id(t): flt.signature(t) for t in trees}
+            start = time.perf_counter()
+            for a, b in pairs:
+                flt.bound(signatures[id(a)], signatures[id(b)])
+            timings[label] = (time.perf_counter() - start) / len(pairs)
+        start = time.perf_counter()
+        for a, b in pairs:
+            counter.distance(a, b)
+        timings["ZhangShasha"] = (time.perf_counter() - start) / len(pairs)
+        return timings
+
+    benchmark.pedantic(measure, rounds=1, iterations=1)
+    for label, seconds in timings.items():
+        rows.append(f"  {label:<18}{seconds * 1000:>10.3f} ms/pair")
+    save_report("ablation_filter_cost", "\n".join(rows))
+
+    # the paper's scalability hierarchy
+    assert timings["SearchLBound"] < timings["ZhangShasha"]
+    assert timings["BDist/5"] < timings["ZhangShasha"]
+    assert timings["Histogram"] < timings["ZhangShasha"]
+    # the quadratic traversal-string bound is an order of magnitude more
+    # expensive than the linear branch bounds
+    assert timings["TraversalSED"] > timings["BDist/5"]

@@ -1,0 +1,57 @@
+"""Ablation: IFI batch construction vs. direct per-tree extraction.
+
+Algorithm 1 builds all vectors through the inverted file in one pass;
+the alternative is extracting each tree's profile independently.  Both must
+produce identical vectors (asserted) — the bench compares construction
+cost and reports the index's vocabulary statistics (§4.4's space analysis:
+one posting entry per node, vocabulary at most Σ|Ti|).
+"""
+
+import time
+
+from repro.core import InvertedFileIndex, branch_vector, positional_profile
+from repro.datasets import SyntheticSpec, generate_dataset
+
+from benchmarks.figure_common import current_scale, save_report
+
+
+def test_ablation_index_construction(benchmark):
+    scale = current_scale()
+    spec = SyntheticSpec(fanout_mean=4, fanout_stddev=0.5,
+                         size_mean=50, size_stddev=2, label_count=8, decay=0.05)
+    trees = generate_dataset(spec, count=scale.dataset_size, seed=5)
+    timings = {}
+
+    def measure():
+        start = time.perf_counter()
+        index = InvertedFileIndex()
+        index.add_trees(trees)
+        vectors_via_index = index.vectors()
+        timings["ifi_build"] = time.perf_counter() - start
+
+        start = time.perf_counter()
+        direct_vectors = {i: branch_vector(t) for i, t in enumerate(trees)}
+        timings["direct_vectors"] = time.perf_counter() - start
+
+        start = time.perf_counter()
+        profiles = {i: positional_profile(t) for i, t in enumerate(trees)}
+        timings["direct_profiles"] = time.perf_counter() - start
+
+        assert vectors_via_index == direct_vectors
+        total_nodes = sum(t.size for t in trees)
+        assert index.vocabulary_size <= total_nodes
+        timings["vocabulary"] = index.vocabulary_size
+        timings["total_nodes"] = total_nodes
+        return timings
+
+    benchmark.pedantic(measure, rounds=1, iterations=1)
+    rows = [
+        "== Ablation: inverted file vs direct vector construction ==",
+        f"  trees              {len(trees):>10}",
+        f"  total nodes        {timings['total_nodes']:>10}",
+        f"  vocabulary |Γ|     {timings['vocabulary']:>10}",
+        f"  IFI build + scan   {timings['ifi_build']:>10.3f} s",
+        f"  direct vectors     {timings['direct_vectors']:>10.3f} s",
+        f"  direct profiles    {timings['direct_profiles']:>10.3f} s",
+    ]
+    save_report("ablation_index_construction", "\n".join(rows))

@@ -1,0 +1,57 @@
+"""Ablation: what does the positional refinement buy over plain counts?
+
+DESIGN.md calls out the positional machinery (§4.2) as the paper's main
+algorithmic addition over the §3 embedding.  This bench runs the same k-NN
+workload under (a) the plain ``⌈BDist/5⌉`` count bound, (b) the positional
+``SearchLBound`` bound, and (c) the positional bound with the exact
+two-constraint matching, reporting accessed-data percentages and filter
+cost for each.
+"""
+
+import random
+
+from repro.bench import format_sweep, run_knn_comparison, select_queries
+from repro.datasets import SyntheticSpec
+from repro.filters import BinaryBranchFilter, BranchCountFilter
+
+from benchmarks.figure_common import (
+    accessed,
+    current_scale,
+    save_report,
+    synthetic_workload,
+)
+
+
+def test_ablation_positional(benchmark):
+    scale = current_scale()
+    # a higher decay factor spreads the data out so the bounds' tightness
+    # actually decides how far the k-NN scan must go
+    spec = SyntheticSpec(fanout_mean=4, fanout_stddev=0.5,
+                         size_mean=50, size_stddev=2, label_count=8, decay=0.1)
+    trees, queries = synthetic_workload(
+        spec, scale.dataset_size, scale.query_count
+    )
+    filters = [
+        BranchCountFilter(),
+        BinaryBranchFilter(),
+        BinaryBranchFilter(exact_matching=True),
+    ]
+    filters[2].name = "BiBranch-exactM"
+
+    def run():
+        return [
+            run_knn_comparison(
+                trees, queries, k=max(2, len(trees) // 30), filters=filters,
+                dataset_label=spec.describe(), include_sequential=False,
+            )
+        ]
+
+    reports = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_report("ablation_positional", format_sweep(
+        "Ablation: count-only vs positional vs exact-matching bounds", reports
+    ))
+    (report,) = reports
+    # the positional bound dominates the count bound, and exact matching
+    # dominates the paper's linear-time approximation
+    assert accessed(report, "BiBranch") <= accessed(report, "BiBranchCount")
+    assert accessed(report, "BiBranch-exactM") <= accessed(report, "BiBranch")

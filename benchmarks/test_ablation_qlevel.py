@@ -1,0 +1,50 @@
+"""Ablation: pruning power and cost of the branch level q (§3.4, §5.3).
+
+Runs the same range workload with BiBranch at q ∈ {2, 3, 4} on deep
+synthetic trees (where, unlike shallow DBLP records, higher levels have
+structure to encode) and reports accessed data and filter cost.  The paper
+discusses the trade-off: higher q encodes more structure but divides by the
+larger ``4(q−1)+1`` constant — on most data q = 2 is the sweet spot.
+"""
+
+from repro.bench import format_sweep, run_range_comparison
+from repro.datasets import SyntheticSpec
+from repro.filters import BinaryBranchFilter
+
+from benchmarks.figure_common import (
+    current_scale,
+    range_threshold,
+    save_report,
+    synthetic_workload,
+)
+
+
+def test_ablation_qlevel(benchmark):
+    scale = current_scale()
+    spec = SyntheticSpec(fanout_mean=2, fanout_stddev=0.5,
+                         size_mean=40, size_stddev=2, label_count=8, decay=0.05)
+    trees, queries = synthetic_workload(
+        spec, scale.dataset_size, scale.query_count
+    )
+    # a tight radius: with the q-level bound factor 4(q-1)+1 the filter can
+    # only ever refute when PosBDist may exceed factor·τ, so large radii
+    # make q = 4 trivially useless on mid-size trees — the paper's §5.3
+    # point; a tight radius lets the levels show gradation instead
+    threshold = range_threshold(trees, fraction=0.08)
+    filters = [BinaryBranchFilter(q=q) for q in (2, 3, 4)]
+
+    def run():
+        return [
+            run_range_comparison(
+                trees, queries, threshold, filters,
+                dataset_label=spec.describe(), include_sequential=False,
+            )
+        ]
+
+    reports = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_report("ablation_qlevel", format_sweep(
+        "Ablation: branch level q on deep synthetic trees", reports
+    ))
+    (report,) = reports
+    for flt in report.filters:
+        assert flt.accessed_pct >= flt.result_pct  # sanity: sound filters

@@ -1,0 +1,49 @@
+"""Figure 8: sensitivity to fanout — k-NN queries.
+
+Same datasets as Figure 7; k = 0.25% of the dataset.  The paper's
+observations: BiBranch accesses at most ~23% of what histogram filtration
+accesses, and the filtering overhead is a negligible fraction (~2%) of the
+sequential-scan CPU cost.
+"""
+
+from repro.datasets import SyntheticSpec
+
+from benchmarks.figure_common import (
+    accessed,
+    current_scale,
+    save_report,
+    sweep_synthetic,
+)
+from repro.bench import format_sweep
+
+FANOUTS = [2, 4, 6, 8]
+
+
+def _specs():
+    return {
+        f"N{{{fanout},0.5}}N{{50,2}}L8D0.05": SyntheticSpec(
+            fanout_mean=fanout, fanout_stddev=0.5,
+            size_mean=50, size_stddev=2, label_count=8, decay=0.05,
+        )
+        for fanout in FANOUTS
+    }
+
+
+def test_fig08_fanout_knn(benchmark):
+    scale = current_scale()
+
+    def run():
+        return sweep_synthetic(
+            "fig08", _specs(), "knn", scale.dataset_size, scale.query_count
+        )
+
+    reports = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_report("fig08_fanout_knn", format_sweep(
+        "Figure 8: fanout sweep, k-NN queries", reports
+    ))
+    for report in reports:
+        assert accessed(report, "BiBranch") <= accessed(report, "Histo")
+        if report.sequential_seconds is not None:
+            bibranch = report.filter_report("BiBranch")
+            # filtering overhead is a small fraction of the sequential cost
+            assert bibranch.filter_seconds < 0.25 * report.sequential_seconds

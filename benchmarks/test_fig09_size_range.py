@@ -1,0 +1,56 @@
+"""Figure 9: sensitivity to tree size — range queries.
+
+Datasets ``N{4,0.5}N{s,2}L8D0.05`` for size means s ∈ {25, 50, 75, 125}.
+The paper's findings: BiBranch accesses barely more than the result set for
+every size; histogram filtration degrades badly as trees grow (at size 125
+BiBranch wins by over 70×) because with fixed fanout and labels the
+height/degree/label histograms hardly change while the branch vocabulary
+keeps growing; and the sequential scan cost grows quadratically with size.
+"""
+
+from repro.datasets import SyntheticSpec
+
+from benchmarks.figure_common import (
+    accessed,
+    current_scale,
+    save_report,
+    sweep_synthetic,
+)
+from repro.bench import format_sweep
+
+SIZES = [25, 50, 75, 125]
+
+
+def _specs():
+    return {
+        f"N{{4,0.5}}N{{{size},2}}L8D0.05": SyntheticSpec(
+            fanout_mean=4, fanout_stddev=0.5,
+            size_mean=size, size_stddev=2, label_count=8, decay=0.05,
+        )
+        for size in SIZES
+    }
+
+
+def test_fig09_size_range(benchmark):
+    scale = current_scale()
+
+    def run():
+        return sweep_synthetic(
+            "fig09", _specs(), "range",
+            scale.large_tree_dataset_size, scale.query_count,
+        )
+
+    reports = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_report("fig09_size_range", format_sweep(
+        "Figure 9: tree size sweep, range queries", reports
+    ))
+    for report in reports:
+        assert accessed(report, "BiBranch") <= accessed(report, "Histo")
+    # the BiBranch advantage over Histo widens as trees grow
+    first, last = reports[0], reports[-1]
+    ratio_small = accessed(first, "Histo") / max(accessed(first, "BiBranch"), 1e-9)
+    ratio_large = accessed(last, "Histo") / max(accessed(last, "BiBranch"), 1e-9)
+    assert ratio_large >= ratio_small * 0.8  # monotone up to noise
+    # sequential cost grows steeply with tree size
+    if reports[0].sequential_seconds is not None:
+        assert reports[-1].sequential_seconds > reports[0].sequential_seconds

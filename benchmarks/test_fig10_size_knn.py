@@ -1,0 +1,48 @@
+"""Figure 10: sensitivity to tree size — k-NN queries.
+
+Same datasets as Figure 9; k = 0.25% of the dataset.  The paper reports the
+same trends as for range queries: histogram filtration accesses much more
+data as trees grow while BiBranch stays near the result size.
+"""
+
+from repro.datasets import SyntheticSpec
+
+from benchmarks.figure_common import (
+    accessed,
+    current_scale,
+    save_report,
+    sweep_synthetic,
+)
+from repro.bench import format_sweep
+
+SIZES = [25, 50, 75, 125]
+
+
+def _specs():
+    return {
+        f"N{{4,0.5}}N{{{size},2}}L8D0.05": SyntheticSpec(
+            fanout_mean=4, fanout_stddev=0.5,
+            size_mean=size, size_stddev=2, label_count=8, decay=0.05,
+        )
+        for size in SIZES
+    }
+
+
+def test_fig10_size_knn(benchmark):
+    scale = current_scale()
+
+    def run():
+        return sweep_synthetic(
+            "fig10", _specs(), "knn",
+            scale.large_tree_dataset_size, scale.query_count,
+        )
+
+    reports = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_report("fig10_size_knn", format_sweep(
+        "Figure 10: tree size sweep, k-NN queries", reports
+    ))
+    for report in reports:
+        assert accessed(report, "BiBranch") <= accessed(report, "Histo")
+        if report.sequential_seconds is not None:
+            bibranch = report.filter_report("BiBranch")
+            assert bibranch.total_seconds < report.sequential_seconds

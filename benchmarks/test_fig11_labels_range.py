@@ -1,0 +1,45 @@
+"""Figure 11: sensitivity to the number of labels — range queries.
+
+Datasets ``N{4,0.5}N{50,2}L{y}D0.05`` for y ∈ {8, 16, 32, 64}.  The paper's
+observations: BiBranch always wins (by >20× at 8 labels); histogram
+filtration improves as labels grow from 8 to 32 (the label histogram gains
+discriminative power) and both degrade at 64 as the average distance rises.
+"""
+
+from repro.datasets import SyntheticSpec
+
+from benchmarks.figure_common import (
+    accessed,
+    current_scale,
+    save_report,
+    sweep_synthetic,
+)
+from repro.bench import format_sweep
+
+LABELS = [8, 16, 32, 64]
+
+
+def _specs():
+    return {
+        f"N{{4,0.5}}N{{50,2}}L{count}D0.05": SyntheticSpec(
+            fanout_mean=4, fanout_stddev=0.5,
+            size_mean=50, size_stddev=2, label_count=count, decay=0.05,
+        )
+        for count in LABELS
+    }
+
+
+def test_fig11_labels_range(benchmark):
+    scale = current_scale()
+
+    def run():
+        return sweep_synthetic(
+            "fig11", _specs(), "range", scale.dataset_size, scale.query_count
+        )
+
+    reports = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_report("fig11_labels_range", format_sweep(
+        "Figure 11: label count sweep, range queries", reports
+    ))
+    for report in reports:
+        assert accessed(report, "BiBranch") <= accessed(report, "Histo")

@@ -1,0 +1,45 @@
+"""Figure 12: sensitivity to the number of labels — k-NN queries.
+
+Same datasets as Figure 11; k = 0.25% of the dataset.
+"""
+
+from repro.datasets import SyntheticSpec
+
+from benchmarks.figure_common import (
+    accessed,
+    current_scale,
+    save_report,
+    sweep_synthetic,
+)
+from repro.bench import format_sweep
+
+LABELS = [8, 16, 32, 64]
+
+
+def _specs():
+    return {
+        f"N{{4,0.5}}N{{50,2}}L{count}D0.05": SyntheticSpec(
+            fanout_mean=4, fanout_stddev=0.5,
+            size_mean=50, size_stddev=2, label_count=count, decay=0.05,
+        )
+        for count in LABELS
+    }
+
+
+def test_fig12_labels_knn(benchmark):
+    scale = current_scale()
+
+    def run():
+        return sweep_synthetic(
+            "fig12", _specs(), "knn", scale.dataset_size, scale.query_count
+        )
+
+    reports = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_report("fig12_labels_knn", format_sweep(
+        "Figure 12: label count sweep, k-NN queries", reports
+    ))
+    for report in reports:
+        assert accessed(report, "BiBranch") <= accessed(report, "Histo")
+        if report.sequential_seconds is not None:
+            bibranch = report.filter_report("BiBranch")
+            assert bibranch.total_seconds < report.sequential_seconds

@@ -1,0 +1,63 @@
+"""Quickstart: binary branch distance and similarity search in 60 seconds.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro import (
+    TreeDatabase,
+    branch_distance,
+    branch_lower_bound,
+    parse_bracket,
+    positional_lower_bound,
+    to_bracket,
+    tree_edit_distance,
+    tree_edit_mapping,
+)
+
+
+def main() -> None:
+    # -- trees are written in bracket notation ---------------------------
+    t1 = parse_bracket("a(b(c,d),b(c,d),e)")  # the paper's Figure 1, T1
+    t2 = parse_bracket("a(b(c,d,b(e)),c,d,e)")  # ... and T2
+    print("T1 =", to_bracket(t1))
+    print("T2 =", to_bracket(t2))
+
+    # -- the exact edit distance (Zhang-Shasha) and its witness ----------
+    distance = tree_edit_distance(t1, t2)
+    mapping = tree_edit_mapping(t1, t2)
+    print(f"\nexact edit distance: {distance:g}")
+    print("optimal edit script:", "; ".join(mapping.operations()))
+
+    # -- the paper's embedding: O(|T1|+|T2|) lower bounds -----------------
+    print(f"\nbinary branch distance BDist: {branch_distance(t1, t2)}")
+    print(f"count lower bound  ceil(BDist/5): {branch_lower_bound(t1, t2):g}")
+    print(f"positional lower bound (SearchLBound): "
+          f"{positional_lower_bound(t1, t2):g}")
+
+    # -- filter-and-refine similarity search ------------------------------
+    database = TreeDatabase(
+        [
+            parse_bracket(text)
+            for text in [
+                "a(b(c,d),b(c,d),e)",
+                "a(b(c,d),b(c),e)",
+                "a(b(c,d,b(e)),c,d,e)",
+                "x(y(z),w)",
+                "a(e,e,e)",
+            ]
+        ]
+    )
+    query = parse_bracket("a(b(c,d),b(c,d),e)")
+
+    matches, stats = database.range_query(query, 2)
+    print(f"\nrange query (tau=2): matches {matches}")
+    print(f"  accessed {stats.accessed_percentage:.0f}% of the database "
+          f"({stats.candidates}/{stats.dataset_size} exact distances)")
+
+    neighbors, stats = database.knn(query, 2)
+    print(f"2-NN: {neighbors}")
+    print(f"  accessed {stats.accessed_percentage:.0f}% of the database")
+
+
+if __name__ == "__main__":
+    main()

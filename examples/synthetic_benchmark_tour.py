@@ -1,0 +1,58 @@
+"""A miniature tour of the paper's experimental protocol (§5).
+
+Generates one synthetic dataset with the paper's default parameters
+``N{4,0.5}N{50,2}L8D0.05``, then runs a range-query and a k-NN workload
+comparing BiBranch and histogram filtration against the sequential scan —
+a single-point preview of Figures 7–12 (the full sweeps live in
+``benchmarks/``).
+
+Run with:  python examples/synthetic_benchmark_tour.py
+"""
+
+import random
+
+from repro.bench import (
+    average_pairwise_distance,
+    format_comparison,
+    run_knn_comparison,
+    run_range_comparison,
+    select_queries,
+)
+from repro.datasets import parse_spec, generate_dataset
+from repro.filters import BinaryBranchFilter, HistogramFilter
+from repro.trees import dataset_summary
+
+SPEC = "N{4,0.5}N{50,2}L8D0.05"
+
+
+def main() -> None:
+    spec = parse_spec(SPEC)
+    trees = generate_dataset(spec, count=120, seed_count=8, seed=1)
+    queries = select_queries(trees, 5, rng=random.Random(2))
+
+    summary = dataset_summary(trees)
+    average = average_pairwise_distance(trees, sample_pairs=100)
+    print(f"dataset {SPEC}: {summary['count']} trees, "
+          f"avg size {summary['avg_size']:.1f}, avg distance {average:.1f}\n")
+
+    threshold = max(1, round(average / 5))
+    report = run_range_comparison(
+        trees, queries, threshold,
+        [BinaryBranchFilter(), HistogramFilter()],
+        dataset_label=SPEC,
+    )
+    print(format_comparison(report))
+    print()
+
+    report = run_knn_comparison(
+        trees, queries, k=3,
+        filters=[BinaryBranchFilter(), HistogramFilter()],
+        dataset_label=SPEC,
+    )
+    print(format_comparison(report))
+    print("\n(the full parameter sweeps for every figure: "
+          "pytest benchmarks/ --benchmark-only -s)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,16 @@
+"""Legacy setup shim (lets pip perform editable installs offline)."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Binary branch distance and filter-and-refine similarity search "
+        "for tree-structured data (SIGMOD 2005 reproduction)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    package_data={"repro": ["py.typed"]},
+    python_requires=">=3.9",
+)

@@ -1,0 +1,31 @@
+"""Benchmark harness shared by the ``benchmarks/`` drivers."""
+
+from repro.bench.harness import (
+    ComparisonReport,
+    FilterReport,
+    average_pairwise_distance,
+    distance_distribution,
+    run_knn_comparison,
+    run_range_comparison,
+    select_queries,
+)
+from repro.bench.reporting import (
+    format_accessed_bars,
+    format_comparison,
+    format_distribution,
+    format_sweep,
+)
+
+__all__ = [
+    "FilterReport",
+    "ComparisonReport",
+    "average_pairwise_distance",
+    "select_queries",
+    "run_range_comparison",
+    "run_knn_comparison",
+    "distance_distribution",
+    "format_comparison",
+    "format_accessed_bars",
+    "format_sweep",
+    "format_distribution",
+]

@@ -1,0 +1,241 @@
+"""Benchmark harness: filter comparisons over query workloads.
+
+Reproduces the measurement protocol of §5: a dataset, 100 (here:
+configurable) queries drawn from it, and for each competing filter the
+averaged *percentage of accessed data* plus CPU times, with the sequential
+scan as the timing baseline.  One :class:`ComparisonReport` corresponds to
+one bar group / line point of the paper's Figures 7–14.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.editdist.zhang_shasha import EditDistanceCounter
+from repro.filters.base import LowerBoundFilter
+from repro.search.knn import knn_query
+from repro.search.range_query import range_query
+from repro.search.sequential import sequential_knn_query, sequential_range_query
+from repro.search.statistics import SearchStats
+from repro.trees.node import TreeNode
+
+__all__ = [
+    "FilterReport",
+    "ComparisonReport",
+    "average_pairwise_distance",
+    "select_queries",
+    "run_range_comparison",
+    "run_knn_comparison",
+    "distance_distribution",
+]
+
+
+@dataclass
+class FilterReport:
+    """Averaged metrics of one filter over a query workload."""
+
+    name: str
+    queries: int
+    accessed_pct: float
+    result_pct: float
+    filter_seconds: float
+    refine_seconds: float
+
+    @property
+    def total_seconds(self) -> float:
+        """Average filter + refine CPU time per query."""
+        return self.filter_seconds + self.refine_seconds
+
+
+@dataclass
+class ComparisonReport:
+    """One workload's results across filters (one figure data point)."""
+
+    dataset_label: str
+    mode: str
+    dataset_size: int
+    filters: List[FilterReport] = field(default_factory=list)
+    sequential_seconds: Optional[float] = None
+
+    def filter_report(self, name: str) -> FilterReport:
+        """Look up a filter's report by name."""
+        for report in self.filters:
+            if report.name == name:
+                return report
+        raise KeyError(f"no filter named {name!r} in report")
+
+
+def average_pairwise_distance(
+    trees: Sequence[TreeNode],
+    sample_pairs: int = 200,
+    rng: Optional[random.Random] = None,
+    counter: Optional[EditDistanceCounter] = None,
+) -> float:
+    """Estimate the dataset's mean edit distance from sampled pairs.
+
+    The paper sets range-query radii relative to "the average distance among
+    the whole dataset"; the full quadratic computation is replaced by
+    uniform pair sampling (exact when the dataset has few enough pairs).
+    """
+    if len(trees) < 2:
+        return 0.0
+    if rng is None:
+        rng = random.Random(1234)
+    if counter is None:
+        counter = EditDistanceCounter()
+    all_pairs = len(trees) * (len(trees) - 1) // 2
+    if all_pairs <= sample_pairs:
+        pairs = [
+            (i, j)
+            for i in range(len(trees))
+            for j in range(i + 1, len(trees))
+        ]
+    else:
+        pairs = [
+            tuple(rng.sample(range(len(trees)), 2)) for _ in range(sample_pairs)
+        ]
+    total = sum(counter.distance(trees[i], trees[j]) for i, j in pairs)
+    return total / len(pairs)
+
+
+def select_queries(
+    trees: Sequence[TreeNode],
+    count: int,
+    rng: Optional[random.Random] = None,
+) -> List[TreeNode]:
+    """Randomly select query trees from the dataset (as the paper does)."""
+    if rng is None:
+        rng = random.Random(4321)
+    count = min(count, len(trees))
+    return [trees[index] for index in rng.sample(range(len(trees)), count)]
+
+
+def _average(stats_list: List[SearchStats], name: str) -> FilterReport:
+    count = max(1, len(stats_list))
+    return FilterReport(
+        name=name,
+        queries=len(stats_list),
+        accessed_pct=sum(s.accessed_percentage for s in stats_list) / count,
+        result_pct=sum(s.result_percentage for s in stats_list) / count,
+        filter_seconds=sum(s.filter_seconds for s in stats_list) / count,
+        refine_seconds=sum(s.refine_seconds for s in stats_list) / count,
+    )
+
+
+def _run_comparison(
+    trees: Sequence[TreeNode],
+    queries: Sequence[TreeNode],
+    filters: Sequence[LowerBoundFilter],
+    run_one: Callable[[TreeNode, LowerBoundFilter, EditDistanceCounter], SearchStats],
+    run_sequential: Optional[Callable[[TreeNode, EditDistanceCounter], SearchStats]],
+    dataset_label: str,
+    mode: str,
+) -> ComparisonReport:
+    report = ComparisonReport(
+        dataset_label=dataset_label, mode=mode, dataset_size=len(trees)
+    )
+    counter = EditDistanceCounter()
+    for flt in filters:
+        if flt.size != len(trees):
+            flt.fit(trees)
+        per_query = [run_one(query, flt, counter) for query in queries]
+        report.filters.append(_average(per_query, flt.name))
+    if run_sequential is not None:
+        start = time.perf_counter()
+        for query in queries:
+            run_sequential(query, counter)
+        elapsed = time.perf_counter() - start
+        report.sequential_seconds = elapsed / max(1, len(queries))
+    return report
+
+
+def run_range_comparison(
+    trees: Sequence[TreeNode],
+    queries: Sequence[TreeNode],
+    threshold: float,
+    filters: Sequence[LowerBoundFilter],
+    dataset_label: str = "",
+    include_sequential: bool = True,
+) -> ComparisonReport:
+    """Range-query workload across filters (one Figures 7/9/11/14 point)."""
+
+    def run_one(
+        query: TreeNode, flt: LowerBoundFilter, counter: EditDistanceCounter
+    ) -> SearchStats:
+        _, stats = range_query(trees, query, threshold, flt, counter)
+        return stats
+
+    def run_sequential(query: TreeNode, counter: EditDistanceCounter) -> SearchStats:
+        _, stats = sequential_range_query(trees, query, threshold, counter)
+        return stats
+
+    return _run_comparison(
+        trees,
+        queries,
+        filters,
+        run_one,
+        run_sequential if include_sequential else None,
+        dataset_label,
+        mode=f"range(tau={threshold:g})",
+    )
+
+
+def run_knn_comparison(
+    trees: Sequence[TreeNode],
+    queries: Sequence[TreeNode],
+    k: int,
+    filters: Sequence[LowerBoundFilter],
+    dataset_label: str = "",
+    include_sequential: bool = True,
+) -> ComparisonReport:
+    """k-NN workload across filters (one Figures 8/10/12/13 point)."""
+
+    def run_one(
+        query: TreeNode, flt: LowerBoundFilter, counter: EditDistanceCounter
+    ) -> SearchStats:
+        _, stats = knn_query(trees, query, k, flt, counter)
+        return stats
+
+    def run_sequential(query: TreeNode, counter: EditDistanceCounter) -> SearchStats:
+        _, stats = sequential_knn_query(trees, query, k, counter)
+        return stats
+
+    return _run_comparison(
+        trees,
+        queries,
+        filters,
+        run_one,
+        run_sequential if include_sequential else None,
+        dataset_label,
+        mode=f"knn(k={k})",
+    )
+
+
+def distance_distribution(
+    trees: Sequence[TreeNode],
+    queries: Sequence[TreeNode],
+    evaluators: Dict[str, Callable[[TreeNode, TreeNode], float]],
+    xs: Sequence[float],
+) -> Dict[str, List[float]]:
+    """Cumulative data distribution over distance (Figure 15).
+
+    For every named distance function, returns the percentage of database
+    objects whose distance to the query is ``≤ x`` for each ``x`` in ``xs``,
+    averaged over the queries.  For lower-bound distances the curve lies
+    above the exact edit-distance curve; the closer it hugs the edit curve,
+    the better the bound.
+    """
+    result: Dict[str, List[float]] = {}
+    denominator = len(trees) * max(1, len(queries))
+    for name, evaluate in evaluators.items():
+        values = [
+            evaluate(query, tree) for query in queries for tree in trees
+        ]
+        result[name] = [
+            100.0 * sum(1 for value in values if value <= x) / denominator
+            for x in xs
+        ]
+    return result

@@ -1,0 +1,83 @@
+"""Plain-text rendering of benchmark reports.
+
+The benchmark drivers print the same series the paper plots: bars
+(% of accessed data per filter, plus result %) and lines (CPU cost of the
+filtered search vs. the sequential scan).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.bench.harness import ComparisonReport
+
+__all__ = [
+    "format_comparison",
+    "format_sweep",
+    "format_distribution",
+    "format_accessed_bars",
+]
+
+
+def format_comparison(report: ComparisonReport) -> str:
+    """Render one workload's report as an aligned text table."""
+    lines = [
+        f"dataset: {report.dataset_label or '(unnamed)'}  "
+        f"size={report.dataset_size}  mode={report.mode}"
+    ]
+    header = (
+        f"  {'filter':<16}{'accessed %':>12}{'result %':>10}"
+        f"{'filter s':>10}{'refine s':>10}{'total s':>10}"
+    )
+    lines.append(header)
+    for flt in report.filters:
+        lines.append(
+            f"  {flt.name:<16}{flt.accessed_pct:>12.2f}{flt.result_pct:>10.2f}"
+            f"{flt.filter_seconds:>10.4f}{flt.refine_seconds:>10.4f}"
+            f"{flt.total_seconds:>10.4f}"
+        )
+    if report.sequential_seconds is not None:
+        lines.append(
+            f"  {'Sequential':<16}{100.0:>12.2f}{'':>10}"
+            f"{'':>10}{report.sequential_seconds:>10.4f}"
+            f"{report.sequential_seconds:>10.4f}"
+        )
+    return "\n".join(lines)
+
+
+def format_sweep(title: str, reports: Sequence[ComparisonReport]) -> str:
+    """Render a parameter sweep (one paper figure) as consecutive tables."""
+    blocks = [f"== {title} =="]
+    blocks.extend(format_comparison(report) for report in reports)
+    return "\n\n".join(blocks)
+
+
+def format_accessed_bars(report: ComparisonReport, width: int = 40) -> str:
+    """Render the accessed-data percentages as a horizontal bar chart.
+
+    A terminal-friendly stand-in for the paper's bar plots:
+
+    >>> # doctest-style sketch (values vary):
+    >>> # BiBranch   |#####                | 12.3%
+    >>> # Histo      |############         | 30.1%
+    """
+    lines = [f"{report.dataset_label or '(unnamed)'}  {report.mode}"]
+    entries = [(f.name, f.accessed_pct) for f in report.filters]
+    entries.append(("Result", report.filters[0].result_pct if report.filters else 0))
+    for name, value in entries:
+        filled = int(round(width * min(value, 100.0) / 100.0))
+        bar = "#" * filled + " " * (width - filled)
+        lines.append(f"  {name:<14}|{bar}| {value:5.1f}%")
+    return "\n".join(lines)
+
+
+def format_distribution(
+    title: str, xs: Sequence[float], curves: Dict[str, List[float]]
+) -> str:
+    """Render Figure-15-style cumulative distribution curves as a table."""
+    lines = [f"== {title} ==", "  distance " + "".join(f"{x:>8g}" for x in xs)]
+    for name, values in curves.items():
+        lines.append(
+            f"  {name:<9}" + "".join(f"{value:>8.1f}" for value in values)
+        )
+    return "\n".join(lines)

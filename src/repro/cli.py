@@ -1,0 +1,284 @@
+"""Command-line interface: ``python -m repro <command> …``.
+
+Commands
+--------
+``distance``   exact tree edit distance between two bracket trees
+``bound``      the paper's lower bounds (count / positional, any q)
+``diff``       minimum-cost edit script between two trees
+``generate``   synthetic (§5) or DBLP-like datasets to a ``.trees`` file
+``stats``      structural summary of a dataset file
+``search``     range or k-NN query over a dataset file
+``join``       similarity self-join of a dataset file
+``convert``    XML/JSON documents -> a ``.trees`` dataset file
+``show``       draw a bracket tree
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.bench import average_pairwise_distance
+from repro.core.lower_bounds import branch_lower_bound, positional_lower_bound
+from repro.core.vectors import branch_distance
+from repro.datasets import generate_dblp_dataset, generate_dataset, parse_spec
+from repro.editdist import tree_edit_distance, tree_edit_mapping
+from repro.filters import (
+    BinaryBranchFilter,
+    HistogramFilter,
+    TraversalStringFilter,
+)
+from repro.search import knn_query, range_query, similarity_self_join
+from repro.storage import load_forest, load_xml_directory, save_forest
+from repro.trees import dataset_summary, parse_bracket, to_bracket
+from repro.trees.json_io import parse_json_string
+from repro.trees.xml_io import parse_xml_file
+from repro.trees.render import render_tree
+
+__all__ = ["main", "build_parser"]
+
+_FILTERS = {
+    "bibranch": BinaryBranchFilter,
+    "histogram": HistogramFilter,
+    "traversal": TraversalStringFilter,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for testing and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Similarity evaluation on tree-structured data "
+        "(SIGMOD 2005 reproduction)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    distance = commands.add_parser(
+        "distance", help="exact tree edit distance between two bracket trees"
+    )
+    distance.add_argument("tree1")
+    distance.add_argument("tree2")
+
+    bound = commands.add_parser("bound", help="edit-distance lower bounds")
+    bound.add_argument("tree1")
+    bound.add_argument("tree2")
+    bound.add_argument("--q", type=int, default=2, help="branch level (>= 2)")
+
+    diff = commands.add_parser("diff", help="minimum-cost edit script")
+    diff.add_argument("tree1")
+    diff.add_argument("tree2")
+
+    show = commands.add_parser("show", help="draw a bracket tree")
+    show.add_argument("tree")
+
+    vector = commands.add_parser(
+        "vector", help="print a tree's binary branch vector"
+    )
+    vector.add_argument("tree")
+    vector.add_argument("--q", type=int, default=2)
+
+    generate = commands.add_parser("generate", help="generate a dataset file")
+    generate.add_argument("kind", choices=["synthetic", "dblp"])
+    generate.add_argument("--out", required=True, help="output .trees file")
+    generate.add_argument("--count", type=int, default=100)
+    generate.add_argument("--seed", type=int, default=0)
+    generate.add_argument(
+        "--spec",
+        default="N{4,0.5}N{50,2}L8D0.05",
+        help="synthetic spec in the paper's caption notation",
+    )
+
+    stats = commands.add_parser("stats", help="summarize a dataset file")
+    stats.add_argument("file")
+    stats.add_argument(
+        "--avg-distance",
+        action="store_true",
+        help="also estimate the average pairwise edit distance (slow)",
+    )
+
+    search = commands.add_parser("search", help="similarity query over a file")
+    search.add_argument("file")
+    search.add_argument("--query", required=True, help="bracket-notation tree")
+    mode = search.add_mutually_exclusive_group(required=True)
+    mode.add_argument("--range", type=float, dest="range_threshold")
+    mode.add_argument("--knn", type=int, dest="knn_k")
+    search.add_argument(
+        "--filter", choices=sorted(_FILTERS), default="bibranch"
+    )
+
+    convert = commands.add_parser(
+        "convert", help="convert XML/JSON documents to a .trees file"
+    )
+    convert.add_argument("inputs", nargs="+", help="files or directories")
+    convert.add_argument("--format", choices=["xml", "json"], required=True)
+    convert.add_argument("--out", required=True)
+
+    join = commands.add_parser("join", help="similarity self-join of a file")
+    join.add_argument("file")
+    join.add_argument("--threshold", type=float, required=True)
+    join.add_argument(
+        "--filter", choices=sorted(_FILTERS), default="bibranch"
+    )
+    return parser
+
+
+def _cmd_distance(args) -> int:
+    t1, t2 = parse_bracket(args.tree1), parse_bracket(args.tree2)
+    print(f"{tree_edit_distance(t1, t2):g}")
+    return 0
+
+
+def _cmd_bound(args) -> int:
+    t1, t2 = parse_bracket(args.tree1), parse_bracket(args.tree2)
+    bdist = branch_distance(t1, t2, q=args.q)
+    count = branch_lower_bound(t1, t2, q=args.q)
+    positional = positional_lower_bound(t1, t2, q=args.q)
+    print(f"BDist_q{args.q}: {bdist}")
+    print(f"count bound: {count:g}")
+    print(f"positional bound: {positional:g}")
+    return 0
+
+
+def _cmd_diff(args) -> int:
+    t1, t2 = parse_bracket(args.tree1), parse_bracket(args.tree2)
+    mapping = tree_edit_mapping(t1, t2)
+    print(f"edit distance: {mapping.cost:g}")
+    for operation in mapping.operations():
+        print(f"  {operation}")
+    return 0
+
+
+def _cmd_show(args) -> int:
+    print(render_tree(parse_bracket(args.tree)))
+    return 0
+
+
+def _cmd_vector(args) -> int:
+    from repro.core import branch_vector
+
+    vector = branch_vector(parse_bracket(args.tree), q=args.q)
+    for branch, count in sorted(
+        vector.counts.items(), key=lambda item: str(item[0])
+    ):
+        print(f"{count}\t{branch}")
+    print(
+        f"# {vector.dimensions} distinct branches, |T| = {vector.tree_size}",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _cmd_generate(args) -> int:
+    if args.kind == "synthetic":
+        spec = parse_spec(args.spec)
+        trees = generate_dataset(spec, count=args.count, seed=args.seed)
+        header = f"synthetic {spec.describe()} count={args.count} seed={args.seed}"
+    else:
+        trees = generate_dblp_dataset(args.count, seed=args.seed)
+        header = f"dblp-like count={args.count} seed={args.seed}"
+    written = save_forest(trees, args.out, header=header)
+    print(f"wrote {written} trees to {args.out}")
+    return 0
+
+
+def _cmd_stats(args) -> int:
+    trees = load_forest(args.file)
+    summary = dataset_summary(trees)
+    for key, value in summary.items():
+        print(f"{key}: {value:g}" if isinstance(value, float) else f"{key}: {value}")
+    if args.avg_distance:
+        print(f"avg_distance: {average_pairwise_distance(trees):.3f}")
+    return 0
+
+
+def _cmd_search(args) -> int:
+    trees = load_forest(args.file)
+    if not trees:
+        print("dataset is empty", file=sys.stderr)
+        return 1
+    query = parse_bracket(args.query)
+    flt = _FILTERS[args.filter]().fit(trees)
+    if args.range_threshold is not None:
+        matches, stats = range_query(trees, query, args.range_threshold, flt)
+    else:
+        matches, stats = knn_query(trees, query, args.knn_k, flt)
+    for index, distance in matches:
+        print(f"{index}\t{distance:g}\t{to_bracket(trees[index])}")
+    print(
+        f"# accessed {stats.candidates}/{stats.dataset_size} "
+        f"({stats.accessed_percentage:.1f}%)",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def _cmd_convert(args) -> int:
+    import os
+
+    trees = []
+    for source in args.inputs:
+        if os.path.isdir(source):
+            pattern = "*.xml" if args.format == "xml" else "*.json"
+            if args.format == "xml":
+                trees.extend(load_xml_directory(source, pattern))
+            else:
+                from pathlib import Path
+
+                for path in sorted(Path(source).glob(pattern)):
+                    trees.append(parse_json_string(path.read_text()))
+        elif args.format == "xml":
+            trees.append(parse_xml_file(source))
+        else:
+            with open(source, "r", encoding="utf-8") as handle:
+                trees.append(parse_json_string(handle.read()))
+    written = save_forest(trees, args.out, header=f"converted from {args.format}")
+    print(f"wrote {written} trees to {args.out}")
+    return 0
+
+
+def _cmd_join(args) -> int:
+    trees = load_forest(args.file)
+    flt = _FILTERS[args.filter]().fit(trees)
+    pairs, stats = similarity_self_join(trees, args.threshold, flt)
+    for i, j, distance in pairs:
+        print(f"{i}\t{j}\t{distance:g}")
+    print(
+        f"# refined {stats.candidates}/{stats.dataset_size} pairs "
+        f"({stats.accessed_percentage:.1f}%)",
+        file=sys.stderr,
+    )
+    return 0
+
+
+_HANDLERS = {
+    "distance": _cmd_distance,
+    "bound": _cmd_bound,
+    "diff": _cmd_diff,
+    "show": _cmd_show,
+    "vector": _cmd_vector,
+    "generate": _cmd_generate,
+    "stats": _cmd_stats,
+    "search": _cmd_search,
+    "join": _cmd_join,
+    "convert": _cmd_convert,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code.
+
+    Library errors (bad bracket syntax, invalid specs, missing files) are
+    reported on stderr with exit code 2 instead of a traceback.
+    """
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _HANDLERS[args.command](args)
+    except (ValueError, OSError) as exc:
+        print(f"repro: error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

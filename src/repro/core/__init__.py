@@ -1,0 +1,61 @@
+"""The paper's primary contribution: the binary branch embedding.
+
+Branch extraction (2-level and q-level), sparse branch vectors with the L1
+``BDist``, edit-distance lower bounds, the positional refinement, and the
+inverted file index of Algorithm 1.
+"""
+
+from repro.core.branches import (
+    BinaryBranch,
+    PositionalBranch,
+    branches_via_binary_tree,
+    iter_branches,
+    iter_positional_branches,
+)
+from repro.core.index_io import load_index, save_index
+from repro.core.inverted_file import InvertedFileIndex, Posting
+from repro.core.lower_bounds import branch_lower_bound, positional_lower_bound
+from repro.core.positional import (
+    PositionalProfile,
+    exact_position_matching,
+    greedy_interval_matching,
+    positional_branch_distance,
+    positional_profile,
+    search_lower_bound,
+)
+from repro.core.qlevel import (
+    PositionalQLevelBranch,
+    QLevelBranch,
+    iter_positional_qlevel_branches,
+    iter_qlevel_branches,
+    qlevel_bound_factor,
+)
+from repro.core.vectors import BranchVector, branch_distance, branch_vector
+
+__all__ = [
+    "BinaryBranch",
+    "PositionalBranch",
+    "iter_branches",
+    "iter_positional_branches",
+    "branches_via_binary_tree",
+    "QLevelBranch",
+    "PositionalQLevelBranch",
+    "iter_qlevel_branches",
+    "iter_positional_qlevel_branches",
+    "qlevel_bound_factor",
+    "BranchVector",
+    "branch_vector",
+    "branch_distance",
+    "branch_lower_bound",
+    "positional_lower_bound",
+    "PositionalProfile",
+    "positional_profile",
+    "positional_branch_distance",
+    "search_lower_bound",
+    "greedy_interval_matching",
+    "exact_position_matching",
+    "InvertedFileIndex",
+    "Posting",
+    "save_index",
+    "load_index",
+]

@@ -1,0 +1,142 @@
+"""Binary branches (paper Definition 2) and their extraction.
+
+A *binary branch* ``BiB(u)`` is the one-level branch structure of an original
+node ``u`` in the normalized binary tree representation ``B(T)``: the triple
+
+    (label(u), label(left child in B(T)), label(right child in B(T)))
+
+where the left child is ``u``'s **first child** in ``T``, the right child is
+``u``'s **next sibling** in ``T``, and missing positions are the ε padding
+label.  By Lemma 3.1 each node appears in at most two branches, which is what
+caps the damage a single edit operation can do (Theorem 3.2).
+
+Extraction works directly on ``T`` through the left-child/right-sibling
+correspondence — building ``B(T)`` explicitly is not necessary (the
+equivalence is asserted by the test suite via
+:func:`branches_via_binary_tree`).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, NamedTuple, Tuple
+
+from repro.trees.binary import (
+    EPSILON,
+    BinaryTreeNode,
+    normalize_binary,
+    tree_to_binary,
+)
+from repro.trees.node import Label, TreeNode
+
+__all__ = [
+    "BinaryBranch",
+    "PositionalBranch",
+    "iter_branches",
+    "iter_positional_branches",
+    "branches_via_binary_tree",
+]
+
+
+class BinaryBranch(NamedTuple):
+    """A two-level binary branch ``(root, left, right)``.
+
+    ``left``/``right`` are ε (:data:`repro.trees.binary.EPSILON`) when the
+    node has no first child / no next sibling.
+    """
+
+    root: Label
+    left: Label
+    right: Label
+
+    def __str__(self) -> str:
+        return f"{self.root}({self.left},{self.right})"
+
+
+class PositionalBranch(NamedTuple):
+    """A binary branch with the positions of its root node in ``T``.
+
+    ``pre``/``post`` are the 1-based preorder and postorder numbers of the
+    branch's root node — the annotations beside each node in the paper's
+    Figure 2.  (The preorder of ``T`` equals the preorder of ``B(T)`` and the
+    postorder of ``T`` equals the inorder of ``B(T)``, so either view gives
+    the same numbers.)
+    """
+
+    branch: BinaryBranch
+    pre: int
+    post: int
+
+
+def _branch_of(node: TreeNode) -> BinaryBranch:
+    first = node.first_child
+    sibling = node.next_sibling
+    return BinaryBranch(
+        node.label,
+        EPSILON if first is None else first.label,
+        EPSILON if sibling is None else sibling.label,
+    )
+
+
+def iter_branches(tree: TreeNode) -> Iterator[BinaryBranch]:
+    """Yield the binary branch of every node, in preorder of ``T``.
+
+    >>> from repro.trees import parse_bracket
+    >>> [str(b) for b in iter_branches(parse_bracket("a(b,c)"))]
+    ['a(b,ε)', 'b(ε,c)', 'c(ε,ε)']
+    """
+    for node in tree.iter_preorder():
+        yield _branch_of(node)
+
+
+def iter_positional_branches(tree: TreeNode) -> Iterator[PositionalBranch]:
+    """Yield ``(branch, pre, post)`` for every node.
+
+    Both traversal numbers are produced in a single pass: preorder numbers
+    are assigned on the way down, postorder numbers on the way back up, using
+    an explicit stack (safe for deep trees).
+    """
+    pre_counter = 0
+    post_counter = 0
+    # stack holds (node, expanded?, pre); pre is assigned at first visit
+    stack: List[Tuple[TreeNode, bool, int]] = [(tree, False, 0)]
+    while stack:
+        node, expanded, pre = stack.pop()
+        if expanded:
+            post_counter += 1
+            yield PositionalBranch(_branch_of(node), pre, post_counter)
+            continue
+        pre_counter += 1
+        stack.append((node, True, pre_counter))
+        for child in reversed(node.children):
+            stack.append((child, False, 0))
+    assert pre_counter == post_counter
+
+
+def branches_via_binary_tree(tree: TreeNode) -> List[BinaryBranch]:
+    """Extract branches by explicitly building the normalized ``B(T)``.
+
+    Reference implementation matching the paper's construction verbatim;
+    used by the tests to validate the direct extraction of
+    :func:`iter_branches`.  Returned in preorder of ``B(T)`` (which equals
+    preorder of ``T``).
+    """
+    binary = normalize_binary(tree_to_binary(tree))
+    out: List[BinaryBranch] = []
+    stack: List[BinaryTreeNode] = [binary]
+    while stack:
+        node = stack.pop()
+        if node.is_epsilon:
+            continue
+        left = node.left
+        right = node.right
+        assert left is not None and right is not None  # normalized
+        out.append(
+            BinaryBranch(
+                node.label,
+                EPSILON if left.is_epsilon else left.label,
+                EPSILON if right.is_epsilon else right.label,
+            )
+        )
+        stack.append(right)
+        stack.append(left)
+    return out

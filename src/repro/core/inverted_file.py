@@ -1,0 +1,208 @@
+"""The extended inverted file index IFI and vector construction (Alg. 1).
+
+The paper builds all vector representations through an inverted file whose
+vocabulary is the dataset's branch alphabet Γ; the inverted list of each
+branch stores, per tree, the number of occurrences together with the
+preorder and postorder positions at which the branch appears.  Scanning the
+IFI afterwards yields every tree's sparse branch vector and its positional
+sequences — this is exactly what :meth:`InvertedFileIndex.profile` returns.
+
+Construction is a single traversal per tree (``O(Σ|Ti|)`` time and space);
+each update appends at the tail of an inverted list, so updates are O(1).
+The class also answers the classic inverted-file query — *which trees
+contain this branch?* — used by the join algorithm for candidate generation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Tuple
+
+from repro.core.branches import iter_positional_branches
+from repro.core.positional import PositionalProfile
+from repro.core.qlevel import iter_positional_qlevel_branches, qlevel_bound_factor
+from repro.core.vectors import BranchVector
+from repro.trees.node import TreeNode
+
+__all__ = ["Posting", "InvertedFileIndex"]
+
+BranchKey = Hashable
+
+
+class Posting:
+    """One inverted-list entry: a tree's occurrences of one branch."""
+
+    __slots__ = ("tree_id", "pre_positions", "post_positions", "pairs")
+
+    def __init__(self, tree_id: int) -> None:
+        self.tree_id = tree_id
+        self.pre_positions: List[int] = []
+        self.post_positions: List[int] = []
+        self.pairs: List[Tuple[int, int]] = []
+
+    @property
+    def occurrences(self) -> int:
+        """How many times the branch occurs in the tree."""
+        return len(self.pre_positions)
+
+    def __repr__(self) -> str:
+        return f"Posting(tree_id={self.tree_id}, occurrences={self.occurrences})"
+
+
+class InvertedFileIndex:
+    """Inverted file over the binary branches of a tree collection.
+
+    Parameters
+    ----------
+    q:
+        Branch level; 2 is the paper's default two-level binary branch.
+
+    Examples
+    --------
+    >>> from repro.trees import parse_bracket
+    >>> ifi = InvertedFileIndex()
+    >>> ifi.add_tree(0, parse_bracket("a(b,c)"))
+    >>> ifi.tree_count
+    1
+    """
+
+    def __init__(self, q: int = 2) -> None:
+        qlevel_bound_factor(q)  # validates q >= 2
+        self.q = q
+        # vocabulary: branch -> inverted list of postings (append-only)
+        self._lists: Dict[BranchKey, List[Posting]] = {}
+        self._tree_sizes: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------
+    # Construction (Algorithm 1)
+    # ------------------------------------------------------------------
+    def add_tree(self, tree_id: int, tree: TreeNode) -> None:
+        """Traverse ``tree`` and append its branch occurrences to the IFI."""
+        if tree_id in self._tree_sizes:
+            raise ValueError(f"tree id {tree_id} already indexed")
+        if self.q == 2:
+            items = iter_positional_branches(tree)
+        else:
+            items = iter_positional_qlevel_branches(tree, self.q)
+        size = 0
+        for positional in items:
+            size += 1
+            postings = self._lists.setdefault(positional.branch, [])
+            # Alg. 1 appends at the end of the inverted list: reuse the tail
+            # posting when it belongs to the same tree, else start a new one.
+            if postings and postings[-1].tree_id == tree_id:
+                posting = postings[-1]
+            else:
+                posting = Posting(tree_id)
+                postings.append(posting)
+            posting.pre_positions.append(positional.pre)
+            posting.post_positions.append(positional.post)
+            posting.pairs.append((positional.pre, positional.post))
+        self._tree_sizes[tree_id] = size
+
+    def add_trees(self, trees: Iterable[TreeNode], start_id: int = 0) -> List[int]:
+        """Index a sequence of trees; returns the assigned ids."""
+        ids = []
+        for offset, tree in enumerate(trees):
+            tree_id = start_id + offset
+            self.add_tree(tree_id, tree)
+            ids.append(tree_id)
+        return ids
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    @property
+    def vocabulary_size(self) -> int:
+        """``|Γ|`` — number of distinct branches across the collection."""
+        return len(self._lists)
+
+    @property
+    def tree_count(self) -> int:
+        """Number of indexed trees."""
+        return len(self._tree_sizes)
+
+    def tree_size(self, tree_id: int) -> int:
+        """``|T|`` of an indexed tree."""
+        return self._tree_sizes[tree_id]
+
+    def postings(self, branch: BranchKey) -> List[Posting]:
+        """The inverted list of one branch (empty list if absent)."""
+        return list(self._lists.get(branch, ()))
+
+    def trees_containing(self, branch: BranchKey) -> List[int]:
+        """Ids of trees containing ``branch`` (candidate generation)."""
+        return [posting.tree_id for posting in self._lists.get(branch, ())]
+
+    # ------------------------------------------------------------------
+    # Vector / profile extraction (the second phase of Algorithm 1)
+    # ------------------------------------------------------------------
+    def vectors(self) -> Dict[int, BranchVector]:
+        """Scan the IFI once and emit every tree's sparse branch vector."""
+        counts: Dict[int, Dict[BranchKey, int]] = {
+            tree_id: {} for tree_id in self._tree_sizes
+        }
+        for branch, postings in self._lists.items():
+            for posting in postings:
+                counts[posting.tree_id][branch] = posting.occurrences
+        return {
+            tree_id: BranchVector(branch_counts, self._tree_sizes[tree_id], self.q)
+            for tree_id, branch_counts in counts.items()
+        }
+
+    def profiles(self) -> Dict[int, PositionalProfile]:
+        """Scan the IFI once and emit every tree's positional profile.
+
+        Position lists come out ascending because the construction traversal
+        visits nodes in preorder and appends postorder numbers as counters
+        increase per tree; both sequences are therefore already sorted except
+        the preorder list, which is appended in preorder (ascending) — both
+        are sorted defensively anyway (cheap, idempotent).
+        """
+        pre: Dict[int, Dict[BranchKey, List[int]]] = {
+            tree_id: {} for tree_id in self._tree_sizes
+        }
+        post: Dict[int, Dict[BranchKey, List[int]]] = {
+            tree_id: {} for tree_id in self._tree_sizes
+        }
+        pairs: Dict[int, Dict[BranchKey, List[Tuple[int, int]]]] = {
+            tree_id: {} for tree_id in self._tree_sizes
+        }
+        for branch, postings in self._lists.items():
+            for posting in postings:
+                tree_id = posting.tree_id
+                pre[tree_id][branch] = sorted(posting.pre_positions)
+                post[tree_id][branch] = sorted(posting.post_positions)
+                pairs[tree_id][branch] = list(posting.pairs)
+        return {
+            tree_id: PositionalProfile(
+                pre[tree_id],
+                post[tree_id],
+                pairs[tree_id],
+                self._tree_sizes[tree_id],
+                self.q,
+            )
+            for tree_id in self._tree_sizes
+        }
+
+    def profile(self, tree_id: int) -> PositionalProfile:
+        """Positional profile of a single indexed tree."""
+        if tree_id not in self._tree_sizes:
+            raise KeyError(f"tree id {tree_id} not indexed")
+        pre: Dict[BranchKey, List[int]] = {}
+        post: Dict[BranchKey, List[int]] = {}
+        pairs: Dict[BranchKey, List[Tuple[int, int]]] = {}
+        for branch, postings in self._lists.items():
+            for posting in postings:
+                if posting.tree_id == tree_id:
+                    pre[branch] = sorted(posting.pre_positions)
+                    post[branch] = sorted(posting.post_positions)
+                    pairs[branch] = list(posting.pairs)
+        return PositionalProfile(
+            pre, post, pairs, self._tree_sizes[tree_id], self.q
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"InvertedFileIndex(q={self.q}, trees={self.tree_count}, "
+            f"vocabulary={self.vocabulary_size})"
+        )

@@ -1,0 +1,63 @@
+"""Edit-distance lower bounds from the binary branch embedding.
+
+Theorem 3.2:  ``BDist(T1, T2) ≤ 5 · EDist(T1, T2)``.
+Theorem 3.3:  ``BDist_q(T1, T2) ≤ [4(q−1)+1] · EDist(T1, T2)``.
+
+Hence ``BDist_q / [4(q−1)+1]`` never exceeds the edit distance and may be
+used as the optimistic bound of a filter-and-refine search.  For the unit
+cost model the edit distance is an integer, so the ceiling of the quotient
+is also a valid (and tighter) bound; for general costs the bound scales by
+the minimum effective operation cost (the paper's extension remark in §2.1).
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro.core.positional import PositionalProfile, search_lower_bound
+from repro.core.qlevel import qlevel_bound_factor
+from repro.core.vectors import BranchVector, branch_distance
+from repro.editdist.costs import UNIT_COSTS, CostModel
+from repro.trees.node import TreeNode
+
+__all__ = ["branch_lower_bound", "positional_lower_bound"]
+
+
+def branch_lower_bound(
+    t1: Union[TreeNode, BranchVector],
+    t2: Union[TreeNode, BranchVector],
+    q: int = 2,
+    costs: CostModel = UNIT_COSTS,
+) -> float:
+    """Lower bound on ``EDist`` from branch counts alone: ``⌈BDist/factor⌉``.
+
+    >>> from repro.trees import parse_bracket
+    >>> branch_lower_bound(parse_bracket("a(b,c)"), parse_bracket("a(b,d)"))
+    1
+    """
+    if isinstance(t1, BranchVector):
+        q = t1.q
+    elif isinstance(t2, BranchVector):
+        q = t2.q
+    factor = qlevel_bound_factor(q)
+    distance = branch_distance(t1, t2, q)
+    if costs.is_unit:
+        return -(-distance // factor)  # ceil division; distance is an int
+    return (distance / factor) * costs.min_operation_cost
+
+
+def positional_lower_bound(
+    t1: Union[TreeNode, PositionalProfile],
+    t2: Union[TreeNode, PositionalProfile],
+    q: int = 2,
+    costs: CostModel = UNIT_COSTS,
+    exact: bool = False,
+) -> float:
+    """The tighter positional bound ``pr_opt`` (§4.2), cost-scaled.
+
+    Always ≥ :func:`branch_lower_bound` and ≥ the tree-size difference.
+    """
+    bound = search_lower_bound(t1, t2, q=q, exact=exact)
+    if costs.is_unit:
+        return bound
+    return bound * costs.min_operation_cost

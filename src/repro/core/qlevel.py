@@ -1,0 +1,129 @@
+"""q-level binary branches (paper §3.4, Definition 5).
+
+The two-level binary branch generalizes to a sliding window that is a
+*perfect binary tree of height q − 1* rooted at each original node of the
+normalized ``B(T)``; missing positions are padded with ε.  A q-level branch
+is identified by the tuple of its ``2^q − 1`` labels in preorder of the
+window.
+
+Higher ``q`` encodes more structure (the distance grows with q) at the price
+of a looser edit-distance relation: Theorem 3.3 gives
+``BDist_q <= [4(q−1)+1] · EDist``, so the usable lower bound is
+``BDist_q / [4(q−1)+1]``.  For ``q = 2`` the tuple ``(u, left, right)``
+coincides with :class:`~repro.core.branches.BinaryBranch`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, NamedTuple, Optional, Tuple
+
+from repro.trees.binary import EPSILON
+from repro.trees.node import Label, TreeNode
+
+__all__ = [
+    "QLevelBranch",
+    "PositionalQLevelBranch",
+    "iter_qlevel_branches",
+    "iter_positional_qlevel_branches",
+    "qlevel_bound_factor",
+]
+
+
+class QLevelBranch(NamedTuple):
+    """A q-level binary branch: window labels in preorder (``2^q − 1`` of them)."""
+
+    labels: Tuple[Label, ...]
+
+    @property
+    def q(self) -> int:
+        """The level of the branch (window has ``2^q − 1`` slots)."""
+        return (len(self.labels) + 1).bit_length() - 1
+
+    def __str__(self) -> str:
+        return "[" + ",".join(str(label) for label in self.labels) + "]"
+
+
+class PositionalQLevelBranch(NamedTuple):
+    """A q-level branch plus its root node's (preorder, postorder) in ``T``."""
+
+    branch: QLevelBranch
+    pre: int
+    post: int
+
+
+def qlevel_bound_factor(q: int) -> int:
+    """The Theorem 3.3 constant ``4(q−1)+1`` (= 5 for the base case q=2)."""
+    if q < 2:
+        raise ValueError("q must be >= 2 (q=1 encodes no structure at all)")
+    return 4 * (q - 1) + 1
+
+
+class _LcrsView:
+    """Left-child/right-sibling view of ``T`` as the (virtual) ``B(T)``.
+
+    ``left(u)``/``right(u)`` return ``None`` for ε without materializing the
+    binary tree, so window extraction stays allocation-free per node.
+    """
+
+    __slots__ = ()
+
+    @staticmethod
+    def left(node: Optional[TreeNode]) -> Optional[TreeNode]:
+        return None if node is None else node.first_child
+
+    @staticmethod
+    def right(node: Optional[TreeNode]) -> Optional[TreeNode]:
+        return None if node is None else node.next_sibling
+
+
+def _window_labels(root: Optional[TreeNode], q: int) -> Tuple[Label, ...]:
+    """Labels of the height-(q−1) perfect window rooted at ``root``, preorder.
+
+    ``None`` (ε) positions propagate: the children of an ε slot are ε.
+    """
+    out: List[Label] = []
+    # preorder of a perfect binary tree via explicit (node, depth) stack
+    stack: List[Tuple[Optional[TreeNode], int]] = [(root, 0)]
+    while stack:
+        node, depth = stack.pop()
+        out.append(EPSILON if node is None else node.label)
+        if depth + 1 < q:
+            stack.append((_LcrsView.right(node), depth + 1))
+            stack.append((_LcrsView.left(node), depth + 1))
+    return tuple(out)
+
+
+def iter_qlevel_branches(tree: TreeNode, q: int = 2) -> Iterator[QLevelBranch]:
+    """Yield the q-level branch rooted at every original node, in preorder.
+
+    >>> from repro.trees import parse_bracket
+    >>> branches = list(iter_qlevel_branches(parse_bracket("a(b)"), q=2))
+    >>> str(branches[0])
+    '[a,b,ε]'
+    """
+    factor = qlevel_bound_factor(q)  # validates q
+    del factor
+    for node in tree.iter_preorder():
+        yield QLevelBranch(_window_labels(node, q))
+
+
+def iter_positional_qlevel_branches(
+    tree: TreeNode, q: int = 2
+) -> Iterator[PositionalQLevelBranch]:
+    """Yield q-level branches with (preorder, postorder) root positions."""
+    qlevel_bound_factor(q)  # validates q
+    pre_counter = 0
+    post_counter = 0
+    stack: List[Tuple[TreeNode, bool, int]] = [(tree, False, 0)]
+    while stack:
+        node, expanded, pre = stack.pop()
+        if expanded:
+            post_counter += 1
+            yield PositionalQLevelBranch(
+                QLevelBranch(_window_labels(node, q)), pre, post_counter
+            )
+            continue
+        pre_counter += 1
+        stack.append((node, True, pre_counter))
+        for child in reversed(node.children):
+            stack.append((child, False, 0))

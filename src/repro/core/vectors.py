@@ -1,0 +1,128 @@
+"""Binary branch vectors and the binary branch distance (Definitions 3–4).
+
+The *binary branch vector* ``BRV(T)`` records how many times each branch of
+the dataset's branch alphabet Γ occurs in ``T``.  Since any single tree
+touches at most ``|T|`` of the ``|Γ|`` dimensions, vectors are stored
+sparsely (a counting dict); the L1 distance
+
+    BDist(T1, T2) = Σ_i |b_i − b'_i|
+
+is computed over the union of non-zero dimensions in ``O(|T1| + |T2|)``.
+
+The same representation serves the q-level generalization — the branch keys
+are simply q-level label tuples instead of triples.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Hashable, Mapping, Union
+
+from repro.core.branches import iter_branches
+from repro.core.qlevel import iter_qlevel_branches, qlevel_bound_factor
+from repro.trees.node import TreeNode
+
+__all__ = ["BranchVector", "branch_vector", "branch_distance"]
+
+BranchKey = Hashable
+
+
+class BranchVector:
+    """A sparse branch-count vector for one tree.
+
+    Attributes
+    ----------
+    counts:
+        Mapping from branch key to number of occurrences.
+    tree_size:
+        ``|T|`` — equals the total count since every node roots one branch.
+    q:
+        The branch level this vector was built with.
+    """
+
+    __slots__ = ("counts", "tree_size", "q")
+
+    def __init__(self, counts: Mapping[BranchKey, int], tree_size: int, q: int) -> None:
+        self.counts: Dict[BranchKey, int] = dict(counts)
+        self.tree_size = tree_size
+        self.q = q
+
+    @property
+    def dimensions(self) -> int:
+        """Number of non-zero dimensions (distinct branches in the tree)."""
+        return len(self.counts)
+
+    def l1_distance(self, other: "BranchVector") -> int:
+        """``BDist`` — the L1 distance between two branch vectors.
+
+        Raises ``ValueError`` when the vectors were built with different
+        branch levels (the embedding spaces are incomparable).
+        """
+        if self.q != other.q:
+            raise ValueError(
+                f"cannot compare q={self.q} and q={other.q} branch vectors"
+            )
+        mine, theirs = self.counts, other.counts
+        if len(mine) > len(theirs):
+            mine, theirs = theirs, mine
+        total = 0
+        for key, count in mine.items():
+            total += abs(count - theirs.get(key, 0))
+        for key, count in theirs.items():
+            if key not in mine:
+                total += count
+        return total
+
+    def overlap(self, other: "BranchVector") -> int:
+        """Number of shared branches (multiset intersection size)."""
+        if self.q != other.q:
+            raise ValueError("branch levels differ")
+        mine, theirs = self.counts, other.counts
+        if len(mine) > len(theirs):
+            mine, theirs = theirs, mine
+        return sum(min(count, theirs.get(key, 0)) for key, count in mine.items())
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BranchVector):
+            return NotImplemented
+        return self.q == other.q and self.counts == other.counts
+
+    def __hash__(self) -> int:
+        return hash((self.q, frozenset(self.counts.items())))
+
+    def __repr__(self) -> str:
+        return (
+            f"BranchVector(q={self.q}, dimensions={self.dimensions}, "
+            f"tree_size={self.tree_size})"
+        )
+
+
+def branch_vector(tree: TreeNode, q: int = 2) -> BranchVector:
+    """Build the (q-level) binary branch vector of a tree.
+
+    >>> from repro.trees import parse_bracket
+    >>> branch_vector(parse_bracket("a(b,c)")).tree_size
+    3
+    """
+    if q == 2:
+        counts = Counter(iter_branches(tree))
+    else:
+        qlevel_bound_factor(q)  # validate
+        counts = Counter(iter_qlevel_branches(tree, q))
+    return BranchVector(counts, tree.size, q)
+
+
+def branch_distance(
+    t1: Union[TreeNode, BranchVector],
+    t2: Union[TreeNode, BranchVector],
+    q: int = 2,
+) -> int:
+    """``BDist(T1, T2)`` — accepts trees or prebuilt vectors.
+
+    >>> from repro.trees import parse_bracket
+    >>> branch_distance(parse_bracket("a(b,c)"), parse_bracket("a(b,d)"))
+    4
+    """
+    v1 = t1 if isinstance(t1, BranchVector) else branch_vector(t1, q)
+    v2 = t2 if isinstance(t2, BranchVector) else branch_vector(t2, q)
+    return v1.l1_distance(v2)

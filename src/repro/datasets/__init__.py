@@ -1,0 +1,19 @@
+"""Dataset generation: the §5 synthetic workloads and the DBLP-like corpus."""
+
+from repro.datasets.dblp import DblpConfig, generate_dblp_dataset, generate_dblp_record
+from repro.datasets.synthetic import (
+    SyntheticSpec,
+    generate_dataset,
+    mutate_tree,
+    parse_spec,
+)
+
+__all__ = [
+    "SyntheticSpec",
+    "parse_spec",
+    "mutate_tree",
+    "generate_dataset",
+    "DblpConfig",
+    "generate_dblp_record",
+    "generate_dblp_dataset",
+]

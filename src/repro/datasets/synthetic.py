@@ -1,0 +1,166 @@
+"""The paper's synthetic data generator (§5).
+
+Datasets are specified by four parameter groups, written exactly like the
+paper's figure captions, e.g. ``N{4,0.5}N{50,2}L8D0.05``:
+
+* ``N{f_mean, f_std}`` — node fanout distribution;
+* ``N{s_mean, s_std}`` — tree size distribution;
+* ``Ly``               — number of distinct labels in the dataset;
+* ``Dz``               — decay factor: per-node mutation probability.
+
+Generation follows the paper's two phases:
+
+1. a number of *seed* trees are grown breadth-first (label sampled uniformly
+   per node, fanout sampled per node, growth stops at the sampled maximum
+   size);
+2. each new tree is derived from a previous tree by visiting every node and,
+   with probability ``D``, applying an equiprobable insertion / deletion /
+   relabeling at that node; each generated tree joins the seed pool for
+   subsequent derivations (lineage chains, which is what creates clusters
+   and a controlled distance distribution).
+"""
+
+from __future__ import annotations
+
+import random
+import re
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.trees.node import TreeNode
+from repro.trees.random_trees import random_tree
+
+__all__ = ["SyntheticSpec", "parse_spec", "mutate_tree", "generate_dataset"]
+
+_SPEC_RE = re.compile(
+    r"^N\{(?P<fm>[\d.]+),(?P<fs>[\d.]+)\}"
+    r"N\{(?P<sm>[\d.]+),(?P<ss>[\d.]+)\}"
+    r"L(?P<labels>\d+)"
+    r"(?:D(?P<decay>[\d.]+))?$"
+)
+
+
+@dataclass(frozen=True)
+class SyntheticSpec:
+    """Parameters of one synthetic dataset (the paper's caption notation)."""
+
+    fanout_mean: float = 4.0
+    fanout_stddev: float = 0.5
+    size_mean: float = 50.0
+    size_stddev: float = 2.0
+    label_count: int = 8
+    decay: float = 0.05
+
+    @property
+    def labels(self) -> List[str]:
+        """The label alphabet ``l0 … l{y−1}``."""
+        return [f"l{i}" for i in range(self.label_count)]
+
+    def describe(self) -> str:
+        """Caption-style description, e.g. ``N{4,0.5}N{50,2}L8D0.05``."""
+        return (
+            f"N{{{self.fanout_mean:g},{self.fanout_stddev:g}}}"
+            f"N{{{self.size_mean:g},{self.size_stddev:g}}}"
+            f"L{self.label_count}D{self.decay:g}"
+        )
+
+
+def parse_spec(text: str) -> SyntheticSpec:
+    """Parse a caption-style specification string.
+
+    >>> parse_spec("N{4,0.5}N{50,2}L8D0.05").label_count
+    8
+    """
+    match = _SPEC_RE.match(text.replace(" ", ""))
+    if match is None:
+        raise ValueError(f"invalid dataset specification: {text!r}")
+    return SyntheticSpec(
+        fanout_mean=float(match.group("fm")),
+        fanout_stddev=float(match.group("fs")),
+        size_mean=float(match.group("sm")),
+        size_stddev=float(match.group("ss")),
+        label_count=int(match.group("labels")),
+        decay=float(match.group("decay")) if match.group("decay") else 0.05,
+    )
+
+
+def mutate_tree(
+    tree: TreeNode,
+    decay: float,
+    labels: Sequence[str],
+    rng: random.Random,
+) -> TreeNode:
+    """Derive a new tree: per-node mutation with probability ``decay``.
+
+    Changes are equiprobably insertion (a new node under the visited node,
+    adopting a random consecutive run of its children), deletion (of the
+    visited node; skipped for the root) and relabeling.  The input tree is
+    not modified.
+    """
+    result = tree.clone()
+    # decisions target the snapshot nodes; structural edits do not disturb
+    # iteration because we operate on node references, not positions
+    for node in list(result.iter_preorder()):
+        if rng.random() >= decay:
+            continue
+        kind = rng.choice(("insert", "delete", "relabel"))
+        if kind == "relabel":
+            node.label = rng.choice(labels)
+        elif kind == "delete":
+            parent = node.parent
+            if parent is None:
+                continue  # root is not deletable under the paper's operations
+            index = node.child_index()
+            orphans = list(node.children)
+            for orphan in orphans:
+                node.remove_child(orphan)
+            parent.remove_child(node)
+            for offset, orphan in enumerate(orphans):
+                parent.insert_child(index + offset, orphan)
+        else:  # insert
+            if node.parent is None and node is not result:
+                continue  # node was deleted earlier in this pass
+            degree = node.degree
+            start = rng.randint(0, degree)
+            count = rng.randint(0, degree - start)
+            adopted = list(node.children[start : start + count])
+            for child in adopted:
+                node.remove_child(child)
+            node.insert_child(start, TreeNode(rng.choice(labels), adopted))
+    return result
+
+
+def generate_dataset(
+    spec: SyntheticSpec,
+    count: int,
+    seed_count: int = 10,
+    rng: Optional[random.Random] = None,
+    seed: int = 0,
+) -> List[TreeNode]:
+    """Generate a dataset of ``count`` trees following ``spec``.
+
+    ``seed_count`` trees are grown from scratch; the remainder derive from
+    uniformly chosen earlier trees via :func:`mutate_tree`.  Deterministic
+    given ``seed`` (or a supplied ``rng``).
+    """
+    if count < 1:
+        raise ValueError("count must be >= 1")
+    if rng is None:
+        rng = random.Random(seed)
+    labels = spec.labels
+    pool: List[TreeNode] = []
+    for _ in range(min(seed_count, count)):
+        pool.append(
+            random_tree(
+                rng,
+                labels,
+                size_mean=spec.size_mean,
+                size_stddev=spec.size_stddev,
+                fanout_mean=spec.fanout_mean,
+                fanout_stddev=spec.fanout_stddev,
+            )
+        )
+    while len(pool) < count:
+        parent = rng.choice(pool)
+        pool.append(mutate_tree(parent, spec.decay, labels, rng))
+    return pool

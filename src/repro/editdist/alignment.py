@@ -1,0 +1,174 @@
+"""Alignment of trees (Jiang, Wang & Zhang, TCS 1995 — paper ref. [18]).
+
+The paper's §2.1 survey includes the *alignment distance*: both trees are
+padded with λ-labeled nodes until they become structurally identical, and
+the cost is the sum of the label-pair costs — equivalently, an edit script
+in which "insertion is allowed only before deletion", as the paper puts it.
+Alignment admits fewer scripts than the unrestricted edit distance, so
+
+    EDist(T1, T2) ≤ AlignDist(T1, T2),
+
+with equality on sequences (degenerate chains) — both reduce to the string
+edit distance — and strict inequality possible on branching trees.
+
+The implementation follows the JWZ dynamic program: subproblems are pairs
+of *child-forest intervals*; besides the usual match/delete/insert cases, a
+forest's last tree may align under a λ-node spanning a run of the other
+forest's trees (the "span" cases), which is exactly what distinguishes
+alignment from the constrained edit distance.  Complexity is
+``O(|T1|·|T2|·(deg(T1)+deg(T2))²)``; the recursion is memoized over
+``(parent1, interval1, parent2, interval2)`` keys.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Dict, List, Tuple
+
+from repro.editdist.costs import UNIT_COSTS, CostModel
+from repro.trees.node import TreeNode
+
+__all__ = ["alignment_distance"]
+
+
+class _Aligner:
+    def __init__(self, t1: TreeNode, t2: TreeNode, costs: CostModel) -> None:
+        self.costs = costs
+        self.nodes1 = list(t1.iter_postorder())
+        self.nodes2 = list(t2.iter_postorder())
+        self.index1 = {id(n): k for k, n in enumerate(self.nodes1)}
+        self.index2 = {id(n): k for k, n in enumerate(self.nodes2)}
+        # cost of aligning a whole subtree / forest against nothing
+        self.gone1 = self._gone(self.nodes1, costs.delete)
+        self.gone2 = self._gone(self.nodes2, costs.insert)
+        self.tree_memo: Dict[Tuple[int, int], float] = {}
+        self.forest_memo: Dict[Tuple, float] = {}
+
+    @staticmethod
+    def _gone(nodes: List[TreeNode], price) -> List[float]:
+        totals = [0.0] * len(nodes)
+        index = {id(n): k for k, n in enumerate(nodes)}
+        for k, node in enumerate(nodes):
+            totals[k] = price(node.label) + sum(
+                totals[index[id(child)]] for child in node.children
+            )
+        return totals
+
+    def gone_tree1(self, u: TreeNode) -> float:
+        return self.gone1[self.index1[id(u)]]
+
+    def gone_tree2(self, v: TreeNode) -> float:
+        return self.gone2[self.index2[id(v)]]
+
+    def gone_forest1(self, forest: Tuple[TreeNode, ...]) -> float:
+        return sum(self.gone_tree1(u) for u in forest)
+
+    def gone_forest2(self, forest: Tuple[TreeNode, ...]) -> float:
+        return sum(self.gone_tree2(v) for v in forest)
+
+    # ------------------------------------------------------------------
+    def tree(self, u: TreeNode, v: TreeNode) -> float:
+        key = (id(u), id(v))
+        hit = self.tree_memo.get(key)
+        if hit is not None:
+            return hit
+        children_u = u.children
+        children_v = v.children
+        best = self.forest(children_u, children_v) + self.costs.relabel(
+            u.label, v.label
+        )
+        # v's root aligns with λ above u: u's whole tree goes inside one of
+        # v's child subtrees
+        if children_v:
+            for child in children_v:
+                candidate = (
+                    self.gone_tree2(v)
+                    - self.gone_tree2(child)
+                    + self.tree(u, child)
+                )
+                if candidate < best:
+                    best = candidate
+        if children_u:
+            for child in children_u:
+                candidate = (
+                    self.gone_tree1(u)
+                    - self.gone_tree1(child)
+                    + self.tree(child, v)
+                )
+                if candidate < best:
+                    best = candidate
+        self.tree_memo[key] = best
+        return best
+
+    # ------------------------------------------------------------------
+    def forest(
+        self, f1: Tuple[TreeNode, ...], f2: Tuple[TreeNode, ...]
+    ) -> float:
+        key = (tuple(id(t) for t in f1), tuple(id(t) for t in f2))
+        hit = self.forest_memo.get(key)
+        if hit is not None:
+            return hit
+        if not f1:
+            value = self.gone_forest2(f2)
+        elif not f2:
+            value = self.gone_forest1(f1)
+        else:
+            last1 = f1[-1]
+            last2 = f2[-1]
+            rest1 = f1[:-1]
+            rest2 = f2[:-1]
+            # delete last1 wholesale / insert last2 wholesale / match them
+            best = self.forest(rest1, f2) + self.gone_tree1(last1)
+            candidate = self.forest(f1, rest2) + self.gone_tree2(last2)
+            if candidate < best:
+                best = candidate
+            candidate = self.forest(rest1, rest2) + self.tree(last1, last2)
+            if candidate < best:
+                best = candidate
+            # span cases: last1's root aligns with λ while its children
+            # align against a suffix run of f2 (and symmetrically)
+            children1 = last1.children
+            delete_root1 = self.costs.delete(last1.label)
+            for split in range(len(f2) + 1):
+                candidate = (
+                    delete_root1
+                    + self.forest(rest1, f2[:split])
+                    + self.forest(children1, f2[split:])
+                )
+                if candidate < best:
+                    best = candidate
+            children2 = last2.children
+            insert_root2 = self.costs.insert(last2.label)
+            for split in range(len(f1) + 1):
+                candidate = (
+                    insert_root2
+                    + self.forest(f1[:split], rest2)
+                    + self.forest(f1[split:], children2)
+                )
+                if candidate < best:
+                    best = candidate
+            value = best
+        self.forest_memo[key] = value
+        return value
+
+
+def alignment_distance(
+    t1: TreeNode, t2: TreeNode, costs: CostModel = UNIT_COSTS
+) -> float:
+    """The JWZ alignment distance between two trees (paper ref. [18]).
+
+    >>> from repro.trees import parse_bracket
+    >>> alignment_distance(parse_bracket("a(b,c)"), parse_bracket("a(b)"))
+    1.0
+    """
+    aligner = _Aligner(t1, t2, costs)
+    # the forest recursion peels one tree per call, so its depth is bounded
+    # by the total node count, not the tree height
+    needed = 4 * (t1.size + t2.size) + 100
+    old_limit = sys.getrecursionlimit()
+    if needed > old_limit:
+        sys.setrecursionlimit(needed)
+    try:
+        return aligner.tree(t1, t2)
+    finally:
+        sys.setrecursionlimit(old_limit)

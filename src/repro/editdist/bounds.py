@@ -1,0 +1,44 @@
+"""Trivial lower and upper bounds on the tree edit distance.
+
+Used as sanity envelopes by the search algorithms and by the property-based
+test suite: every sophisticated lower bound must dominate the size bound and
+stay below every upper bound.
+"""
+
+from __future__ import annotations
+
+from repro.editdist.costs import UNIT_COSTS, CostModel
+from repro.trees.node import TreeNode
+from repro.trees.properties import label_counts
+
+__all__ = ["size_lower_bound", "label_lower_bound", "naive_upper_bound"]
+
+
+def size_lower_bound(t1: TreeNode, t2: TreeNode) -> int:
+    """``EDist >= ||T1| - |T2||`` — each insert/delete changes size by one.
+
+    The paper uses this to seed ``pr_min`` in the positional bound search.
+    """
+    return abs(t1.size - t2.size)
+
+
+def label_lower_bound(t1: TreeNode, t2: TreeNode) -> int:
+    """``EDist >= L1(label histograms) / 2``.
+
+    Every relabel moves one unit between two label bins (L1 change 2); every
+    insert or delete changes one bin by one (L1 change 1 ≤ 2).
+    """
+    counts1 = label_counts(t1)
+    counts2 = label_counts(t2)
+    keys = set(counts1) | set(counts2)
+    l1 = sum(abs(counts1[key] - counts2[key]) for key in keys)
+    return -(-l1 // 2)
+
+
+def naive_upper_bound(
+    t1: TreeNode, t2: TreeNode, costs: CostModel = UNIT_COSTS
+) -> float:
+    """``EDist <= cost(delete all of T1) + cost(insert all of T2)``."""
+    total = sum(costs.delete(node.label) for node in t1.iter_preorder())
+    total += sum(costs.insert(node.label) for node in t2.iter_preorder())
+    return total

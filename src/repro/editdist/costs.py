@@ -1,0 +1,102 @@
+"""Cost models for tree edit operations.
+
+The paper adopts the *unit cost* edit distance (every operation costs 1) but
+notes the approach extends to general costs whenever each operation's cost is
+bounded from below; the binary branch lower bound is then scaled by that
+minimum (see :func:`repro.core.lower_bounds.branch_lower_bound`).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.trees.node import Label
+
+__all__ = ["CostModel", "UNIT_COSTS", "weighted_costs"]
+
+
+class CostModel:
+    """Costs ``γ(e)`` for relabel / delete / insert operations.
+
+    Parameters
+    ----------
+    delete:
+        ``label -> cost`` of deleting a node with that label.
+    insert:
+        ``label -> cost`` of inserting a node with that label.
+    relabel:
+        ``(old, new) -> cost`` of relabeling; must be 0 for ``old == new``.
+    min_operation_cost:
+        A lower bound on the cost of any *effective* operation (relabel with
+        ``old != new``, any delete, any insert).  Needed to scale the binary
+        branch lower bound for non-unit costs.
+    """
+
+    __slots__ = ("_delete", "_insert", "_relabel", "min_operation_cost")
+
+    def __init__(
+        self,
+        delete: Callable[[Label], float],
+        insert: Callable[[Label], float],
+        relabel: Callable[[Label, Label], float],
+        min_operation_cost: float,
+    ) -> None:
+        if min_operation_cost <= 0:
+            raise ValueError("min_operation_cost must be positive")
+        self._delete = delete
+        self._insert = insert
+        self._relabel = relabel
+        self.min_operation_cost = min_operation_cost
+
+    def delete(self, label: Label) -> float:
+        """Cost of deleting a node labeled ``label``."""
+        return self._delete(label)
+
+    def insert(self, label: Label) -> float:
+        """Cost of inserting a node labeled ``label``."""
+        return self._insert(label)
+
+    def relabel(self, old: Label, new: Label) -> float:
+        """Cost of relabeling ``old`` to ``new`` (0 when identical)."""
+        if old == new:
+            return 0.0
+        return self._relabel(old, new)
+
+    @property
+    def is_unit(self) -> bool:
+        """True for the canonical unit-cost model (enables fast paths)."""
+        return self is UNIT_COSTS
+
+
+UNIT_COSTS = CostModel(
+    delete=lambda label: 1.0,
+    insert=lambda label: 1.0,
+    relabel=lambda old, new: 1.0,
+    min_operation_cost=1.0,
+)
+"""The unit cost model adopted throughout the paper."""
+
+
+def weighted_costs(
+    delete_cost: float = 1.0,
+    insert_cost: float = 1.0,
+    relabel_cost: float = 1.0,
+    min_operation_cost: Optional[float] = None,
+) -> CostModel:
+    """Build a label-independent weighted cost model.
+
+    >>> costs = weighted_costs(delete_cost=2.0, insert_cost=2.0)
+    >>> costs.delete("a")
+    2.0
+    """
+    minimum = (
+        min(delete_cost, insert_cost, relabel_cost)
+        if min_operation_cost is None
+        else min_operation_cost
+    )
+    return CostModel(
+        delete=lambda label: delete_cost,
+        insert=lambda label: insert_cost,
+        relabel=lambda old, new: relabel_cost,
+        min_operation_cost=minimum,
+    )

@@ -1,0 +1,296 @@
+"""Edit mappings between trees (paper §2.1).
+
+A *mapping* between ``T1`` and ``T2`` is a one-to-one set of node pairs that
+preserves both ancestor order and sibling order; it depicts graphically which
+nodes are relabeled (mapped, labels differ), deleted (unmapped in ``T1``) and
+inserted (unmapped in ``T2``) — the dashed lines of the paper's Figure 1.
+
+This module recovers a minimum-cost mapping with a memoized forest dynamic
+program.  It is asymptotically slower than Zhang–Shasha
+(``O(|T1|²|T2|²)`` subproblems in the worst case) but:
+
+* it doubles as an independent oracle for cross-checking the optimized
+  Zhang–Shasha implementation in the test suite, and
+* it exposes *which* edit operations the distance corresponds to, which the
+  distance-only DP does not.
+
+Forests are contiguous postorder intervals ``[l, r]``; the recursion peels
+the rightmost root, exactly mirroring the textbook formulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Set, Tuple
+
+from repro.editdist.costs import UNIT_COSTS, CostModel
+from repro.trees.node import TreeNode
+
+__all__ = [
+    "EditMapping",
+    "tree_edit_mapping",
+    "mapping_cost",
+    "is_valid_mapping",
+    "memoized_edit_distance",
+]
+
+_Key = Tuple[int, int, int, int]
+
+
+class _ForestDP:
+    """Memoized forest edit distance over postorder intervals."""
+
+    def __init__(self, t1: TreeNode, t2: TreeNode, costs: CostModel) -> None:
+        self.nodes1 = list(t1.iter_postorder())
+        self.nodes2 = list(t2.iter_postorder())
+        self.labels1 = [n.label for n in self.nodes1]
+        self.labels2 = [n.label for n in self.nodes2]
+        self.lml1 = _leftmost_leaves(t1, self.nodes1)
+        self.lml2 = _leftmost_leaves(t2, self.nodes2)
+        self.costs = costs
+        # prefix sums of whole-node delete / insert costs for empty cases
+        self.del_prefix = _prefix([costs.delete(l) for l in self.labels1])
+        self.ins_prefix = _prefix([costs.insert(l) for l in self.labels2])
+        self.memo: Dict[_Key, float] = {}
+
+    # -- cost of deleting / inserting an entire postorder interval ---------
+    def delete_range(self, l: int, r: int) -> float:
+        return self.del_prefix[r + 1] - self.del_prefix[l] if l <= r else 0.0
+
+    def insert_range(self, l: int, r: int) -> float:
+        return self.ins_prefix[r + 1] - self.ins_prefix[l] if l <= r else 0.0
+
+    def distance(self, l1: int, r1: int, l2: int, r2: int) -> float:
+        """Forest distance with an explicit evaluation stack (no recursion)."""
+        root_key = (l1, r1, l2, r2)
+        memo = self.memo
+        stack: List[_Key] = [root_key]
+        while stack:
+            key = stack[-1]
+            if key in memo:
+                stack.pop()
+                continue
+            kl1, kr1, kl2, kr2 = key
+            if kl1 > kr1:
+                memo[key] = self.insert_range(kl2, kr2)
+                stack.pop()
+                continue
+            if kl2 > kr2:
+                memo[key] = self.delete_range(kl1, kr1)
+                stack.pop()
+                continue
+            deps = self._dependencies(key)
+            missing = [d for d in deps if d not in memo]
+            if missing:
+                stack.extend(missing)
+                continue
+            memo[key] = min(self._candidates(key))
+            stack.pop()
+        return memo[root_key]
+
+    def _dependencies(self, key: _Key) -> List[_Key]:
+        l1, r1, l2, r2 = key
+        a1, a2 = self.lml1[r1], self.lml2[r2]
+        return [
+            (l1, r1 - 1, l2, r2),
+            (l1, r1, l2, r2 - 1),
+            (l1, a1 - 1, l2, a2 - 1),
+            (a1, r1 - 1, a2, r2 - 1),
+        ]
+
+    def _candidates(self, key: _Key) -> List[float]:
+        l1, r1, l2, r2 = key
+        memo = self.memo
+        a1, a2 = self.lml1[r1], self.lml2[r2]
+        return [
+            memo[(l1, r1 - 1, l2, r2)] + self.costs.delete(self.labels1[r1]),
+            memo[(l1, r1, l2, r2 - 1)] + self.costs.insert(self.labels2[r2]),
+            memo[(l1, a1 - 1, l2, a2 - 1)]
+            + memo[(a1, r1 - 1, a2, r2 - 1)]
+            + self.costs.relabel(self.labels1[r1], self.labels2[r2]),
+        ]
+
+    def backtrack(self) -> List[Tuple[int, int]]:
+        """Extract one optimal mapping as postorder index pairs."""
+        pairs: List[Tuple[int, int]] = []
+        agenda: List[_Key] = [
+            (0, len(self.nodes1) - 1, 0, len(self.nodes2) - 1)
+        ]
+        eps = 1e-9
+        while agenda:
+            key = agenda.pop()
+            l1, r1, l2, r2 = key
+            if l1 > r1 or l2 > r2:
+                continue
+            value = self.memo[key] if key in self.memo else self.distance(*key)
+            candidates = self._candidates(key)
+            a1, a2 = self.lml1[r1], self.lml2[r2]
+            if abs(candidates[2] - value) <= eps:
+                pairs.append((r1, r2))
+                agenda.append((l1, a1 - 1, l2, a2 - 1))
+                agenda.append((a1, r1 - 1, a2, r2 - 1))
+            elif abs(candidates[0] - value) <= eps:
+                agenda.append((l1, r1 - 1, l2, r2))
+            else:
+                agenda.append((l1, r1, l2, r2 - 1))
+        pairs.sort()
+        return pairs
+
+
+def _leftmost_leaves(tree: TreeNode, nodes: Sequence[TreeNode]) -> List[int]:
+    index = {id(node): i for i, node in enumerate(nodes)}
+    lml = [0] * len(nodes)
+    for i, node in enumerate(nodes):
+        first = node.first_child
+        lml[i] = i if first is None else lml[index[id(first)]]
+    return lml
+
+
+def _prefix(values: Sequence[float]) -> List[float]:
+    out = [0.0]
+    for value in values:
+        out.append(out[-1] + value)
+    return out
+
+
+@dataclass
+class EditMapping:
+    """A minimum-cost edit mapping between two trees.
+
+    Attributes
+    ----------
+    pairs:
+        Mapped node pairs as 0-based postorder index pairs ``(i, j)``.
+    cost:
+        Total cost of the corresponding edit script (= the edit distance).
+    nodes1, nodes2:
+        The trees' nodes in postorder, for resolving indices.
+    """
+
+    pairs: List[Tuple[int, int]]
+    cost: float
+    nodes1: List[TreeNode]
+    nodes2: List[TreeNode]
+
+    @property
+    def relabeled(self) -> List[Tuple[TreeNode, TreeNode]]:
+        """Mapped pairs whose labels differ."""
+        return [
+            (self.nodes1[i], self.nodes2[j])
+            for i, j in self.pairs
+            if self.nodes1[i].label != self.nodes2[j].label
+        ]
+
+    @property
+    def deleted(self) -> List[TreeNode]:
+        """Nodes of ``T1`` without a correspondence."""
+        mapped = {i for i, _ in self.pairs}
+        return [n for i, n in enumerate(self.nodes1) if i not in mapped]
+
+    @property
+    def inserted(self) -> List[TreeNode]:
+        """Nodes of ``T2`` without a correspondence."""
+        mapped = {j for _, j in self.pairs}
+        return [n for j, n in enumerate(self.nodes2) if j not in mapped]
+
+    def operations(self) -> List[str]:
+        """Human-readable edit script (relabels, deletes, inserts)."""
+        ops = [
+            f"relabel {a.label!r} -> {b.label!r}" for a, b in self.relabeled
+        ]
+        ops += [f"delete {n.label!r}" for n in self.deleted]
+        ops += [f"insert {n.label!r}" for n in self.inserted]
+        return ops
+
+    def summary(self) -> Dict[str, int]:
+        """Operation counts: ``{"relabel": …, "delete": …, "insert": …}``."""
+        return {
+            "relabel": len(self.relabeled),
+            "delete": len(self.deleted),
+            "insert": len(self.inserted),
+        }
+
+
+def tree_edit_mapping(
+    t1: TreeNode, t2: TreeNode, costs: CostModel = UNIT_COSTS
+) -> EditMapping:
+    """Compute a minimum-cost edit mapping between ``t1`` and ``t2``.
+
+    >>> from repro.trees import parse_bracket
+    >>> m = tree_edit_mapping(parse_bracket("a(b,c)"), parse_bracket("a(b)"))
+    >>> m.cost
+    1.0
+    >>> [n.label for n in m.deleted]
+    ['c']
+    """
+    dp = _ForestDP(t1, t2, costs)
+    cost = dp.distance(0, len(dp.nodes1) - 1, 0, len(dp.nodes2) - 1)
+    pairs = dp.backtrack()
+    return EditMapping(pairs=pairs, cost=cost, nodes1=dp.nodes1, nodes2=dp.nodes2)
+
+
+def memoized_edit_distance(
+    t1: TreeNode, t2: TreeNode, costs: CostModel = UNIT_COSTS
+) -> float:
+    """Edit distance via the memoized forest DP (test oracle for ZS)."""
+    dp = _ForestDP(t1, t2, costs)
+    return dp.distance(0, len(dp.nodes1) - 1, 0, len(dp.nodes2) - 1)
+
+
+def mapping_cost(
+    mapping: Sequence[Tuple[int, int]],
+    t1: TreeNode,
+    t2: TreeNode,
+    costs: CostModel = UNIT_COSTS,
+) -> float:
+    """Cost of the edit script induced by a mapping (Tai's formula)."""
+    nodes1 = list(t1.iter_postorder())
+    nodes2 = list(t2.iter_postorder())
+    mapped1 = {i for i, _ in mapping}
+    mapped2 = {j for _, j in mapping}
+    total = sum(
+        costs.relabel(nodes1[i].label, nodes2[j].label) for i, j in mapping
+    )
+    total += sum(
+        costs.delete(n.label) for i, n in enumerate(nodes1) if i not in mapped1
+    )
+    total += sum(
+        costs.insert(n.label) for j, n in enumerate(nodes2) if j not in mapped2
+    )
+    return total
+
+
+def is_valid_mapping(
+    mapping: Sequence[Tuple[int, int]], t1: TreeNode, t2: TreeNode
+) -> bool:
+    """Check the paper's mapping conditions.
+
+    One-to-one; preserves ancestor order; preserves sibling (left-to-right)
+    order.  With 0-based postorder indices ``post`` and preorder ranks
+    ``pre``, two pairs ``(i1, j1)``, ``(i2, j2)`` are compatible iff
+    ``post`` comparisons and ``pre`` comparisons agree pairwise (this encodes
+    both order conditions simultaneously).
+    """
+    nodes1 = list(t1.iter_postorder())
+    nodes2 = list(t2.iter_postorder())
+    pre1 = {id(n): k for k, n in enumerate(t1.iter_preorder())}
+    pre2 = {id(n): k for k, n in enumerate(t2.iter_preorder())}
+    seen1: Set[int] = set()
+    seen2: Set[int] = set()
+    for i, j in mapping:
+        if i in seen1 or j in seen2:
+            return False
+        seen1.add(i)
+        seen2.add(j)
+    items = list(mapping)
+    for a in range(len(items)):
+        i1, j1 = items[a]
+        p1, q1 = pre1[id(nodes1[i1])], pre2[id(nodes2[j1])]
+        for b in range(a + 1, len(items)):
+            i2, j2 = items[b]
+            p2, q2 = pre1[id(nodes1[i2])], pre2[id(nodes2[j2])]
+            if (i1 < i2) != (j1 < j2):
+                return False
+            if (p1 < p2) != (q1 < q2):
+                return False
+    return True

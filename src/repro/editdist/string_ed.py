@@ -1,0 +1,90 @@
+"""String (Levenshtein) edit distance.
+
+Two roles in the reproduction:
+
+* it is the substrate of the *q-gram* filtering analogy that motivates the
+  binary branch embedding (paper §1, §3.4), and
+* the Guha et al. (SIGMOD 2002) baseline filter lower-bounds the tree edit
+  distance by the string edit distance of preorder/postorder label sequences
+  (:mod:`repro.filters.traversal_string`).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+__all__ = ["string_edit_distance", "string_edit_distance_bounded"]
+
+
+def string_edit_distance(a: Sequence, b: Sequence) -> int:
+    """Unit-cost Levenshtein distance between two sequences.
+
+    Classic two-row dynamic program, ``O(|a||b|)`` time, ``O(min)`` space.
+
+    >>> string_edit_distance("kitten", "sitting")
+    3
+    >>> string_edit_distance("kitten", "kitten")
+    0
+    >>> string_edit_distance(list("abc"), list("abd"))
+    1
+    """
+    if len(a) < len(b):
+        a, b = b, a
+    if not b:
+        return len(a)
+    previous = list(range(len(b) + 1))
+    for i, item_a in enumerate(a, start=1):
+        current = [i] + [0] * len(b)
+        for j, item_b in enumerate(b, start=1):
+            cost = 0 if item_a == item_b else 1
+            current[j] = min(
+                previous[j] + 1,  # delete
+                current[j - 1] + 1,  # insert
+                previous[j - 1] + cost,  # substitute / keep
+            )
+        previous = current
+    return previous[-1]
+
+
+def string_edit_distance_bounded(
+    a: Sequence, b: Sequence, bound: int
+) -> Optional[int]:
+    """Levenshtein distance with early termination.
+
+    Returns the distance when it is ``<= bound``, otherwise ``None``.  Uses
+    the standard band optimization: only cells within ``bound`` of the
+    diagonal can contribute.
+    """
+    if bound < 0:
+        return None
+    if abs(len(a) - len(b)) > bound:
+        return None
+    if len(a) < len(b):
+        a, b = b, a
+    if not b:
+        return len(a) if len(a) <= bound else None
+    size_b = len(b)
+    infinity = bound + 1
+    previous = [j if j <= bound else infinity for j in range(size_b + 1)]
+    for i, item_a in enumerate(a, start=1):
+        lo = max(1, i - bound)
+        hi = min(size_b, i + bound)
+        current = [infinity] * (size_b + 1)
+        if i <= bound:
+            current[0] = i
+        for j in range(lo, hi + 1):
+            item_b = b[j - 1]
+            cost = 0 if item_a == item_b else 1
+            value = previous[j - 1] + cost
+            other = previous[j] + 1
+            if other < value:
+                value = other
+            other = current[j - 1] + 1
+            if other < value:
+                value = other
+            current[j] = value
+        if min(current[lo - 1 : hi + 1]) > bound:
+            return None
+        previous = current
+    result = previous[size_b]
+    return result if result <= bound else None

@@ -1,0 +1,199 @@
+"""Restricted edit-distance variants surveyed in the paper's §2.1.
+
+The paper's related-work discussion contrasts Zhang–Shasha's general edit
+distance with two classic restrictions, both implemented here:
+
+* **Selkow's top-down distance** (Information Processing Letters 1977,
+  ref. [14]): insertions and deletions are only allowed at the leaves —
+  equivalently, a node can only map to a node at the same depth whose
+  parent is also mapped.  Computed by a simple recursion: relabel the
+  roots, then align the child subtree sequences.
+* **Zhang's constrained edit distance** (Pattern Recognition 1995,
+  ref. [22]): mappings are restricted so that disjoint subtrees map to
+  disjoint subtrees.  Computed in ``O(|T1|·|T2|·(deg(T1)+deg(T2)))`` by
+  Zhang's dynamic program over subtree/forest pairs.
+
+Both restrictions shrink the space of allowed mappings, so each variant is
+an **upper bound** of the unrestricted edit distance — useful both as
+baselines and as cheap optimistic radii for nearest-neighbor search
+(property-tested in ``tests/editdist/test_variants.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.editdist.costs import UNIT_COSTS, CostModel
+from repro.trees.node import TreeNode
+
+__all__ = ["selkow_edit_distance", "constrained_edit_distance"]
+
+
+def _subtree_cost(tree: TreeNode, price) -> Dict[int, float]:
+    """Cost of wholesale-inserting/deleting every subtree, bottom-up."""
+    total: Dict[int, float] = {}
+    for node in tree.iter_postorder():
+        total[id(node)] = price(node.label) + sum(
+            total[id(child)] for child in node.children
+        )
+    return total
+
+
+def _sequence_alignment(
+    left: List[TreeNode],
+    right: List[TreeNode],
+    substitute,
+    delete_cost,
+    insert_cost,
+) -> float:
+    """Edit-distance alignment of two child sequences.
+
+    ``substitute(a, b)`` prices matching subtree ``a`` against ``b``;
+    ``delete_cost``/``insert_cost`` price dropping / adding whole subtrees.
+    """
+    rows = len(left) + 1
+    cols = len(right) + 1
+    previous = [0.0] * cols
+    for j in range(1, cols):
+        previous[j] = previous[j - 1] + insert_cost(right[j - 1])
+    for i in range(1, rows):
+        current = [previous[0] + delete_cost(left[i - 1])] + [0.0] * (cols - 1)
+        for j in range(1, cols):
+            best = previous[j] + delete_cost(left[i - 1])
+            other = current[j - 1] + insert_cost(right[j - 1])
+            if other < best:
+                best = other
+            other = previous[j - 1] + substitute(left[i - 1], right[j - 1])
+            if other < best:
+                best = other
+            current[j] = best
+        previous = current
+    return previous[-1]
+
+
+def selkow_edit_distance(
+    t1: TreeNode, t2: TreeNode, costs: CostModel = UNIT_COSTS
+) -> float:
+    """Selkow's top-down tree edit distance (paper ref. [14]).
+
+    Roots always correspond; below them, subtrees are matched, deleted or
+    inserted wholesale at each level.
+
+    >>> from repro.trees import parse_bracket
+    >>> selkow_edit_distance(parse_bracket("a(b,c)"), parse_bracket("a(b)"))
+    1.0
+    """
+    delete_total = _subtree_cost(t1, costs.delete)
+    insert_total = _subtree_cost(t2, costs.insert)
+    memo: Dict[Tuple[int, int], float] = {}
+
+    def distance(u: TreeNode, v: TreeNode) -> float:
+        key = (id(u), id(v))
+        hit = memo.get(key)
+        if hit is not None:
+            return hit
+        value = costs.relabel(u.label, v.label) + _sequence_alignment(
+            list(u.children),
+            list(v.children),
+            distance,
+            lambda node: delete_total[id(node)],
+            lambda node: insert_total[id(node)],
+        )
+        memo[key] = value
+        return value
+
+    return distance(t1, t2)
+
+
+def constrained_edit_distance(
+    t1: TreeNode, t2: TreeNode, costs: CostModel = UNIT_COSTS
+) -> float:
+    """Zhang's constrained edit distance (paper ref. [22]).
+
+    The mapping restriction: two separate subtrees of ``T1`` must map to
+    two separate subtrees of ``T2`` (the "structure-preserving" intuition
+    quoted in §2.1).  Implements Zhang's 1995 dynamic program.
+
+    >>> from repro.trees import parse_bracket
+    >>> constrained_edit_distance(parse_bracket("a(b,c)"), parse_bracket("a(c)"))
+    1.0
+    """
+    delete_total = _subtree_cost(t1, costs.delete)
+    insert_total = _subtree_cost(t2, costs.insert)
+    # forest deletion/insertion costs (children of a node)
+    delete_forest = {
+        id(node): delete_total[id(node)] - costs.delete(node.label)
+        for node in t1.iter_preorder()
+    }
+    insert_forest = {
+        id(node): insert_total[id(node)] - costs.insert(node.label)
+        for node in t2.iter_preorder()
+    }
+    tree_memo: Dict[Tuple[int, int], float] = {}
+    forest_memo: Dict[Tuple[int, int], float] = {}
+
+    def tree_distance(u: TreeNode, v: TreeNode) -> float:
+        key = (id(u), id(v))
+        hit = tree_memo.get(key)
+        if hit is not None:
+            return hit
+        # case 1: u survives inside one of v's child subtrees
+        best = float("inf")
+        if v.children:
+            best = insert_total[id(v)] - costs.insert(v.label) + min(
+                tree_distance(u, child) - insert_total[id(child)]
+                for child in v.children
+            ) + costs.insert(v.label)
+        # case 2: v survives inside one of u's child subtrees
+        if u.children:
+            other = delete_total[id(u)] - costs.delete(u.label) + min(
+                tree_distance(child, v) - delete_total[id(child)]
+                for child in u.children
+            ) + costs.delete(u.label)
+            if other < best:
+                best = other
+        # case 3: u maps to v, child forests aligned
+        other = forest_distance(u, v) + costs.relabel(u.label, v.label)
+        if other < best:
+            best = other
+        tree_memo[key] = best
+        return best
+
+    def forest_distance(u: TreeNode, v: TreeNode) -> float:
+        """Distance between the child forests of ``u`` and ``v``."""
+        key = (id(u), id(v))
+        hit = forest_memo.get(key)
+        if hit is not None:
+            return hit
+        children_u = list(u.children)
+        children_v = list(v.children)
+        # case A: all of F(u) goes into a single child forest of v
+        best = float("inf")
+        if children_v:
+            best = insert_forest[id(v)] + min(
+                forest_distance(u, child) - insert_forest[id(child)]
+                for child in children_v
+            )
+        # case B: symmetric
+        if children_u:
+            other = delete_forest[id(u)] + min(
+                forest_distance(child, v) - delete_forest[id(child)]
+                for child in children_u
+            )
+            if other < best:
+                best = other
+        # case C: align the child sequences (each child subtree matched
+        # wholesale against one other, deleted or inserted)
+        other = _sequence_alignment(
+            children_u,
+            children_v,
+            tree_distance,
+            lambda node: delete_total[id(node)],
+            lambda node: insert_total[id(node)],
+        )
+        if other < best:
+            best = other
+        forest_memo[key] = best
+        return best
+
+    return tree_distance(t1, t2)

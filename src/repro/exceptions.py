@@ -1,0 +1,31 @@
+"""Exception hierarchy for the repro library."""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "TreeParseError",
+    "InvalidTreeError",
+    "InvalidEditOperationError",
+    "QueryError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class TreeParseError(ReproError, ValueError):
+    """A tree could not be parsed from its textual representation."""
+
+
+class InvalidTreeError(ReproError, ValueError):
+    """A tree violates a structural precondition of an algorithm."""
+
+
+class InvalidEditOperationError(ReproError, ValueError):
+    """An edit operation cannot be applied to the given tree."""
+
+
+class QueryError(ReproError, ValueError):
+    """A similarity query was issued with invalid parameters."""

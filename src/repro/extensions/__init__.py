@@ -1,0 +1,13 @@
+"""Extensions beyond the paper's own contribution.
+
+Related systems the paper discusses and contrasts against, implemented to
+make those comparisons runnable.  Everything here is clearly separated from
+the faithful reproduction in :mod:`repro.core`.
+"""
+
+from repro.extensions.hierarchical_embedding import (
+    HierarchicalParser,
+    hierarchical_embedding_distance,
+)
+
+__all__ = ["HierarchicalParser", "hierarchical_embedding_distance"]

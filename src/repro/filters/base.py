@@ -1,0 +1,97 @@
+"""Filter interface for the filter-and-refine framework.
+
+A *filter* supplies, for every database tree, a cheap lower bound on its
+edit distance to the query.  The search algorithms
+(:mod:`repro.search.range_query`, :mod:`repro.search.knn`) are generic over
+this interface: completeness of the query answers only requires the
+lower-bound property ``bound(q, i) ≤ EDist(query, trees[i])``, which every
+implementation in this package guarantees (each documents its proof).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Generic, List, Sequence, TypeVar
+
+from repro.trees.node import TreeNode
+
+__all__ = ["LowerBoundFilter"]
+
+Signature = TypeVar("Signature")
+
+
+class LowerBoundFilter(ABC, Generic[Signature]):
+    """Abstract base class of edit-distance lower-bound filters.
+
+    Lifecycle: construct, :meth:`fit` on the database trees once (building
+    per-tree signatures), then call :meth:`bounds` per query.
+    """
+
+    #: Short identifier used in benchmark reports ("BiBranch", "Histo", …).
+    name: str = "abstract"
+
+    def __init__(self) -> None:
+        self._signatures: List[Signature] = []
+        self._fitted = False
+
+    # ------------------------------------------------------------------
+    # Indexing
+    # ------------------------------------------------------------------
+    def fit(self, trees: Sequence[TreeNode]) -> "LowerBoundFilter[Signature]":
+        """Precompute signatures for the database trees; returns ``self``."""
+        self._signatures = [self.signature(tree) for tree in trees]
+        self._fitted = True
+        return self
+
+    def add(self, tree: TreeNode) -> int:
+        """Append one tree's signature (dynamic insertion); returns its index.
+
+        Signatures are independent per tree, so insertion is O(|tree|) for
+        every filter in this package.
+        """
+        self._signatures.append(self.signature(tree))
+        self._fitted = True
+        return len(self._signatures) - 1
+
+    @property
+    def size(self) -> int:
+        """Number of indexed trees."""
+        return len(self._signatures)
+
+    def data_signature(self, index: int) -> Signature:
+        """Signature of the ``index``-th database tree."""
+        return self._signatures[index]
+
+    # ------------------------------------------------------------------
+    # To implement
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def signature(self, tree: TreeNode) -> Signature:
+        """Build the per-tree signature the bound is computed from."""
+
+    @abstractmethod
+    def bound(self, query: Signature, data: Signature) -> float:
+        """Lower bound on ``EDist`` between the signatures' trees."""
+
+    # ------------------------------------------------------------------
+    # Query-side convenience
+    # ------------------------------------------------------------------
+    def bounds(self, query_tree: TreeNode) -> List[float]:
+        """Lower bounds between ``query_tree`` and every indexed tree."""
+        if not self._fitted:
+            raise RuntimeError(f"filter {self.name!r} used before fit()")
+        query = self.signature(query_tree)
+        return [self.bound(query, data) for data in self._signatures]
+
+    def refutes(self, query: Signature, data: Signature, threshold: float) -> bool:
+        """True when the filter *proves* ``EDist > threshold``.
+
+        Default: compare the numeric bound.  Filters with a cheaper direct
+        refutation test (e.g. a single fixed-range positional distance) may
+        override this for range queries.
+        """
+        return self.bound(query, data) > threshold
+
+    def __repr__(self) -> str:
+        status = f"{self.size} trees" if self._fitted else "unfitted"
+        return f"{type(self).__name__}(name={self.name!r}, {status})"

@@ -1,0 +1,97 @@
+"""The paper's filter: binary branch lower bounds (denoted *BiBranch*).
+
+Two variants share the positional profile signature:
+
+* :class:`BinaryBranchFilter` — the full method of §4: the positional
+  optimistic bound ``pr_opt`` found by ``SearchLBound`` (always at least
+  ``⌈BDist/factor⌉`` and the size difference).
+* :class:`BranchCountFilter` — the §3-only ablation: ``⌈BDist/factor⌉``
+  from branch counts alone, ignoring positions.
+
+Both generalize to q-level branches via the ``q`` parameter
+(factor ``4(q−1)+1``).
+"""
+
+from __future__ import annotations
+
+from repro.core.positional import (
+    PositionalProfile,
+    positional_branch_distance,
+    positional_profile,
+    search_lower_bound,
+)
+from repro.core.qlevel import qlevel_bound_factor
+from repro.filters.base import LowerBoundFilter
+from repro.trees.node import TreeNode
+
+__all__ = ["BinaryBranchFilter", "BranchCountFilter"]
+
+
+class BinaryBranchFilter(LowerBoundFilter[PositionalProfile]):
+    """Positional binary branch filter (the paper's §4 algorithm).
+
+    Parameters
+    ----------
+    q:
+        Branch level (2 = the paper's default).
+    exact_matching:
+        Use the exact two-constraint matching instead of the paper's
+        linear-time approximation (slower; for experiments).
+    """
+
+    def __init__(self, q: int = 2, exact_matching: bool = False) -> None:
+        super().__init__()
+        self.q = q
+        self.factor = qlevel_bound_factor(q)
+        self.exact_matching = exact_matching
+        self.name = f"BiBranch({q})" if q != 2 else "BiBranch"
+
+    def signature(self, tree: TreeNode) -> PositionalProfile:
+        return positional_profile(tree, self.q)
+
+    def bound(self, query: PositionalProfile, data: PositionalProfile) -> float:
+        return search_lower_bound(query, data, exact=self.exact_matching)
+
+    def refutes(
+        self, query: PositionalProfile, data: PositionalProfile, threshold: float
+    ) -> bool:
+        """Range-query fast path (§4.3).
+
+        For a range ``τ`` it suffices to check Proposition 4.2 at the single
+        range ``pr = ⌊τ⌋``: ``PosBDist(τ) > factor·τ ⟹ EDist > τ`` — one
+        linear-time distance evaluation instead of a binary search.
+        """
+        pr = int(threshold)  # unit-cost distances are integers
+        distance = positional_branch_distance(
+            query, data, pr, exact=self.exact_matching
+        )
+        return distance > self.factor * pr
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"BinaryBranchFilter(q={self.q}, trees={self.size})"
+
+
+class BranchCountFilter(LowerBoundFilter[PositionalProfile]):
+    """Count-only binary branch filter: ``⌈BDist / (4(q−1)+1)⌉``.
+
+    The §3 bound without the positional refinement — the natural ablation
+    for measuring what positions buy (see ``benchmarks/test_ablation_*``).
+    """
+
+    def __init__(self, q: int = 2) -> None:
+        super().__init__()
+        self.q = q
+        self.factor = qlevel_bound_factor(q)
+        self.name = f"BiBranchCount({q})" if q != 2 else "BiBranchCount"
+
+    def signature(self, tree: TreeNode) -> PositionalProfile:
+        return positional_profile(tree, self.q)
+
+    def bound(self, query: PositionalProfile, data: PositionalProfile) -> float:
+        # BDist equals PosBDist at unbounded range; computing it from the
+        # profiles avoids a second signature type.
+        distance = 0
+        keys = set(query.pre_positions) | set(data.pre_positions)
+        for key in keys:
+            distance += abs(query.count(key) - data.count(key))
+        return -(-distance // self.factor)

@@ -1,0 +1,66 @@
+"""Combining filters.
+
+The maximum of several lower bounds is itself a lower bound, so filters
+compose freely; Kailing et al. combine their three histograms this way, and
+§4.3 combines the positional bound with ``BDist/5`` and the size difference.
+:class:`MaxCompositeFilter` expresses the pattern generically.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.filters.base import LowerBoundFilter
+from repro.trees.node import TreeNode
+
+__all__ = ["MaxCompositeFilter", "SizeDifferenceFilter"]
+
+
+class SizeDifferenceFilter(LowerBoundFilter[int]):
+    """The trivial ``||T1| − |T2||`` bound, mostly useful inside composites."""
+
+    name = "SizeDiff"
+
+    def signature(self, tree: TreeNode) -> int:
+        return tree.size
+
+    def bound(self, query: int, data: int) -> float:
+        return abs(query - data)
+
+
+class MaxCompositeFilter(LowerBoundFilter[Tuple]):
+    """Pointwise maximum of several lower-bound filters.
+
+    >>> from repro.filters.histogram import LabelHistogramFilter
+    >>> from repro.trees import parse_bracket
+    >>> composite = MaxCompositeFilter(
+    ...     [LabelHistogramFilter(), SizeDifferenceFilter()], name="demo"
+    ... ).fit([parse_bracket("a(b)")])
+    >>> composite.bounds(parse_bracket("a(b,c,d)"))
+    [2]
+    """
+
+    def __init__(
+        self, filters: Sequence[LowerBoundFilter], name: str = "Composite"
+    ) -> None:
+        super().__init__()
+        if not filters:
+            raise ValueError("composite needs at least one filter")
+        self.filters: List[LowerBoundFilter] = list(filters)
+        self.name = name
+
+    def signature(self, tree: TreeNode) -> Tuple:
+        return tuple(child.signature(tree) for child in self.filters)
+
+    def bound(self, query: Tuple, data: Tuple) -> float:
+        return max(
+            child.bound(q, d)
+            for child, q, d in zip(self.filters, query, data)
+        )
+
+    def refutes(self, query: Tuple, data: Tuple, threshold: float) -> bool:
+        """Short-circuit: any component refutation suffices."""
+        return any(
+            child.refutes(q, d, threshold)
+            for child, q, d in zip(self.filters, query, data)
+        )

@@ -1,0 +1,51 @@
+"""Approximate search directly in the embedded vector space.
+
+The filter-and-refine pipeline gives *exact* answers; sometimes (data
+exploration, candidate generation for a human) the cheap embedded distance
+alone is good enough.  Figure 15 of the paper shows why this works: the
+binary branch distance tracks the edit distance closely, especially at
+small distances.
+
+:func:`approximate_knn_query` ranks the database purely by the positional
+lower bound — no exact edit distance is ever computed, so a query costs
+``O(Σ|Ti|·log)`` total.  Recall against the exact k-NN is measured in the
+tests (and is high on clustered data), but **no guarantee** is attached;
+use :func:`repro.search.knn.knn_query` when exactness matters.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Sequence, Tuple
+
+from repro.exceptions import QueryError
+from repro.filters.base import LowerBoundFilter
+from repro.search.statistics import SearchStats
+from repro.trees.node import TreeNode
+
+__all__ = ["approximate_knn_query"]
+
+
+def approximate_knn_query(
+    trees: Sequence[TreeNode],
+    query: TreeNode,
+    k: int,
+    flt: LowerBoundFilter,
+) -> Tuple[List[Tuple[int, float]], SearchStats]:
+    """The ``k`` trees with the smallest *embedded* distance to the query.
+
+    Returns ``(results, stats)`` where results carry the filter's bound
+    value (not the edit distance!) and ``stats.candidates == 0`` — no exact
+    distance computations happen at all.
+    """
+    if k < 1 or k > len(trees):
+        raise QueryError(f"k must be in [1, {len(trees)}], got {k}")
+    if flt.size != len(trees):
+        raise QueryError("filter must be fitted on the searched collection")
+    stats = SearchStats(dataset_size=len(trees))
+    start = time.perf_counter()
+    bounds = flt.bounds(query)
+    order = sorted(range(len(trees)), key=lambda index: (bounds[index], index))
+    stats.filter_seconds = time.perf_counter() - start
+    stats.results = k
+    return [(index, bounds[index]) for index in order[:k]], stats

@@ -1,0 +1,173 @@
+"""TreeDatabase — the user-facing entry point for similarity search.
+
+Bundles a tree collection, a lower-bound filter (BiBranch by default), the
+inverted file index, and a shared edit-distance counter so prepared trees
+are reused across queries.
+
+Examples
+--------
+>>> from repro.trees import parse_bracket
+>>> db = TreeDatabase([parse_bracket("a(b,c)"), parse_bracket("a(b,d)"),
+...                    parse_bracket("x(y)")])
+>>> matches, _ = db.range_query(parse_bracket("a(b,c)"), 1)
+>>> [index for index, _ in matches]
+[0, 1]
+>>> neighbors, _ = db.knn(parse_bracket("a(b,c)"), k=1)
+>>> neighbors[0]
+(0, 0.0)
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Tuple
+
+from repro.core.inverted_file import InvertedFileIndex
+from repro.editdist.costs import UNIT_COSTS, CostModel
+from repro.editdist.zhang_shasha import EditDistanceCounter
+from repro.filters.base import LowerBoundFilter
+from repro.filters.binary_branch import BinaryBranchFilter
+from repro.search.knn import knn_query
+from repro.search.range_query import range_query
+from repro.search.sequential import sequential_knn_query, sequential_range_query
+from repro.search.statistics import SearchStats
+from repro.trees.node import TreeNode
+
+__all__ = ["TreeDatabase"]
+
+
+class TreeDatabase:
+    """A searchable collection of rooted ordered labeled trees.
+
+    Parameters
+    ----------
+    trees:
+        The database content (kept by reference; do not mutate afterwards).
+    flt:
+        The lower-bound filter; default is the paper's positional
+        :class:`~repro.filters.binary_branch.BinaryBranchFilter`.  It is
+        fitted here if not already fitted.
+    costs:
+        Edit-operation cost model for the refinement distance.
+    build_index:
+        Also build the :class:`InvertedFileIndex` (Algorithm 1); needed by
+        :meth:`inverted_index` and the join algorithm.
+    """
+
+    def __init__(
+        self,
+        trees: Iterable[TreeNode],
+        flt: Optional[LowerBoundFilter] = None,
+        costs: CostModel = UNIT_COSTS,
+        build_index: bool = False,
+    ) -> None:
+        self.trees: List[TreeNode] = list(trees)
+        self.counter = EditDistanceCounter(costs)
+        self.filter: LowerBoundFilter = flt if flt is not None else BinaryBranchFilter()
+        if self.filter.size != len(self.trees):
+            self.filter.fit(self.trees)
+        self._index: Optional[InvertedFileIndex] = None
+        self._profiles = None
+        if build_index:
+            self._build_index()
+
+    def _build_index(self) -> None:
+        q = getattr(self.filter, "q", 2)
+        index = InvertedFileIndex(q=q)
+        index.add_trees(self.trees)
+        self._index = index
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+    def add(self, tree: TreeNode) -> int:
+        """Insert one tree; returns its index.
+
+        The filter signature is computed immediately (O(|tree|)); the
+        inverted index, if already built, is extended in place; cached
+        positional profiles are invalidated.
+        """
+        index = len(self.trees)
+        self.trees.append(tree)
+        self.filter.add(tree)
+        if self._index is not None:
+            self._index.add_tree(index, tree)
+        self._profiles = None
+        return index
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.trees)
+
+    def __getitem__(self, index: int) -> TreeNode:
+        return self.trees[index]
+
+    @property
+    def inverted_index(self) -> InvertedFileIndex:
+        """The inverted file index (built lazily on first access)."""
+        if self._index is None:
+            self._build_index()
+        assert self._index is not None
+        return self._index
+
+    @property
+    def distance_computations(self) -> int:
+        """Exact edit-distance computations performed so far."""
+        return self.counter.calls
+
+    def edit_distance(self, t1: TreeNode, t2: TreeNode) -> float:
+        """Exact edit distance under the database's cost model."""
+        return self.counter.distance(t1, t2)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def range_query(
+        self, query: TreeNode, threshold: float
+    ) -> Tuple[List[Tuple[int, float]], SearchStats]:
+        """Filter-and-refine range query (see :func:`range_query`)."""
+        return range_query(self.trees, query, threshold, self.filter, self.counter)
+
+    def indexed_range_query(
+        self, query: TreeNode, threshold: float
+    ) -> Tuple[List[Tuple[int, float]], SearchStats]:
+        """Range query via inverted-file candidate generation.
+
+        Uses the :class:`InvertedFileIndex` (built lazily) to read only the
+        postings of the query's own branches; see
+        :func:`repro.search.index_scan.indexed_range_query`.
+        """
+        from repro.search.index_scan import indexed_range_query
+
+        index = self.inverted_index
+        if self._profiles is None:
+            self._profiles = index.profiles()
+        return indexed_range_query(
+            self.trees, index, query, threshold, self.counter,
+            profiles=self._profiles,
+        )
+
+    def knn(
+        self, query: TreeNode, k: int
+    ) -> Tuple[List[Tuple[int, float]], SearchStats]:
+        """Filter-and-refine k-NN query (Algorithm 2)."""
+        return knn_query(self.trees, query, k, self.filter, self.counter)
+
+    def sequential_range_query(
+        self, query: TreeNode, threshold: float
+    ) -> Tuple[List[Tuple[int, float]], SearchStats]:
+        """Brute-force range query (baseline / ground truth)."""
+        return sequential_range_query(self.trees, query, threshold, self.counter)
+
+    def sequential_knn(
+        self, query: TreeNode, k: int
+    ) -> Tuple[List[Tuple[int, float]], SearchStats]:
+        """Brute-force k-NN (baseline / ground truth)."""
+        return sequential_knn_query(self.trees, query, k, self.counter)
+
+    def __repr__(self) -> str:
+        return (
+            f"TreeDatabase({len(self.trees)} trees, "
+            f"filter={self.filter.name!r})"
+        )

@@ -1,0 +1,122 @@
+"""Tiered k-NN: cheap bound for ordering, tight bound on demand.
+
+Algorithm 2 computes the positional ``SearchLBound`` against *every*
+database object up front.  The positional search costs several linear-time
+``PosBDist`` evaluations per pair, which on small trees approaches the cost
+of the exact distance itself (see ``benchmarks/results/*/fig13*``).
+
+This variant applies the classic multi-tier refinement idea on top of the
+same optimal multi-step skeleton:
+
+1. order all objects by the *cheap* count bound ``⌈BDist/factor⌉`` (one
+   linear pass per object, no binary search);
+2. scan in that order with the usual optimal stopping rule — valid because
+   the cheap bound is itself a lower bound;
+3. before paying for an exact distance, tighten the candidate with the
+   positional bound; if that already exceeds the current k-th distance the
+   candidate is *skipped* (but the scan continues — skipping is per-object,
+   stopping is governed by the ordering bound).
+
+Results are exactly those of the plain algorithm (same distances; asserted
+in the tests); only the work distribution changes: positional searches run
+for the objects the cheap bound cannot decide, instead of for all.  Whether
+that is a net win depends on how much tighter the positional bound is than
+the count bound on the workload — on the paper's clustered datasets the
+two are close and the trade is roughly a wash (measured in the tests), so
+the plain Algorithm 2 remains the default; this variant exists for
+workloads with expensive signatures and as a documented design ablation.
+"""
+
+from __future__ import annotations
+
+import heapq
+import time
+from typing import List, Optional, Sequence, Tuple
+
+from repro.core.positional import PositionalProfile, search_lower_bound
+from repro.core.qlevel import qlevel_bound_factor
+from repro.editdist.zhang_shasha import EditDistanceCounter
+from repro.exceptions import QueryError
+from repro.filters.binary_branch import BinaryBranchFilter
+from repro.search.statistics import SearchStats
+from repro.trees.node import TreeNode
+
+__all__ = ["tiered_knn_query"]
+
+
+def _count_bound(query: PositionalProfile, data: PositionalProfile, factor: int) -> float:
+    distance = 0
+    mine, theirs = query.pre_positions, data.pre_positions
+    for key, positions in mine.items():
+        other = theirs.get(key)
+        distance += abs(len(positions) - (0 if other is None else len(other)))
+    for key, positions in theirs.items():
+        if key not in mine:
+            distance += len(positions)
+    return -(-distance // factor)
+
+
+def tiered_knn_query(
+    trees: Sequence[TreeNode],
+    query: TreeNode,
+    k: int,
+    flt: BinaryBranchFilter,
+    counter: Optional[EditDistanceCounter] = None,
+) -> Tuple[List[Tuple[int, float]], SearchStats]:
+    """k-NN with count-bound ordering and lazy positional tightening.
+
+    ``flt`` must be a fitted :class:`BinaryBranchFilter` (its positional
+    profiles serve both tiers).  Returns the same answer as
+    :func:`repro.search.knn.knn_query` with that filter.
+    """
+    if k < 1:
+        raise QueryError(f"k must be >= 1, got {k}")
+    if flt.size != len(trees):
+        raise QueryError(
+            f"filter indexed {flt.size} trees but the database has {len(trees)}"
+        )
+    if k > len(trees):
+        raise QueryError(f"k={k} exceeds the dataset size {len(trees)}")
+    if counter is None:
+        counter = EditDistanceCounter()
+    factor = qlevel_bound_factor(flt.q)
+    stats = SearchStats(dataset_size=len(trees))
+
+    start = time.perf_counter()
+    query_signature = flt.signature(query)
+    cheap = [
+        _count_bound(query_signature, flt.data_signature(index), factor)
+        for index in range(len(trees))
+    ]
+    order = sorted(range(len(trees)), key=lambda index: (cheap[index], index))
+    stats.filter_seconds = time.perf_counter() - start
+
+    heap: List[Tuple[float, int]] = []  # (-distance, -index) max-heap
+    refined = 0
+    tight_evaluations = 0
+    start = time.perf_counter()
+    for index in order:
+        if len(heap) == k and cheap[index] > -heap[0][0]:
+            break  # optimal stopping on the ordering bound
+        if len(heap) == k:
+            tight_evaluations += 1
+            tight = search_lower_bound(
+                query_signature, flt.data_signature(index)
+            )
+            if tight > -heap[0][0]:
+                continue  # skip this object; the scan goes on
+        distance = counter.distance(query, trees[index])
+        refined += 1
+        if len(heap) < k:
+            heapq.heappush(heap, (-distance, -index))
+        elif distance < -heap[0][0]:
+            heapq.heapreplace(heap, (-distance, -index))
+    stats.refine_seconds = time.perf_counter() - start
+    stats.candidates = refined
+    stats.results = len(heap)
+
+    neighbors = sorted(
+        ((-neg_index, -neg_distance) for neg_distance, neg_index in heap),
+        key=lambda pair: (pair[1], pair[0]),
+    )
+    return neighbors, stats

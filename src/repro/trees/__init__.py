@@ -1,0 +1,112 @@
+"""Rooted, ordered, labeled tree substrate.
+
+Data structures, parsing (bracket notation and XML), traversals, structural
+properties, the binary tree representation, edit operations, and random tree
+generation.
+"""
+
+from repro.trees.binary import (
+    EPSILON,
+    BinaryTreeNode,
+    binary_inorder,
+    binary_postorder,
+    binary_preorder,
+    binary_size,
+    binary_to_forest,
+    binary_to_tree,
+    forest_to_binary,
+    normalize_binary,
+    tree_to_binary,
+)
+from repro.trees.edits import (
+    Delete,
+    EditOperation,
+    Insert,
+    Relabel,
+    apply_operation,
+    apply_script,
+    random_edit_script,
+    random_operation,
+)
+from repro.trees.json_io import json_to_tree, parse_json_string, tree_to_json
+from repro.trees.node import Label, TreeNode
+from repro.trees.parse import forest_to_bracket, parse_bracket, parse_forest, to_bracket
+from repro.trees.properties import (
+    dataset_summary,
+    degree_counts,
+    depth_counts,
+    label_counts,
+    leaf_distance_counts,
+    leaf_distances,
+    node_depths,
+    tree_summary,
+)
+from repro.trees.random_trees import gaussian_int, random_forest, random_tree
+from repro.trees.render import render_outline, render_tree
+from repro.trees.traversal import (
+    levelorder,
+    node_positions,
+    number_postorder,
+    number_preorder,
+    postorder,
+    postorder_labels,
+    preorder,
+    preorder_labels,
+)
+from repro.trees.xml_io import parse_xml_file, parse_xml_string, tree_to_xml, xml_to_tree
+
+__all__ = [
+    "TreeNode",
+    "Label",
+    "EPSILON",
+    "BinaryTreeNode",
+    "tree_to_binary",
+    "forest_to_binary",
+    "binary_to_tree",
+    "binary_to_forest",
+    "normalize_binary",
+    "binary_preorder",
+    "binary_inorder",
+    "binary_postorder",
+    "binary_size",
+    "parse_bracket",
+    "to_bracket",
+    "parse_forest",
+    "forest_to_bracket",
+    "preorder",
+    "postorder",
+    "levelorder",
+    "preorder_labels",
+    "postorder_labels",
+    "number_preorder",
+    "number_postorder",
+    "node_positions",
+    "label_counts",
+    "degree_counts",
+    "depth_counts",
+    "leaf_distances",
+    "leaf_distance_counts",
+    "node_depths",
+    "tree_summary",
+    "dataset_summary",
+    "Relabel",
+    "Delete",
+    "Insert",
+    "EditOperation",
+    "apply_operation",
+    "apply_script",
+    "random_operation",
+    "random_edit_script",
+    "random_tree",
+    "render_tree",
+    "render_outline",
+    "random_forest",
+    "gaussian_int",
+    "xml_to_tree",
+    "tree_to_xml",
+    "parse_xml_string",
+    "parse_xml_file",
+    "json_to_tree",
+    "tree_to_json",
+    "parse_json_string",
+]

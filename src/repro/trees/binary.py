@@ -1,0 +1,266 @@
+"""Binary tree representation of trees and forests (paper §2.3, §3.2).
+
+A rooted ordered forest corresponds one-to-one with a binary tree through the
+classic *left-child / right-sibling* encoding:
+
+* the left child of a node ``u`` in ``B(T)`` is ``u``'s first child in ``T``;
+* the right child of ``u`` in ``B(T)`` is ``u``'s next sibling in ``T``.
+
+The paper additionally *normalizes* ``B(T)`` by appending ``ε`` leaves so
+every original node has exactly two children (Figure 2); the one-level branch
+structures of that normalized tree are the *binary branches* at the heart of
+the embedding.
+
+This module implements the transform, its inverse, the normalization, and
+binary-tree traversals.  ``ε`` is represented by the module constant
+:data:`EPSILON`, a dedicated sentinel object that cannot collide with any
+user label.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Tuple
+
+from repro.exceptions import InvalidTreeError
+from repro.trees.node import TreeNode
+
+__all__ = [
+    "EPSILON",
+    "BinaryTreeNode",
+    "tree_to_binary",
+    "forest_to_binary",
+    "binary_to_tree",
+    "binary_to_forest",
+    "normalize_binary",
+    "binary_preorder",
+    "binary_inorder",
+    "binary_postorder",
+    "binary_size",
+]
+
+
+class _Epsilon:
+    """Singleton sentinel for the ε padding label (paper's ε nodes)."""
+
+    _instance: Optional["_Epsilon"] = None
+
+    def __new__(cls) -> "_Epsilon":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "ε"
+
+    def __reduce__(self):
+        return (_Epsilon, ())
+
+
+EPSILON = _Epsilon()
+
+
+class BinaryTreeNode:
+    """A node of a binary tree ``B(T) = (N, El, Er, Root, label)``.
+
+    Unlike :class:`~repro.trees.node.TreeNode`, the two child slots are
+    distinguished: ``left`` edges belong to ``El`` and ``right`` edges to
+    ``Er``.  Either slot may be ``None`` (or an ε node after normalization).
+    """
+
+    __slots__ = ("label", "left", "right")
+
+    def __init__(
+        self,
+        label: object,
+        left: Optional["BinaryTreeNode"] = None,
+        right: Optional["BinaryTreeNode"] = None,
+    ) -> None:
+        self.label = label
+        self.left = left
+        self.right = right
+
+    @property
+    def is_epsilon(self) -> bool:
+        """True if this is an appended ε padding node."""
+        return self.label is EPSILON
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BinaryTreeNode):
+            return NotImplemented
+        stack: List[Tuple[Optional[BinaryTreeNode], Optional[BinaryTreeNode]]]
+        stack = [(self, other)]
+        while stack:
+            a, b = stack.pop()
+            if a is None or b is None:
+                if a is not b:
+                    return False
+                continue
+            if a.label != b.label and not (a.is_epsilon and b.is_epsilon):
+                return False
+            stack.append((a.left, b.left))
+            stack.append((a.right, b.right))
+        return True
+
+    def __hash__(self) -> int:
+        return hash(tuple(node.label for node in binary_preorder(self)))
+
+    def __repr__(self) -> str:
+        return f"BinaryTreeNode({self.label!r})"
+
+
+def forest_to_binary(forest: List[TreeNode]) -> Optional[BinaryTreeNode]:
+    """Transform an ordered forest into its binary tree (LCRS encoding).
+
+    The roots of the forest become a right-spine in the binary tree.  Returns
+    ``None`` for an empty forest.
+    """
+    if not forest:
+        return None
+    # Build iteratively: for each original node create a binary node; link
+    # left = first child, right = next sibling.
+    def convert(root: TreeNode) -> BinaryTreeNode:
+        mapping = {id(root): BinaryTreeNode(root.label)}
+        for node in root.iter_preorder():
+            bnode = mapping[id(node)]
+            previous: Optional[BinaryTreeNode] = None
+            for child in node.children:
+                bchild = BinaryTreeNode(child.label)
+                mapping[id(child)] = bchild
+                if previous is None:
+                    bnode.left = bchild
+                else:
+                    previous.right = bchild
+                previous = bchild
+        return mapping[id(root)]
+
+    binary_roots = [convert(tree) for tree in forest]
+    for current, nxt in zip(binary_roots, binary_roots[1:]):
+        current.right = nxt
+    return binary_roots[0]
+
+
+def tree_to_binary(tree: TreeNode) -> BinaryTreeNode:
+    """Transform a single tree into its binary tree representation."""
+    result = forest_to_binary([tree])
+    assert result is not None
+    return result
+
+
+def binary_to_forest(binary: Optional[BinaryTreeNode]) -> List[TreeNode]:
+    """Invert :func:`forest_to_binary`; ε nodes are ignored."""
+    if binary is None or binary.is_epsilon:
+        return []
+    # Iterative inverse: walk the binary tree; left edge = first child,
+    # right edge = next sibling.
+    root = TreeNode(binary.label)
+    forest = [root]
+    # stack of (binary_node, tree_node already created for it)
+    stack: List[Tuple[BinaryTreeNode, TreeNode]] = [(binary, root)]
+    while stack:
+        bnode, tnode = stack.pop()
+        left = bnode.left
+        if left is not None and not left.is_epsilon:
+            child = TreeNode(left.label)
+            tnode.add_child(child)
+            stack.append((left, child))
+        right = bnode.right
+        if right is not None and not right.is_epsilon:
+            sibling = TreeNode(right.label)
+            if tnode.parent is None:
+                forest.append(sibling)
+            else:
+                tnode.parent.add_child(sibling)
+            stack.append((right, sibling))
+    return forest
+
+
+def binary_to_tree(binary: BinaryTreeNode) -> TreeNode:
+    """Invert :func:`tree_to_binary`; raises if the encoding holds a forest."""
+    forest = binary_to_forest(binary)
+    if len(forest) != 1:
+        raise InvalidTreeError(
+            f"binary tree encodes a forest of {len(forest)} trees, not a tree"
+        )
+    return forest[0]
+
+
+def normalize_binary(binary: BinaryTreeNode) -> BinaryTreeNode:
+    """Append ε leaves so every original node has exactly two children.
+
+    This realizes the paper's *normalized* binary tree representation
+    ``B(T) = (N ∪ {ε}, El, Er, Root, label)`` of Figure 2: the result is a
+    full binary tree whose internal nodes are exactly the original nodes and
+    whose leaves are all labeled ε.  The input is modified **in place** and
+    also returned for chaining.
+    """
+    stack = [binary]
+    while stack:
+        node = stack.pop()
+        if node.is_epsilon:
+            continue
+        if node.left is None:
+            node.left = BinaryTreeNode(EPSILON)
+        else:
+            stack.append(node.left)
+        if node.right is None:
+            node.right = BinaryTreeNode(EPSILON)
+        else:
+            stack.append(node.right)
+    return binary
+
+
+def binary_preorder(binary: Optional[BinaryTreeNode]) -> Iterator[BinaryTreeNode]:
+    """Yield binary-tree nodes in preorder (node, left, right)."""
+    if binary is None:
+        return
+    stack = [binary]
+    while stack:
+        node = stack.pop()
+        yield node
+        if node.right is not None:
+            stack.append(node.right)
+        if node.left is not None:
+            stack.append(node.left)
+
+
+def binary_inorder(binary: Optional[BinaryTreeNode]) -> Iterator[BinaryTreeNode]:
+    """Yield binary-tree nodes in inorder (left, node, right).
+
+    Restricted to original nodes, the inorder of ``B(T)`` equals the
+    postorder of ``T`` — the identity the positional filter relies on.
+    """
+    stack: List[BinaryTreeNode] = []
+    node = binary
+    while stack or node is not None:
+        while node is not None:
+            stack.append(node)
+            node = node.left
+        node = stack.pop()
+        yield node
+        node = node.right
+
+
+def binary_postorder(binary: Optional[BinaryTreeNode]) -> Iterator[BinaryTreeNode]:
+    """Yield binary-tree nodes in postorder (left, right, node)."""
+    if binary is None:
+        return
+    stack: List[Tuple[BinaryTreeNode, bool]] = [(binary, False)]
+    while stack:
+        node, expanded = stack.pop()
+        if expanded:
+            yield node
+            continue
+        stack.append((node, True))
+        if node.right is not None:
+            stack.append((node.right, False))
+        if node.left is not None:
+            stack.append((node.left, False))
+
+
+def binary_size(binary: Optional[BinaryTreeNode], count_epsilon: bool = False) -> int:
+    """Number of nodes in a binary tree, optionally counting ε padding."""
+    return sum(
+        1
+        for node in binary_preorder(binary)
+        if count_epsilon or not node.is_epsilon
+    )

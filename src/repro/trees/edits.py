@@ -1,0 +1,194 @@
+"""Executable tree edit operations (paper §2.1).
+
+The three unit-cost operations on rooted ordered labeled trees:
+
+* **relabel** — change the label of a node;
+* **delete**  — remove a node ``n``, splicing its children into its parent's
+  child list at ``n``'s former position;
+* **insert**  — the inverse of delete: add a node ``n`` under ``n'``, making a
+  consecutive subsequence of ``n'``'s children the children of ``n``.
+
+These are used by the synthetic data generator (§5 applies random edits with
+a decay probability) and by the property-based test suite (applying ``k``
+random operations must never increase the edit distance beyond ``k``).
+
+Operations are value objects applied to a tree *in place*; ``apply_script``
+clones first, so the input is preserved.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple, Union
+
+from repro.exceptions import InvalidEditOperationError
+from repro.trees.node import Label, TreeNode
+
+__all__ = [
+    "Relabel",
+    "Delete",
+    "Insert",
+    "EditOperation",
+    "apply_operation",
+    "apply_script",
+    "random_operation",
+    "random_edit_script",
+]
+
+
+@dataclass(frozen=True)
+class Relabel:
+    """Relabel the node at preorder position ``position`` (1-based)."""
+
+    position: int
+    new_label: Label
+
+    def describe(self) -> str:
+        return f"relabel node @{self.position} -> {self.new_label!r}"
+
+
+@dataclass(frozen=True)
+class Delete:
+    """Delete the node at preorder position ``position`` (1-based, not root)."""
+
+    position: int
+
+    def describe(self) -> str:
+        return f"delete node @{self.position}"
+
+
+@dataclass(frozen=True)
+class Insert:
+    """Insert a node labeled ``label`` under the node at ``parent_position``.
+
+    The new node adopts the parent's children ``child_index`` through
+    ``child_index + child_count - 1`` (a consecutive subsequence, possibly
+    empty) and takes their place in the parent's child list.
+    """
+
+    parent_position: int
+    child_index: int
+    child_count: int
+    label: Label
+
+    def describe(self) -> str:
+        return (
+            f"insert {self.label!r} under node @{self.parent_position} "
+            f"adopting children [{self.child_index}:"
+            f"{self.child_index + self.child_count}]"
+        )
+
+
+EditOperation = Union[Relabel, Delete, Insert]
+
+
+def _node_at(tree: TreeNode, position: int) -> TreeNode:
+    if position < 1:
+        raise InvalidEditOperationError(f"positions are 1-based, got {position}")
+    for i, node in enumerate(tree.iter_preorder(), start=1):
+        if i == position:
+            return node
+    raise InvalidEditOperationError(
+        f"position {position} out of range for tree of size {tree.size}"
+    )
+
+
+def apply_operation(tree: TreeNode, operation: EditOperation) -> TreeNode:
+    """Apply one edit operation to ``tree`` in place and return the root.
+
+    Raises :class:`InvalidEditOperationError` when the operation does not fit
+    the tree (bad position, deleting the root, out-of-range child slice).
+    """
+    if isinstance(operation, Relabel):
+        node = _node_at(tree, operation.position)
+        node.label = operation.new_label
+        return tree
+
+    if isinstance(operation, Delete):
+        node = _node_at(tree, operation.position)
+        parent = node.parent
+        if parent is None:
+            raise InvalidEditOperationError("cannot delete the root node")
+        index = node.child_index()
+        orphans = list(node.children)
+        for orphan in orphans:
+            node.remove_child(orphan)
+        parent.remove_child(node)
+        for offset, orphan in enumerate(orphans):
+            parent.insert_child(index + offset, orphan)
+        return tree
+
+    if isinstance(operation, Insert):
+        parent = _node_at(tree, operation.parent_position)
+        start, count = operation.child_index, operation.child_count
+        if count < 0 or start < 0 or start + count > parent.degree:
+            raise InvalidEditOperationError(
+                f"child slice [{start}:{start + count}] out of range for node "
+                f"with {parent.degree} children"
+            )
+        adopted = list(parent.children[start : start + count])
+        for child in adopted:
+            parent.remove_child(child)
+        new_node = TreeNode(operation.label, adopted)
+        parent.insert_child(start, new_node)
+        return tree
+
+    raise InvalidEditOperationError(f"unknown operation {operation!r}")
+
+
+def apply_script(
+    tree: TreeNode, operations: Sequence[EditOperation]
+) -> TreeNode:
+    """Apply a sequence of operations to a *clone* of ``tree``."""
+    result = tree.clone()
+    for operation in operations:
+        apply_operation(result, operation)
+    return result
+
+
+def random_operation(
+    tree: TreeNode,
+    labels: Sequence[Label],
+    rng: random.Random,
+) -> EditOperation:
+    """Draw one random applicable operation (equiprobable kinds, as in §5).
+
+    Deletion requires a non-root node, so on a single-node tree the choice
+    falls back to relabel/insert.
+    """
+    size = tree.size
+    kinds = ["relabel", "insert"] if size == 1 else ["relabel", "delete", "insert"]
+    kind = rng.choice(kinds)
+    if kind == "relabel":
+        position = rng.randint(1, size)
+        return Relabel(position, rng.choice(labels))
+    if kind == "delete":
+        position = rng.randint(2, size)
+        return Delete(position)
+    parent_position = rng.randint(1, size)
+    parent = _node_at(tree, parent_position)
+    degree = parent.degree
+    start = rng.randint(0, degree)
+    count = rng.randint(0, degree - start)
+    return Insert(parent_position, start, count, rng.choice(labels))
+
+
+def random_edit_script(
+    tree: TreeNode,
+    count: int,
+    labels: Sequence[Label],
+    rng: random.Random,
+) -> Tuple[TreeNode, List[EditOperation]]:
+    """Apply ``count`` random operations; return the new tree and the script.
+
+    The script is generated step by step against the evolving tree so every
+    operation is applicable at its turn.
+    """
+    current = tree.clone()
+    script: List[EditOperation] = []
+    for _ in range(count):
+        operation = random_operation(current, labels, rng)
+        apply_operation(current, operation)
+        script.append(operation)
+    return current, script

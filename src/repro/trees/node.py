@@ -1,0 +1,294 @@
+"""Rooted, ordered, labeled trees.
+
+This module provides :class:`TreeNode`, the fundamental data structure of the
+library.  A tree ``T = (N, E, Root(T), label)`` is represented by its root
+node; every node stores its label, an ordered list of children and a parent
+pointer.  The sibling order is significant (the paper's trees are *ordered*),
+and labels are drawn from an arbitrary hashable alphabet (usually strings).
+
+All algorithms in this module are iterative, so arbitrarily deep trees do not
+hit Python's recursion limit.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+__all__ = ["TreeNode", "Label"]
+
+Label = Hashable
+
+
+class TreeNode:
+    """A node of a rooted, ordered, labeled tree.
+
+    A :class:`TreeNode` owns its children: attaching a node as a child sets
+    its ``parent`` pointer, and a node can have at most one parent at a time.
+
+    Parameters
+    ----------
+    label:
+        The node label.  Any hashable value; strings in practice.
+    children:
+        Optional iterable of :class:`TreeNode` objects appended in order.
+
+    Examples
+    --------
+    >>> t = TreeNode("a", [TreeNode("b"), TreeNode("c")])
+    >>> t.size
+    3
+    >>> [child.label for child in t.children]
+    ['b', 'c']
+    """
+
+    __slots__ = ("label", "_children", "parent")
+
+    def __init__(
+        self,
+        label: Label,
+        children: Optional[Iterable["TreeNode"]] = None,
+    ) -> None:
+        self.label = label
+        self.parent: Optional[TreeNode] = None
+        self._children: List[TreeNode] = []
+        if children is not None:
+            for child in children:
+                self.add_child(child)
+
+    # ------------------------------------------------------------------
+    # Structure manipulation
+    # ------------------------------------------------------------------
+    @property
+    def children(self) -> Tuple["TreeNode", ...]:
+        """The ordered children of this node (read-only view)."""
+        return tuple(self._children)
+
+    def add_child(self, child: "TreeNode") -> "TreeNode":
+        """Append ``child`` as the rightmost child and return it."""
+        self._attach(child)
+        self._children.append(child)
+        return child
+
+    def insert_child(self, index: int, child: "TreeNode") -> "TreeNode":
+        """Insert ``child`` so that it becomes the ``index``-th child."""
+        self._attach(child)
+        self._children.insert(index, child)
+        return child
+
+    def remove_child(self, child: "TreeNode") -> "TreeNode":
+        """Detach ``child`` (and its subtree) from this node.
+
+        Matches by identity, not structural equality — equal-looking
+        siblings are distinct nodes.
+        """
+        for index, existing in enumerate(self._children):
+            if existing is child:
+                del self._children[index]
+                child.parent = None
+                return child
+        raise ValueError("node is not a child of this node")
+
+    def replace_children(self, children: Sequence["TreeNode"]) -> None:
+        """Replace the whole child list (used by the edit-operation engine)."""
+        for old in self._children:
+            old.parent = None
+        self._children = []
+        for child in children:
+            self.add_child(child)
+
+    def _attach(self, child: "TreeNode") -> None:
+        if not isinstance(child, TreeNode):
+            raise TypeError(f"children must be TreeNode, got {type(child).__name__}")
+        if child.parent is not None:
+            raise ValueError(
+                "node already has a parent; detach it before re-attaching"
+            )
+        if child is self:
+            raise ValueError("a node cannot be its own child")
+        child.parent = self
+
+    # ------------------------------------------------------------------
+    # Navigation
+    # ------------------------------------------------------------------
+    @property
+    def is_leaf(self) -> bool:
+        """True if the node has no children."""
+        return not self._children
+
+    @property
+    def is_root(self) -> bool:
+        """True if the node has no parent."""
+        return self.parent is None
+
+    @property
+    def degree(self) -> int:
+        """Number of children (fanout)."""
+        return len(self._children)
+
+    @property
+    def first_child(self) -> Optional["TreeNode"]:
+        """The leftmost child, or ``None`` for a leaf.
+
+        Together with :attr:`next_sibling` this is the left-child /
+        right-sibling view that underlies the binary tree representation.
+        """
+        return self._children[0] if self._children else None
+
+    @property
+    def next_sibling(self) -> Optional["TreeNode"]:
+        """The sibling immediately to the right, or ``None``."""
+        if self.parent is None:
+            return None
+        siblings = self.parent._children
+        index = self.child_index()
+        if index + 1 < len(siblings):
+            return siblings[index + 1]
+        return None
+
+    @property
+    def prev_sibling(self) -> Optional["TreeNode"]:
+        """The sibling immediately to the left, or ``None``."""
+        if self.parent is None:
+            return None
+        index = self.child_index()
+        if index > 0:
+            return self.parent._children[index - 1]
+        return None
+
+    def child_index(self) -> int:
+        """Position of this node within its parent's child list."""
+        if self.parent is None:
+            raise ValueError("root node has no child index")
+        siblings = self.parent._children
+        for i, sibling in enumerate(siblings):
+            if sibling is self:
+                return i
+        raise RuntimeError("inconsistent parent pointer")  # pragma: no cover
+
+    @property
+    def root(self) -> "TreeNode":
+        """The root of the tree containing this node."""
+        node = self
+        while node.parent is not None:
+            node = node.parent
+        return node
+
+    def ancestors(self) -> Iterator["TreeNode"]:
+        """Yield proper ancestors from the parent up to the root."""
+        node = self.parent
+        while node is not None:
+            yield node
+            node = node.parent
+
+    # ------------------------------------------------------------------
+    # Aggregate properties (iterative; safe for deep trees)
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        """Number of nodes in the subtree rooted at this node (``|T|``)."""
+        count = 0
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            count += 1
+            stack.extend(node._children)
+        return count
+
+    @property
+    def height(self) -> int:
+        """Edges on the longest downward path from this node (leaf = 0)."""
+        best = 0
+        stack: List[Tuple[TreeNode, int]] = [(self, 0)]
+        while stack:
+            node, depth = stack.pop()
+            if depth > best:
+                best = depth
+            for child in node._children:
+                stack.append((child, depth + 1))
+        return best
+
+    @property
+    def depth(self) -> int:
+        """Edges from the root of the tree down to this node (root = 0)."""
+        return sum(1 for _ in self.ancestors())
+
+    # ------------------------------------------------------------------
+    # Iteration (duplicated from repro.trees.traversal for convenience;
+    # the traversal module offers the full set of orders)
+    # ------------------------------------------------------------------
+    def iter_preorder(self) -> Iterator["TreeNode"]:
+        """Yield the subtree's nodes in preorder (node before children)."""
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(reversed(node._children))
+
+    def iter_postorder(self) -> Iterator["TreeNode"]:
+        """Yield the subtree's nodes in postorder (children before node)."""
+        stack: List[Tuple[TreeNode, bool]] = [(self, False)]
+        while stack:
+            node, expanded = stack.pop()
+            if expanded:
+                yield node
+            else:
+                stack.append((node, True))
+                for child in reversed(node._children):
+                    stack.append((child, False))
+
+    def leaves(self) -> Iterator["TreeNode"]:
+        """Yield the leaves of the subtree in left-to-right order."""
+        for node in self.iter_preorder():
+            if node.is_leaf:
+                yield node
+
+    # ------------------------------------------------------------------
+    # Copying / equality
+    # ------------------------------------------------------------------
+    def clone(self) -> "TreeNode":
+        """Deep-copy the subtree rooted at this node (parent is dropped)."""
+        copy_root = TreeNode(self.label)
+        stack = [(self, copy_root)]
+        while stack:
+            original, copy = stack.pop()
+            for child in original._children:
+                child_copy = TreeNode(child.label)
+                copy._children.append(child_copy)
+                child_copy.parent = copy
+                stack.append((child, child_copy))
+        return copy_root
+
+    def equals(self, other: Any) -> bool:
+        """Structural equality: same shape and labels (parents ignored)."""
+        if not isinstance(other, TreeNode):
+            return False
+        stack = [(self, other)]
+        while stack:
+            a, b = stack.pop()
+            if a.label != b.label or len(a._children) != len(b._children):
+                return False
+            stack.extend(zip(a._children, b._children))
+        return True
+
+    def __eq__(self, other: Any) -> bool:
+        return self.equals(other)
+
+    def __ne__(self, other: Any) -> bool:
+        return not self.equals(other)
+
+    def __hash__(self) -> int:
+        # Structural hash computed bottom-up, iteratively.  Consistent with
+        # equals(): equal trees hash equal.
+        result: dict[int, int] = {}
+        for node in self.iter_postorder():
+            child_hashes = tuple(result.pop(id(child)) for child in node._children)
+            result[id(node)] = hash((node.label, child_hashes))
+        return result[id(self)]
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __repr__(self) -> str:
+        if self.is_leaf:
+            return f"TreeNode({self.label!r})"
+        return f"TreeNode({self.label!r}, {self.degree} children, size={self.size})"

@@ -1,0 +1,124 @@
+"""Aggregate structural properties of trees.
+
+These are the quantities the histogram filters (Kailing et al., EDBT 2004)
+are built from — node heights/leaf distances, degrees, and label counts —
+plus general dataset statistics used by the benchmark harness.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Iterable, List
+
+from repro.trees.node import TreeNode
+
+__all__ = [
+    "label_counts",
+    "degree_counts",
+    "depth_counts",
+    "leaf_distances",
+    "leaf_distance_counts",
+    "node_depths",
+    "tree_summary",
+    "dataset_summary",
+]
+
+
+def label_counts(tree: TreeNode) -> Counter:
+    """Multiset of node labels (the *label histogram*)."""
+    return Counter(node.label for node in tree.iter_preorder())
+
+
+def degree_counts(tree: TreeNode) -> Counter:
+    """Multiset of node fanouts (the *degree histogram*)."""
+    return Counter(node.degree for node in tree.iter_preorder())
+
+
+def node_depths(tree: TreeNode) -> List[int]:
+    """Depth of every node (root = 0), in preorder."""
+    depths: Dict[int, int] = {id(tree): 0}
+    out: List[int] = []
+    for node in tree.iter_preorder():
+        depth = depths.pop(id(node))
+        out.append(depth)
+        for child in node.children:
+            depths[id(child)] = depth + 1
+    return out
+
+
+def depth_counts(tree: TreeNode) -> Counter:
+    """Multiset of node depths (the *height histogram* of the paper's §5)."""
+    return Counter(node_depths(tree))
+
+
+def leaf_distances(tree: TreeNode) -> List[int]:
+    """Distance of every node to its nearest descendant leaf, in postorder.
+
+    This is the quantity Kailing et al. histogram: a leaf has distance 0,
+    an inner node ``1 + min(children)``.  A single node insertion or deletion
+    changes any node's leaf distance by at most one, which is the property
+    the leaf-distance filter's soundness rests on.
+    """
+    distance: Dict[int, int] = {}
+    out: List[int] = []
+    for node in tree.iter_postorder():
+        if node.is_leaf:
+            value = 0
+        else:
+            value = 1 + min(distance.pop(id(child)) for child in node.children)
+        distance[id(node)] = value
+        out.append(value)
+    return out
+
+
+def leaf_distance_counts(tree: TreeNode) -> Counter:
+    """Multiset of leaf distances (the *leaf-distance histogram*)."""
+    return Counter(leaf_distances(tree))
+
+
+def tree_summary(tree: TreeNode) -> Dict[str, float]:
+    """Structural summary of one tree: size, height, leaves, mean fanout."""
+    size = 0
+    leaves = 0
+    internal_degrees = 0
+    internal = 0
+    for node in tree.iter_preorder():
+        size += 1
+        if node.is_leaf:
+            leaves += 1
+        else:
+            internal += 1
+            internal_degrees += node.degree
+    return {
+        "size": size,
+        "height": tree.height,
+        "leaves": leaves,
+        "mean_fanout": internal_degrees / internal if internal else 0.0,
+        "distinct_labels": len(label_counts(tree)),
+    }
+
+
+def dataset_summary(trees: Iterable[TreeNode]) -> Dict[str, float]:
+    """Average structural statistics over a dataset of trees.
+
+    Mirrors the numbers the paper reports for DBLP ("average depth is 2.902,
+    and there are 10.15 nodes on average in each tree").
+    """
+    sizes: List[int] = []
+    heights: List[int] = []
+    labels: set = set()
+    for tree in trees:
+        sizes.append(tree.size)
+        heights.append(tree.height)
+        labels.update(label_counts(tree))
+    count = len(sizes)
+    if count == 0:
+        return {"count": 0, "avg_size": 0.0, "avg_height": 0.0, "labels": 0}
+    return {
+        "count": count,
+        "avg_size": sum(sizes) / count,
+        "avg_height": sum(heights) / count,
+        "max_size": max(sizes),
+        "min_size": min(sizes),
+        "labels": len(labels),
+    }

@@ -1,0 +1,74 @@
+"""Random tree generation primitives.
+
+The synthetic workload generator of the paper's §5 (see
+:mod:`repro.datasets.synthetic`) and the property-based tests both need
+controllable random trees; the shared primitives live here.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+from repro.trees.node import Label, TreeNode
+
+__all__ = ["random_tree", "random_forest", "gaussian_int"]
+
+
+def gaussian_int(
+    rng: random.Random, mean: float, stddev: float, minimum: int = 0
+) -> int:
+    """Sample ``N{mean, stddev}`` rounded to an int and clamped from below.
+
+    This is the paper's ``N{x1, x2}`` notation for fanout and tree size.
+    """
+    value = int(round(rng.gauss(mean, stddev)))
+    return max(minimum, value)
+
+
+def random_tree(
+    rng: random.Random,
+    labels: Sequence[Label],
+    size_mean: float = 50.0,
+    size_stddev: float = 2.0,
+    fanout_mean: float = 4.0,
+    fanout_stddev: float = 0.5,
+    max_size: Optional[int] = None,
+) -> TreeNode:
+    """Grow one random tree breadth-first, as described in §5.
+
+    The maximum size is sampled from ``N{size_mean, size_stddev}`` (unless
+    given); labels are drawn uniformly; each processed node receives
+    ``N{fanout_mean, fanout_stddev}`` children until the size budget is
+    exhausted.
+    """
+    if not labels:
+        raise ValueError("labels must be non-empty")
+    budget = max_size if max_size is not None else gaussian_int(
+        rng, size_mean, size_stddev, minimum=1
+    )
+    root = TreeNode(rng.choice(labels))
+    produced = 1
+    frontier: List[TreeNode] = [root]
+    cursor = 0
+    while cursor < len(frontier) and produced < budget:
+        node = frontier[cursor]
+        cursor += 1
+        fanout = gaussian_int(rng, fanout_mean, fanout_stddev, minimum=0)
+        for _ in range(fanout):
+            if produced >= budget:
+                break
+            child = node.add_child(TreeNode(rng.choice(labels)))
+            frontier.append(child)
+            produced += 1
+    return root
+
+
+def random_forest(
+    rng: random.Random,
+    count: int,
+    labels: Sequence[Label],
+    **tree_kwargs,
+) -> List[TreeNode]:
+    """Generate ``count`` independent random trees."""
+    return [random_tree(rng, labels, **tree_kwargs) for _ in range(count)]

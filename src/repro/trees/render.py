@@ -1,0 +1,68 @@
+"""Plain-text rendering of trees.
+
+Debugging and CLI output: draw a tree as an indented box diagram, or
+side-by-side with edit-mapping annotations.  Pure presentation — no
+algorithmic content.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.trees.node import TreeNode
+
+__all__ = ["render_tree", "render_outline"]
+
+
+def render_tree(tree: TreeNode, max_label: int = 40) -> str:
+    """Draw a tree with box-drawing connectors.
+
+    >>> from repro.trees import parse_bracket
+    >>> print(render_tree(parse_bracket("a(b(c,d),e)")))
+    a
+    ├── b
+    │   ├── c
+    │   └── d
+    └── e
+    """
+    lines: List[str] = []
+
+    def label_of(node: TreeNode) -> str:
+        text = str(node.label)
+        if len(text) > max_label:
+            text = text[: max_label - 1] + "…"
+        return text
+
+    lines.append(label_of(tree))
+    # iterative DFS carrying the prefix for each child
+    stack = [
+        (child, "", index == tree.degree - 1)
+        for index, child in reversed(list(enumerate(tree.children)))
+    ]
+    while stack:
+        node, prefix, is_last = stack.pop()
+        connector = "└── " if is_last else "├── "
+        lines.append(prefix + connector + label_of(node))
+        child_prefix = prefix + ("    " if is_last else "│   ")
+        for index, child in reversed(list(enumerate(node.children))):
+            stack.append((child, child_prefix, index == node.degree - 1))
+    return "\n".join(lines)
+
+
+def render_outline(tree: TreeNode, indent: str = "  ") -> str:
+    """Draw a tree as a plain indented outline (one label per line).
+
+    >>> from repro.trees import parse_bracket
+    >>> print(render_outline(parse_bracket("a(b,c)")))
+    a
+      b
+      c
+    """
+    lines: List[str] = []
+    stack = [(tree, 0)]
+    while stack:
+        node, depth = stack.pop()
+        lines.append(indent * depth + str(node.label))
+        for child in reversed(node.children):
+            stack.append((child, depth + 1))
+    return "\n".join(lines)

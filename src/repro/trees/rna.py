@@ -1,0 +1,105 @@
+"""RNA secondary structure as ordered labeled trees.
+
+The paper's introduction names RNA secondary structure as a flagship domain
+for tree similarity ("huge repositories of rooted, ordered and labeled
+tree-structured data include the secondary structure of RNA").  This module
+implements the standard encoding of a secondary structure (given in
+*dot-bracket* notation) as a rooted ordered labeled tree:
+
+* a virtual root labeled ``root`` holds the molecule;
+* every base pair ``(i, j)`` becomes an internal node labeled with the two
+  paired bases (e.g. ``GC``) whose children are the structure elements
+  enclosed by the pair, in 5'→3' order;
+* every unpaired base becomes a leaf labeled with the base.
+
+Two molecules' structural similarity is then exactly the tree edit distance
+of their encodings — the measure used throughout the RNA comparison
+literature (Shapiro & Zhang) — and the paper's filters apply unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.exceptions import TreeParseError
+from repro.trees.node import TreeNode
+
+__all__ = ["rna_to_tree", "pair_table"]
+
+ROOT_LABEL = "root"
+
+
+def pair_table(structure: str) -> List[Optional[int]]:
+    """Map each position to its pairing partner (``None`` if unpaired).
+
+    >>> pair_table("((..))")
+    [5, 4, None, None, 1, 0]
+    """
+    stack: List[int] = []
+    table: List[Optional[int]] = [None] * len(structure)
+    for index, symbol in enumerate(structure):
+        if symbol == "(":
+            stack.append(index)
+        elif symbol == ")":
+            if not stack:
+                raise TreeParseError(
+                    f"unmatched ')' at position {index} in {structure!r}"
+                )
+            partner = stack.pop()
+            table[partner] = index
+            table[index] = partner
+        elif symbol != ".":
+            raise TreeParseError(
+                f"invalid dot-bracket symbol {symbol!r} at position {index}"
+            )
+    if stack:
+        raise TreeParseError(
+            f"unmatched '(' at position {stack[-1]} in {structure!r}"
+        )
+    return table
+
+
+def rna_to_tree(sequence: str, structure: str) -> TreeNode:
+    """Encode an RNA secondary structure as an ordered labeled tree.
+
+    Parameters
+    ----------
+    sequence:
+        The primary sequence (e.g. ``"GGGAAACCC"``); case-insensitive.
+    structure:
+        Dot-bracket secondary structure of the same length.
+
+    >>> tree = rna_to_tree("GGGAAACCC", "(((...)))")
+    >>> tree.label
+    'root'
+    >>> tree.children[0].label   # outermost pair G-C
+    'GC'
+    >>> [leaf.label for leaf in tree.leaves()]
+    ['A', 'A', 'A']
+    """
+    if len(sequence) != len(structure):
+        raise TreeParseError(
+            f"sequence length {len(sequence)} != structure length "
+            f"{len(structure)}"
+        )
+    sequence = sequence.upper()
+    table = pair_table(structure)
+    root = TreeNode(ROOT_LABEL)
+    # iterative construction: walk positions left to right, keeping the
+    # stack of currently-open pair nodes
+    stack: List[TreeNode] = [root]
+    index = 0
+    while index < len(sequence):
+        partner = table[index]
+        if partner is None:
+            stack[-1].add_child(TreeNode(sequence[index]))
+            index += 1
+        elif partner > index:  # opening a pair
+            node = TreeNode(sequence[index] + sequence[partner])
+            stack[-1].add_child(node)
+            stack.append(node)
+            index += 1
+        else:  # closing the pair opened at `partner`
+            stack.pop()
+            index += 1
+    return root

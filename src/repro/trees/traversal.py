@@ -1,0 +1,81 @@
+"""Tree traversals and node-numbering utilities.
+
+The positional binary branch distance (paper §4.2) keys on the *preorder*
+and *postorder* numbers of nodes, so this module provides both traversals as
+iterators plus helpers that assign 1-based position numbers the way the
+paper's Figure 2 does.
+
+For the binary tree representation ``B(T)`` (see :mod:`repro.trees.binary`)
+the correspondences exploited in the paper hold:
+
+* preorder of ``T``  == preorder of ``B(T)`` restricted to original nodes;
+* postorder of ``T`` == inorder  of ``B(T)`` restricted to original nodes.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterator, List, Tuple
+
+from repro.trees.node import TreeNode
+
+__all__ = [
+    "preorder",
+    "postorder",
+    "levelorder",
+    "preorder_labels",
+    "postorder_labels",
+    "number_preorder",
+    "number_postorder",
+    "node_positions",
+]
+
+
+def preorder(tree: TreeNode) -> Iterator[TreeNode]:
+    """Yield nodes in preorder (node, then children left to right)."""
+    return tree.iter_preorder()
+
+
+def postorder(tree: TreeNode) -> Iterator[TreeNode]:
+    """Yield nodes in postorder (children left to right, then node)."""
+    return tree.iter_postorder()
+
+
+def levelorder(tree: TreeNode) -> Iterator[TreeNode]:
+    """Yield nodes level by level (breadth-first), left to right."""
+    queue = deque([tree])
+    while queue:
+        node = queue.popleft()
+        yield node
+        queue.extend(node.children)
+
+
+def preorder_labels(tree: TreeNode) -> List:
+    """Labels of the tree in preorder (the Guha et al. filter's sequence)."""
+    return [node.label for node in preorder(tree)]
+
+
+def postorder_labels(tree: TreeNode) -> List:
+    """Labels of the tree in postorder."""
+    return [node.label for node in postorder(tree)]
+
+
+def number_preorder(tree: TreeNode) -> Dict[int, int]:
+    """Map ``id(node) -> 1-based preorder position`` for every node."""
+    return {id(node): i for i, node in enumerate(preorder(tree), start=1)}
+
+
+def number_postorder(tree: TreeNode) -> Dict[int, int]:
+    """Map ``id(node) -> 1-based postorder position`` for every node."""
+    return {id(node): i for i, node in enumerate(postorder(tree), start=1)}
+
+
+def node_positions(tree: TreeNode) -> Dict[int, Tuple[int, int]]:
+    """Map ``id(node) -> (preorder, postorder)`` 1-based positions.
+
+    These are the ``(pre(u), post(u))`` annotations shown next to each node
+    in the paper's Figure 2.
+    """
+    pre = number_preorder(tree)
+    post = number_postorder(tree)
+    return {node_id: (pre[node_id], post[node_id]) for node_id in pre}

@@ -1,0 +1,139 @@
+"""Converting XML documents to and from labeled trees.
+
+The paper's flagship application is similarity search over XML repositories
+(DBLP records, RNA secondary structure markup, …).  This module maps XML
+documents onto the library's rooted ordered labeled trees:
+
+* each element becomes a node labeled with its tag;
+* each attribute becomes a child node labeled ``@name=value`` (attributes are
+  sorted by name so the mapping is deterministic);
+* non-whitespace text content becomes a child node labeled with the text
+  (optionally truncated), placed before the element children that follow it.
+
+Only the Python standard library (:mod:`xml.etree.ElementTree`) is used.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from typing import List, Optional
+
+from repro.exceptions import TreeParseError
+from repro.trees.node import TreeNode
+
+__all__ = ["xml_to_tree", "tree_to_xml", "parse_xml_file", "parse_xml_string"]
+
+
+def _text_label(text: Optional[str], max_text: Optional[int]) -> Optional[str]:
+    if text is None:
+        return None
+    stripped = text.strip()
+    if not stripped:
+        return None
+    if max_text is not None and len(stripped) > max_text:
+        stripped = stripped[:max_text]
+    return stripped
+
+
+def xml_to_tree(
+    element: ET.Element,
+    include_attributes: bool = True,
+    include_text: bool = True,
+    max_text: Optional[int] = None,
+) -> TreeNode:
+    """Convert an ElementTree element into a :class:`TreeNode`.
+
+    Parameters
+    ----------
+    element:
+        The XML element to convert (typically the document root).
+    include_attributes:
+        When true, each attribute becomes an ``@name=value`` child node.
+    include_text:
+        When true, text content becomes label-bearing child nodes.
+    max_text:
+        Truncate text labels to this many characters (``None`` = no limit).
+    """
+    root = TreeNode(element.tag)
+    stack = [(element, root)]
+    while stack:
+        src, dst = stack.pop()
+        children: List[TreeNode] = []
+        if include_attributes:
+            for name in sorted(src.attrib):
+                children.append(TreeNode(f"@{name}={src.attrib[name]}"))
+        if include_text:
+            text = _text_label(src.text, max_text)
+            if text is not None:
+                children.append(TreeNode(text))
+        pending = []
+        for child in src:
+            node = TreeNode(child.tag)
+            children.append(node)
+            pending.append((child, node))
+            if include_text:
+                tail = _text_label(child.tail, max_text)
+                if tail is not None:
+                    children.append(TreeNode(tail))
+        for node in children:
+            dst.add_child(node)
+        stack.extend(pending)
+    return root
+
+
+def tree_to_xml(tree: TreeNode) -> ET.Element:
+    """Convert a tree back to an XML element.
+
+    ``@name=value`` children become attributes; children whose label is not a
+    valid XML tag-ish string become text nodes.  This is a best-effort inverse
+    of :func:`xml_to_tree`, sufficient for round-tripping generated datasets.
+    """
+    def is_tag(label: object) -> bool:
+        return (
+            isinstance(label, str)
+            and label != ""
+            and not label.startswith("@")
+            and all(ch.isalnum() or ch in "_-." for ch in label)
+            and not label[0].isdigit()
+        )
+
+    if not is_tag(tree.label):
+        raise TreeParseError(f"root label {tree.label!r} is not a valid XML tag")
+    element = ET.Element(str(tree.label))
+    stack = [(tree, element)]
+    while stack:
+        src, dst = stack.pop()
+        texts: List[str] = []
+        pending = []
+        for child in src.children:
+            label = child.label
+            if isinstance(label, str) and label.startswith("@") and "=" in label:
+                name, _, value = label[1:].partition("=")
+                dst.set(name, value)
+            elif is_tag(label) or child.children:
+                sub = ET.SubElement(dst, str(label))
+                pending.append((child, sub))
+            else:
+                texts.append(str(label))
+        if texts:
+            dst.text = " ".join(texts)
+        stack.extend(pending)
+    return element
+
+
+def parse_xml_string(text: str, **kwargs) -> TreeNode:
+    """Parse an XML document from a string into a tree."""
+    try:
+        element = ET.fromstring(text)
+    except ET.ParseError as exc:
+        raise TreeParseError(f"invalid XML: {exc}") from exc
+    return xml_to_tree(element, **kwargs)
+
+
+def parse_xml_file(path: str, **kwargs) -> TreeNode:
+    """Parse an XML document from a file into a tree."""
+    try:
+        element = ET.parse(path).getroot()
+    except ET.ParseError as exc:
+        raise TreeParseError(f"invalid XML in {path}: {exc}") from exc
+    return xml_to_tree(element, **kwargs)

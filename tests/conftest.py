@@ -1,0 +1,18 @@
+"""Shared pytest configuration: hypothesis profiles.
+
+* ``default`` — hypothesis defaults; most tests pin ``max_examples``
+  explicitly for runtime predictability, so this is what runs in CI.
+* ``soak`` — raises the example budget for the tests that do *not* pin a
+  count and disables deadlines everywhere:
+  ``HYPOTHESIS_PROFILE=soak pytest tests/``.
+"""
+
+import os
+
+from hypothesis import settings
+
+settings.register_profile("default", settings())
+settings.register_profile(
+    "soak", settings(max_examples=400, deadline=None, derandomize=False)
+)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "default"))

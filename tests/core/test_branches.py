@@ -1,0 +1,139 @@
+"""Unit and property tests for binary branch extraction (Definition 2)."""
+
+from collections import Counter
+
+from hypothesis import given, settings
+
+from repro.core import (
+    BinaryBranch,
+    branches_via_binary_tree,
+    iter_branches,
+    iter_positional_branches,
+)
+from repro.trees import EPSILON, node_positions, parse_bracket, preorder
+from tests.strategies import trees
+
+T1 = "a(b(c,d),b(c,d),e)"  # the paper's Figure 1 left tree
+T2 = "a(b(c,d,b(e)),c,d,e)"  # the paper's Figure 1 right tree
+
+
+class TestExtraction:
+    def test_single_node(self):
+        branches = list(iter_branches(parse_bracket("x")))
+        assert branches == [BinaryBranch("x", EPSILON, EPSILON)]
+
+    def test_every_node_roots_one_branch(self):
+        tree = parse_bracket(T1)
+        assert len(list(iter_branches(tree))) == tree.size
+
+    def test_branch_structure(self):
+        branches = {str(b) for b in iter_branches(parse_bracket("a(b,c)"))}
+        assert branches == {"a(b,ε)", "b(ε,c)", "c(ε,ε)"}
+
+    def test_paper_figure_3_vocabulary_t1(self):
+        counts = Counter(str(b) for b in iter_branches(parse_bracket(T1)))
+        assert counts == Counter(
+            {
+                "a(b,ε)": 1,
+                "b(c,b)": 1,
+                "b(c,e)": 1,
+                "c(ε,d)": 2,
+                "d(ε,ε)": 2,
+                "e(ε,ε)": 1,
+            }
+        )
+
+    def test_paper_figure_3_vocabulary_t2(self):
+        counts = Counter(str(b) for b in iter_branches(parse_bracket(T2)))
+        assert counts == Counter(
+            {
+                "a(b,ε)": 1,
+                "b(c,c)": 1,
+                "b(e,ε)": 1,
+                "c(ε,d)": 2,
+                "d(ε,b)": 1,
+                "d(ε,e)": 1,
+                "e(ε,ε)": 2,
+            }
+        )
+
+    @given(trees())
+    @settings(max_examples=80, deadline=None)
+    def test_direct_extraction_matches_binary_tree_construction(self, tree):
+        """LCRS shortcut == branches read off the normalized B(T)."""
+        direct = list(iter_branches(tree))
+        via_binary = branches_via_binary_tree(tree)
+        assert direct == via_binary
+
+    @given(trees())
+    @settings(max_examples=50, deadline=None)
+    def test_lemma_3_1_node_occurrences(self, tree):
+        """Lemma 3.1: each node label occurrence appears in ≤ 2 branches.
+
+        Counting occurrences of each node: once as a branch root (exactly),
+        at most once as a left child, at most once as a right child — so
+        total occurrences of original labels across all branches is at most
+        3·|T| and at least |T| (the roots), with every non-root node
+        appearing exactly twice or... we check the sharp accounting:
+        left-child slots = number of first children; right-child slots =
+        number of next siblings; each node fills at most one of each.
+        """
+        branches = list(iter_branches(tree))
+        left_filled = sum(1 for b in branches if b.left is not EPSILON)
+        right_filled = sum(1 for b in branches if b.right is not EPSILON)
+        internal = sum(1 for n in tree.iter_preorder() if not n.is_leaf)
+        with_sibling = sum(
+            1 for n in tree.iter_preorder() if n.next_sibling is not None
+        )
+        assert left_filled == internal
+        assert right_filled == with_sibling
+
+
+class TestPositionalExtraction:
+    def test_positions_match_traversals(self):
+        tree = parse_bracket(T1)
+        positions = node_positions(tree)
+        expected = {
+            (node.label, positions[id(node)]) for node in preorder(tree)
+        }
+        observed = {
+            (positional.branch.root, (positional.pre, positional.post))
+            for positional in iter_positional_branches(tree)
+        }
+        assert observed == expected
+
+    def test_paper_figure_2_positional_branches(self):
+        # (BiB(c,ε,d), 3, 1) from the paper's §4.2 walk-through
+        tree = parse_bracket(T1)
+        entries = {
+            (str(p.branch), p.pre, p.post)
+            for p in iter_positional_branches(tree)
+        }
+        assert ("c(ε,d)", 3, 1) in entries
+        assert ("c(ε,d)", 6, 4) in entries
+        assert ("e(ε,ε)", 8, 7) in entries
+
+    def test_t2_positional_branches(self):
+        tree = parse_bracket(T2)
+        entries = {
+            (str(p.branch), p.pre, p.post)
+            for p in iter_positional_branches(tree)
+        }
+        assert ("c(ε,d)", 3, 1) in entries
+        assert ("c(ε,d)", 7, 6) in entries
+        assert ("e(ε,ε)", 9, 8) in entries
+        assert ("e(ε,ε)", 6, 3) in entries
+
+    @given(trees())
+    @settings(max_examples=50, deadline=None)
+    def test_positions_are_permutations(self, tree):
+        positionals = list(iter_positional_branches(tree))
+        assert sorted(p.pre for p in positionals) == list(range(1, tree.size + 1))
+        assert sorted(p.post for p in positionals) == list(range(1, tree.size + 1))
+
+    @given(trees())
+    @settings(max_examples=50, deadline=None)
+    def test_branches_agree_with_plain_extraction(self, tree):
+        plain = Counter(iter_branches(tree))
+        positional = Counter(p.branch for p in iter_positional_branches(tree))
+        assert plain == positional

@@ -1,0 +1,94 @@
+"""Degenerate and boundary cases across the core embedding machinery."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    branch_distance,
+    branch_vector,
+    iter_qlevel_branches,
+    positional_branch_distance,
+    positional_profile,
+    search_lower_bound,
+)
+from repro.editdist import tree_edit_distance
+from repro.trees import EPSILON, TreeNode, parse_bracket
+from tests.strategies import trees
+
+
+class TestSingleNodes:
+    def test_single_node_vector(self):
+        vector = branch_vector(parse_bracket("a"))
+        assert vector.dimensions == 1
+        assert vector.tree_size == 1
+
+    def test_two_single_nodes(self):
+        assert branch_distance(parse_bracket("a"), parse_bracket("a")) == 0
+        assert branch_distance(parse_bracket("a"), parse_bracket("b")) == 2
+
+    def test_positional_on_single_nodes(self):
+        assert search_lower_bound(parse_bracket("a"), parse_bracket("b")) == 1
+        assert search_lower_bound(parse_bracket("a"), parse_bracket("a")) == 0
+
+    def test_profile_of_single_node(self):
+        profile = positional_profile(parse_bracket("a"))
+        assert profile.tree_size == 1
+        assert len(profile.branches) == 1
+
+
+class TestQLargerThanTree:
+    @pytest.mark.parametrize("q", [3, 4, 5])
+    def test_window_taller_than_tree_is_all_padding_below(self, q):
+        branches = list(iter_qlevel_branches(parse_bracket("a"), q=q))
+        (branch,) = branches
+        assert branch.labels[0] == "a"
+        assert all(label is EPSILON for label in branch.labels[1:])
+
+    @pytest.mark.parametrize("q", [3, 4])
+    def test_qlevel_bound_still_sound_on_tiny_trees(self, q):
+        t1, t2 = parse_bracket("a(b)"), parse_bracket("c")
+        factor = 4 * (q - 1) + 1
+        assert branch_distance(t1, t2, q=q) <= factor * tree_edit_distance(t1, t2)
+
+
+class TestExtremeShapes:
+    def test_star_versus_chain_same_labels(self):
+        star = TreeNode("r", [TreeNode("x") for _ in range(30)])
+        chain = parse_bracket("r(" + "x(" * 29 + "x" + ")" * 29 + ")")
+        distance = branch_distance(star, chain)
+        edit = tree_edit_distance(star, chain)
+        assert distance <= 5 * edit
+
+    def test_wide_tree_positional(self):
+        wide1 = TreeNode("r", [TreeNode(f"c{i}") for i in range(200)])
+        wide2 = TreeNode("r", [TreeNode(f"c{i}") for i in range(199)])
+        assert search_lower_bound(wide1, wide2) <= 1
+
+    def test_zero_pr_on_identical(self):
+        tree = parse_bracket("a(b(c),d)")
+        assert positional_branch_distance(tree, tree.clone(), 0) == 0
+
+    @given(trees(), st.integers(0, 3))
+    @settings(max_examples=40, deadline=None)
+    def test_posbdist_parity_preserved(self, tree, pr):
+        """Unmatched occurrences pair off: PosBDist of a tree against itself
+        at any range is even (and zero, since positions coincide)."""
+        assert positional_branch_distance(tree, tree.clone(), pr) == 0
+
+
+class TestEpsilonIntegrity:
+    def test_epsilon_not_equal_to_string(self):
+        assert EPSILON != "ε"
+        assert EPSILON != ""
+
+    def test_user_epsilon_label_distinct_in_vectors(self):
+        fake = TreeNode("ε", [TreeNode("x")])
+        real = TreeNode("a", [TreeNode("x")])
+        # the root branches differ ('ε'(x,ε) vs a(x,ε)); the x branches are
+        # shared — a string label 'ε' never collides with the sentinel
+        assert branch_distance(fake, real) == 2
+        fake_root_branch = next(iter(branch_vector(fake).counts))
+        assert fake_root_branch.root == "ε"
+        assert fake_root_branch.right is EPSILON
+        assert fake_root_branch.root is not EPSILON

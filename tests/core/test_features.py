@@ -1,0 +1,72 @@
+"""Unit and property tests for the dense feature-matrix export."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import branch_distance
+from repro.core.features import (
+    branch_distance_matrix,
+    branch_feature_matrix,
+    pairwise_branch_distances,
+)
+from repro.trees import parse_bracket
+from tests.strategies import trees
+
+
+class TestFeatureMatrix:
+    def test_shapes_and_counts(self):
+        forest = [parse_bracket("a(b)"), parse_bracket("a(c)")]
+        matrix, vocabulary = branch_feature_matrix(forest)
+        assert matrix.shape == (2, len(vocabulary))
+        # row sums equal tree sizes (one branch per node)
+        assert matrix.sum(axis=1).tolist() == [2, 2]
+
+    def test_vocabulary_sorted_lexicographically(self):
+        forest = [parse_bracket("b(a)"), parse_bracket("a(b)")]
+        _, vocabulary = branch_feature_matrix(forest)
+        rendered = [str(branch) for branch in vocabulary]
+        assert rendered == sorted(rendered)
+
+    def test_empty_like_behaviour_single_tree(self):
+        matrix, vocabulary = branch_feature_matrix([parse_bracket("x")])
+        assert matrix.shape == (1, 1)
+        assert matrix[0, 0] == 1
+
+    def test_qlevel(self):
+        matrix, vocabulary = branch_feature_matrix(
+            [parse_bracket("a(b)"), parse_bracket("a(b)")], q=3
+        )
+        assert (matrix[0] == matrix[1]).all()
+
+    @given(st.lists(trees(max_leaves=6), min_size=2, max_size=5))
+    @settings(max_examples=30, deadline=None)
+    def test_row_sums_are_sizes(self, forest):
+        matrix, _ = branch_feature_matrix(forest)
+        assert matrix.sum(axis=1).tolist() == [t.size for t in forest]
+
+
+class TestDistanceMatrix:
+    def test_matches_sparse_bdist(self):
+        forest = [
+            parse_bracket(t) for t in ["a(b,c)", "a(b,d)", "x(y)", "a"]
+        ]
+        dense = branch_distance_matrix(forest)
+        for i in range(len(forest)):
+            for j in range(len(forest)):
+                assert dense[i, j] == branch_distance(forest[i], forest[j])
+
+    def test_symmetric_zero_diagonal(self):
+        forest = [parse_bracket(t) for t in ["a(b)", "c(d)", "e"]]
+        dense = branch_distance_matrix(forest)
+        assert (dense == dense.T).all()
+        assert np.diag(dense).tolist() == [0, 0, 0]
+
+    @given(st.lists(trees(max_leaves=6), min_size=2, max_size=4))
+    @settings(max_examples=25, deadline=None)
+    def test_matches_sparse_bdist_random(self, forest):
+        matrix, _ = branch_feature_matrix(forest)
+        dense = pairwise_branch_distances(matrix)
+        for i in range(len(forest)):
+            for j in range(i + 1, len(forest)):
+                assert dense[i, j] == branch_distance(forest[i], forest[j])

@@ -1,0 +1,90 @@
+"""Unit tests for inverted-file index persistence."""
+
+import json
+
+import pytest
+
+from repro.core import InvertedFileIndex
+from repro.core.index_io import load_index, save_index
+from repro.datasets import generate_dblp_dataset
+from repro.exceptions import TreeParseError
+from repro.search import indexed_range_query, sequential_range_query
+from repro.trees import TreeNode, parse_bracket
+
+TREES = [parse_bracket(t) for t in ["a(b,c)", "a(b,d)", "x(y)", "q(w(e))"]]
+
+
+def build(trees=TREES, q=2):
+    index = InvertedFileIndex(q=q)
+    index.add_trees(trees)
+    return index
+
+
+class TestRoundTrip:
+    def test_vectors_preserved(self, tmp_path):
+        index = build()
+        path = tmp_path / "index.json"
+        save_index(index, path)
+        restored = load_index(path)
+        assert restored.q == index.q
+        assert restored.tree_count == index.tree_count
+        assert restored.vocabulary_size == index.vocabulary_size
+        assert restored.vectors() == index.vectors()
+
+    def test_profiles_preserved(self, tmp_path):
+        index = build()
+        path = tmp_path / "index.json"
+        save_index(index, path)
+        restored = load_index(path)
+        original = index.profiles()
+        reloaded = restored.profiles()
+        for tree_id in original:
+            assert reloaded[tree_id].pre_positions == original[tree_id].pre_positions
+            assert reloaded[tree_id].post_positions == original[tree_id].post_positions
+            assert reloaded[tree_id].pairs == original[tree_id].pairs
+
+    def test_qlevel_round_trip(self, tmp_path):
+        index = build(q=3)
+        path = tmp_path / "index3.json"
+        save_index(index, path)
+        restored = load_index(path)
+        assert restored.vectors() == index.vectors()
+
+    def test_queries_work_after_reload(self, tmp_path):
+        trees = generate_dblp_dataset(25, seed=5)
+        index = InvertedFileIndex()
+        index.add_trees(trees)
+        path = tmp_path / "dblp.json"
+        save_index(index, path)
+        restored = load_index(path)
+        query = trees[3]
+        fast, _ = indexed_range_query(trees, restored, query, 2)
+        brute, _ = sequential_range_query(trees, query, 2)
+        assert fast == brute
+
+    def test_non_string_labels(self, tmp_path):
+        trees = [TreeNode(1, [TreeNode(2.5), TreeNode(None), TreeNode(True)])]
+        index = build(trees)
+        path = tmp_path / "typed.json"
+        save_index(index, path)
+        restored = load_index(path)
+        assert restored.vectors() == index.vectors()
+
+
+class TestErrors:
+    def test_unserializable_label(self, tmp_path):
+        index = build([TreeNode((1, 2))])
+        with pytest.raises(TreeParseError):
+            save_index(index, tmp_path / "bad.json")
+
+    def test_wrong_format(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text(json.dumps({"format": "something-else"}))
+        with pytest.raises(TreeParseError):
+            load_index(path)
+
+    def test_wrong_version(self, tmp_path):
+        path = tmp_path / "future.json"
+        path.write_text(json.dumps({"format": "repro-ifi", "version": 99}))
+        with pytest.raises(TreeParseError):
+            load_index(path)

@@ -1,0 +1,154 @@
+"""Unit and property tests for the inverted file index (Algorithm 1)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    InvertedFileIndex,
+    branch_vector,
+    positional_branch_distance,
+    positional_profile,
+    search_lower_bound,
+)
+from repro.trees import parse_bracket
+from tests.strategies import trees
+
+T1 = "a(b(c,d),b(c,d),e)"
+T2 = "a(b(c,d,b(e)),c,d,e)"
+
+
+def build_index(*texts, q=2):
+    index = InvertedFileIndex(q=q)
+    index.add_trees([parse_bracket(text) for text in texts])
+    return index
+
+
+class TestConstruction:
+    def test_counts(self):
+        index = build_index(T1, T2)
+        assert index.tree_count == 2
+        assert index.tree_size(0) == 8
+        assert index.tree_size(1) == 9
+
+    def test_vocabulary_union(self):
+        index = build_index(T1, T2)
+        # T1 has 6 distinct branches, T2 has 7, sharing 3 (a(b,ε), c(ε,d),
+        # e(ε,ε)) — the 10-entry vocabulary of the paper's Figure 3
+        assert index.vocabulary_size == 10
+
+    def test_duplicate_id_rejected(self):
+        index = InvertedFileIndex()
+        index.add_tree(0, parse_bracket("a"))
+        with pytest.raises(ValueError):
+            index.add_tree(0, parse_bracket("b"))
+
+    def test_invalid_q_rejected(self):
+        with pytest.raises(ValueError):
+            InvertedFileIndex(q=1)
+
+    def test_add_trees_assigns_sequential_ids(self):
+        index = InvertedFileIndex()
+        ids = index.add_trees([parse_bracket("a"), parse_bracket("b")], start_id=5)
+        assert ids == [5, 6]
+
+    def test_repr(self):
+        assert "InvertedFileIndex" in repr(build_index(T1))
+
+
+class TestPostings:
+    def test_inverted_list_lookup(self):
+        index = build_index(T1, T2)
+        branch = next(iter(branch_vector(parse_bracket(T1)).counts))
+        postings = index.postings(branch)
+        assert postings and all(p.occurrences >= 1 for p in postings)
+
+    def test_trees_containing(self):
+        index = build_index(T1, T2)
+        # c(ε,d) occurs in both trees
+        shared = [
+            b
+            for b in branch_vector(parse_bracket(T1)).counts
+            if b in branch_vector(parse_bracket(T2)).counts
+        ]
+        for branch in shared:
+            assert index.trees_containing(branch) == [0, 1]
+
+    def test_missing_branch(self):
+        index = build_index(T1)
+        assert index.postings("nope") == []
+        assert index.trees_containing("nope") == []
+
+    def test_posting_repr(self):
+        index = build_index(T1)
+        branch = next(iter(branch_vector(parse_bracket(T1)).counts))
+        assert "Posting" in repr(index.postings(branch)[0])
+
+
+class TestVectorExtraction:
+    def test_vectors_match_direct_construction(self):
+        index = build_index(T1, T2)
+        vectors = index.vectors()
+        assert vectors[0] == branch_vector(parse_bracket(T1))
+        assert vectors[1] == branch_vector(parse_bracket(T2))
+
+    @given(st.lists(trees(), min_size=1, max_size=5))
+    @settings(max_examples=40, deadline=None)
+    def test_vectors_match_direct_construction_random(self, forest):
+        index = InvertedFileIndex()
+        index.add_trees(forest)
+        vectors = index.vectors()
+        for tree_id, tree in enumerate(forest):
+            assert vectors[tree_id] == branch_vector(tree)
+
+    @given(st.lists(trees(), min_size=2, max_size=4))
+    @settings(max_examples=30, deadline=None)
+    def test_profiles_match_direct_construction(self, forest):
+        index = InvertedFileIndex()
+        index.add_trees(forest)
+        profiles = index.profiles()
+        for tree_id, tree in enumerate(forest):
+            direct = positional_profile(tree)
+            via_index = profiles[tree_id]
+            assert via_index.pre_positions == direct.pre_positions
+            assert via_index.post_positions == direct.post_positions
+            assert via_index.tree_size == direct.tree_size
+
+    def test_single_profile_extraction(self):
+        index = build_index(T1, T2)
+        profile = index.profile(1)
+        direct = positional_profile(parse_bracket(T2))
+        assert profile.pre_positions == direct.pre_positions
+
+    def test_single_profile_missing_id(self):
+        with pytest.raises(KeyError):
+            build_index(T1).profile(42)
+
+    def test_profiles_usable_for_distances(self):
+        index = build_index(T1, T2)
+        profiles = index.profiles()
+        t1, t2 = parse_bracket(T1), parse_bracket(T2)
+        assert positional_branch_distance(
+            profiles[0], profiles[1], 1
+        ) == positional_branch_distance(t1, t2, 1)
+        assert search_lower_bound(profiles[0], profiles[1]) == search_lower_bound(
+            t1, t2
+        )
+
+
+class TestQLevelIndex:
+    def test_q3_vectors(self):
+        index = build_index(T1, T2, q=3)
+        vectors = index.vectors()
+        assert vectors[0] == branch_vector(parse_bracket(T1), q=3)
+        assert vectors[1] == branch_vector(parse_bracket(T2), q=3)
+
+    def test_space_linear_in_input(self):
+        # one posting entry per node: total occurrences equal total nodes
+        index = build_index(T1, T2, q=3)
+        total = sum(
+            posting.occurrences
+            for branch in list(index._lists)
+            for posting in index.postings(branch)
+        )
+        assert total == 8 + 9

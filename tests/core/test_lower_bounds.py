@@ -1,0 +1,148 @@
+"""Property tests for the paper's main theorems (3.2 and 3.3)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import branch_distance, branch_lower_bound, positional_lower_bound
+from repro.editdist import tree_edit_distance, weighted_costs
+from repro.trees import parse_bracket, random_edit_script
+from tests.strategies import tree_pairs
+
+LABELS = ["a", "b", "c"]
+
+
+class TestTheorem32:
+    """BDist(T1, T2) <= 5 * EDist(T1, T2)."""
+
+    @given(tree_pairs())
+    @settings(max_examples=100, deadline=None)
+    def test_on_random_pairs(self, pair):
+        t1, t2 = pair
+        assert branch_distance(t1, t2) <= 5 * tree_edit_distance(t1, t2)
+
+    @given(tree_pairs(max_leaves=6), st.integers(0, 4), st.integers(0, 2**31))
+    @settings(max_examples=60, deadline=None)
+    def test_on_edit_script_neighborhoods(self, pair, k, seed):
+        """k operations change BDist by at most 5k (the proof's induction)."""
+        t1, _ = pair
+        mutated, _ = random_edit_script(t1, k, LABELS, random.Random(seed))
+        assert branch_distance(t1, mutated) <= 5 * k
+
+    def test_single_relabel_changes_at_most_four(self):
+        # a relabel touches <= 2 branches in each tree: BDist <= 4
+        t1 = parse_bracket("a(b(c,d),e)")
+        t2 = parse_bracket("a(b(x,d),e)")
+        assert branch_distance(t1, t2) <= 4
+
+    def test_single_insertion_changes_at_most_five(self):
+        # the proof's worst case: inserted node with parent, both siblings
+        # and adopted children
+        t1 = parse_bracket("r(w1,w2,w3,w4)")
+        t2 = parse_bracket("r(w1,v(w2,w3),w4)")
+        assert branch_distance(t1, t2) == 5
+
+    def test_paper_example_bound(self):
+        t1 = parse_bracket("a(b(c,d),b(c,d),e)")
+        t2 = parse_bracket("a(b(c,d,b(e)),c,d,e)")
+        assert branch_distance(t1, t2) == 9
+        assert tree_edit_distance(t1, t2) == 3
+        assert 9 <= 5 * 3
+
+
+class TestTheorem33:
+    """BDist_q <= [4(q-1)+1] * EDist for q-level branches."""
+
+    @given(tree_pairs(max_leaves=8), st.sampled_from([2, 3, 4]))
+    @settings(max_examples=80, deadline=None)
+    def test_on_random_pairs(self, pair, q):
+        t1, t2 = pair
+        factor = 4 * (q - 1) + 1
+        assert branch_distance(t1, t2, q=q) <= factor * tree_edit_distance(t1, t2)
+
+    @given(tree_pairs(max_leaves=8))
+    @settings(max_examples=40, deadline=None)
+    def test_distance_grows_with_q(self, pair):
+        """Higher levels encode more structure: BDist_q is non-decreasing.
+
+        Each (q+1)-level window determines its q-level prefix window, so a
+        mismatch at level q implies one at level q+1.
+        """
+        t1, t2 = pair
+        d2 = branch_distance(t1, t2, q=2)
+        d3 = branch_distance(t1, t2, q=3)
+        d4 = branch_distance(t1, t2, q=4)
+        assert d2 <= d3 <= d4
+
+
+class TestBranchLowerBound:
+    @given(tree_pairs())
+    @settings(max_examples=80, deadline=None)
+    def test_never_exceeds_edit_distance(self, pair):
+        t1, t2 = pair
+        assert branch_lower_bound(t1, t2) <= tree_edit_distance(t1, t2)
+
+    @given(tree_pairs(max_leaves=8), st.sampled_from([2, 3, 4]))
+    @settings(max_examples=60, deadline=None)
+    def test_qlevel_never_exceeds_edit_distance(self, pair, q):
+        t1, t2 = pair
+        assert branch_lower_bound(t1, t2, q=q) <= tree_edit_distance(t1, t2)
+
+    def test_uses_ceiling_for_unit_costs(self):
+        t1 = parse_bracket("a(b,c)")
+        t2 = parse_bracket("a(b,d)")
+        # BDist = 4 -> ceil(4/5) = 1
+        assert branch_lower_bound(t1, t2) == 1
+
+    def test_general_costs_scale_by_minimum(self):
+        t1 = parse_bracket("a(b,c)")
+        t2 = parse_bracket("a(b,d)")
+        costs = weighted_costs(2.0, 2.0, 2.0)
+        bound = branch_lower_bound(t1, t2, costs=costs)
+        assert bound == pytest.approx(4 / 5 * 2.0)
+        assert bound <= tree_edit_distance(t1, t2, costs)
+
+    @given(tree_pairs(max_leaves=7))
+    @settings(max_examples=40, deadline=None)
+    def test_general_cost_bound_sound(self, pair):
+        t1, t2 = pair
+        costs = weighted_costs(1.5, 2.0, 0.5)
+        assert branch_lower_bound(t1, t2, costs=costs) <= tree_edit_distance(
+            t1, t2, costs
+        ) + 1e-9
+
+    def test_vector_argument_fixes_q(self):
+        from repro.core import branch_vector
+
+        v1 = branch_vector(parse_bracket("a(b)"), q=3)
+        v2 = branch_vector(parse_bracket("a(c)"), q=3)
+        # q inferred from the vectors: factor 9
+        assert branch_lower_bound(v1, v2) == -(-v1.l1_distance(v2) // 9)
+
+
+class TestPositionalLowerBound:
+    @given(tree_pairs())
+    @settings(max_examples=80, deadline=None)
+    def test_never_exceeds_edit_distance(self, pair):
+        t1, t2 = pair
+        assert positional_lower_bound(t1, t2) <= tree_edit_distance(t1, t2)
+
+    @given(tree_pairs())
+    @settings(max_examples=60, deadline=None)
+    def test_dominates_count_bound(self, pair):
+        t1, t2 = pair
+        assert positional_lower_bound(t1, t2) >= branch_lower_bound(t1, t2)
+
+    @given(tree_pairs())
+    @settings(max_examples=60, deadline=None)
+    def test_dominates_size_difference(self, pair):
+        t1, t2 = pair
+        assert positional_lower_bound(t1, t2) >= abs(t1.size - t2.size)
+
+    def test_general_costs_scale(self):
+        t1, t2 = parse_bracket("a(b,c)"), parse_bracket("a(b,d)")
+        costs = weighted_costs(2.0, 2.0, 2.0)
+        unit = positional_lower_bound(t1, t2)
+        assert positional_lower_bound(t1, t2, costs=costs) == unit * 2.0

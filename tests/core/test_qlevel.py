@@ -1,0 +1,110 @@
+"""Unit and property tests for q-level binary branches (§3.4)."""
+
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    QLevelBranch,
+    iter_branches,
+    iter_positional_branches,
+    iter_positional_qlevel_branches,
+    iter_qlevel_branches,
+    qlevel_bound_factor,
+)
+from repro.trees import EPSILON, parse_bracket
+from tests.strategies import trees
+
+
+class TestBoundFactor:
+    def test_values(self):
+        assert qlevel_bound_factor(2) == 5
+        assert qlevel_bound_factor(3) == 9
+        assert qlevel_bound_factor(4) == 13
+
+    @pytest.mark.parametrize("q", [0, 1, -3])
+    def test_invalid_q(self, q):
+        with pytest.raises(ValueError):
+            qlevel_bound_factor(q)
+
+
+class TestWindowShape:
+    def test_q2_window_size(self):
+        branches = list(iter_qlevel_branches(parse_bracket("a(b,c)"), q=2))
+        assert all(len(b.labels) == 3 for b in branches)
+
+    def test_q3_window_size(self):
+        branches = list(iter_qlevel_branches(parse_bracket("a(b,c)"), q=3))
+        assert all(len(b.labels) == 7 for b in branches)
+
+    def test_q4_window_size(self):
+        branches = list(iter_qlevel_branches(parse_bracket("a"), q=4))
+        assert all(len(b.labels) == 15 for b in branches)
+
+    def test_q_property(self):
+        branch = next(iter(iter_qlevel_branches(parse_bracket("a"), q=3)))
+        assert branch.q == 3
+
+    def test_str(self):
+        branch = next(iter(iter_qlevel_branches(parse_bracket("a(b)"), q=2)))
+        assert str(branch) == "[a,b,ε]"
+
+    def test_epsilon_padding_propagates(self):
+        # single node: everything below the root is ε
+        (branch,) = list(iter_qlevel_branches(parse_bracket("x"), q=3))
+        assert branch.labels[0] == "x"
+        assert all(label is EPSILON for label in branch.labels[1:])
+
+    def test_known_q3_window(self):
+        # a(b(c),d): window at a (LCRS: a.left=b, b.left=c, b.right=d)
+        branches = list(iter_qlevel_branches(parse_bracket("a(b(c),d)"), q=3))
+        root_window = branches[0].labels
+        # preorder of the window: a, b, c, d, ε(a.right), ε, ε
+        assert root_window == ("a", "b", "c", "d", EPSILON, EPSILON, EPSILON)
+
+
+class TestConsistencyWithTwoLevel:
+    @given(trees())
+    @settings(max_examples=60, deadline=None)
+    def test_q2_equals_binary_branches(self, tree):
+        two_level = [(b.root, b.left, b.right) for b in iter_branches(tree)]
+        q_level = [tuple(b.labels) for b in iter_qlevel_branches(tree, q=2)]
+        assert two_level == q_level
+
+    @given(trees(), st.sampled_from([2, 3, 4]))
+    @settings(max_examples=50, deadline=None)
+    def test_one_branch_per_node(self, tree, q):
+        assert len(list(iter_qlevel_branches(tree, q))) == tree.size
+
+    @given(trees(), st.sampled_from([3, 4]))
+    @settings(max_examples=50, deadline=None)
+    def test_window_prefix_is_lower_level_window(self, tree, q):
+        """The first 3 preorder slots of a q-window are not literally the
+        (q−1)-window, but the window roots line up one-to-one."""
+        high = list(iter_qlevel_branches(tree, q))
+        low = list(iter_qlevel_branches(tree, q - 1))
+        assert [b.labels[0] for b in high] == [b.labels[0] for b in low]
+
+
+class TestPositionalQLevel:
+    @given(trees(), st.sampled_from([2, 3]))
+    @settings(max_examples=50, deadline=None)
+    def test_positions_match_two_level_positions(self, tree, q):
+        qlevel_positions = [
+            (p.pre, p.post) for p in iter_positional_qlevel_branches(tree, q)
+        ]
+        two_level_positions = [
+            (p.pre, p.post) for p in iter_positional_branches(tree)
+        ]
+        assert sorted(qlevel_positions) == sorted(two_level_positions)
+
+    @given(trees(), st.sampled_from([2, 3]))
+    @settings(max_examples=50, deadline=None)
+    def test_branches_match_plain_qlevel(self, tree, q):
+        plain = Counter(iter_qlevel_branches(tree, q))
+        positional = Counter(
+            p.branch for p in iter_positional_qlevel_branches(tree, q)
+        )
+        assert plain == positional

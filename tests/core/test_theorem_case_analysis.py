@@ -1,0 +1,85 @@
+"""Property tests for Theorem 3.2's per-operation case analysis.
+
+The proof bounds the branch-vector disturbance of each *single* operation:
+a relabel touches at most 4 branch occurrences (the node appears in at most
+two branches per Lemma 3.1), an insertion at most 5, a deletion at most 5.
+These are sharper statements than the aggregate ``BDist ≤ 5·EDist`` and pin
+the proof's structure directly.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import branch_distance
+from repro.trees import (
+    Delete,
+    Insert,
+    Relabel,
+    apply_operation,
+    parse_bracket,
+)
+from tests.strategies import trees
+
+LABELS = ["a", "b", "c", "z"]
+
+
+def _apply(tree, operation):
+    mutated = tree.clone()
+    apply_operation(mutated, operation)
+    return mutated
+
+
+class TestRelabelCase:
+    @given(trees(), st.data())
+    @settings(max_examples=80, deadline=None)
+    def test_relabel_changes_at_most_four(self, tree, data):
+        position = data.draw(st.integers(1, tree.size))
+        new_label = data.draw(st.sampled_from(LABELS))
+        mutated = _apply(tree, Relabel(position, new_label))
+        assert branch_distance(tree, mutated) <= 4
+
+    def test_relabel_of_isolated_node_changes_two(self):
+        # a single-node tree: the node roots one branch only
+        tree = parse_bracket("a")
+        mutated = _apply(tree, Relabel(1, "b"))
+        assert branch_distance(tree, mutated) == 2
+
+
+class TestDeleteCase:
+    @given(trees(), st.data())
+    @settings(max_examples=80, deadline=None)
+    def test_delete_changes_at_most_five(self, tree, data):
+        if tree.size < 2:
+            return
+        position = data.draw(st.integers(2, tree.size))
+        mutated = _apply(tree, Delete(position))
+        assert branch_distance(tree, mutated) <= 5
+
+    def test_paper_worst_case_delete(self):
+        # deleting v with a parent, both siblings and children hits 5
+        tree = parse_bracket("r(w1,v(w2,w3),w4)")
+        mutated = _apply(tree, Delete(3))
+        assert branch_distance(tree, mutated) == 5
+
+
+class TestInsertCase:
+    @given(trees(), st.data())
+    @settings(max_examples=80, deadline=None)
+    def test_insert_changes_at_most_five(self, tree, data):
+        parent_position = data.draw(st.integers(1, tree.size))
+        # resolve the parent's degree to draw a valid slice
+        node = list(tree.iter_preorder())[parent_position - 1]
+        start = data.draw(st.integers(0, node.degree))
+        count = data.draw(st.integers(0, node.degree - start))
+        label = data.draw(st.sampled_from(LABELS))
+        mutated = _apply(tree, Insert(parent_position, start, count, label))
+        assert branch_distance(tree, mutated) <= 5
+
+    def test_leaf_insert_changes_less(self):
+        # appending a leaf at the right end of a childless node: new branch
+        # for v (+1), parent's branch changes (2) -> BDist 3
+        tree = parse_bracket("r")
+        mutated = _apply(tree, Insert(1, 0, 0, "v"))
+        assert branch_distance(tree, mutated) == 3

@@ -1,0 +1,155 @@
+"""Unit and property tests for branch vectors and BDist (Definitions 3–4)."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.core import BranchVector, branch_distance, branch_vector
+from repro.trees import parse_bracket
+from tests.strategies import tree_pairs, trees
+
+T1 = "a(b(c,d),b(c,d),e)"
+T2 = "a(b(c,d,b(e)),c,d,e)"
+
+
+class TestVectorConstruction:
+    def test_total_count_equals_size(self):
+        tree = parse_bracket(T1)
+        vector = branch_vector(tree)
+        assert sum(vector.counts.values()) == tree.size == vector.tree_size
+
+    def test_dimensions(self):
+        assert branch_vector(parse_bracket(T1)).dimensions == 6
+
+    def test_repr(self):
+        assert "BranchVector" in repr(branch_vector(parse_bracket("a")))
+
+    def test_equality(self):
+        v1 = branch_vector(parse_bracket("a(b,c)"))
+        v2 = branch_vector(parse_bracket("a(b,c)"))
+        assert v1 == v2
+        assert hash(v1) == hash(v2)
+        assert v1 != branch_vector(parse_bracket("a(b)"))
+        assert v1.__eq__("x") is NotImplemented
+
+
+class TestBDist:
+    def test_paper_figure_3_distance(self):
+        # BRV(T1) = (1,1,0,1,0,2,0,0,2,1), BRV(T2) = (1,0,1,0,1,2,1,1,0,2)
+        # over the lexicographic vocabulary -> L1 = 9
+        assert branch_distance(parse_bracket(T1), parse_bracket(T2)) == 9
+
+    def test_identical_trees(self):
+        assert branch_distance(parse_bracket(T1), parse_bracket(T1)) == 0
+
+    def test_figure_4_zero_distance_different_trees(self):
+        """BDist is not a metric: distinct trees can have distance 0.
+
+        Like the paper's Figure 4: with repeated labels the LCRS triples
+        cannot tell a child run from a sibling run — A(A,A(A)) and
+        A(A(A,A)) produce the same branch multiset.
+        """
+        ta = parse_bracket("A(A,A(A))")
+        tb = parse_bracket("A(A(A,A))")
+        assert ta != tb
+        assert branch_distance(ta, tb) == 0
+        # and the chain variant
+        tc = parse_bracket("A(A(B(A)))")
+        td = parse_bracket("A(B(A(A)))")
+        assert tc != td
+        assert branch_distance(tc, td) == 0
+
+    def test_zero_distance_pair_exists_exhaustively(self):
+        """Exhaustively find two distinct ≤6-node trees with BDist = 0."""
+        from itertools import product
+
+        def all_trees(size, labels=("A", "B")):
+            if size == 1:
+                return [parse_bracket(label) for label in labels]
+            result = []
+            for root_label in labels:
+                for split in partitions(size - 1):
+                    for combo in product(
+                        *(all_trees(part, labels) for part in split)
+                    ):
+                        tree = parse_bracket(root_label)
+                        for child in combo:
+                            tree.add_child(child.clone())
+                        result.append(tree)
+            return result
+
+        def partitions(total):
+            if total == 0:
+                return [[]]
+            result = []
+            for first in range(1, total + 1):
+                for rest in partitions(total - first):
+                    result.append([first] + rest)
+            return result
+
+        seen = {}
+        for tree in all_trees(5) + all_trees(6):
+            key = frozenset(branch_vector(tree).counts.items())
+            if key in seen and seen[key] != tree:
+                return  # found the collision the paper's Figure 4 promises
+            seen[key] = tree
+        pytest.fail("no zero-distance pair among small trees")
+
+    @given(tree_pairs())
+    @settings(max_examples=60, deadline=None)
+    def test_non_negative_and_reflexive(self, pair):
+        t1, t2 = pair
+        assert branch_distance(t1, t2) >= 0
+        assert branch_distance(t1, t1) == 0
+
+    @given(tree_pairs())
+    @settings(max_examples=60, deadline=None)
+    def test_symmetry(self, pair):
+        t1, t2 = pair
+        assert branch_distance(t1, t2) == branch_distance(t2, t1)
+
+    @given(tree_pairs(max_leaves=8), trees(max_leaves=8))
+    @settings(max_examples=40, deadline=None)
+    def test_triangle_inequality(self, pair, t3):
+        t1, t2 = pair
+        d12 = branch_distance(t1, t2)
+        d23 = branch_distance(t2, t3)
+        d13 = branch_distance(t1, t3)
+        assert d13 <= d12 + d23
+
+    @given(tree_pairs())
+    @settings(max_examples=60, deadline=None)
+    def test_parity(self, pair):
+        # BDist counts a symmetric multiset difference of equal totals ...
+        # |T1| + |T2| - 2*overlap has the same parity as |T1| + |T2|
+        t1, t2 = pair
+        distance = branch_distance(t1, t2)
+        assert (distance - (t1.size + t2.size)) % 2 == 0
+
+    def test_vector_inputs_accepted(self):
+        v1 = branch_vector(parse_bracket(T1))
+        v2 = branch_vector(parse_bracket(T2))
+        assert v1.l1_distance(v2) == 9
+        assert branch_distance(v1, v2) == 9
+        assert branch_distance(parse_bracket(T1), v2) == 9
+
+    def test_level_mismatch_rejected(self):
+        v2 = branch_vector(parse_bracket("a(b)"), q=2)
+        v3 = branch_vector(parse_bracket("a(b)"), q=3)
+        with pytest.raises(ValueError):
+            v2.l1_distance(v3)
+        with pytest.raises(ValueError):
+            v2.overlap(v3)
+
+
+class TestOverlap:
+    def test_overlap_plus_distance_identity(self):
+        t1, t2 = parse_bracket(T1), parse_bracket(T2)
+        v1, v2 = branch_vector(t1), branch_vector(t2)
+        assert v1.l1_distance(v2) == t1.size + t2.size - 2 * v1.overlap(v2)
+
+    @given(tree_pairs())
+    @settings(max_examples=60, deadline=None)
+    def test_overlap_identity_random(self, pair):
+        t1, t2 = pair
+        v1, v2 = branch_vector(t1), branch_vector(t2)
+        assert v1.l1_distance(v2) == t1.size + t2.size - 2 * v1.overlap(v2)

@@ -1,0 +1,72 @@
+"""Unit tests for the DBLP-like dataset generator."""
+
+import random
+
+import pytest
+
+from repro.datasets import DblpConfig, generate_dblp_dataset, generate_dblp_record
+from repro.trees import dataset_summary, tree_to_xml
+
+
+class TestRecord:
+    def test_structure(self):
+        record = generate_dblp_record(random.Random(0))
+        assert record.label in {"article", "inproceedings"}
+        field_labels = [c.label for c in record.children]
+        assert "title" in field_labels
+        assert "year" in field_labels
+        assert "author" in field_labels
+
+    def test_fields_carry_text_leaves(self):
+        record = generate_dblp_record(random.Random(1))
+        for field in record.children:
+            assert field.degree == 1
+            assert field.children[0].is_leaf
+
+    def test_article_has_journal(self):
+        rng = random.Random(2)
+        for _ in range(20):
+            record = generate_dblp_record(rng)
+            fields = {c.label for c in record.children}
+            if record.label == "article":
+                assert "journal" in fields
+            else:
+                assert "booktitle" in fields
+
+    def test_author_count_respects_config(self):
+        config = DblpConfig(min_authors=2, max_authors=2)
+        record = generate_dblp_record(random.Random(3), config)
+        authors = [c for c in record.children if c.label == "author"]
+        assert len(authors) == 2
+
+    def test_records_convertible_to_xml(self):
+        record = generate_dblp_record(random.Random(4))
+        element = tree_to_xml(record)
+        assert element.tag == record.label
+
+
+class TestDataset:
+    def test_deterministic(self):
+        assert generate_dblp_dataset(10, seed=5) == generate_dblp_dataset(10, seed=5)
+
+    def test_count(self):
+        assert len(generate_dblp_dataset(50, seed=1)) == 50
+
+    def test_invalid_count(self):
+        with pytest.raises(ValueError):
+            generate_dblp_dataset(0)
+
+    def test_statistics_match_paper_profile(self):
+        """§5.2: "10.15 nodes on average ... very bushy and shallow"."""
+        dataset = generate_dblp_dataset(300, seed=7)
+        summary = dataset_summary(dataset)
+        assert 8.0 <= summary["avg_size"] <= 13.0
+        assert 1.8 <= summary["avg_height"] <= 3.2
+
+    def test_label_reuse_produces_clustering(self):
+        """Records share tag names and pool values — distinct labels grow
+        much slower than total nodes."""
+        dataset = generate_dblp_dataset(200, seed=9)
+        summary = dataset_summary(dataset)
+        total_nodes = summary["avg_size"] * summary["count"]
+        assert summary["labels"] < total_nodes / 3

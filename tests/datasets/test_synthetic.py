@@ -1,0 +1,114 @@
+"""Unit tests for the §5 synthetic data generator."""
+
+import random
+
+import pytest
+
+from repro.datasets import SyntheticSpec, generate_dataset, mutate_tree, parse_spec
+from repro.editdist import tree_edit_distance
+from repro.trees import dataset_summary, parse_bracket
+
+
+class TestSpec:
+    def test_parse_full(self):
+        spec = parse_spec("N{4,0.5}N{50,2}L8D0.05")
+        assert spec.fanout_mean == 4
+        assert spec.fanout_stddev == 0.5
+        assert spec.size_mean == 50
+        assert spec.size_stddev == 2
+        assert spec.label_count == 8
+        assert spec.decay == 0.05
+
+    def test_parse_without_decay(self):
+        assert parse_spec("N{2,0.5}N{25,2}L16").decay == 0.05
+
+    def test_parse_tolerates_spaces(self):
+        assert parse_spec("N{4, 0.5} N{50, 2} L8 D0.1").decay == 0.1
+
+    def test_parse_invalid(self):
+        with pytest.raises(ValueError):
+            parse_spec("garbage")
+
+    def test_describe_round_trips(self):
+        spec = SyntheticSpec(fanout_mean=6, size_mean=75, label_count=32)
+        assert parse_spec(spec.describe()) == spec
+
+    def test_labels(self):
+        assert SyntheticSpec(label_count=3).labels == ["l0", "l1", "l2"]
+
+
+class TestMutation:
+    def test_zero_decay_is_identity(self):
+        tree = parse_bracket("a(b(c,d),e)")
+        mutated = mutate_tree(tree, 0.0, ["x"], random.Random(0))
+        assert mutated == tree
+        assert mutated is not tree
+
+    def test_input_not_modified(self):
+        tree = parse_bracket("a(b(c,d),e)")
+        before = tree.clone()
+        mutate_tree(tree, 1.0, ["x", "y"], random.Random(1))
+        assert tree == before
+
+    def test_full_decay_changes_tree(self):
+        tree = parse_bracket("a(b(c,d),e)")
+        mutated = mutate_tree(tree, 1.0, ["x", "y"], random.Random(2))
+        assert mutated != tree
+
+    def test_mutation_distance_bounded_by_node_count(self):
+        """Each node mutates at most once, so EDist <= |T| per derivation."""
+        rng = random.Random(3)
+        tree = parse_bracket("a(b(c,d),e,f)")
+        for _ in range(10):
+            mutated = mutate_tree(tree, 0.5, ["x", "y"], rng)
+            assert tree_edit_distance(tree, mutated) <= tree.size
+
+    def test_small_decay_keeps_trees_close(self):
+        rng = random.Random(4)
+        spec = SyntheticSpec(size_mean=30, size_stddev=2, label_count=8)
+        dataset = generate_dataset(spec, count=2, seed_count=1, rng=rng)
+        distance = tree_edit_distance(dataset[0], dataset[1])
+        assert distance <= 8  # 0.05 * 30 expected changes, generous margin
+
+
+class TestGeneration:
+    def test_deterministic(self):
+        spec = SyntheticSpec(size_mean=20, size_stddev=2)
+        a = generate_dataset(spec, count=10, seed=7)
+        b = generate_dataset(spec, count=10, seed=7)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        spec = SyntheticSpec(size_mean=20, size_stddev=2)
+        assert generate_dataset(spec, 10, seed=1) != generate_dataset(spec, 10, seed=2)
+
+    def test_count_respected(self):
+        spec = SyntheticSpec(size_mean=15, size_stddev=2)
+        assert len(generate_dataset(spec, count=25, seed_count=5)) == 25
+
+    def test_invalid_count(self):
+        with pytest.raises(ValueError):
+            generate_dataset(SyntheticSpec(), count=0)
+
+    def test_sizes_near_mean(self):
+        spec = SyntheticSpec(size_mean=50, size_stddev=2, decay=0.05)
+        dataset = generate_dataset(spec, count=30, seed_count=10, seed=11)
+        summary = dataset_summary(dataset)
+        assert 40 <= summary["avg_size"] <= 60
+
+    def test_labels_respect_alphabet(self):
+        spec = SyntheticSpec(label_count=8)
+        dataset = generate_dataset(spec, count=10, seed=3)
+        alphabet = set(spec.labels)
+        for tree in dataset:
+            assert all(n.label in alphabet for n in tree.iter_preorder())
+
+    def test_derived_trees_cluster(self):
+        """Derivation chains produce smaller distances than cross-seed pairs
+        on average — the clustering the paper's generator is designed for."""
+        spec = SyntheticSpec(size_mean=25, size_stddev=2, label_count=8, decay=0.05)
+        dataset = generate_dataset(spec, count=40, seed_count=2, seed=13)
+        within = [
+            tree_edit_distance(dataset[i], dataset[i + 1]) for i in range(0, 8)
+        ]
+        assert min(within) < 25  # trees are related, not arbitrary

@@ -1,0 +1,95 @@
+"""Unit and property tests for the JWZ tree alignment distance."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.editdist import string_edit_distance, tree_edit_distance, weighted_costs
+from repro.editdist.alignment import alignment_distance
+from repro.editdist.variants import constrained_edit_distance
+from repro.trees import parse_bracket, preorder_labels
+from tests.strategies import tree_pairs, trees
+
+
+class TestKnownValues:
+    def test_identical(self):
+        t = parse_bracket("a(b(c,d),e)")
+        assert alignment_distance(t, t.clone()) == 0
+
+    def test_single_relabel(self):
+        assert alignment_distance(parse_bracket("a(b)"), parse_bracket("a(x)")) == 1
+
+    def test_leaf_insert(self):
+        assert alignment_distance(parse_bracket("a(b)"), parse_bracket("a(b,c)")) == 1
+
+    def test_classic_strict_inequality(self):
+        # the textbook example where alignment exceeds the edit distance:
+        # moving b under c needs interleaved delete/insert, which alignment
+        # ("insertion only before deletion", §2.1) cannot express as 2 ops
+        t1 = parse_bracket("a(b,c(d,e))")
+        t2 = parse_bracket("a(c(b,d),e)")
+        assert tree_edit_distance(t1, t2) == 2
+        assert alignment_distance(t1, t2) == 4
+
+    def test_single_nodes(self):
+        assert alignment_distance(parse_bracket("a"), parse_bracket("b")) == 1
+        assert alignment_distance(parse_bracket("a"), parse_bracket("a")) == 0
+
+    def test_tree_vs_single_node(self):
+        assert alignment_distance(parse_bracket("a(b,c)"), parse_bracket("a")) == 2
+
+
+class TestChainsReduceToStrings:
+    @given(tree_pairs(max_leaves=1))
+    @settings(max_examples=40, deadline=None)
+    def test_chain_alignment_equals_string_edit_distance(self, pair):
+        t1, t2 = pair
+        expected = string_edit_distance(preorder_labels(t1), preorder_labels(t2))
+        assert alignment_distance(t1, t2) == expected
+        assert tree_edit_distance(t1, t2) == expected
+
+
+class TestProperties:
+    @given(tree_pairs(max_leaves=6))
+    @settings(max_examples=60, deadline=None)
+    def test_upper_bounds_edit_distance(self, pair):
+        t1, t2 = pair
+        assert alignment_distance(t1, t2) >= tree_edit_distance(t1, t2)
+
+    @given(tree_pairs(max_leaves=6))
+    @settings(max_examples=40, deadline=None)
+    def test_symmetry(self, pair):
+        t1, t2 = pair
+        assert alignment_distance(t1, t2) == alignment_distance(t2, t1)
+
+    @given(trees(max_leaves=6))
+    @settings(max_examples=30, deadline=None)
+    def test_identity(self, tree):
+        assert alignment_distance(tree, tree.clone()) == 0
+
+    @given(tree_pairs(max_leaves=5))
+    @settings(max_examples=30, deadline=None)
+    def test_bounded_by_disjoint_rebuild(self, pair):
+        t1, t2 = pair
+        assert alignment_distance(t1, t2) <= t1.size + t2.size
+
+    def test_deep_trees_no_recursion_error(self):
+        deep1 = parse_bracket("x(" * 300 + "x" + ")" * 300)
+        deep2 = parse_bracket("x(" * 299 + "y" + ")" * 299)
+        assert alignment_distance(deep1, deep2) >= 1
+
+
+class TestWeightedCosts:
+    def test_asymmetric_costs(self):
+        costs = weighted_costs(delete_cost=3.0, insert_cost=1.0)
+        t1, t2 = parse_bracket("a(b)"), parse_bracket("a")
+        assert alignment_distance(t1, t2, costs) == 3.0
+        assert alignment_distance(t2, t1, costs) == 1.0
+
+    @given(tree_pairs(max_leaves=5))
+    @settings(max_examples=20, deadline=None)
+    def test_weighted_upper_bound(self, pair):
+        t1, t2 = pair
+        costs = weighted_costs(1.5, 2.0, 0.5)
+        assert alignment_distance(t1, t2, costs) >= tree_edit_distance(
+            t1, t2, costs
+        ) - 1e-9

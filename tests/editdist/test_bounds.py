@@ -1,0 +1,56 @@
+"""Unit and property tests for the trivial distance bounds."""
+
+from hypothesis import given, settings
+
+from repro.editdist import (
+    label_lower_bound,
+    naive_upper_bound,
+    size_lower_bound,
+    tree_edit_distance,
+    weighted_costs,
+)
+from repro.trees import parse_bracket
+from tests.strategies import tree_pairs
+
+
+class TestSizeBound:
+    def test_known(self):
+        assert size_lower_bound(parse_bracket("a"), parse_bracket("a(b,c)")) == 2
+
+    def test_symmetric(self):
+        t1, t2 = parse_bracket("a(b)"), parse_bracket("a")
+        assert size_lower_bound(t1, t2) == size_lower_bound(t2, t1) == 1
+
+    @given(tree_pairs())
+    @settings(max_examples=50, deadline=None)
+    def test_is_lower_bound(self, pair):
+        t1, t2 = pair
+        assert size_lower_bound(t1, t2) <= tree_edit_distance(t1, t2)
+
+
+class TestLabelBound:
+    def test_known(self):
+        # labels {a,b} vs {a,x,y}: L1 = 1(b) + 1(x) + 1(y) + 1(size) ... = 3
+        t1, t2 = parse_bracket("a(b)"), parse_bracket("a(x,y)")
+        assert label_lower_bound(t1, t2) == 2  # ceil(3/2)
+
+    @given(tree_pairs())
+    @settings(max_examples=50, deadline=None)
+    def test_is_lower_bound(self, pair):
+        t1, t2 = pair
+        assert label_lower_bound(t1, t2) <= tree_edit_distance(t1, t2)
+
+
+class TestUpperBound:
+    def test_known(self):
+        assert naive_upper_bound(parse_bracket("a"), parse_bracket("b(c)")) == 3
+
+    def test_weighted(self):
+        costs = weighted_costs(delete_cost=2.0, insert_cost=3.0)
+        assert naive_upper_bound(parse_bracket("a"), parse_bracket("b(c)"), costs) == 8
+
+    @given(tree_pairs())
+    @settings(max_examples=50, deadline=None)
+    def test_is_upper_bound(self, pair):
+        t1, t2 = pair
+        assert tree_edit_distance(t1, t2) <= naive_upper_bound(t1, t2)

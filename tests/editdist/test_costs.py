@@ -1,0 +1,69 @@
+"""Unit tests for cost models."""
+
+import pytest
+
+from repro.editdist import UNIT_COSTS, CostModel, tree_edit_distance, weighted_costs
+from repro.trees import parse_bracket
+
+
+class TestUnitCosts:
+    def test_values(self):
+        assert UNIT_COSTS.delete("a") == 1.0
+        assert UNIT_COSTS.insert("a") == 1.0
+        assert UNIT_COSTS.relabel("a", "b") == 1.0
+
+    def test_relabel_identity_is_free(self):
+        assert UNIT_COSTS.relabel("a", "a") == 0.0
+
+    def test_is_unit_flag(self):
+        assert UNIT_COSTS.is_unit
+        assert not weighted_costs().is_unit
+
+    def test_min_operation_cost(self):
+        assert UNIT_COSTS.min_operation_cost == 1.0
+
+
+class TestWeightedCosts:
+    def test_custom_values(self):
+        costs = weighted_costs(delete_cost=2.0, insert_cost=3.0, relabel_cost=0.5)
+        assert costs.delete("x") == 2.0
+        assert costs.insert("x") == 3.0
+        assert costs.relabel("a", "b") == 0.5
+        assert costs.min_operation_cost == 0.5
+
+    def test_explicit_min_operation_cost(self):
+        costs = weighted_costs(min_operation_cost=0.25)
+        assert costs.min_operation_cost == 0.25
+
+    def test_invalid_min_cost_rejected(self):
+        with pytest.raises(ValueError):
+            CostModel(
+                delete=lambda label: 1.0,
+                insert=lambda label: 1.0,
+                relabel=lambda a, b: 1.0,
+                min_operation_cost=0.0,
+            )
+
+    def test_label_dependent_costs(self):
+        costs = CostModel(
+            delete=lambda label: 5.0 if label == "precious" else 1.0,
+            insert=lambda label: 1.0,
+            relabel=lambda a, b: 10.0,  # expensive, so deletion wins
+            min_operation_cost=1.0,
+        )
+        d = tree_edit_distance(
+            parse_bracket("r(precious)"), parse_bracket("r"), costs
+        )
+        assert d == 5.0
+
+    def test_weighted_distance_scales(self):
+        doubled = weighted_costs(2.0, 2.0, 2.0)
+        t1, t2 = parse_bracket("a(b,c)"), parse_bracket("a(b)")
+        assert tree_edit_distance(t1, t2, doubled) == 2 * tree_edit_distance(t1, t2)
+
+    def test_cheap_relabel_changes_optimum(self):
+        # with relabels nearly free the optimal script relabels instead of
+        # deleting + inserting
+        cheap = weighted_costs(delete_cost=10.0, insert_cost=10.0, relabel_cost=0.1)
+        t1, t2 = parse_bracket("a(b,c)"), parse_bracket("x(y,z)")
+        assert tree_edit_distance(t1, t2, cheap) == pytest.approx(0.3)

@@ -1,0 +1,111 @@
+"""Unit and property tests for edit-mapping recovery."""
+
+from hypothesis import given, settings
+
+from repro.editdist import (
+    is_valid_mapping,
+    mapping_cost,
+    tree_edit_distance,
+    tree_edit_mapping,
+    weighted_costs,
+)
+from repro.trees import parse_bracket
+from tests.strategies import tree_pairs
+
+
+class TestKnownMappings:
+    def test_identical_trees_full_mapping(self):
+        tree = parse_bracket("a(b(c,d),e)")
+        mapping = tree_edit_mapping(tree, tree.clone())
+        assert mapping.cost == 0
+        assert len(mapping.pairs) == tree.size
+        assert mapping.summary() == {"relabel": 0, "delete": 0, "insert": 0}
+
+    def test_single_relabel(self):
+        mapping = tree_edit_mapping(parse_bracket("a(b)"), parse_bracket("a(x)"))
+        assert mapping.cost == 1
+        assert [(a.label, b.label) for a, b in mapping.relabeled] == [("b", "x")]
+
+    def test_deletion(self):
+        mapping = tree_edit_mapping(parse_bracket("a(b,c)"), parse_bracket("a(b)"))
+        assert mapping.cost == 1
+        assert [n.label for n in mapping.deleted] == ["c"]
+        assert mapping.inserted == []
+
+    def test_insertion(self):
+        mapping = tree_edit_mapping(parse_bracket("a(b)"), parse_bracket("a(b,c)"))
+        assert [n.label for n in mapping.inserted] == ["c"]
+
+    def test_paper_figure_1(self):
+        t1 = parse_bracket("a(b(c,d),b(c,d),e)")
+        t2 = parse_bracket("a(b(c,d,b(e)),c,d,e)")
+        mapping = tree_edit_mapping(t1, t2)
+        assert mapping.cost == 3
+        summary = mapping.summary()
+        # 9 = 8 - deletes + inserts and relabel + delete + insert = 3
+        assert summary["insert"] - summary["delete"] == 1
+        assert sum(summary.values()) == 3
+
+    def test_operations_listing(self):
+        mapping = tree_edit_mapping(parse_bracket("a(b)"), parse_bracket("a(x,y)"))
+        operations = mapping.operations()
+        assert len(operations) == mapping.cost
+        assert any(op.startswith(("relabel", "insert", "delete")) for op in operations)
+
+
+class TestMappingProperties:
+    @given(tree_pairs(max_leaves=7))
+    @settings(max_examples=60, deadline=None)
+    def test_cost_equals_edit_distance(self, pair):
+        t1, t2 = pair
+        mapping = tree_edit_mapping(t1, t2)
+        assert mapping.cost == tree_edit_distance(t1, t2)
+
+    @given(tree_pairs(max_leaves=7))
+    @settings(max_examples=60, deadline=None)
+    def test_recovered_mapping_is_valid(self, pair):
+        t1, t2 = pair
+        mapping = tree_edit_mapping(t1, t2)
+        assert is_valid_mapping(mapping.pairs, t1, t2)
+
+    @given(tree_pairs(max_leaves=7))
+    @settings(max_examples=60, deadline=None)
+    def test_tais_formula_reproduces_cost(self, pair):
+        t1, t2 = pair
+        mapping = tree_edit_mapping(t1, t2)
+        assert mapping_cost(mapping.pairs, t1, t2) == mapping.cost
+
+    @given(tree_pairs(max_leaves=6))
+    @settings(max_examples=30, deadline=None)
+    def test_weighted_mapping_cost_consistent(self, pair):
+        t1, t2 = pair
+        costs = weighted_costs(delete_cost=2.0, insert_cost=1.0, relabel_cost=1.5)
+        mapping = tree_edit_mapping(t1, t2, costs)
+        assert abs(mapping_cost(mapping.pairs, t1, t2, costs) - mapping.cost) < 1e-9
+        assert abs(mapping.cost - tree_edit_distance(t1, t2, costs)) < 1e-9
+
+
+class TestValidityChecker:
+    def test_rejects_double_mapping(self):
+        t1, t2 = parse_bracket("a(b)"), parse_bracket("a(b)")
+        assert not is_valid_mapping([(0, 0), (0, 1)], t1, t2)
+        assert not is_valid_mapping([(0, 0), (1, 0)], t1, t2)
+
+    def test_rejects_order_violation(self):
+        # crossing postorder vs preorder orders
+        t1, t2 = parse_bracket("a(b,c)"), parse_bracket("a(b,c)")
+        # postorder: b=0 c=1 a=2 — mapping b->c and c->b crosses
+        assert not is_valid_mapping([(0, 1), (1, 0)], t1, t2)
+
+    def test_rejects_ancestor_violation(self):
+        t1 = parse_bracket("a(b)")  # postorder: b=0 a=1
+        t2 = parse_bracket("x(y)")
+        # map a->y (descendant) and b->x (ancestor): inverted
+        assert not is_valid_mapping([(1, 0), (0, 1)], t1, t2)
+
+    def test_accepts_identity(self):
+        t1 = parse_bracket("a(b,c)")
+        assert is_valid_mapping([(0, 0), (1, 1), (2, 2)], t1, t1.clone())
+
+    def test_accepts_empty(self):
+        assert is_valid_mapping([], parse_bracket("a"), parse_bracket("b"))

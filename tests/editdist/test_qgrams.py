@@ -1,0 +1,77 @@
+"""Unit and property tests for string q-grams (the §3.4 analogy substrate)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.editdist import (
+    positional_qgrams,
+    qgram_distance,
+    qgram_lower_bound,
+    qgram_overlap,
+    qgram_profile,
+    qgrams,
+    shares_enough_qgrams,
+    string_edit_distance,
+)
+
+words = st.text(alphabet="abcd", max_size=15)
+
+
+class TestExtraction:
+    def test_qgrams_of_string(self):
+        assert qgrams("abcd", 2) == [("a", "b"), ("b", "c"), ("c", "d")]
+
+    def test_q_longer_than_string(self):
+        assert qgrams("ab", 3) == []
+
+    def test_q_one(self):
+        assert qgrams("aba", 1) == [("a",), ("b",), ("a",)]
+
+    def test_invalid_q(self):
+        with pytest.raises(ValueError):
+            qgrams("abc", 0)
+
+    def test_profile_counts_duplicates(self):
+        profile = qgram_profile("aaa", 2)
+        assert profile[("a", "a")] == 2
+
+    def test_positional_qgrams(self):
+        assert positional_qgrams("abc", 2) == [(1, ("a", "b")), (2, ("b", "c"))]
+
+
+class TestDistances:
+    def test_overlap(self):
+        assert qgram_overlap("abcd", "abcx", 2) == 2  # ab, bc
+
+    def test_distance_identical(self):
+        assert qgram_distance("abab", "abab", 2) == 0
+
+    def test_distance_disjoint(self):
+        assert qgram_distance("aaa", "bbb", 2) == 4
+
+    @given(words, words, st.integers(1, 3))
+    @settings(max_examples=80, deadline=None)
+    def test_lower_bound_property(self, a, b, q):
+        """ceil(L1/2q) never exceeds the true string edit distance."""
+        assert qgram_lower_bound(a, b, q) <= string_edit_distance(a, b)
+
+    @given(words, words, st.integers(1, 3))
+    @settings(max_examples=80, deadline=None)
+    def test_distance_symmetry(self, a, b, q):
+        assert qgram_distance(a, b, q) == qgram_distance(b, a, q)
+
+
+class TestCountFilter:
+    @given(words, words, st.integers(1, 3))
+    @settings(max_examples=100, deadline=None)
+    def test_ukkonen_filter_is_sound(self, a, b, q):
+        """If the filter says 'cannot be within k', the distance exceeds k."""
+        k = string_edit_distance(a, b)
+        assert shares_enough_qgrams(a, b, q, k)
+
+    def test_filter_rejects_distant_strings(self):
+        assert not shares_enough_qgrams("aaaaaaaa", "bbbbbbbb", 2, 1)
+
+    def test_trivial_threshold_accepts(self):
+        assert shares_enough_qgrams("ab", "cd", 2, 5)

@@ -1,0 +1,121 @@
+"""Unit and property tests for the restricted edit-distance variants."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.editdist import tree_edit_distance, weighted_costs
+from repro.editdist.variants import (
+    constrained_edit_distance,
+    selkow_edit_distance,
+)
+from repro.trees import parse_bracket
+from tests.strategies import tree_pairs, trees
+
+
+def both(a, b):
+    t1, t2 = parse_bracket(a), parse_bracket(b)
+    return selkow_edit_distance(t1, t2), constrained_edit_distance(t1, t2)
+
+
+class TestKnownValues:
+    def test_identical(self):
+        assert both("a(b(c),d)", "a(b(c),d)") == (0.0, 0.0)
+
+    def test_single_relabel(self):
+        assert both("a(b)", "a(c)") == (1.0, 1.0)
+
+    def test_leaf_deletion(self):
+        assert both("a(b,c)", "a(b)") == (1.0, 1.0)
+
+    def test_inner_deletion_costs_more_for_restricted_variants(self):
+        # deleting inner node b (splicing c, d up) is one general edit
+        # operation, but it maps the separate subtrees {c,d} and {e} of T2's
+        # single subtree structure in a way the constrained condition
+        # forbids (§2.1), and Selkow cannot delete inner nodes at all
+        t1, t2 = parse_bracket("a(b(c,d),e)"), parse_bracket("a(c,d,e)")
+        assert tree_edit_distance(t1, t2) == 1
+        assert constrained_edit_distance(t1, t2) == 3
+        assert selkow_edit_distance(t1, t2) == 4
+
+    def test_root_relabel(self):
+        assert both("a(x,y)", "b(x,y)") == (1.0, 1.0)
+
+    def test_disjoint(self):
+        # relabel root + two leaf inserts is possible for all variants
+        assert both("a", "x(y,z)") == (3.0, 3.0)
+
+
+class TestUpperBoundHierarchy:
+    @given(tree_pairs(max_leaves=7))
+    @settings(max_examples=80, deadline=None)
+    def test_constrained_bounds_general(self, pair):
+        t1, t2 = pair
+        assert constrained_edit_distance(t1, t2) >= tree_edit_distance(t1, t2)
+
+    @given(tree_pairs(max_leaves=7))
+    @settings(max_examples=80, deadline=None)
+    def test_selkow_bounds_constrained(self, pair):
+        t1, t2 = pair
+        assert selkow_edit_distance(t1, t2) >= constrained_edit_distance(
+            t1, t2
+        ) - 1e-9
+
+    @given(tree_pairs(max_leaves=7))
+    @settings(max_examples=60, deadline=None)
+    def test_both_below_naive_upper_bound(self, pair):
+        from repro.editdist import naive_upper_bound
+
+        t1, t2 = pair
+        # even Selkow can always relabel the root and rebuild below
+        ceiling = naive_upper_bound(t1, t2)
+        assert selkow_edit_distance(t1, t2) <= ceiling
+        assert constrained_edit_distance(t1, t2) <= ceiling
+
+
+class TestMetricAxioms:
+    @given(trees(max_leaves=7))
+    @settings(max_examples=40, deadline=None)
+    def test_identity(self, tree):
+        assert selkow_edit_distance(tree, tree.clone()) == 0
+        assert constrained_edit_distance(tree, tree.clone()) == 0
+
+    @given(tree_pairs(max_leaves=7))
+    @settings(max_examples=60, deadline=None)
+    def test_symmetry(self, pair):
+        t1, t2 = pair
+        assert selkow_edit_distance(t1, t2) == pytest.approx(
+            selkow_edit_distance(t2, t1)
+        )
+        assert constrained_edit_distance(t1, t2) == pytest.approx(
+            constrained_edit_distance(t2, t1)
+        )
+
+    @given(tree_pairs(max_leaves=5), trees(max_leaves=5))
+    @settings(max_examples=30, deadline=None)
+    def test_triangle_inequality(self, pair, t3):
+        t1, t2 = pair
+        for metric in (selkow_edit_distance, constrained_edit_distance):
+            assert metric(t1, t3) <= metric(t1, t2) + metric(t2, t3) + 1e-9
+
+
+class TestWeightedCosts:
+    def test_selkow_weighted(self):
+        costs = weighted_costs(delete_cost=3.0, insert_cost=2.0,
+                               relabel_cost=1.0)
+        t1, t2 = parse_bracket("a(b)"), parse_bracket("a")
+        assert selkow_edit_distance(t1, t2, costs) == 3.0
+
+    def test_constrained_weighted(self):
+        costs = weighted_costs(delete_cost=3.0, insert_cost=2.0,
+                               relabel_cost=1.0)
+        t1, t2 = parse_bracket("a"), parse_bracket("a(b)")
+        assert constrained_edit_distance(t1, t2, costs) == 2.0
+
+    @given(tree_pairs(max_leaves=6))
+    @settings(max_examples=30, deadline=None)
+    def test_weighted_upper_bound_property(self, pair):
+        t1, t2 = pair
+        costs = weighted_costs(1.5, 2.0, 0.5)
+        assert constrained_edit_distance(t1, t2, costs) >= tree_edit_distance(
+            t1, t2, costs
+        ) - 1e-9

@@ -1,0 +1,88 @@
+"""Unit and property tests for the BiBranch filters."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import branch_lower_bound, positional_lower_bound
+from repro.editdist import tree_edit_distance
+from repro.filters import BinaryBranchFilter, BranchCountFilter
+from repro.trees import parse_bracket
+from tests.strategies import tree_pairs
+
+T1 = "a(b(c,d),b(c,d),e)"
+T2 = "a(b(c,d,b(e)),c,d,e)"
+
+
+class TestBinaryBranchFilter:
+    def test_bound_equals_positional_lower_bound(self):
+        flt = BinaryBranchFilter()
+        t1, t2 = parse_bracket(T1), parse_bracket(T2)
+        sig_a, sig_b = flt.signature(t1), flt.signature(t2)
+        assert flt.bound(sig_a, sig_b) == positional_lower_bound(t1, t2)
+
+    @given(tree_pairs())
+    @settings(max_examples=80, deadline=None)
+    def test_sound(self, pair):
+        flt = BinaryBranchFilter()
+        sig_a, sig_b = flt.signature(pair[0]), flt.signature(pair[1])
+        assert flt.bound(sig_a, sig_b) <= tree_edit_distance(*pair)
+
+    @given(tree_pairs(), st.integers(0, 6))
+    @settings(max_examples=80, deadline=None)
+    def test_refutation_sound(self, pair, threshold):
+        flt = BinaryBranchFilter()
+        sig_a, sig_b = flt.signature(pair[0]), flt.signature(pair[1])
+        if flt.refutes(sig_a, sig_b, threshold):
+            assert tree_edit_distance(*pair) > threshold
+
+    @given(tree_pairs(max_leaves=8), st.sampled_from([2, 3]))
+    @settings(max_examples=50, deadline=None)
+    def test_qlevel_sound(self, pair, q):
+        flt = BinaryBranchFilter(q=q)
+        sig_a, sig_b = flt.signature(pair[0]), flt.signature(pair[1])
+        assert flt.bound(sig_a, sig_b) <= tree_edit_distance(*pair)
+
+    @given(tree_pairs(max_leaves=7))
+    @settings(max_examples=30, deadline=None)
+    def test_exact_matching_variant_sound(self, pair):
+        flt = BinaryBranchFilter(exact_matching=True)
+        sig_a, sig_b = flt.signature(pair[0]), flt.signature(pair[1])
+        assert flt.bound(sig_a, sig_b) <= tree_edit_distance(*pair)
+
+    def test_names(self):
+        assert BinaryBranchFilter().name == "BiBranch"
+        assert BinaryBranchFilter(q=3).name == "BiBranch(3)"
+
+    def test_fit_returns_self(self):
+        flt = BinaryBranchFilter()
+        assert flt.fit([parse_bracket("a")]) is flt
+        assert flt.size == 1
+
+
+class TestBranchCountFilter:
+    def test_bound_equals_count_lower_bound(self):
+        flt = BranchCountFilter()
+        t1, t2 = parse_bracket(T1), parse_bracket(T2)
+        sig_a, sig_b = flt.signature(t1), flt.signature(t2)
+        assert flt.bound(sig_a, sig_b) == branch_lower_bound(t1, t2)
+
+    @given(tree_pairs())
+    @settings(max_examples=60, deadline=None)
+    def test_sound(self, pair):
+        flt = BranchCountFilter()
+        sig_a, sig_b = flt.signature(pair[0]), flt.signature(pair[1])
+        assert flt.bound(sig_a, sig_b) <= tree_edit_distance(*pair)
+
+    @given(tree_pairs())
+    @settings(max_examples=60, deadline=None)
+    def test_positional_dominates_count(self, pair):
+        positional = BinaryBranchFilter()
+        count = BranchCountFilter()
+        p_sig = (positional.signature(pair[0]), positional.signature(pair[1]))
+        c_sig = (count.signature(pair[0]), count.signature(pair[1]))
+        assert positional.bound(*p_sig) >= count.bound(*c_sig)
+
+    def test_names(self):
+        assert BranchCountFilter().name == "BiBranchCount"
+        assert BranchCountFilter(q=4).name == "BiBranchCount(4)"

@@ -1,0 +1,80 @@
+"""Unit tests for filter composition."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.editdist import tree_edit_distance
+from repro.filters import (
+    BinaryBranchFilter,
+    HistogramFilter,
+    MaxCompositeFilter,
+    SizeDifferenceFilter,
+    TraversalStringFilter,
+)
+from repro.trees import parse_bracket
+from tests.strategies import tree_pairs
+
+
+class TestSizeDifferenceFilter:
+    def test_bound(self):
+        flt = SizeDifferenceFilter()
+        assert flt.bound(flt.signature(parse_bracket("a")), 4) == 3
+
+    @given(tree_pairs())
+    @settings(max_examples=40, deadline=None)
+    def test_sound(self, pair):
+        flt = SizeDifferenceFilter()
+        sig_a, sig_b = flt.signature(pair[0]), flt.signature(pair[1])
+        assert flt.bound(sig_a, sig_b) <= tree_edit_distance(*pair)
+
+
+class TestMaxComposite:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            MaxCompositeFilter([])
+
+    def test_name(self):
+        flt = MaxCompositeFilter([SizeDifferenceFilter()], name="combo")
+        assert flt.name == "combo"
+
+    @given(tree_pairs())
+    @settings(max_examples=40, deadline=None)
+    def test_bound_is_max_of_components(self, pair):
+        components = [HistogramFilter(), SizeDifferenceFilter()]
+        composite = MaxCompositeFilter(components)
+        sig = composite.signature(pair[0]), composite.signature(pair[1])
+        expected = max(
+            child.bound(child.signature(pair[0]), child.signature(pair[1]))
+            for child in components
+        )
+        assert composite.bound(*sig) == expected
+
+    @given(tree_pairs())
+    @settings(max_examples=40, deadline=None)
+    def test_sound(self, pair):
+        composite = MaxCompositeFilter(
+            [HistogramFilter(), BinaryBranchFilter(), SizeDifferenceFilter()]
+        )
+        sig = composite.signature(pair[0]), composite.signature(pair[1])
+        assert composite.bound(*sig) <= tree_edit_distance(*pair)
+
+    @given(tree_pairs())
+    @settings(max_examples=40, deadline=None)
+    def test_refutation_sound(self, pair):
+        composite = MaxCompositeFilter(
+            [HistogramFilter(), TraversalStringFilter()]
+        )
+        sig = composite.signature(pair[0]), composite.signature(pair[1])
+        distance = tree_edit_distance(*pair)
+        for threshold in range(4):
+            if composite.refutes(*sig, threshold):
+                assert distance > threshold
+
+    def test_fit_and_query(self):
+        dataset = [parse_bracket("a(b,c)"), parse_bracket("x(y)")]
+        composite = MaxCompositeFilter(
+            [HistogramFilter(), SizeDifferenceFilter()]
+        ).fit(dataset)
+        bounds = composite.bounds(parse_bracket("a(b,c)"))
+        assert bounds[0] == 0
+        assert bounds[1] >= 2

@@ -1,0 +1,74 @@
+"""Unit and property tests for general-cost filtering."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.editdist import EditDistanceCounter, tree_edit_distance, weighted_costs
+from repro.filters import (
+    BinaryBranchFilter,
+    CostScaledFilter,
+    HistogramFilter,
+)
+from repro.search import range_query, sequential_range_query
+from repro.trees import parse_bracket
+from tests.strategies import tree_pairs
+
+WEIGHTED = weighted_costs(delete_cost=2.0, insert_cost=1.5, relabel_cost=0.5)
+
+
+class TestBound:
+    def test_scales_inner_bound(self):
+        inner = BinaryBranchFilter()
+        scaled = CostScaledFilter(BinaryBranchFilter(), weighted_costs(3, 3, 3))
+        t1, t2 = parse_bracket("a(b,c)"), parse_bracket("x(y)")
+        inner_bound = inner.bound(inner.signature(t1), inner.signature(t2))
+        scaled_bound = scaled.bound(scaled.signature(t1), scaled.signature(t2))
+        assert scaled_bound == 3 * inner_bound
+
+    def test_name(self):
+        scaled = CostScaledFilter(HistogramFilter(), weighted_costs(2, 2, 2))
+        assert scaled.name == "Histo*2"
+
+    @given(tree_pairs())
+    @settings(max_examples=60, deadline=None)
+    def test_sound_for_weighted_distance(self, pair):
+        t1, t2 = pair
+        scaled = CostScaledFilter(BinaryBranchFilter(), WEIGHTED)
+        bound = scaled.bound(scaled.signature(t1), scaled.signature(t2))
+        assert bound <= tree_edit_distance(t1, t2, WEIGHTED) + 1e-9
+
+    @given(tree_pairs())
+    @settings(max_examples=60, deadline=None)
+    def test_refutation_sound_for_weighted_distance(self, pair):
+        t1, t2 = pair
+        scaled = CostScaledFilter(HistogramFilter(), WEIGHTED)
+        sig = scaled.signature(t1), scaled.signature(t2)
+        distance = tree_edit_distance(t1, t2, WEIGHTED)
+        for threshold in (0.0, 0.5, 1.0, 2.5, 4.0):
+            if scaled.refutes(*sig, threshold):
+                assert distance > threshold
+
+
+class TestWeightedSearch:
+    def test_weighted_range_query_exact(self):
+        dataset = [
+            parse_bracket(t)
+            for t in ["a(b,c)", "a(b,d)", "a(b)", "x(y,z)", "a(b,c,d)"]
+        ]
+        counter = EditDistanceCounter(WEIGHTED)
+        flt = CostScaledFilter(BinaryBranchFilter(), WEIGHTED).fit(dataset)
+        query = parse_bracket("a(b,c)")
+        for threshold in (0.0, 0.5, 1.5, 3.0):
+            fast, _ = range_query(dataset, query, threshold, flt, counter)
+            brute, _ = sequential_range_query(dataset, query, threshold, counter)
+            assert fast == brute
+
+    def test_weighted_range_uses_weighted_distances(self):
+        dataset = [parse_bracket("a(b,c)"), parse_bracket("a(b,x)")]
+        counter = EditDistanceCounter(WEIGHTED)
+        flt = CostScaledFilter(BinaryBranchFilter(), WEIGHTED).fit(dataset)
+        matches, _ = range_query(
+            dataset, parse_bracket("a(b,c)"), 0.5, flt, counter
+        )
+        # the relabel costs 0.5 under WEIGHTED, so both trees qualify
+        assert [index for index, _ in matches] == [0, 1]

@@ -1,0 +1,161 @@
+"""Unit and property tests for histogram filtration (Kailing et al.)."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.editdist import tree_edit_distance
+from repro.filters import (
+    DegreeHistogramFilter,
+    HeightHistogramFilter,
+    HistogramFilter,
+    LabelHistogramFilter,
+    degree_histogram_bound,
+    height_histogram_bound,
+    label_histogram_bound,
+)
+from repro.trees import parse_bracket
+from tests.strategies import tree_pairs
+
+
+def signatures(a, b):
+    flt = HistogramFilter()
+    return flt.signature(parse_bracket(a)), flt.signature(parse_bracket(b))
+
+
+class TestSignature:
+    def test_contents(self):
+        flt = HistogramFilter()
+        sig = flt.signature(parse_bracket("a(b(c),d)"))
+        assert sig.size == 4
+        assert sig.labels == {"a": 1, "b": 1, "c": 1, "d": 1}
+        assert sig.degrees == {2: 1, 1: 1, 0: 2}
+        assert sig.heights == [0, 0, 1, 2]
+
+
+class TestLabelBound:
+    def test_known(self):
+        sig_a, sig_b = signatures("a(b)", "a(c)")
+        assert label_histogram_bound(sig_a, sig_b) == 1
+
+    def test_identical(self):
+        sig_a, sig_b = signatures("a(b,c)", "a(b,c)")
+        assert label_histogram_bound(sig_a, sig_b) == 0
+
+    @given(tree_pairs())
+    @settings(max_examples=80, deadline=None)
+    def test_sound(self, pair):
+        flt = HistogramFilter()
+        sig_a, sig_b = flt.signature(pair[0]), flt.signature(pair[1])
+        assert label_histogram_bound(sig_a, sig_b) <= tree_edit_distance(*pair)
+
+
+class TestDegreeBound:
+    def test_known(self):
+        # a(b,c) vs a(b(c)): degrees {2,0,0} vs {1,1,0} -> L1 = 4 -> ceil 2
+        sig_a, sig_b = signatures("a(b,c)", "a(b(c))")
+        assert degree_histogram_bound(sig_a, sig_b) == 2
+
+    @given(tree_pairs())
+    @settings(max_examples=80, deadline=None)
+    def test_sound(self, pair):
+        flt = HistogramFilter()
+        sig_a, sig_b = flt.signature(pair[0]), flt.signature(pair[1])
+        assert degree_histogram_bound(sig_a, sig_b) <= tree_edit_distance(*pair)
+
+
+class TestHeightBound:
+    def test_identical(self):
+        sig_a, sig_b = signatures("a(b(c))", "a(b(c))")
+        assert height_histogram_bound(sig_a, sig_b) == 0
+
+    def test_chain_vs_star(self):
+        # chain of 5 vs star of 5: many heights differ
+        chain = "a(b(c(d(e))))"
+        star = "a(b,c,d,e)"
+        sig_a, sig_b = signatures(chain, star)
+        bound = height_histogram_bound(sig_a, sig_b)
+        assert 1 <= bound <= tree_edit_distance(
+            parse_bracket(chain), parse_bracket(star)
+        )
+
+    @given(tree_pairs())
+    @settings(max_examples=100, deadline=None)
+    def test_sound(self, pair):
+        flt = HistogramFilter()
+        sig_a, sig_b = flt.signature(pair[0]), flt.signature(pair[1])
+        assert height_histogram_bound(sig_a, sig_b) <= tree_edit_distance(*pair)
+
+    @given(tree_pairs())
+    @settings(max_examples=60, deadline=None)
+    def test_at_least_size_difference(self, pair):
+        flt = HistogramFilter()
+        sig_a, sig_b = flt.signature(pair[0]), flt.signature(pair[1])
+        assert height_histogram_bound(sig_a, sig_b) >= abs(
+            pair[0].size - pair[1].size
+        )
+
+
+class TestCombinedFilter:
+    @given(tree_pairs())
+    @settings(max_examples=100, deadline=None)
+    def test_sound(self, pair):
+        flt = HistogramFilter()
+        sig_a, sig_b = flt.signature(pair[0]), flt.signature(pair[1])
+        assert flt.bound(sig_a, sig_b) <= tree_edit_distance(*pair)
+
+    @given(tree_pairs())
+    @settings(max_examples=60, deadline=None)
+    def test_dominates_components(self, pair):
+        combined = HistogramFilter()
+        sig_a, sig_b = combined.signature(pair[0]), combined.signature(pair[1])
+        for component in (
+            LabelHistogramFilter(),
+            DegreeHistogramFilter(),
+            HeightHistogramFilter(),
+        ):
+            assert combined.bound(sig_a, sig_b) >= component.bound(sig_a, sig_b)
+
+    @given(tree_pairs())
+    @settings(max_examples=60, deadline=None)
+    def test_refutation_consistent_with_bound(self, pair):
+        """refutes() may be weaker than bound() but never unsound."""
+        flt = HistogramFilter()
+        sig_a, sig_b = flt.signature(pair[0]), flt.signature(pair[1])
+        distance = tree_edit_distance(*pair)
+        for threshold in range(0, 6):
+            if flt.refutes(sig_a, sig_b, threshold):
+                assert distance > threshold
+
+    def test_fit_and_bounds(self):
+        dataset = [parse_bracket("a(b)"), parse_bracket("a(b,c)")]
+        flt = HistogramFilter().fit(dataset)
+        bounds = flt.bounds(parse_bracket("a(b)"))
+        assert bounds[0] == 0
+        assert bounds[1] >= 1
+
+    def test_unfitted_use_raises(self):
+        with pytest.raises(RuntimeError):
+            HistogramFilter().bounds(parse_bracket("a"))
+
+
+class TestComponentFilters:
+    @given(tree_pairs())
+    @settings(max_examples=40, deadline=None)
+    def test_each_component_sound(self, pair):
+        distance = tree_edit_distance(*pair)
+        for flt in (
+            LabelHistogramFilter(),
+            DegreeHistogramFilter(),
+            HeightHistogramFilter(),
+        ):
+            sig_a, sig_b = flt.signature(pair[0]), flt.signature(pair[1])
+            assert flt.bound(sig_a, sig_b) <= distance
+
+    def test_names_distinct(self):
+        names = {
+            HistogramFilter().name,
+            LabelHistogramFilter().name,
+            DegreeHistogramFilter().name,
+            HeightHistogramFilter().name,
+        }
+        assert len(names) == 4

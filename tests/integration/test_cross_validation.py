@@ -1,0 +1,103 @@
+"""Cross-validation fuzz: every query path must agree with every other.
+
+For a batch of randomized (but seeded) workloads, run all implemented
+query strategies — linear filter scan, inverted-file scan, plain k-NN,
+tiered k-NN, pairwise join, indexed join — and check they produce
+identical answers.  Any soundness bug in any bound, matching routine or
+index path shows up here as a divergence.
+"""
+
+import random
+
+import pytest
+
+from repro.core import InvertedFileIndex
+from repro.datasets import (
+    SyntheticSpec,
+    generate_dataset,
+    generate_dblp_dataset,
+)
+from repro.editdist import EditDistanceCounter
+from repro.filters import (
+    BinaryBranchFilter,
+    BranchCountFilter,
+    HistogramFilter,
+    MaxCompositeFilter,
+    SizeDifferenceFilter,
+    TraversalStringFilter,
+    space_parity_histogram_filter,
+)
+from repro.search import (
+    indexed_range_query,
+    indexed_similarity_self_join,
+    knn_query,
+    range_query,
+    sequential_knn_query,
+    sequential_range_query,
+    similarity_self_join,
+)
+from repro.search.tiered_knn import tiered_knn_query
+
+
+def workloads():
+    yield "synthetic-clustered", generate_dataset(
+        SyntheticSpec(size_mean=12, size_stddev=3, label_count=5, decay=0.1),
+        count=24, seed_count=4, seed=101,
+    )
+    yield "synthetic-scattered", generate_dataset(
+        SyntheticSpec(size_mean=8, size_stddev=4, label_count=3, decay=0.5),
+        count=24, seed_count=12, seed=102,
+    )
+    yield "dblp-like", generate_dblp_dataset(24, seed=103)
+
+
+@pytest.mark.parametrize("name,trees", list(workloads()))
+def test_all_query_paths_agree(name, trees):
+    rng = random.Random(hash(name) & 0xFFFF)
+    counter = EditDistanceCounter()
+    index = InvertedFileIndex()
+    index.add_trees(trees)
+    profiles = index.profiles()
+    filters = [
+        BinaryBranchFilter().fit(trees),
+        BranchCountFilter().fit(trees),
+        HistogramFilter().fit(trees),
+        space_parity_histogram_filter(trees).fit(trees),
+        TraversalStringFilter().fit(trees),
+        MaxCompositeFilter(
+            [BinaryBranchFilter(), SizeDifferenceFilter()]
+        ).fit(trees),
+    ]
+    queries = [trees[rng.randrange(len(trees))] for _ in range(3)]
+
+    for query in queries:
+        for threshold in (0, 2, 5):
+            truth, _ = sequential_range_query(trees, query, threshold, counter)
+            for flt in filters:
+                answer, _ = range_query(trees, query, threshold, flt, counter)
+                assert answer == truth, (name, flt.name, threshold)
+            indexed, _ = indexed_range_query(
+                trees, index, query, threshold, counter, profiles=profiles
+            )
+            assert indexed == truth, (name, "indexed", threshold)
+
+        for k in (1, 4):
+            truth_knn, _ = sequential_knn_query(trees, query, k, counter)
+            truth_distances = sorted(d for _, d in truth_knn)
+            for flt in filters:
+                answer, _ = knn_query(trees, query, k, flt, counter)
+                assert sorted(d for _, d in answer) == truth_distances
+            tiered, _ = tiered_knn_query(trees, query, k, filters[0], counter)
+            assert sorted(d for _, d in tiered) == truth_distances
+
+    for threshold in (0, 3):
+        truth_join, _ = similarity_self_join(
+            trees, threshold, filters[0], counter
+        )
+        for flt in filters[1:]:
+            answer, _ = similarity_self_join(trees, threshold, flt, counter)
+            assert answer == truth_join, (name, flt.name)
+        indexed_join, _ = indexed_similarity_self_join(
+            trees, index, threshold, counter
+        )
+        assert indexed_join == truth_join, (name, "indexed-join")

@@ -1,0 +1,151 @@
+"""Integration tests: the full pipeline on realistic workloads.
+
+These tests exercise generation → indexing → filtering → refinement across
+module boundaries and assert the paper's two global guarantees: query
+answers are exact (no false negatives survive the pipeline) and the filter
+accesses far fewer objects than a sequential scan on clustered data.
+"""
+
+import random
+
+import pytest
+
+from repro import TreeDatabase
+from repro.bench import average_pairwise_distance, select_queries
+from repro.datasets import SyntheticSpec, generate_dataset, generate_dblp_dataset
+from repro.filters import (
+    BinaryBranchFilter,
+    BranchCountFilter,
+    HistogramFilter,
+    MaxCompositeFilter,
+    SizeDifferenceFilter,
+    TraversalStringFilter,
+)
+from repro.search import (
+    knn_query,
+    range_query,
+    sequential_knn_query,
+    sequential_range_query,
+)
+
+ALL_FILTERS = [
+    BinaryBranchFilter,
+    BranchCountFilter,
+    HistogramFilter,
+    TraversalStringFilter,
+]
+
+
+@pytest.fixture(scope="module")
+def synthetic_dataset():
+    spec = SyntheticSpec(
+        fanout_mean=3, fanout_stddev=0.5, size_mean=15, size_stddev=2,
+        label_count=6, decay=0.08,
+    )
+    return generate_dataset(spec, count=40, seed_count=6, seed=2024)
+
+
+@pytest.fixture(scope="module")
+def dblp_dataset():
+    return generate_dblp_dataset(40, seed=2024)
+
+
+class TestExactness:
+    @pytest.mark.parametrize("filter_cls", ALL_FILTERS)
+    def test_range_queries_exact_on_synthetic(self, synthetic_dataset, filter_cls):
+        trees = synthetic_dataset
+        flt = filter_cls().fit(trees)
+        queries = select_queries(trees, 3, rng=random.Random(1))
+        for query in queries:
+            for threshold in (0, 2, 5):
+                fast, _ = range_query(trees, query, threshold, flt)
+                brute, _ = sequential_range_query(trees, query, threshold)
+                assert fast == brute
+
+    @pytest.mark.parametrize("filter_cls", ALL_FILTERS)
+    def test_knn_queries_exact_on_synthetic(self, synthetic_dataset, filter_cls):
+        trees = synthetic_dataset
+        flt = filter_cls().fit(trees)
+        queries = select_queries(trees, 2, rng=random.Random(2))
+        for query in queries:
+            for k in (1, 5):
+                fast, _ = knn_query(trees, query, k, flt)
+                brute, _ = sequential_knn_query(trees, query, k)
+                assert sorted(d for _, d in fast) == sorted(d for _, d in brute)
+
+    def test_range_queries_exact_on_dblp(self, dblp_dataset):
+        trees = dblp_dataset
+        for filter_cls in (BinaryBranchFilter, HistogramFilter):
+            flt = filter_cls().fit(trees)
+            query = trees[7]
+            for threshold in (1, 3, 6):
+                fast, _ = range_query(trees, query, threshold, flt)
+                brute, _ = sequential_range_query(trees, query, threshold)
+                assert fast == brute
+
+    def test_composite_filter_exact(self, synthetic_dataset):
+        trees = synthetic_dataset
+        flt = MaxCompositeFilter(
+            [BinaryBranchFilter(), HistogramFilter(), SizeDifferenceFilter()]
+        ).fit(trees)
+        query = trees[0]
+        fast, _ = range_query(trees, query, 3, flt)
+        brute, _ = sequential_range_query(trees, query, 3)
+        assert fast == brute
+
+
+class TestFilterPower:
+    def test_bibranch_beats_histogram_on_synthetic_ranges(self, synthetic_dataset):
+        """The paper's headline: BiBranch accesses (weakly) less data."""
+        trees = synthetic_dataset
+        queries = select_queries(trees, 4, rng=random.Random(3))
+        threshold = max(1, int(average_pairwise_distance(trees) / 5))
+        bibranch = BinaryBranchFilter().fit(trees)
+        histogram = HistogramFilter().fit(trees)
+        bibranch_accessed = 0
+        histogram_accessed = 0
+        for query in queries:
+            _, stats = range_query(trees, query, threshold, bibranch)
+            bibranch_accessed += stats.candidates
+            _, stats = range_query(trees, query, threshold, histogram)
+            histogram_accessed += stats.candidates
+        assert bibranch_accessed <= histogram_accessed
+
+    def test_positional_beats_plain_counts(self, synthetic_dataset):
+        trees = synthetic_dataset
+        queries = select_queries(trees, 4, rng=random.Random(4))
+        positional = BinaryBranchFilter().fit(trees)
+        counts = BranchCountFilter().fit(trees)
+        for query in queries:
+            positional_bounds = positional.bounds(query)
+            count_bounds = counts.bounds(query)
+            assert all(
+                p >= c for p, c in zip(positional_bounds, count_bounds)
+            )
+
+    def test_knn_accesses_fraction_of_dataset(self, synthetic_dataset):
+        trees = synthetic_dataset
+        flt = BinaryBranchFilter().fit(trees)
+        query = trees[10]
+        _, stats = knn_query(trees, query, 1, flt)
+        assert stats.accessed_percentage < 100.0
+
+
+class TestDatabaseFacadeEndToEnd:
+    def test_dblp_workflow(self, dblp_dataset):
+        db = TreeDatabase(dblp_dataset)
+        query = dblp_dataset[0]
+        neighbors, stats = db.knn(query, 5)
+        assert len(neighbors) == 5
+        assert neighbors[0][1] == 0.0  # the query itself is in the database
+        assert stats.candidates <= len(db)
+        matches, _ = db.range_query(query, 3)
+        assert all(distance <= 3 for _, distance in matches)
+
+    def test_distance_computation_savings(self, synthetic_dataset):
+        db = TreeDatabase(synthetic_dataset)
+        db.knn(synthetic_dataset[5], 2)
+        filtered_calls = db.distance_computations
+        brute = TreeDatabase(synthetic_dataset)
+        brute.sequential_knn(synthetic_dataset[5], 2)
+        assert filtered_calls <= brute.distance_computations

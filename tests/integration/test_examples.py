@@ -1,0 +1,39 @@
+"""Smoke-run the fast example programs.
+
+The examples double as living documentation; this keeps them from rotting.
+Only the sub-second examples run here — the heavier ones (clustering, the
+benchmark tour) are exercised manually and by the benchmark suite.
+"""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "xml_document_search.py",
+    "version_management.py",
+    "json_config_search.py",
+]
+
+
+@pytest.mark.parametrize("script", FAST_EXAMPLES)
+def test_example_runs(script, capsys, monkeypatch):
+    path = EXAMPLES / script
+    assert path.exists(), f"missing example {script}"
+    monkeypatch.setattr(sys, "argv", [str(path)])
+    runpy.run_path(str(path), run_name="__main__")
+    output = capsys.readouterr().out
+    assert output.strip(), f"{script} produced no output"
+
+
+def test_every_example_has_a_docstring_and_main():
+    for path in sorted(EXAMPLES.glob("*.py")):
+        text = path.read_text()
+        assert text.lstrip().startswith('"""'), f"{path.name}: no docstring"
+        assert '__name__ == "__main__"' in text, f"{path.name}: no main guard"
+        assert "Run with:" in text, f"{path.name}: no run instructions"

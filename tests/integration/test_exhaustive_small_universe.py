@@ -1,0 +1,111 @@
+"""Exhaustive verification over the complete universe of small trees.
+
+Every ordered labeled tree with up to 4 nodes over a 2-letter alphabet is
+enumerated (102 trees); for *every* pair the exact distance is computed by
+both independent implementations and every lower bound in the library is
+checked against it.  Unlike randomized property tests, this leaves no
+corner of the small-tree space unexplored.
+"""
+
+from functools import lru_cache
+from itertools import product
+
+import pytest
+
+from repro.core import branch_distance, positional_lower_bound
+from repro.editdist import (
+    alignment_distance,
+    memoized_edit_distance,
+    tree_edit_distance,
+)
+from repro.editdist.variants import (
+    constrained_edit_distance,
+    selkow_edit_distance,
+)
+from repro.filters import HistogramFilter
+from repro.trees import TreeNode
+
+LABELS = ("A", "B")
+MAX_SIZE = 4
+
+
+def _partitions(total):
+    if total == 0:
+        return [[]]
+    out = []
+    for first in range(1, total + 1):
+        for rest in _partitions(total - first):
+            out.append([first] + rest)
+    return out
+
+
+def _all_trees(size):
+    if size == 1:
+        return [TreeNode(label) for label in LABELS]
+    result = []
+    for root_label in LABELS:
+        for split in _partitions(size - 1):
+            for combo in product(*(_all_trees(part) for part in split)):
+                root = TreeNode(root_label)
+                for child in combo:
+                    root.add_child(child.clone())
+                result.append(root)
+    return result
+
+
+@pytest.fixture(scope="module")
+def universe():
+    trees = []
+    for size in range(1, MAX_SIZE + 1):
+        trees.extend(_all_trees(size))
+    assert len(trees) == 102  # 2 + 4 + 16 + 80
+    return trees
+
+
+@pytest.fixture(scope="module")
+def exact_distances(universe):
+    distances = {}
+    for i, t1 in enumerate(universe):
+        for j in range(i, len(universe)):
+            distances[(i, j)] = tree_edit_distance(t1, universe[j])
+    return distances
+
+
+def test_both_exact_implementations_agree(universe, exact_distances):
+    for (i, j), value in exact_distances.items():
+        assert memoized_edit_distance(universe[i], universe[j]) == value
+
+
+def test_every_lower_bound_holds_everywhere(universe, exact_distances):
+    histogram = HistogramFilter().fit(universe)
+    for (i, j), exact in exact_distances.items():
+        t1, t2 = universe[i], universe[j]
+        assert branch_distance(t1, t2) <= 5 * exact
+        assert positional_lower_bound(t1, t2) <= exact
+        histogram_bound = histogram.bound(
+            histogram.data_signature(i), histogram.data_signature(j)
+        )
+        assert histogram_bound <= exact
+
+
+def test_every_upper_bound_holds_everywhere(universe, exact_distances):
+    for (i, j), exact in exact_distances.items():
+        t1, t2 = universe[i], universe[j]
+        constrained = constrained_edit_distance(t1, t2)
+        assert constrained >= exact
+        assert selkow_edit_distance(t1, t2) >= constrained - 1e-9
+        assert alignment_distance(t1, t2) >= exact
+
+
+def test_distance_zero_iff_equal(universe, exact_distances):
+    for (i, j), exact in exact_distances.items():
+        assert (exact == 0) == (universe[i] == universe[j])
+
+
+def test_metric_symmetry_on_sample(universe):
+    # full symmetry is implied by the implementation; spot-check explicitly
+    for i in range(0, len(universe), 7):
+        for j in range(1, len(universe), 13):
+            assert tree_edit_distance(
+                universe[i], universe[j]
+            ) == tree_edit_distance(universe[j], universe[i])

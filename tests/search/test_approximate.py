@@ -1,0 +1,65 @@
+"""Unit tests for embedded-space approximate search."""
+
+import random
+
+import pytest
+
+from repro.datasets import generate_dblp_dataset
+from repro.exceptions import QueryError
+from repro.filters import BinaryBranchFilter
+from repro.search import sequential_knn_query
+from repro.search.approximate import approximate_knn_query
+from repro.trees import parse_bracket
+
+DATASET = [
+    parse_bracket(t) for t in ["a(b,c)", "a(b,d)", "x(y)", "a(b,c)", "q"]
+]
+
+
+class TestBasics:
+    def test_identical_tree_ranks_first(self):
+        flt = BinaryBranchFilter().fit(DATASET)
+        results, stats = approximate_knn_query(
+            DATASET, parse_bracket("a(b,c)"), 2, flt
+        )
+        assert results[0] == (0, 0)
+        assert results[1] == (3, 0)
+        assert stats.candidates == 0  # no exact distances at all
+
+    def test_returns_bound_values_sorted(self):
+        flt = BinaryBranchFilter().fit(DATASET)
+        results, _ = approximate_knn_query(DATASET, parse_bracket("a"), 5, flt)
+        values = [value for _, value in results]
+        assert values == sorted(values)
+
+    def test_invalid_k(self):
+        flt = BinaryBranchFilter().fit(DATASET)
+        with pytest.raises(QueryError):
+            approximate_knn_query(DATASET, parse_bracket("a"), 0, flt)
+        with pytest.raises(QueryError):
+            approximate_knn_query(DATASET, parse_bracket("a"), 99, flt)
+
+    def test_unfitted_filter(self):
+        with pytest.raises(QueryError):
+            approximate_knn_query(
+                DATASET, parse_bracket("a"), 1,
+                BinaryBranchFilter().fit(DATASET[:1]),
+            )
+
+
+class TestRecall:
+    def test_high_recall_on_clustered_data(self):
+        """On DBLP-like data the embedded ranking recovers most true
+        neighbors — the practical content of Figure 15."""
+        trees = generate_dblp_dataset(150, seed=3)
+        flt = BinaryBranchFilter().fit(trees)
+        rng = random.Random(4)
+        k = 5
+        recalls = []
+        for query in rng.sample(trees, 5):
+            approx, _ = approximate_knn_query(trees, query, k, flt)
+            exact, _ = sequential_knn_query(trees, query, k)
+            approx_ids = {index for index, _ in approx}
+            exact_ids = {index for index, _ in exact}
+            recalls.append(len(approx_ids & exact_ids) / k)
+        assert sum(recalls) / len(recalls) >= 0.6

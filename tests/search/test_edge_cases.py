@@ -1,0 +1,144 @@
+"""Edge-case and failure-mode tests for the search framework."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.editdist import EditDistanceCounter
+from repro.filters import BinaryBranchFilter, HistogramFilter
+from repro.search import (
+    distance_matrix,
+    knn_query,
+    range_query,
+    sequential_knn_query,
+    sequential_range_query,
+)
+from repro.trees import TreeNode, parse_bracket
+from tests.strategies import trees
+
+
+class TestSingletonAndDuplicates:
+    def test_single_tree_database(self):
+        dataset = [parse_bracket("a(b)")]
+        flt = BinaryBranchFilter().fit(dataset)
+        matches, _ = range_query(dataset, parse_bracket("a(b)"), 0, flt)
+        assert matches == [(0, 0.0)]
+        neighbors, _ = knn_query(dataset, parse_bracket("z"), 1, flt)
+        assert neighbors[0][0] == 0
+
+    def test_all_duplicates(self):
+        dataset = [parse_bracket("a(b,c)") for _ in range(5)]
+        flt = BinaryBranchFilter().fit(dataset)
+        matches, stats = range_query(dataset, parse_bracket("a(b,c)"), 0, flt)
+        assert [i for i, _ in matches] == [0, 1, 2, 3, 4]
+        neighbors, _ = knn_query(dataset, parse_bracket("a(b,c)"), 3, flt)
+        assert [d for _, d in neighbors] == [0.0, 0.0, 0.0]
+
+    def test_knn_deterministic_tie_breaking(self):
+        dataset = [parse_bracket(t) for t in ["a(x)", "a(y)", "a(z)"]]
+        flt = BinaryBranchFilter().fit(dataset)
+        query = parse_bracket("a(w)")
+        first, _ = knn_query(dataset, query, 2, flt)
+        second, _ = knn_query(dataset, query, 2, flt)
+        assert first == second
+
+
+class TestThresholdShapes:
+    def test_fractional_threshold(self):
+        dataset = [parse_bracket("a(b)"), parse_bracket("a(c)")]
+        flt = BinaryBranchFilter().fit(dataset)
+        matches, _ = range_query(dataset, parse_bracket("a(b)"), 0.5, flt)
+        assert [i for i, _ in matches] == [0]
+
+    def test_zero_threshold_range(self):
+        dataset = [parse_bracket("a"), parse_bracket("b")]
+        flt = HistogramFilter().fit(dataset)
+        matches, _ = range_query(dataset, parse_bracket("c"), 0, flt)
+        assert matches == []
+
+    @given(trees(max_leaves=5), st.floats(0, 6))
+    @settings(max_examples=25, deadline=None)
+    def test_fractional_thresholds_match_sequential(self, query, threshold):
+        dataset = [
+            parse_bracket(t) for t in ["a(b,c)", "a", "x(y(z))", "a(b(c))"]
+        ]
+        flt = BinaryBranchFilter().fit(dataset)
+        fast, _ = range_query(dataset, query, threshold, flt)
+        brute, _ = sequential_range_query(dataset, query, threshold)
+        assert fast == brute
+
+
+class TestSharedCounter:
+    def test_counter_accumulates_across_queries(self):
+        dataset = [parse_bracket(t) for t in ["a(b)", "a(c)", "x"]]
+        flt = BinaryBranchFilter().fit(dataset)
+        counter = EditDistanceCounter()
+        range_query(dataset, parse_bracket("a(b)"), 1, flt, counter)
+        after_first = counter.calls
+        knn_query(dataset, parse_bracket("a(b)"), 1, flt, counter)
+        assert counter.calls > after_first
+
+    def test_prepared_cache_shared(self):
+        dataset = [parse_bracket("a(b)")]
+        counter = EditDistanceCounter()
+        prepared = counter.prepared(dataset[0])
+        flt = BinaryBranchFilter().fit(dataset)
+        range_query(dataset, parse_bracket("a(c)"), 5, flt, counter)
+        assert counter.prepared(dataset[0]) is prepared
+
+
+class TestUnusualLabels:
+    def test_unicode_labels(self):
+        dataset = [parse_bracket('"日本語"("ε",c)'), parse_bracket("a")]
+        flt = BinaryBranchFilter().fit(dataset)
+        matches, _ = range_query(dataset, parse_bracket('"日本語"("ε",c)'), 0, flt)
+        assert [i for i, _ in matches] == [0]
+
+    def test_labels_colliding_with_epsilon_repr(self):
+        # a user label that *prints* like ε must not be confused with the
+        # padding sentinel
+        from repro.core import branch_distance
+
+        with_eps_label = TreeNode("ε")
+        leaf = TreeNode("x")
+        assert branch_distance(with_eps_label, leaf) == 2
+
+    def test_non_string_labels_in_search(self):
+        dataset = [TreeNode(1, [TreeNode(2)]), TreeNode((3, 4))]
+        flt = HistogramFilter().fit(dataset)
+        matches, _ = range_query(dataset, TreeNode(1, [TreeNode(2)]), 0, flt)
+        assert [i for i, _ in matches] == [0]
+
+
+class TestWideAndDeepTrees:
+    def test_very_wide_tree(self):
+        wide = TreeNode("r", [TreeNode(f"c{i}") for i in range(500)])
+        other = TreeNode("r", [TreeNode(f"c{i}") for i in range(499)])
+        flt = BinaryBranchFilter().fit([wide])
+        bounds = flt.bounds(other)
+        assert bounds[0] <= 1  # one deletion suffices
+
+    def test_deep_chain_search(self):
+        chain = parse_bracket("x(" * 300 + "x" + ")" * 300)
+        dataset = [chain, parse_bracket("a")]
+        flt = BinaryBranchFilter().fit(dataset)
+        matches, _ = range_query(dataset, chain.clone(), 0, flt)
+        assert [i for i, _ in matches] == [0]
+
+
+class TestDistanceMatrix:
+    def test_matrix_properties(self):
+        dataset = [parse_bracket(t) for t in ["a(b)", "a(c)", "x"]]
+        matrix = distance_matrix(dataset)
+        assert matrix[0][0] == 0
+        assert matrix[0][1] == matrix[1][0] == 1
+        assert matrix[0][2] == matrix[2][0]
+
+    def test_matches_pairwise_calls(self):
+        from repro.editdist import tree_edit_distance
+
+        dataset = [parse_bracket(t) for t in ["a(b,c)", "x(y)", "a"]]
+        matrix = distance_matrix(dataset)
+        for i in range(3):
+            for j in range(3):
+                assert matrix[i][j] == tree_edit_distance(dataset[i], dataset[j])

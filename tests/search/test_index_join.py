@@ -1,0 +1,94 @@
+"""Unit and property tests for the index-driven similarity self-join."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import InvertedFileIndex
+from repro.datasets import SyntheticSpec, generate_dataset, generate_dblp_dataset
+from repro.exceptions import QueryError
+from repro.filters import BinaryBranchFilter
+from repro.search import similarity_self_join
+from repro.search.index_join import indexed_similarity_self_join
+from repro.trees import parse_bracket
+from tests.strategies import trees
+
+DATASET = [
+    parse_bracket(t)
+    for t in ["a(b,c)", "a(b,d)", "x(y)", "a(b,c)", "q(r(s))", "a"]
+]
+
+
+def build_index(dataset, q=2):
+    index = InvertedFileIndex(q=q)
+    index.add_trees(dataset)
+    return index
+
+
+def brute(dataset, threshold):
+    flt = BinaryBranchFilter().fit(dataset)
+    pairs, _ = similarity_self_join(dataset, threshold, flt)
+    return pairs
+
+
+class TestExactness:
+    @pytest.mark.parametrize("threshold", [0, 1, 2, 4])
+    @pytest.mark.parametrize("hot_cap", [0, 2, 64])
+    @pytest.mark.parametrize("use_positional", [True, False])
+    def test_matches_brute_force(self, threshold, hot_cap, use_positional):
+        index = build_index(DATASET)
+        pairs, _ = indexed_similarity_self_join(
+            DATASET, index, threshold,
+            hot_cap=hot_cap, use_positional=use_positional,
+        )
+        assert pairs == brute(DATASET, threshold)
+
+    def test_on_synthetic_data(self):
+        spec = SyntheticSpec(size_mean=8, size_stddev=2, label_count=4,
+                             decay=0.2)
+        dataset = generate_dataset(spec, count=20, seed_count=4, seed=12)
+        index = build_index(dataset)
+        for threshold in (0, 2, 4):
+            pairs, _ = indexed_similarity_self_join(dataset, index, threshold)
+            assert pairs == brute(dataset, threshold)
+
+    def test_on_dblp_data(self):
+        dataset = generate_dblp_dataset(30, seed=13)
+        index = build_index(dataset)
+        for threshold in (1, 3):
+            pairs, _ = indexed_similarity_self_join(dataset, index, threshold)
+            assert pairs == brute(dataset, threshold)
+
+    @given(st.lists(trees(max_leaves=4), min_size=2, max_size=6),
+           st.integers(0, 4))
+    @settings(max_examples=30, deadline=None)
+    def test_matches_brute_force_random(self, dataset, threshold):
+        index = build_index(dataset)
+        pairs, _ = indexed_similarity_self_join(dataset, index, threshold)
+        assert pairs == brute(dataset, threshold)
+
+
+class TestPruning:
+    def test_duplicates_found_with_tiny_work(self):
+        index = build_index(DATASET)
+        pairs, stats = indexed_similarity_self_join(DATASET, index, 0)
+        assert pairs == [(0, 3, 0.0)]
+        assert stats.candidates < stats.dataset_size
+
+    def test_hot_cap_zero_still_exact(self):
+        """With every list hot, everything funnels through the fallback."""
+        index = build_index(DATASET)
+        pairs, _ = indexed_similarity_self_join(DATASET, index, 2, hot_cap=0)
+        assert pairs == brute(DATASET, 2)
+
+
+class TestValidation:
+    def test_negative_threshold(self):
+        index = build_index(DATASET)
+        with pytest.raises(QueryError):
+            indexed_similarity_self_join(DATASET, index, -1)
+
+    def test_index_mismatch(self):
+        index = build_index(DATASET[:3])
+        with pytest.raises(QueryError):
+            indexed_similarity_self_join(DATASET, index, 1)

@@ -1,0 +1,124 @@
+"""Unit and property tests for index-accelerated range queries."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import InvertedFileIndex, branch_vector
+from repro.datasets import SyntheticSpec, generate_dataset, generate_dblp_dataset
+from repro.exceptions import QueryError
+from repro.search import sequential_range_query
+from repro.search.index_scan import candidate_overlaps, indexed_range_query
+from repro.trees import parse_bracket
+from tests.strategies import trees
+
+DATASET = [
+    parse_bracket(t)
+    for t in ["a(b,c)", "a(b,d)", "a(b(c,d),e)", "x(y,z)", "a", "q(w(e))"]
+]
+
+
+def build_index(dataset, q=2):
+    index = InvertedFileIndex(q=q)
+    index.add_trees(dataset)
+    return index
+
+
+class TestCandidateOverlaps:
+    def test_overlap_values_match_vectors(self):
+        index = build_index(DATASET)
+        query = parse_bracket("a(b,c)")
+        overlaps = candidate_overlaps(index, query)
+        query_vector = branch_vector(query)
+        for tree_id, overlap in overlaps.items():
+            expected = query_vector.overlap(branch_vector(DATASET[tree_id]))
+            assert overlap == expected
+
+    def test_disjoint_trees_not_reached(self):
+        index = build_index(DATASET)
+        overlaps = candidate_overlaps(index, parse_bracket("zzz(yyy)"))
+        assert overlaps == {}
+
+    @given(trees(max_leaves=6))
+    @settings(max_examples=30, deadline=None)
+    def test_overlaps_complete(self, query):
+        index = build_index(DATASET)
+        overlaps = candidate_overlaps(index, query)
+        query_vector = branch_vector(query)
+        for tree_id, tree in enumerate(DATASET):
+            expected = query_vector.overlap(branch_vector(tree))
+            assert overlaps.get(tree_id, 0) == expected
+
+
+class TestIndexedRangeQuery:
+    @pytest.mark.parametrize("threshold", [0, 1, 2, 4, 10])
+    @pytest.mark.parametrize("use_positional", [True, False])
+    def test_matches_sequential(self, threshold, use_positional):
+        index = build_index(DATASET)
+        query = parse_bracket("a(b,c)")
+        fast, _ = indexed_range_query(
+            DATASET, index, query, threshold, use_positional=use_positional
+        )
+        brute, _ = sequential_range_query(DATASET, query, threshold)
+        assert fast == brute
+
+    def test_matches_sequential_on_synthetic(self):
+        spec = SyntheticSpec(size_mean=10, size_stddev=2, label_count=4, decay=0.2)
+        dataset = generate_dataset(spec, count=25, seed_count=5, seed=11)
+        index = build_index(dataset)
+        profiles = index.profiles()
+        rng = random.Random(3)
+        for query in rng.sample(dataset, 3):
+            for threshold in (0, 2, 5):
+                fast, _ = indexed_range_query(
+                    dataset, index, query, threshold, profiles=profiles
+                )
+                brute, _ = sequential_range_query(dataset, query, threshold)
+                assert fast == brute
+
+    def test_matches_sequential_on_dblp(self):
+        dataset = generate_dblp_dataset(40, seed=5)
+        index = build_index(dataset)
+        for threshold in (1, 3):
+            fast, _ = indexed_range_query(dataset, index, dataset[0], threshold)
+            brute, _ = sequential_range_query(dataset, dataset[0], threshold)
+            assert fast == brute
+
+    def test_qlevel_index(self):
+        index = build_index(DATASET, q=3)
+        query = parse_bracket("a(b,c)")
+        fast, _ = indexed_range_query(DATASET, index, query, 1)
+        brute, _ = sequential_range_query(DATASET, query, 1)
+        assert fast == brute
+
+    def test_prunes_unreached_trees(self):
+        index = build_index(DATASET)
+        _, stats = indexed_range_query(DATASET, index, parse_bracket("a(b,c)"), 0)
+        assert stats.candidates < len(DATASET)
+
+    def test_disjoint_query_zero_candidates_small_tau(self):
+        index = build_index(DATASET)
+        _, stats = indexed_range_query(
+            DATASET, index, parse_bracket("zz(yy,ww)"), 0
+        )
+        assert stats.candidates == 0
+
+    def test_negative_threshold_rejected(self):
+        index = build_index(DATASET)
+        with pytest.raises(QueryError):
+            indexed_range_query(DATASET, index, parse_bracket("a"), -1)
+
+    def test_size_mismatch_rejected(self):
+        index = build_index(DATASET[:3])
+        with pytest.raises(QueryError):
+            indexed_range_query(DATASET, index, parse_bracket("a"), 1)
+
+    @given(trees(max_leaves=6), st.integers(0, 8))
+    @settings(max_examples=40, deadline=None)
+    def test_exactness_random_queries(self, query, threshold):
+        index = build_index(DATASET)
+        fast, _ = indexed_range_query(DATASET, index, query, threshold)
+        brute, _ = sequential_range_query(DATASET, query, threshold)
+        assert fast == brute

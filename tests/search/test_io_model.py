@@ -1,0 +1,58 @@
+"""Unit tests for the disk-I/O cost model."""
+
+import pytest
+
+from repro.filters import BinaryBranchFilter
+from repro.search import SearchStats, range_query
+from repro.search.io_model import DiskModel, IOEstimate
+from repro.trees import parse_bracket
+
+TREES = [parse_bracket(t) for t in ["a(b,c)", "a(b,d)", "x(y)", "q(w(e))"]]
+
+
+class TestPages:
+    def test_minimum_one_page(self):
+        assert DiskModel().pages_for(1) == 1
+
+    def test_rounding_up(self):
+        model = DiskModel(page_bytes=100, bytes_per_node=30)
+        assert model.pages_for(4) == 2  # 120 bytes -> 2 pages
+
+    def test_large_collection(self):
+        model = DiskModel(page_bytes=8192, bytes_per_node=24)
+        assert model.pages_for(100_000) == -(-100_000 * 24 // 8192)
+
+
+class TestEstimates:
+    def test_filtered_query_estimate(self):
+        model = DiskModel(seek_penalty=50.0)
+        stats = SearchStats(dataset_size=4, candidates=2, results=1)
+        estimate = model.estimate(TREES, stats)
+        assert estimate.random_reads == 2
+        assert estimate.cost_units == estimate.sequential_pages + 2 * 50.0
+
+    def test_sequential_baseline_has_no_seeks(self):
+        estimate = DiskModel().sequential_scan_estimate(TREES)
+        assert estimate.random_reads == 0
+        assert estimate.cost_units == estimate.sequential_pages
+
+    def test_str(self):
+        estimate = IOEstimate(3, 2, 203.0)
+        text = str(estimate)
+        assert "3 sequential" in text and "2 random" in text
+
+    def test_better_filter_means_less_io(self):
+        """The paper's §6 claim: pruning power is I/O efficiency."""
+        flt = BinaryBranchFilter().fit(TREES)
+        model = DiskModel()
+        _, tight_stats = range_query(TREES, parse_bracket("a(b,c)"), 0, flt)
+        _, loose_stats = range_query(TREES, parse_bracket("a(b,c)"), 10, flt)
+        tight = model.estimate(TREES, tight_stats)
+        loose = model.estimate(TREES, loose_stats)
+        assert tight.cost_units < loose.cost_units
+
+    def test_io_proportional_to_candidates(self):
+        model = DiskModel(seek_penalty=100.0)
+        few = model.estimate(TREES, SearchStats(dataset_size=4, candidates=1))
+        many = model.estimate(TREES, SearchStats(dataset_size=4, candidates=4))
+        assert many.cost_units - few.cost_units == pytest.approx(300.0)

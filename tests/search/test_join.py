@@ -1,0 +1,96 @@
+"""Unit tests for similarity joins."""
+
+import pytest
+
+from repro.exceptions import QueryError
+from repro.filters import BinaryBranchFilter, HistogramFilter
+from repro.search import similarity_join, similarity_self_join
+from repro.trees import parse_bracket
+
+TREES = [
+    parse_bracket(t)
+    for t in ["a(b,c)", "a(b,d)", "x(y)", "a(b,c)", "q(r(s))"]
+]
+
+
+def brute_force_self_join(trees, threshold):
+    from repro.editdist import tree_edit_distance
+
+    return [
+        (i, j, tree_edit_distance(trees[i], trees[j]))
+        for i in range(len(trees))
+        for j in range(i + 1, len(trees))
+        if tree_edit_distance(trees[i], trees[j]) <= threshold
+    ]
+
+
+class TestSelfJoin:
+    def test_zero_threshold_finds_duplicates(self):
+        flt = BinaryBranchFilter().fit(TREES)
+        pairs, _ = similarity_self_join(TREES, 0, flt)
+        assert pairs == [(0, 3, 0.0)]
+
+    @pytest.mark.parametrize("threshold", [0, 1, 2, 4])
+    @pytest.mark.parametrize("filter_cls", [BinaryBranchFilter, HistogramFilter])
+    def test_matches_brute_force(self, threshold, filter_cls):
+        flt = filter_cls().fit(TREES)
+        pairs, _ = similarity_self_join(TREES, threshold, flt)
+        assert pairs == brute_force_self_join(TREES, threshold)
+
+    def test_stats(self):
+        flt = BinaryBranchFilter().fit(TREES)
+        _, stats = similarity_self_join(TREES, 1, flt)
+        n = len(TREES)
+        assert stats.dataset_size == n * (n - 1) // 2
+        assert stats.results <= stats.candidates <= stats.dataset_size
+
+    def test_filter_prunes_pairs(self):
+        flt = BinaryBranchFilter().fit(TREES)
+        _, stats = similarity_self_join(TREES, 0, flt)
+        assert stats.candidates < stats.dataset_size
+
+    def test_negative_threshold_rejected(self):
+        flt = BinaryBranchFilter().fit(TREES)
+        with pytest.raises(QueryError):
+            similarity_self_join(TREES, -1, flt)
+
+    def test_unfitted_filter_rejected(self):
+        with pytest.raises(QueryError):
+            similarity_self_join(TREES, 1, BinaryBranchFilter().fit(TREES[:2]))
+
+
+class TestCrossJoin:
+    def test_basic(self):
+        left = TREES[:3]
+        right = TREES[3:]
+        flt_left = BinaryBranchFilter().fit(left)
+        flt_right = BinaryBranchFilter().fit(right)
+        pairs, stats = similarity_join(left, right, 0, flt_left, flt_right)
+        assert pairs == [(0, 0, 0.0)]  # a(b,c) matches its duplicate
+        assert stats.dataset_size == len(left) * len(right)
+
+    def test_mismatched_filter_types_rejected(self):
+        left, right = TREES[:2], TREES[2:]
+        with pytest.raises(QueryError):
+            similarity_join(
+                left,
+                right,
+                1,
+                BinaryBranchFilter().fit(left),
+                HistogramFilter().fit(right),
+            )
+
+    def test_completeness(self):
+        from repro.editdist import tree_edit_distance
+
+        left, right = TREES[:3], TREES[2:]
+        flt_left = HistogramFilter().fit(left)
+        flt_right = HistogramFilter().fit(right)
+        pairs, _ = similarity_join(left, right, 2, flt_left, flt_right)
+        expected = [
+            (i, j, tree_edit_distance(left[i], right[j]))
+            for i in range(len(left))
+            for j in range(len(right))
+            if tree_edit_distance(left[i], right[j]) <= 2
+        ]
+        assert pairs == expected

@@ -1,0 +1,99 @@
+"""Unit and property tests for the tiered k-NN variant."""
+
+import random
+
+import pytest
+
+from repro.datasets import SyntheticSpec, generate_dataset, generate_dblp_dataset
+from repro.exceptions import QueryError
+from repro.filters import BinaryBranchFilter
+from repro.search import knn_query, sequential_knn_query
+from repro.search.tiered_knn import tiered_knn_query
+from repro.trees import parse_bracket
+
+DATASET = [
+    parse_bracket(t)
+    for t in ["a(b,c)", "a(b,d)", "a(b(c,d),e)", "x(y,z)", "a", "a(b,c,d,e)"]
+]
+
+
+@pytest.fixture
+def flt():
+    return BinaryBranchFilter().fit(DATASET)
+
+
+class TestCorrectness:
+    def test_matches_plain_knn(self, flt):
+        for k in range(1, len(DATASET) + 1):
+            query = parse_bracket("a(b(c),d)")
+            tiered, _ = tiered_knn_query(DATASET, query, k, flt)
+            plain, _ = knn_query(DATASET, query, k, flt)
+            assert sorted(d for _, d in tiered) == sorted(d for _, d in plain)
+
+    def test_matches_sequential_on_synthetic(self):
+        spec = SyntheticSpec(size_mean=12, size_stddev=2, label_count=5,
+                             decay=0.15)
+        dataset = generate_dataset(spec, count=30, seed_count=6, seed=8)
+        flt = BinaryBranchFilter().fit(dataset)
+        rng = random.Random(9)
+        for query in rng.sample(dataset, 3):
+            for k in (1, 4, 8):
+                tiered, _ = tiered_knn_query(dataset, query, k, flt)
+                brute, _ = sequential_knn_query(dataset, query, k)
+                assert sorted(d for _, d in tiered) == sorted(
+                    d for _, d in brute
+                )
+
+    def test_matches_sequential_on_dblp(self):
+        dataset = generate_dblp_dataset(50, seed=4)
+        flt = BinaryBranchFilter().fit(dataset)
+        for k in (3, 7):
+            tiered, _ = tiered_knn_query(dataset, dataset[5], k, flt)
+            brute, _ = sequential_knn_query(dataset, dataset[5], k)
+            assert sorted(d for _, d in tiered) == sorted(d for _, d in brute)
+
+    def test_qlevel_filter(self):
+        flt = BinaryBranchFilter(q=3).fit(DATASET)
+        tiered, _ = tiered_knn_query(DATASET, parse_bracket("a(b,c)"), 2, flt)
+        brute, _ = sequential_knn_query(DATASET, parse_bracket("a(b,c)"), 2)
+        assert sorted(d for _, d in tiered) == sorted(d for _, d in brute)
+
+
+class TestValidation:
+    def test_invalid_k(self, flt):
+        with pytest.raises(QueryError):
+            tiered_knn_query(DATASET, parse_bracket("a"), 0, flt)
+        with pytest.raises(QueryError):
+            tiered_knn_query(DATASET, parse_bracket("a"), 99, flt)
+
+    def test_unfitted_filter(self):
+        with pytest.raises(QueryError):
+            tiered_knn_query(
+                DATASET, parse_bracket("a"), 1, BinaryBranchFilter().fit(DATASET[:2])
+            )
+
+
+class TestEfficiency:
+    def test_no_more_refinements_than_count_ordering_needs(self, flt):
+        _, stats = tiered_knn_query(DATASET, parse_bracket("a(b,c)"), 1, flt)
+        assert stats.candidates <= len(DATASET)
+        assert stats.results == 1
+
+    def test_filter_phase_cheaper_than_plain(self):
+        """The up-front phase skips the per-object binary search.
+
+        Wall-clock comparisons are noisy, so take the best of three runs
+        per strategy and allow 20% slack.
+        """
+        dataset = generate_dblp_dataset(300, seed=6)
+        flt = BinaryBranchFilter().fit(dataset)
+        query = dataset[0]
+        plain = min(
+            knn_query(dataset, query, 5, flt)[1].filter_seconds
+            for _ in range(3)
+        )
+        tiered = min(
+            tiered_knn_query(dataset, query, 5, flt)[1].filter_seconds
+            for _ in range(3)
+        )
+        assert tiered <= plain * 1.2

@@ -1,0 +1,36 @@
+"""Shared hypothesis strategies for property-based tests."""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.trees.node import TreeNode
+
+__all__ = ["labels", "trees", "tree_pairs", "small_trees"]
+
+#: small label alphabets make collisions (shared branches) likely, which is
+#: exactly the interesting regime for the distance bounds
+labels = st.sampled_from(["a", "b", "c", "d", "e"])
+
+
+def _tree_builder(children):
+    return st.builds(TreeNode, labels, st.lists(children, max_size=4))
+
+
+def trees(max_leaves: int = 12):
+    """Random rooted ordered labeled trees (small alphabet)."""
+    return st.recursive(
+        st.builds(TreeNode, labels),
+        _tree_builder,
+        max_leaves=max_leaves,
+    )
+
+
+def small_trees():
+    """Tiny trees for quadratic oracles (exact matching, brute force)."""
+    return trees(max_leaves=5)
+
+
+def tree_pairs(max_leaves: int = 10):
+    """Pairs of independent random trees."""
+    return st.tuples(trees(max_leaves), trees(max_leaves))

@@ -1,0 +1,153 @@
+"""Unit tests for the benchmark harness."""
+
+import random
+
+import pytest
+
+from repro.bench import (
+    average_pairwise_distance,
+    distance_distribution,
+    format_comparison,
+    format_distribution,
+    format_sweep,
+    run_knn_comparison,
+    run_range_comparison,
+    select_queries,
+)
+from repro.editdist import tree_edit_distance
+from repro.filters import BinaryBranchFilter, HistogramFilter
+from repro.trees import parse_bracket
+
+TREES = [
+    parse_bracket(t)
+    for t in ["a(b,c)", "a(b,d)", "a(b(c,d))", "x(y,z)", "a(b,c,d)"]
+]
+QUERIES = [TREES[0], TREES[3]]
+
+
+class TestAverageDistance:
+    def test_exact_on_small_datasets(self):
+        avg = average_pairwise_distance(TREES)
+        pairs = [
+            tree_edit_distance(TREES[i], TREES[j])
+            for i in range(len(TREES))
+            for j in range(i + 1, len(TREES))
+        ]
+        assert avg == pytest.approx(sum(pairs) / len(pairs))
+
+    def test_sampling_path(self):
+        trees = TREES * 5  # 25 trees -> 300 pairs > sample budget
+        avg = average_pairwise_distance(trees, sample_pairs=50,
+                                        rng=random.Random(0))
+        assert 0 < avg < 10
+
+    def test_trivial_datasets(self):
+        assert average_pairwise_distance([]) == 0.0
+        assert average_pairwise_distance([TREES[0]]) == 0.0
+
+
+class TestSelectQueries:
+    def test_draws_from_dataset(self):
+        queries = select_queries(TREES, 3, rng=random.Random(1))
+        assert len(queries) == 3
+        assert all(any(q is t for t in TREES) for q in queries)
+
+    def test_count_capped(self):
+        assert len(select_queries(TREES, 100)) == len(TREES)
+
+
+class TestComparisons:
+    def test_range_comparison(self):
+        report = run_range_comparison(
+            TREES,
+            QUERIES,
+            threshold=1,
+            filters=[BinaryBranchFilter(), HistogramFilter()],
+            dataset_label="unit",
+        )
+        assert report.dataset_size == len(TREES)
+        assert {f.name for f in report.filters} == {"BiBranch", "Histo"}
+        assert report.sequential_seconds is not None
+        for flt in report.filters:
+            assert 0 <= flt.accessed_pct <= 100
+            assert flt.result_pct <= flt.accessed_pct
+
+    def test_knn_comparison(self):
+        report = run_knn_comparison(
+            TREES,
+            QUERIES,
+            k=2,
+            filters=[BinaryBranchFilter()],
+            include_sequential=False,
+        )
+        assert report.sequential_seconds is None
+        assert report.mode == "knn(k=2)"
+        (bibranch,) = report.filters
+        assert bibranch.queries == len(QUERIES)
+        assert bibranch.accessed_pct >= 100 * 2 / len(TREES)
+
+    def test_filter_report_lookup(self):
+        report = run_range_comparison(
+            TREES, QUERIES, 1, [BinaryBranchFilter()], include_sequential=False
+        )
+        assert report.filter_report("BiBranch").name == "BiBranch"
+        with pytest.raises(KeyError):
+            report.filter_report("nope")
+
+
+class TestDistanceDistribution:
+    def test_cumulative_curves(self):
+        curves = distance_distribution(
+            TREES,
+            QUERIES,
+            {"Edit": tree_edit_distance},
+            xs=[0, 1, 2, 100],
+        )
+        values = curves["Edit"]
+        assert values == sorted(values)  # cumulative
+        assert values[-1] == 100.0
+
+    def test_lower_bound_curve_above_edit_curve(self):
+        flt = BinaryBranchFilter()
+
+        def bound(q, t):
+            return flt.bound(flt.signature(q), flt.signature(t))
+
+        xs = [0, 1, 2, 3, 5]
+        curves = distance_distribution(
+            TREES, QUERIES, {"Edit": tree_edit_distance, "LB": bound}, xs
+        )
+        for edit_value, lb_value in zip(curves["Edit"], curves["LB"]):
+            assert lb_value >= edit_value
+
+
+class TestFormatting:
+    def test_format_comparison(self):
+        report = run_range_comparison(TREES, QUERIES, 1, [BinaryBranchFilter()])
+        text = format_comparison(report)
+        assert "BiBranch" in text
+        assert "Sequential" in text
+
+    def test_format_sweep(self):
+        report = run_range_comparison(
+            TREES, QUERIES, 1, [BinaryBranchFilter()], include_sequential=False
+        )
+        text = format_sweep("Figure X", [report, report])
+        assert text.count("BiBranch") == 2
+        assert "Figure X" in text
+
+    def test_format_distribution(self):
+        text = format_distribution("Fig 15", [1, 2], {"Edit": [10.0, 20.0]})
+        assert "Fig 15" in text
+        assert "Edit" in text
+
+    def test_format_accessed_bars(self):
+        from repro.bench import format_accessed_bars
+
+        report = run_range_comparison(
+            TREES, QUERIES, 1, [BinaryBranchFilter()], include_sequential=False
+        )
+        text = format_accessed_bars(report)
+        assert "BiBranch" in text
+        assert "|" in text and "%" in text
+        assert "Result" in text

@@ -1,0 +1,201 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.storage import load_forest, save_forest
+from repro.trees import parse_bracket
+
+
+@pytest.fixture
+def dataset_file(tmp_path):
+    path = tmp_path / "data.trees"
+    save_forest(
+        [parse_bracket(t) for t in ["a(b,c)", "a(b,d)", "x(y)", "a(b,c)"]],
+        path,
+    )
+    return str(path)
+
+
+class TestParser:
+    def test_requires_command(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_search_modes_exclusive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["search", "f", "--query", "a", "--range", "1", "--knn", "2"]
+            )
+
+
+class TestDistanceCommands:
+    def test_distance(self, capsys):
+        assert main(["distance", "a(b,c)", "a(b,d)"]) == 0
+        assert capsys.readouterr().out.strip() == "1"
+
+    def test_bound(self, capsys):
+        assert main(["bound", "a(b,c)", "a(b,d)"]) == 0
+        out = capsys.readouterr().out
+        assert "BDist_q2: 4" in out
+        assert "positional bound" in out
+
+    def test_bound_q3(self, capsys):
+        assert main(["bound", "a(b,c)", "a(b,d)", "--q", "3"]) == 0
+        assert "BDist_q3" in capsys.readouterr().out
+
+    def test_diff(self, capsys):
+        assert main(["diff", "a(b)", "a(c)"]) == 0
+        out = capsys.readouterr().out
+        assert "edit distance: 1" in out
+        assert "relabel 'b' -> 'c'" in out
+
+
+class TestGenerateAndStats:
+    def test_generate_synthetic(self, tmp_path, capsys):
+        out = tmp_path / "synthetic.trees"
+        code = main(
+            [
+                "generate", "synthetic", "--out", str(out),
+                "--count", "10", "--spec", "N{3,0.5}N{10,2}L4D0.1",
+            ]
+        )
+        assert code == 0
+        assert len(load_forest(out)) == 10
+
+    def test_generate_dblp(self, tmp_path, capsys):
+        out = tmp_path / "dblp.trees"
+        assert main(["generate", "dblp", "--out", str(out), "--count", "5"]) == 0
+        trees = load_forest(out)
+        assert len(trees) == 5
+        assert trees[0].label in {"article", "inproceedings"}
+
+    def test_generate_deterministic(self, tmp_path):
+        a, b = tmp_path / "a.trees", tmp_path / "b.trees"
+        main(["generate", "dblp", "--out", str(a), "--count", "5", "--seed", "9"])
+        main(["generate", "dblp", "--out", str(b), "--count", "5", "--seed", "9"])
+        assert load_forest(a) == load_forest(b)
+
+    def test_stats(self, dataset_file, capsys):
+        assert main(["stats", dataset_file]) == 0
+        out = capsys.readouterr().out
+        assert "count: 4" in out
+
+    def test_stats_with_avg_distance(self, dataset_file, capsys):
+        assert main(["stats", dataset_file, "--avg-distance"]) == 0
+        assert "avg_distance" in capsys.readouterr().out
+
+
+class TestSearchAndJoin:
+    def test_range_search(self, dataset_file, capsys):
+        assert main(
+            ["search", dataset_file, "--query", "a(b,c)", "--range", "1"]
+        ) == 0
+        out = capsys.readouterr().out
+        lines = [line for line in out.splitlines() if line]
+        indices = {int(line.split("\t")[0]) for line in lines}
+        assert indices == {0, 1, 3}
+
+    def test_knn_search(self, dataset_file, capsys):
+        assert main(
+            ["search", dataset_file, "--query", "a(b,c)", "--knn", "2"]
+        ) == 0
+        lines = capsys.readouterr().out.splitlines()
+        assert len([line for line in lines if line]) == 2
+
+    def test_search_with_histogram_filter(self, dataset_file, capsys):
+        assert main(
+            [
+                "search", dataset_file, "--query", "x(y)",
+                "--knn", "1", "--filter", "histogram",
+            ]
+        ) == 0
+        assert capsys.readouterr().out.startswith("2\t0")
+
+    def test_search_empty_dataset(self, tmp_path, capsys):
+        empty = tmp_path / "empty.trees"
+        empty.write_text("")
+        assert main(
+            ["search", str(empty), "--query", "a", "--knn", "1"]
+        ) == 1
+
+    def test_join(self, dataset_file, capsys):
+        assert main(["join", dataset_file, "--threshold", "0"]) == 0
+        out = capsys.readouterr().out
+        assert out.splitlines()[0] == "0\t3\t0"
+
+
+class TestErrorHandling:
+    def test_bad_bracket_syntax(self, capsys):
+        assert main(["distance", "a(b", "a"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_bad_spec(self, tmp_path, capsys):
+        code = main(
+            ["generate", "synthetic", "--out", str(tmp_path / "x"),
+             "--spec", "garbage"]
+        )
+        assert code == 2
+
+    def test_missing_file(self, capsys):
+        assert main(["stats", "/nonexistent/file.trees"]) == 2
+
+    def test_invalid_bound_level(self, capsys):
+        assert main(["bound", "a", "b", "--q", "1"]) == 2
+
+
+class TestConvert:
+    def test_convert_xml_files(self, tmp_path, capsys):
+        (tmp_path / "a.xml").write_text("<a><b/></a>")
+        (tmp_path / "b.xml").write_text("<c/>")
+        out = tmp_path / "out.trees"
+        assert main(
+            ["convert", str(tmp_path), "--format", "xml", "--out", str(out)]
+        ) == 0
+        assert [t.label for t in load_forest(out)] == ["a", "c"]
+
+    def test_convert_single_json_file(self, tmp_path):
+        doc = tmp_path / "doc.json"
+        doc.write_text('{"k": [1, 2]}')
+        out = tmp_path / "out.trees"
+        assert main(
+            ["convert", str(doc), "--format", "json", "--out", str(out)]
+        ) == 0
+        (tree,) = load_forest(out)
+        assert tree.label == "{}"
+
+    def test_convert_json_directory(self, tmp_path):
+        (tmp_path / "x.json").write_text("[1]")
+        (tmp_path / "y.json").write_text("null")
+        out = tmp_path / "out.trees"
+        assert main(
+            ["convert", str(tmp_path), "--format", "json", "--out", str(out)]
+        ) == 0
+        assert len(load_forest(out)) == 2
+
+    def test_convert_invalid_input(self, tmp_path, capsys):
+        bad = tmp_path / "bad.xml"
+        bad.write_text("<unclosed")
+        assert main(
+            ["convert", str(bad), "--format", "xml",
+             "--out", str(tmp_path / "o")]
+        ) == 2
+
+
+class TestShow:
+    def test_show(self, capsys):
+        assert main(["show", "a(b,c)"]) == 0
+        out = capsys.readouterr().out
+        assert "├── b" in out and "└── c" in out
+
+
+class TestVector:
+    def test_vector_output(self, capsys):
+        assert main(["vector", "a(b,c)"]) == 0
+        captured = capsys.readouterr()
+        assert "a(b,ε)" in captured.out
+        assert "3 distinct branches" in captured.err
+
+    def test_vector_qlevel(self, capsys):
+        assert main(["vector", "a(b)", "--q", "3"]) == 0
+        assert "[a,b," in capsys.readouterr().out

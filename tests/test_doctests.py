@@ -1,0 +1,28 @@
+"""Run every doctest in the library as part of the test suite.
+
+Doctests double as API documentation; this keeps them honest.
+"""
+
+import doctest
+import importlib
+import pkgutil
+
+import pytest
+
+import repro
+
+
+def _all_modules():
+    names = ["repro"]
+    for module_info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        if module_info.name.endswith("__main__"):
+            continue  # importing it would execute the CLI
+        names.append(module_info.name)
+    return names
+
+
+@pytest.mark.parametrize("module_name", _all_modules())
+def test_doctests(module_name):
+    module = importlib.import_module(module_name)
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{results.failed} doctest failures in {module_name}"

@@ -1,0 +1,116 @@
+"""Tests for the hierarchical-parsing embedding (Garofalakis–Kumar style)."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.editdist import tree_edit_distance
+from repro.extensions import HierarchicalParser, hierarchical_embedding_distance
+from repro.trees import parse_bracket
+from tests.strategies import tree_pairs, trees
+
+
+def chain(length, tip="x"):
+    return parse_bracket("x(" * (length - 1) + tip + ")" * (length - 1))
+
+
+class TestParsing:
+    def test_identical_trees_distance_zero(self):
+        parser = HierarchicalParser()
+        t = parse_bracket("a(b(c,d),e(f))")
+        assert hierarchical_embedding_distance(t, t.clone(), parser) == 0
+
+    def test_single_node(self):
+        parser = HierarchicalParser()
+        vector = parser.embed(parse_bracket("a"))
+        assert sum(vector.values()) == 1
+        assert parser.phases(parse_bracket("a")) == 0
+
+    def test_phases_logarithmic_on_chains(self):
+        parser = HierarchicalParser()
+        for length in (10, 100, 1000):
+            phases = parser.phases(chain(length))
+            assert phases <= math.ceil(math.log2(length)) + 3
+
+    def test_phases_logarithmic_on_stars(self):
+        parser = HierarchicalParser()
+        star = parse_bracket("r(" + ",".join(["x"] * 512) + ")")
+        assert parser.phases(star) <= 12
+
+    def test_deep_chain_no_recursion_error(self):
+        parser = HierarchicalParser()
+        parser.embed(chain(5000))  # must not raise
+
+    @given(trees())
+    @settings(max_examples=40, deadline=None)
+    def test_embedding_deterministic(self, tree):
+        parser = HierarchicalParser()
+        assert parser.embed(tree) == parser.embed(tree.clone())
+
+    @given(trees())
+    @settings(max_examples=40, deadline=None)
+    def test_initial_names_cover_all_nodes(self, tree):
+        parser = HierarchicalParser()
+        vector = parser.embed(tree)
+        # phase-0 names alone count every node
+        phase0 = sum(
+            count
+            for key, name in parser._names.items()
+            if key[0] == 0
+            for count in [vector[name]]
+        )
+        assert phase0 == tree.size
+
+    def test_vocabulary_shared_across_trees(self):
+        parser = HierarchicalParser()
+        parser.embed(parse_bracket("a(b)"))
+        before = parser.vocabulary_size
+        parser.embed(parse_bracket("a(b)"))
+        assert parser.vocabulary_size == before  # nothing new interned
+
+
+class TestDistanceProperties:
+    @given(tree_pairs(max_leaves=8))
+    @settings(max_examples=40, deadline=None)
+    def test_symmetry(self, pair):
+        parser = HierarchicalParser()
+        t1, t2 = pair
+        assert hierarchical_embedding_distance(
+            t1, t2, parser
+        ) == hierarchical_embedding_distance(t2, t1, parser)
+
+    @given(tree_pairs(max_leaves=6), trees(max_leaves=6))
+    @settings(max_examples=25, deadline=None)
+    def test_triangle_inequality(self, pair, t3):
+        parser = HierarchicalParser()
+        t1, t2 = pair
+        d12 = hierarchical_embedding_distance(t1, t2, parser)
+        d23 = hierarchical_embedding_distance(t2, t3, parser)
+        d13 = hierarchical_embedding_distance(t1, t3, parser)
+        assert d13 <= d12 + d23
+
+    def test_no_constant_lower_bound_factor(self):
+        """The paper's §2.2 point: unlike BDist ≤ 5·EDist, the hierarchical
+        embedding's disturbance from ONE edit grows with tree size, so no
+        constant c gives L1 ≤ c·EDist."""
+        parser = HierarchicalParser()
+        ratios = []
+        for length in (16, 128, 1024):
+            base = chain(length)
+            edited = chain(length, tip="y")  # one relabel: EDist = 1
+            assert tree_edit_distance(base, edited) == 1
+            ratios.append(
+                hierarchical_embedding_distance(base, edited, parser)
+            )
+        assert ratios[0] < ratios[1] < ratios[2]
+        assert ratios[2] > 5  # already beyond the binary branch constant
+
+    def test_binary_branch_contrast(self):
+        """BDist stays constant for the same experiment."""
+        from repro.core import branch_distance
+
+        for length in (16, 128, 1024):
+            base = chain(length)
+            edited = chain(length, tip="y")
+            assert branch_distance(base, edited) <= 5  # Theorem 3.2, k = 1

@@ -1,0 +1,83 @@
+"""Unit tests for the benchmark drivers' shared infrastructure."""
+
+import pytest
+
+from benchmarks import figure_common
+from repro.trees import parse_bracket
+
+
+class TestScaleSelection:
+    def test_default_is_small(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_SCALE", raising=False)
+        assert figure_common.current_scale().name == "small"
+
+    @pytest.mark.parametrize("name", ["small", "medium", "paper"])
+    def test_named_scales(self, monkeypatch, name):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", name)
+        scale = figure_common.current_scale()
+        assert scale.name == name
+
+    def test_case_insensitive(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "MEDIUM")
+        assert figure_common.current_scale().name == "medium"
+
+    def test_invalid_scale_rejected(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "gigantic")
+        with pytest.raises(ValueError):
+            figure_common.current_scale()
+
+    def test_paper_scale_matches_paper(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "paper")
+        scale = figure_common.current_scale()
+        assert scale.dataset_size == 2000
+        assert scale.query_count == 100
+
+
+class TestWorkloadHelpers:
+    def test_knn_k_floor(self):
+        assert figure_common.knn_k(150) == 3  # floored
+        assert figure_common.knn_k(2000) == 5  # the paper's 0.25%
+
+    def test_range_threshold_at_least_one(self):
+        trees = [parse_bracket("a"), parse_bracket("a")]
+        assert figure_common.range_threshold(trees) == 1.0
+
+    def test_standard_filters_fresh_instances(self):
+        first = figure_common.standard_filters()
+        second = figure_common.standard_filters()
+        assert first[0] is not second[0]
+        assert {f.name for f in first} == {"BiBranch", "Histo"}
+
+    def test_synthetic_workload_deterministic(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_SCALE", raising=False)
+        from repro.datasets import SyntheticSpec
+
+        spec = SyntheticSpec(size_mean=10, size_stddev=2)
+        trees1, queries1 = figure_common.synthetic_workload(spec, 20, 3)
+        trees2, queries2 = figure_common.synthetic_workload(spec, 20, 3)
+        assert trees1 == trees2
+        assert queries1 == queries2
+
+
+class TestSaveReport:
+    def test_writes_scale_scoped_file(self, monkeypatch, tmp_path, capsys):
+        monkeypatch.setattr(figure_common, "RESULTS_DIR", tmp_path)
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "small")
+        figure_common.save_report("unit_test_figure", "hello rows")
+        written = tmp_path / "small" / "unit_test_figure.txt"
+        assert written.read_text() == "hello rows\n"
+        assert "hello rows" in capsys.readouterr().out
+
+
+class TestSequentialToggle:
+    def test_default_enabled(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_SEQUENTIAL", raising=False)
+        assert figure_common.sequential_enabled()
+
+    def test_disabled(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SEQUENTIAL", "0")
+        assert not figure_common.sequential_enabled()
+
+    def test_any_other_value_enables(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SEQUENTIAL", "yes")
+        assert figure_common.sequential_enabled()

@@ -1,0 +1,175 @@
+"""Unit tests for the binary tree representation (paper §2.3, §3.2)."""
+
+import pickle
+
+import pytest
+from hypothesis import given, settings
+
+from repro.exceptions import InvalidTreeError
+from repro.trees import (
+    EPSILON,
+    BinaryTreeNode,
+    binary_inorder,
+    binary_postorder,
+    binary_preorder,
+    binary_size,
+    binary_to_forest,
+    binary_to_tree,
+    forest_to_binary,
+    normalize_binary,
+    parse_bracket,
+    postorder_labels,
+    preorder_labels,
+    tree_to_binary,
+)
+from tests.strategies import trees
+
+
+class TestEpsilon:
+    def test_singleton(self):
+        assert EPSILON is type(EPSILON)()
+
+    def test_repr(self):
+        assert repr(EPSILON) == "ε"
+
+    def test_pickle_preserves_identity(self):
+        assert pickle.loads(pickle.dumps(EPSILON)) is EPSILON
+
+
+class TestTransform:
+    def test_single_node(self):
+        binary = tree_to_binary(parse_bracket("a"))
+        assert binary.label == "a"
+        assert binary.left is None
+        assert binary.right is None
+
+    def test_first_child_becomes_left(self):
+        binary = tree_to_binary(parse_bracket("a(b,c)"))
+        assert binary.left.label == "b"
+        assert binary.right is None
+
+    def test_sibling_becomes_right(self):
+        binary = tree_to_binary(parse_bracket("a(b,c)"))
+        assert binary.left.right.label == "c"
+
+    def test_paper_figure_2_left_tree(self):
+        # T1 of Figure 1: a(b(c,d), b(c,d), e) — reconstructed from the
+        # (pre, post) annotations of Figure 2.
+        t1 = parse_bracket("a(b(c,d),b(c,d),e)")
+        binary = tree_to_binary(t1)
+        assert binary.label == "a"
+        first_b = binary.left
+        assert first_b.label == "b"
+        assert first_b.left.label == "c"  # first child of b
+        assert first_b.left.right.label == "d"  # c's sibling
+        second_b = first_b.right  # b's sibling
+        assert second_b.label == "b"
+        assert second_b.left.label == "c"
+        assert second_b.right.label == "e"
+        assert binary.right is None  # the root has no sibling
+
+    def test_round_trip_tree(self):
+        tree = parse_bracket("a(b(c,d),b(c,d),e)")
+        assert binary_to_tree(tree_to_binary(tree)) == tree
+
+    def test_forest_round_trip(self):
+        forest = [parse_bracket("a(b)"), parse_bracket("c"), parse_bracket("d(e,f)")]
+        assert binary_to_forest(forest_to_binary(forest)) == forest
+
+    def test_empty_forest(self):
+        assert forest_to_binary([]) is None
+        assert binary_to_forest(None) == []
+
+    def test_binary_to_tree_rejects_forest(self):
+        binary = forest_to_binary([parse_bracket("a"), parse_bracket("b")])
+        with pytest.raises(InvalidTreeError):
+            binary_to_tree(binary)
+
+    @given(trees())
+    @settings(max_examples=60, deadline=None)
+    def test_round_trip_random(self, tree):
+        assert binary_to_tree(tree_to_binary(tree)) == tree
+
+    @given(trees())
+    @settings(max_examples=60, deadline=None)
+    def test_node_count_preserved(self, tree):
+        assert binary_size(tree_to_binary(tree)) == tree.size
+
+
+class TestNormalization:
+    def test_all_original_nodes_have_two_children(self):
+        binary = normalize_binary(tree_to_binary(parse_bracket("a(b(c,d),e)")))
+        stack = [binary]
+        while stack:
+            node = stack.pop()
+            if node.is_epsilon:
+                assert node.left is None and node.right is None
+                continue
+            assert node.left is not None and node.right is not None
+            stack.extend([node.left, node.right])
+
+    def test_epsilon_count(self):
+        # a full binary tree with n internal nodes has n + 1 leaves
+        tree = parse_bracket("a(b(c,d),e)")
+        binary = normalize_binary(tree_to_binary(tree))
+        total = binary_size(binary, count_epsilon=True)
+        assert total == 2 * tree.size + 1
+
+    @given(trees())
+    @settings(max_examples=60, deadline=None)
+    def test_epsilon_count_random(self, tree):
+        binary = normalize_binary(tree_to_binary(tree))
+        assert binary_size(binary, count_epsilon=True) == 2 * tree.size + 1
+        assert binary_size(binary) == tree.size
+
+    def test_normalize_returns_same_object(self):
+        binary = tree_to_binary(parse_bracket("a"))
+        assert normalize_binary(binary) is binary
+
+
+class TestTraversalCorrespondence:
+    """The identities the positional filter relies on (§4.2)."""
+
+    @given(trees())
+    @settings(max_examples=60, deadline=None)
+    def test_preorder_of_binary_matches_tree(self, tree):
+        binary = tree_to_binary(tree)
+        binary_labels = [
+            n.label for n in binary_preorder(binary) if not n.is_epsilon
+        ]
+        assert binary_labels == preorder_labels(tree)
+
+    @given(trees())
+    @settings(max_examples=60, deadline=None)
+    def test_inorder_of_binary_matches_tree_postorder(self, tree):
+        binary = tree_to_binary(tree)
+        binary_labels = [
+            n.label for n in binary_inorder(binary) if not n.is_epsilon
+        ]
+        assert binary_labels == postorder_labels(tree)
+
+    def test_postorder_traversal(self):
+        binary = tree_to_binary(parse_bracket("a(b,c)"))
+        labels = [n.label for n in binary_postorder(binary)]
+        assert labels == ["c", "b", "a"]
+
+    def test_traversals_of_none(self):
+        assert list(binary_preorder(None)) == []
+        assert list(binary_inorder(None)) == []
+        assert list(binary_postorder(None)) == []
+
+
+class TestBinaryNodeEquality:
+    def test_equal_trees(self):
+        a = tree_to_binary(parse_bracket("a(b,c)"))
+        b = tree_to_binary(parse_bracket("a(b,c)"))
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_left_right_distinguished(self):
+        left_only = BinaryTreeNode("a", left=BinaryTreeNode("b"))
+        right_only = BinaryTreeNode("a", right=BinaryTreeNode("b"))
+        assert left_only != right_only
+
+    def test_not_equal_to_other_types(self):
+        assert BinaryTreeNode("a").__eq__("a") is NotImplemented

@@ -1,0 +1,141 @@
+"""Unit tests for executable edit operations (paper §2.1)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import InvalidEditOperationError
+from repro.trees import (
+    Delete,
+    Insert,
+    Relabel,
+    apply_operation,
+    apply_script,
+    parse_bracket,
+    random_edit_script,
+    random_operation,
+    to_bracket,
+)
+from tests.strategies import trees
+
+LABELS = ["a", "b", "c", "x"]
+
+
+class TestRelabel:
+    def test_relabel_root(self):
+        tree = parse_bracket("a(b)")
+        apply_operation(tree, Relabel(1, "z"))
+        assert tree.label == "z"
+
+    def test_relabel_inner(self):
+        tree = parse_bracket("a(b(c),d)")
+        apply_operation(tree, Relabel(2, "z"))
+        assert to_bracket(tree) == "a(z(c),d)"
+
+    def test_bad_position(self):
+        tree = parse_bracket("a(b)")
+        with pytest.raises(InvalidEditOperationError):
+            apply_operation(tree, Relabel(3, "z"))
+        with pytest.raises(InvalidEditOperationError):
+            apply_operation(tree, Relabel(0, "z"))
+
+    def test_describe(self):
+        assert "relabel" in Relabel(1, "z").describe()
+
+
+class TestDelete:
+    def test_delete_leaf(self):
+        tree = parse_bracket("a(b,c)")
+        apply_operation(tree, Delete(2))
+        assert to_bracket(tree) == "a(c)"
+
+    def test_delete_splices_children_in_place(self):
+        # the paper's Figure 1 walk-through: deleting the second b of
+        # a(b(c,d),b(c,d),e) puts c and d between the first b and e
+        tree = parse_bracket("a(b(c,d),b(c,d),e)")
+        apply_operation(tree, Delete(5))
+        assert to_bracket(tree) == "a(b(c,d),c,d,e)"
+
+    def test_delete_root_rejected(self):
+        tree = parse_bracket("a(b)")
+        with pytest.raises(InvalidEditOperationError):
+            apply_operation(tree, Delete(1))
+
+    def test_describe(self):
+        assert "delete" in Delete(2).describe()
+
+
+class TestInsert:
+    def test_insert_leaf_under_leaf(self):
+        tree = parse_bracket("a(b)")
+        apply_operation(tree, Insert(2, 0, 0, "z"))
+        assert to_bracket(tree) == "a(b(z))"
+
+    def test_insert_adopting_middle_children(self):
+        tree = parse_bracket("a(b,c,d,e)")
+        apply_operation(tree, Insert(1, 1, 2, "z"))
+        assert to_bracket(tree) == "a(b,z(c,d),e)"
+
+    def test_insert_adopting_all_children(self):
+        tree = parse_bracket("a(b,c)")
+        apply_operation(tree, Insert(1, 0, 2, "z"))
+        assert to_bracket(tree) == "a(z(b,c))"
+
+    def test_insert_is_inverse_of_delete(self):
+        original = parse_bracket("a(b(c,d),b(c,d),e)")
+        tree = original.clone()
+        apply_operation(tree, Delete(5))
+        apply_operation(tree, Insert(1, 1, 2, "b"))
+        assert tree == original
+
+    def test_out_of_range_slice(self):
+        tree = parse_bracket("a(b,c)")
+        with pytest.raises(InvalidEditOperationError):
+            apply_operation(tree, Insert(1, 1, 2, "z"))
+        with pytest.raises(InvalidEditOperationError):
+            apply_operation(tree, Insert(1, -1, 1, "z"))
+
+    def test_describe(self):
+        assert "insert" in Insert(1, 0, 0, "z").describe()
+
+
+class TestScripts:
+    def test_apply_script_clones(self):
+        tree = parse_bracket("a(b)")
+        result = apply_script(tree, [Relabel(1, "z")])
+        assert tree.label == "a"
+        assert result.label == "z"
+
+    def test_unknown_operation_rejected(self):
+        with pytest.raises(InvalidEditOperationError):
+            apply_operation(parse_bracket("a"), "bogus")
+
+    def test_empty_script_is_identity(self):
+        tree = parse_bracket("a(b(c))")
+        assert apply_script(tree, []) == tree
+
+
+class TestRandomOperations:
+    @given(trees(), st.integers(0, 2**31))
+    @settings(max_examples=60, deadline=None)
+    def test_random_operation_always_applicable(self, tree, seed):
+        rng = random.Random(seed)
+        operation = random_operation(tree, LABELS, rng)
+        apply_operation(tree, operation)  # must not raise
+
+    @given(trees(), st.integers(0, 2**31), st.integers(0, 6))
+    @settings(max_examples=40, deadline=None)
+    def test_random_script_size_change_bounded(self, tree, seed, count):
+        rng = random.Random(seed)
+        mutated, script = random_edit_script(tree, count, LABELS, rng)
+        assert len(script) == count
+        assert abs(mutated.size - tree.size) <= count
+
+    def test_single_node_tree_never_deleted(self):
+        rng = random.Random(0)
+        tree = parse_bracket("a")
+        for _ in range(50):
+            operation = random_operation(tree, LABELS, rng)
+            assert not isinstance(operation, Delete)

@@ -1,0 +1,108 @@
+"""Unit and property tests for JSON <-> tree conversion."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.editdist import tree_edit_distance
+from repro.exceptions import TreeParseError
+from repro.trees import TreeNode
+from repro.trees.json_io import json_to_tree, parse_json_string, tree_to_json
+
+json_values = st.recursive(
+    st.none()
+    | st.booleans()
+    | st.integers(-1000, 1000)
+    | st.floats(allow_nan=False, allow_infinity=False, width=32)
+    | st.text(max_size=8),
+    lambda children: st.lists(children, max_size=4)
+    | st.dictionaries(st.text(max_size=5), children, max_size=4),
+    max_leaves=10,
+)
+
+
+class TestEncoding:
+    def test_object(self):
+        tree = json_to_tree({"x": 1})
+        assert tree.label == "{}"
+        assert tree.children[0].label == "x"
+        assert tree.children[0].children[0].label == "num:1"
+
+    def test_array_order_preserved(self):
+        tree = json_to_tree([1, 2, 3])
+        assert [c.label for c in tree.children] == ["num:1", "num:2", "num:3"]
+
+    def test_scalars_typed(self):
+        assert json_to_tree("1").label == "str:1"
+        assert json_to_tree(1).label == "num:1"
+        assert json_to_tree(True).label == "bool:true"
+        assert json_to_tree(None).label == "null"
+
+    def test_string_vs_number_distinct(self):
+        assert json_to_tree("1") != json_to_tree(1)
+
+    def test_object_key_order_matters_for_distance(self):
+        a = json_to_tree({"x": 1, "y": 2})
+        b = json_to_tree({"y": 2, "x": 1})
+        assert tree_edit_distance(a, b) > 0  # ordered semantics
+
+    def test_unsupported_type(self):
+        with pytest.raises(TreeParseError):
+            json_to_tree({"x": object()})
+
+    def test_parse_json_string(self):
+        tree = parse_json_string('{"a": [1]}')
+        assert tree.size == 4
+
+    def test_parse_invalid_json(self):
+        with pytest.raises(TreeParseError):
+            parse_json_string("{not json")
+
+
+class TestDecoding:
+    def test_round_trip_basics(self):
+        for value in [None, True, False, 0, 3.5, "hi", [], {}, {"a": [1, "x"]}]:
+            assert tree_to_json(json_to_tree(value)) == value
+
+    @given(json_values)
+    @settings(max_examples=80, deadline=None)
+    def test_round_trip_random(self, value):
+        assert tree_to_json(json_to_tree(value)) == value
+
+    def test_malformed_key_node(self):
+        tree = TreeNode("{}", [TreeNode("key")])  # key with no value child
+        with pytest.raises(TreeParseError):
+            tree_to_json(tree)
+
+    def test_scalar_with_children_rejected(self):
+        tree = TreeNode("num:1", [TreeNode("null")])
+        with pytest.raises(TreeParseError):
+            tree_to_json(tree)
+
+    def test_unknown_label_rejected(self):
+        with pytest.raises(TreeParseError):
+            tree_to_json(TreeNode("mystery"))
+        with pytest.raises(TreeParseError):
+            tree_to_json(TreeNode(42))
+
+
+class TestSimilarityUseCase:
+    def test_small_change_small_distance(self):
+        before = parse_json_string('{"name": "app", "replicas": 2}')
+        after = parse_json_string('{"name": "app", "replicas": 3}')
+        assert tree_edit_distance(before, after) == 1
+
+    def test_search_over_json_documents(self):
+        from repro import TreeDatabase
+
+        documents = [
+            parse_json_string(text)
+            for text in [
+                '{"kind": "a", "items": [1, 2]}',
+                '{"kind": "a", "items": [1, 2, 3]}',
+                '{"kind": "b"}',
+            ]
+        ]
+        db = TreeDatabase(documents)
+        matches, _ = db.range_query(documents[0], 1)
+        assert [index for index, _ in matches] == [0, 1]

@@ -1,0 +1,214 @@
+"""Unit tests for repro.trees.node.TreeNode."""
+
+import pytest
+
+from repro.trees import TreeNode, parse_bracket
+
+
+def build_sample():
+    # a(b(c,d),e)
+    return TreeNode("a", [TreeNode("b", [TreeNode("c"), TreeNode("d")]), TreeNode("e")])
+
+
+class TestConstruction:
+    def test_leaf(self):
+        node = TreeNode("x")
+        assert node.label == "x"
+        assert node.is_leaf
+        assert node.is_root
+        assert node.degree == 0
+        assert node.children == ()
+
+    def test_children_attached_in_order(self):
+        tree = build_sample()
+        assert [child.label for child in tree.children] == ["b", "e"]
+
+    def test_parent_pointers_set(self):
+        tree = build_sample()
+        b, e = tree.children
+        assert b.parent is tree
+        assert e.parent is tree
+        assert b.children[0].parent is b
+
+    def test_non_node_child_rejected(self):
+        with pytest.raises(TypeError):
+            TreeNode("a", ["not-a-node"])
+
+    def test_reattaching_parented_node_rejected(self):
+        tree = build_sample()
+        child = tree.children[0]
+        with pytest.raises(ValueError):
+            TreeNode("other", [child])
+
+    def test_self_child_rejected(self):
+        node = TreeNode("a")
+        with pytest.raises(ValueError):
+            node.add_child(node)
+
+    def test_non_string_labels_allowed(self):
+        node = TreeNode(42, [TreeNode((1, 2))])
+        assert node.label == 42
+        assert node.children[0].label == (1, 2)
+
+
+class TestManipulation:
+    def test_add_child_returns_child(self):
+        root = TreeNode("r")
+        child = root.add_child(TreeNode("c"))
+        assert child.label == "c"
+        assert child.parent is root
+
+    def test_insert_child_position(self):
+        root = TreeNode("r", [TreeNode("a"), TreeNode("c")])
+        root.insert_child(1, TreeNode("b"))
+        assert [c.label for c in root.children] == ["a", "b", "c"]
+
+    def test_remove_child_detaches(self):
+        root = build_sample()
+        b = root.children[0]
+        root.remove_child(b)
+        assert b.parent is None
+        assert [c.label for c in root.children] == ["e"]
+
+    def test_remove_missing_child_raises(self):
+        root = TreeNode("r")
+        with pytest.raises(ValueError):
+            root.remove_child(TreeNode("x"))
+
+    def test_replace_children(self):
+        root = TreeNode("r", [TreeNode("a")])
+        old = root.children[0]
+        root.replace_children([TreeNode("x"), TreeNode("y")])
+        assert old.parent is None
+        assert [c.label for c in root.children] == ["x", "y"]
+
+
+class TestNavigation:
+    def test_first_child(self):
+        tree = build_sample()
+        assert tree.first_child.label == "b"
+        assert tree.children[1].first_child is None
+
+    def test_next_sibling(self):
+        tree = build_sample()
+        b, e = tree.children
+        assert b.next_sibling is e
+        assert e.next_sibling is None
+        assert tree.next_sibling is None
+
+    def test_prev_sibling(self):
+        tree = build_sample()
+        b, e = tree.children
+        assert e.prev_sibling is b
+        assert b.prev_sibling is None
+        assert tree.prev_sibling is None
+
+    def test_child_index(self):
+        tree = build_sample()
+        b, e = tree.children
+        assert b.child_index() == 0
+        assert e.child_index() == 1
+        with pytest.raises(ValueError):
+            tree.child_index()
+
+    def test_root_property(self):
+        tree = build_sample()
+        deep = tree.children[0].children[1]
+        assert deep.root is tree
+        assert tree.root is tree
+
+    def test_ancestors(self):
+        tree = build_sample()
+        c = tree.children[0].children[0]
+        assert [a.label for a in c.ancestors()] == ["b", "a"]
+
+
+class TestAggregates:
+    def test_size(self):
+        assert build_sample().size == 5
+        assert TreeNode("x").size == 1
+
+    def test_len(self):
+        assert len(build_sample()) == 5
+
+    def test_height(self):
+        assert build_sample().height == 2
+        assert TreeNode("x").height == 0
+
+    def test_depth(self):
+        tree = build_sample()
+        assert tree.depth == 0
+        assert tree.children[0].children[0].depth == 2
+
+    def test_deep_tree_no_recursion_error(self):
+        root = TreeNode("0")
+        node = root
+        for i in range(1, 5000):
+            node = node.add_child(TreeNode(str(i)))
+        assert root.size == 5000
+        assert root.height == 4999
+        assert node.depth == 4999
+
+
+class TestIteration:
+    def test_preorder(self):
+        labels = [n.label for n in build_sample().iter_preorder()]
+        assert labels == ["a", "b", "c", "d", "e"]
+
+    def test_postorder(self):
+        labels = [n.label for n in build_sample().iter_postorder()]
+        assert labels == ["c", "d", "b", "e", "a"]
+
+    def test_leaves(self):
+        labels = [n.label for n in build_sample().leaves()]
+        assert labels == ["c", "d", "e"]
+
+    def test_single_node_iterators(self):
+        node = TreeNode("x")
+        assert [n.label for n in node.iter_preorder()] == ["x"]
+        assert [n.label for n in node.iter_postorder()] == ["x"]
+        assert [n.label for n in node.leaves()] == ["x"]
+
+
+class TestCopyEquality:
+    def test_clone_is_equal_but_distinct(self):
+        tree = build_sample()
+        copy = tree.clone()
+        assert copy == tree
+        assert copy is not tree
+        assert copy.children[0] is not tree.children[0]
+
+    def test_clone_drops_parent(self):
+        tree = build_sample()
+        sub = tree.children[0].clone()
+        assert sub.parent is None
+        assert sub.size == 3
+
+    def test_clone_mutation_does_not_affect_original(self):
+        tree = build_sample()
+        copy = tree.clone()
+        copy.children[0].label = "changed"
+        assert tree.children[0].label == "b"
+
+    def test_equality_differs_on_label(self):
+        assert parse_bracket("a(b)") != parse_bracket("a(c)")
+
+    def test_equality_differs_on_shape(self):
+        assert parse_bracket("a(b,c)") != parse_bracket("a(b(c))")
+
+    def test_equality_respects_sibling_order(self):
+        assert parse_bracket("a(b,c)") != parse_bracket("a(c,b)")
+
+    def test_equality_against_non_tree(self):
+        assert TreeNode("a") != "a"
+        assert not TreeNode("a") == 17
+
+    def test_hash_consistent_with_equality(self):
+        t1 = parse_bracket("a(b(c,d),e)")
+        t2 = parse_bracket("a(b(c,d),e)")
+        assert hash(t1) == hash(t2)
+        assert len({t1, t2}) == 1
+
+    def test_repr_smoke(self):
+        assert "TreeNode" in repr(build_sample())
+        assert "TreeNode" in repr(TreeNode("leaf"))

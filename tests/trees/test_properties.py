@@ -1,0 +1,99 @@
+"""Unit tests for structural property extraction."""
+
+from collections import Counter
+
+from hypothesis import given, settings
+
+from repro.trees import (
+    TreeNode,
+    dataset_summary,
+    degree_counts,
+    depth_counts,
+    label_counts,
+    leaf_distance_counts,
+    leaf_distances,
+    node_depths,
+    parse_bracket,
+    tree_summary,
+)
+from tests.strategies import trees
+
+SAMPLE = "a(b(c,d),e,a)"
+
+
+class TestHistograms:
+    def test_label_counts(self):
+        counts = label_counts(parse_bracket(SAMPLE))
+        assert counts == Counter({"a": 2, "b": 1, "c": 1, "d": 1, "e": 1})
+
+    def test_degree_counts(self):
+        counts = degree_counts(parse_bracket(SAMPLE))
+        assert counts == Counter({0: 4, 2: 1, 3: 1})
+
+    def test_depth_counts(self):
+        counts = depth_counts(parse_bracket(SAMPLE))
+        assert counts == Counter({0: 1, 1: 3, 2: 2})
+
+    def test_node_depths_preorder_order(self):
+        assert node_depths(parse_bracket(SAMPLE)) == [0, 1, 2, 2, 1, 1]
+
+    def test_leaf_distances(self):
+        # postorder: c d b e a(leaf) a(root)
+        assert leaf_distances(parse_bracket(SAMPLE)) == [0, 0, 1, 0, 0, 1]
+
+    def test_leaf_distance_counts(self):
+        counts = leaf_distance_counts(parse_bracket(SAMPLE))
+        assert counts == Counter({0: 4, 1: 2})
+
+    def test_single_node(self):
+        tree = parse_bracket("x")
+        assert label_counts(tree) == Counter({"x": 1})
+        assert degree_counts(tree) == Counter({0: 1})
+        assert leaf_distances(tree) == [0]
+
+    @given(trees())
+    @settings(max_examples=50, deadline=None)
+    def test_histogram_totals_equal_size(self, tree):
+        assert sum(label_counts(tree).values()) == tree.size
+        assert sum(degree_counts(tree).values()) == tree.size
+        assert sum(depth_counts(tree).values()) == tree.size
+        assert len(leaf_distances(tree)) == tree.size
+
+    @given(trees())
+    @settings(max_examples=50, deadline=None)
+    def test_degree_histogram_edge_identity(self, tree):
+        # sum of degrees = number of edges = size - 1
+        total_degree = sum(d * c for d, c in degree_counts(tree).items())
+        assert total_degree == tree.size - 1
+
+    @given(trees())
+    @settings(max_examples=50, deadline=None)
+    def test_leaf_distance_bounded_by_height(self, tree):
+        assert max(leaf_distances(tree)) <= tree.height
+
+
+class TestSummaries:
+    def test_tree_summary(self):
+        summary = tree_summary(parse_bracket(SAMPLE))
+        assert summary["size"] == 6
+        assert summary["height"] == 2
+        assert summary["leaves"] == 4
+        assert summary["distinct_labels"] == 5
+        assert summary["mean_fanout"] == 2.5  # (3 + 2) / 2 internal nodes
+
+    def test_tree_summary_single_node(self):
+        summary = tree_summary(TreeNode("x"))
+        assert summary["size"] == 1
+        assert summary["mean_fanout"] == 0.0
+
+    def test_dataset_summary(self):
+        dataset = [parse_bracket("a(b)"), parse_bracket("a(b,c,d)")]
+        summary = dataset_summary(dataset)
+        assert summary["count"] == 2
+        assert summary["avg_size"] == 3.0
+        assert summary["labels"] == 4
+        assert summary["max_size"] == 4
+        assert summary["min_size"] == 2
+
+    def test_dataset_summary_empty(self):
+        assert dataset_summary([])["count"] == 0

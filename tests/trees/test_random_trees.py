@@ -1,0 +1,69 @@
+"""Unit tests for the random tree generation primitives."""
+
+import random
+
+import pytest
+
+from repro.trees import gaussian_int, random_forest, random_tree
+
+LABELS = ["a", "b", "c", "d"]
+
+
+class TestGaussianInt:
+    def test_clamped_from_below(self):
+        rng = random.Random(0)
+        for _ in range(100):
+            assert gaussian_int(rng, mean=0.0, stddev=5.0, minimum=1) >= 1
+
+    def test_concentrates_near_mean(self):
+        rng = random.Random(1)
+        samples = [gaussian_int(rng, 50.0, 2.0) for _ in range(500)]
+        assert 49 <= sum(samples) / len(samples) <= 51
+
+
+class TestRandomTree:
+    def test_deterministic_given_seed(self):
+        t1 = random_tree(random.Random(42), LABELS)
+        t2 = random_tree(random.Random(42), LABELS)
+        assert t1 == t2
+
+    def test_size_near_target(self):
+        rng = random.Random(7)
+        sizes = [
+            random_tree(rng, LABELS, size_mean=50, size_stddev=2).size
+            for _ in range(30)
+        ]
+        assert 40 <= sum(sizes) / len(sizes) <= 55
+        assert all(size <= 60 for size in sizes)
+
+    def test_max_size_respected(self):
+        rng = random.Random(3)
+        for _ in range(20):
+            assert random_tree(rng, LABELS, max_size=10).size <= 10
+
+    def test_labels_drawn_from_alphabet(self):
+        tree = random_tree(random.Random(5), LABELS)
+        assert all(n.label in LABELS for n in tree.iter_preorder())
+
+    def test_empty_labels_rejected(self):
+        with pytest.raises(ValueError):
+            random_tree(random.Random(0), [])
+
+    def test_fanout_roughly_respected(self):
+        rng = random.Random(11)
+        tree = random_tree(rng, LABELS, size_mean=200, size_stddev=5,
+                           fanout_mean=4, fanout_stddev=0.5)
+        internal = [n.degree for n in tree.iter_preorder() if not n.is_leaf]
+        # all but the budget-truncated last node should have fanout near 4
+        near_four = sum(1 for d in internal if 3 <= d <= 5)
+        assert near_four >= len(internal) - 1
+
+
+class TestRandomForest:
+    def test_count(self):
+        forest = random_forest(random.Random(0), 5, LABELS, size_mean=10)
+        assert len(forest) == 5
+
+    def test_trees_independent(self):
+        forest = random_forest(random.Random(0), 10, LABELS, size_mean=20)
+        assert len({id(t) for t in forest}) == 10

@@ -1,0 +1,61 @@
+"""Unit tests for tree rendering."""
+
+from hypothesis import given, settings
+
+from repro.trees import parse_bracket, render_outline, render_tree
+from tests.strategies import trees
+
+
+class TestRenderTree:
+    def test_single_node(self):
+        assert render_tree(parse_bracket("a")) == "a"
+
+    def test_connectors(self):
+        text = render_tree(parse_bracket("a(b(c,d),e)"))
+        assert text.splitlines() == [
+            "a",
+            "├── b",
+            "│   ├── c",
+            "│   └── d",
+            "└── e",
+        ]
+
+    def test_last_child_gets_corner(self):
+        text = render_tree(parse_bracket("a(b,c)"))
+        assert "└── c" in text
+        assert "├── b" in text
+
+    def test_long_labels_truncated(self):
+        tree = parse_bracket('"' + "x" * 100 + '"')
+        text = render_tree(tree, max_label=10)
+        assert len(text) == 10
+        assert text.endswith("…")
+
+    @given(trees())
+    @settings(max_examples=40, deadline=None)
+    def test_one_line_per_node(self, tree):
+        assert len(render_tree(tree).splitlines()) == tree.size
+
+    @given(trees())
+    @settings(max_examples=40, deadline=None)
+    def test_labels_in_preorder(self, tree):
+        rendered = render_tree(tree)
+        stripped = [
+            line.split("── ")[-1] for line in rendered.splitlines()
+        ]
+        expected = [str(n.label)[:40] for n in tree.iter_preorder()]
+        assert stripped == expected
+
+
+class TestRenderOutline:
+    def test_indentation(self):
+        assert render_outline(parse_bracket("a(b(c),d)")) == "a\n  b\n    c\n  d"
+
+    def test_custom_indent(self):
+        text = render_outline(parse_bracket("a(b)"), indent="....")
+        assert text == "a\n....b"
+
+    @given(trees())
+    @settings(max_examples=40, deadline=None)
+    def test_one_line_per_node(self, tree):
+        assert len(render_outline(tree).splitlines()) == tree.size

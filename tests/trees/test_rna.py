@@ -1,0 +1,79 @@
+"""Unit tests for the RNA secondary structure encoding."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.editdist import tree_edit_distance
+from repro.exceptions import TreeParseError
+from repro.trees.rna import pair_table, rna_to_tree
+
+
+class TestPairTable:
+    def test_simple_hairpin(self):
+        assert pair_table("((..))") == [5, 4, None, None, 1, 0]
+
+    def test_all_unpaired(self):
+        assert pair_table("....") == [None] * 4
+
+    def test_nested_and_adjacent(self):
+        table = pair_table("(())()")
+        assert table[0] == 3 and table[1] == 2 and table[4] == 5
+
+    def test_unmatched_close(self):
+        with pytest.raises(TreeParseError):
+            pair_table("())")
+
+    def test_unmatched_open(self):
+        with pytest.raises(TreeParseError):
+            pair_table("(()")
+
+    def test_invalid_symbol(self):
+        with pytest.raises(TreeParseError):
+            pair_table("(.x.)")
+
+
+class TestRnaToTree:
+    def test_hairpin_structure(self):
+        tree = rna_to_tree("GGGAAACCC", "(((...)))")
+        # three nested pair nodes, then three unpaired leaves
+        assert tree.size == 1 + 3 + 3
+        node = tree.children[0]
+        assert node.label == "GC"
+        assert node.children[0].label == "GC"
+
+    def test_multiloop(self):
+        #  root with two stems and a joining unpaired base
+        tree = rna_to_tree("GCAAUAGC", "()..()..")
+        labels = [c.label for c in tree.children]
+        assert labels == ["GC", "A", "A", "UA", "G", "C"]
+
+    def test_case_insensitive(self):
+        assert rna_to_tree("gggcaaccc", "(((...)))") == rna_to_tree(
+            "GGGCAACCC", "(((...)))"
+        )
+
+    def test_length_mismatch(self):
+        with pytest.raises(TreeParseError):
+            rna_to_tree("GGG", "((..))")
+
+    def test_unpaired_only(self):
+        tree = rna_to_tree("ACGU", "....")
+        assert [c.label for c in tree.children] == ["A", "C", "G", "U"]
+        assert all(c.is_leaf for c in tree.children)
+
+    def test_edit_distance_reflects_structural_change(self):
+        # a bulge insertion should be a small edit away
+        original = rna_to_tree("GGGAAACCC", "(((...)))")
+        bulged = rna_to_tree("GGGAAAACCC", "(((...).))")
+        distance = tree_edit_distance(original, bulged)
+        assert 1 <= distance <= 4
+
+    @given(st.integers(1, 6), st.integers(0, 5))
+    @settings(max_examples=30, deadline=None)
+    def test_stem_loop_sizes(self, stem, loop):
+        sequence = "G" * stem + "A" * loop + "C" * stem
+        structure = "(" * stem + "." * loop + ")" * stem
+        tree = rna_to_tree(sequence, structure)
+        assert tree.size == 1 + stem + loop
+        assert tree.height == stem + (1 if loop else 0)

@@ -1,0 +1,107 @@
+"""Unit tests for traversals and node numbering."""
+
+from hypothesis import given, settings
+
+from repro.trees import (
+    levelorder,
+    node_positions,
+    number_postorder,
+    number_preorder,
+    parse_bracket,
+    postorder,
+    postorder_labels,
+    preorder,
+    preorder_labels,
+)
+from tests.strategies import trees
+
+SAMPLE = "a(b(c,d),e)"
+
+
+class TestOrders:
+    def test_preorder(self):
+        assert preorder_labels(parse_bracket(SAMPLE)) == ["a", "b", "c", "d", "e"]
+
+    def test_postorder(self):
+        assert postorder_labels(parse_bracket(SAMPLE)) == ["c", "d", "b", "e", "a"]
+
+    def test_levelorder(self):
+        labels = [n.label for n in levelorder(parse_bracket(SAMPLE))]
+        assert labels == ["a", "b", "e", "c", "d"]
+
+    def test_single_node(self):
+        tree = parse_bracket("x")
+        assert preorder_labels(tree) == postorder_labels(tree) == ["x"]
+
+    @given(trees())
+    @settings(max_examples=50, deadline=None)
+    def test_orders_cover_all_nodes(self, tree):
+        pre = list(preorder(tree))
+        post = list(postorder(tree))
+        level = list(levelorder(tree))
+        assert len(pre) == len(post) == len(level) == tree.size
+        assert {id(n) for n in pre} == {id(n) for n in post} == {id(n) for n in level}
+
+    @given(trees())
+    @settings(max_examples=50, deadline=None)
+    def test_root_first_in_preorder_last_in_postorder(self, tree):
+        assert next(preorder(tree)) is tree
+        assert list(postorder(tree))[-1] is tree
+
+
+class TestNumbering:
+    def test_paper_figure_2_numbers_t1(self):
+        # T1 of Figure 1; Figure 2 annotates each node with (pre, post):
+        # a(1,8) b(2,3) c(3,1) d(4,2) b(5,6) c(6,4) d(7,5) e(8,7)
+        tree = parse_bracket("a(b(c,d),b(c,d),e)")
+        positions = node_positions(tree)
+        annotated = [(n.label, positions[id(n)]) for n in preorder(tree)]
+        assert annotated == [
+            ("a", (1, 8)),
+            ("b", (2, 3)),
+            ("c", (3, 1)),
+            ("d", (4, 2)),
+            ("b", (5, 6)),
+            ("c", (6, 4)),
+            ("d", (7, 5)),
+            ("e", (8, 7)),
+        ]
+
+    def test_paper_figure_2_numbers_t2(self):
+        # T2 of Figure 1: a(1,9) b(2,5) c(3,1) d(4,2) b(5,4) e(6,3)
+        # c(7,6) d(8,7) e(9,8)
+        tree = parse_bracket("a(b(c,d,b(e)),c,d,e)")
+        positions = node_positions(tree)
+        annotated = [(n.label, positions[id(n)]) for n in preorder(tree)]
+        assert annotated == [
+            ("a", (1, 9)),
+            ("b", (2, 5)),
+            ("c", (3, 1)),
+            ("d", (4, 2)),
+            ("b", (5, 4)),
+            ("e", (6, 3)),
+            ("c", (7, 6)),
+            ("d", (8, 7)),
+            ("e", (9, 8)),
+        ]
+
+    def test_preorder_numbers_are_one_based_consecutive(self):
+        tree = parse_bracket(SAMPLE)
+        numbers = sorted(number_preorder(tree).values())
+        assert numbers == [1, 2, 3, 4, 5]
+
+    def test_postorder_numbers_root_is_last(self):
+        tree = parse_bracket(SAMPLE)
+        assert number_postorder(tree)[id(tree)] == tree.size
+
+    @given(trees())
+    @settings(max_examples=50, deadline=None)
+    def test_ancestor_relation_encoded(self, tree):
+        # u is an ancestor of v  <=>  pre(u) < pre(v) and post(u) > post(v)
+        positions = node_positions(tree)
+        for node in preorder(tree):
+            for ancestor in node.ancestors():
+                pre_a, post_a = positions[id(ancestor)]
+                pre_n, post_n = positions[id(node)]
+                assert pre_a < pre_n
+                assert post_a > post_n

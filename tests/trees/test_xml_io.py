@@ -1,0 +1,110 @@
+"""Unit tests for XML <-> tree conversion."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.exceptions import TreeParseError
+from repro.trees import parse_xml_file, parse_xml_string, tree_to_xml, xml_to_tree
+
+ARTICLE = """
+<article key="yang05">
+  <author>Rui Yang</author>
+  <title>Similarity Evaluation</title>
+  <year>2005</year>
+</article>
+"""
+
+
+class TestXmlToTree:
+    def test_tags_become_labels(self):
+        tree = parse_xml_string(ARTICLE)
+        assert tree.label == "article"
+        child_labels = [c.label for c in tree.children]
+        assert "author" in child_labels
+        assert "title" in child_labels
+
+    def test_attributes_become_children(self):
+        tree = parse_xml_string(ARTICLE)
+        assert tree.children[0].label == "@key=yang05"
+
+    def test_attributes_sorted_by_name(self):
+        tree = parse_xml_string('<r b="2" a="1"/>')
+        assert [c.label for c in tree.children] == ["@a=1", "@b=2"]
+
+    def test_text_becomes_leaf(self):
+        tree = parse_xml_string(ARTICLE)
+        author = next(c for c in tree.children if c.label == "author")
+        assert author.children[0].label == "Rui Yang"
+
+    def test_attributes_can_be_excluded(self):
+        tree = parse_xml_string(ARTICLE, include_attributes=False)
+        assert all(not str(c.label).startswith("@") for c in tree.children)
+
+    def test_text_can_be_excluded(self):
+        tree = parse_xml_string(ARTICLE, include_text=False)
+        author = next(c for c in tree.children if c.label == "author")
+        assert author.is_leaf
+
+    def test_max_text_truncates(self):
+        tree = parse_xml_string("<r>abcdefgh</r>", max_text=3)
+        assert tree.children[0].label == "abc"
+
+    def test_tail_text_preserved_in_order(self):
+        tree = parse_xml_string("<r>one<x/>two<y/></r>")
+        assert [c.label for c in tree.children] == ["one", "x", "two", "y"]
+
+    def test_whitespace_only_text_skipped(self):
+        tree = parse_xml_string("<r>  \n  <x/></r>")
+        assert [c.label for c in tree.children] == ["x"]
+
+    def test_invalid_xml_raises(self):
+        with pytest.raises(TreeParseError):
+            parse_xml_string("<unclosed>")
+
+    def test_parse_xml_file(self, tmp_path):
+        path = tmp_path / "doc.xml"
+        path.write_text(ARTICLE)
+        tree = parse_xml_file(str(path))
+        assert tree.label == "article"
+
+    def test_parse_xml_file_invalid(self, tmp_path):
+        path = tmp_path / "bad.xml"
+        path.write_text("<broken")
+        with pytest.raises(TreeParseError):
+            parse_xml_file(str(path))
+
+    def test_nested_elements_depth(self):
+        tree = parse_xml_string("<a><b><c><d/></c></b></a>")
+        assert tree.height == 3
+
+
+class TestTreeToXml:
+    def test_round_trip(self):
+        tree = parse_xml_string(ARTICLE)
+        element = tree_to_xml(tree)
+        again = xml_to_tree(element)
+        assert again == tree
+
+    def test_attributes_restored(self):
+        tree = parse_xml_string('<r a="1"><x/></r>')
+        element = tree_to_xml(tree)
+        assert element.get("a") == "1"
+
+    def test_text_restored(self):
+        # leaf labels that cannot be XML tags (here: a space) come back as
+        # text; tag-like leaf labels round-trip as empty elements instead
+        tree = parse_xml_string("<r>hello world</r>")
+        element = tree_to_xml(tree)
+        assert element.text == "hello world"
+
+    def test_invalid_root_label_rejected(self):
+        from repro.trees import TreeNode
+
+        with pytest.raises(TreeParseError):
+            tree_to_xml(TreeNode("not a tag!"))
+
+    def test_serializable(self):
+        tree = parse_xml_string(ARTICLE)
+        text = ET.tostring(tree_to_xml(tree))
+        assert b"article" in text
