@@ -24,6 +24,7 @@ full API surface:
 * :mod:`repro.core`     — binary branch vectors, distances, lower bounds;
 * :mod:`repro.filters`  — BiBranch filter and comparator filters;
 * :mod:`repro.search`   — range / k-NN / join query processing;
+* :mod:`repro.service`  — concurrent, cached, observable query serving;
 * :mod:`repro.datasets` — the paper's synthetic and DBLP-like datasets;
 * :mod:`repro.bench`    — the experiment harness behind ``benchmarks/``.
 """
@@ -51,6 +52,8 @@ from repro.filters.binary_branch import BinaryBranchFilter, BranchCountFilter
 from repro.filters.histogram import HistogramFilter
 from repro.filters.traversal_string import TraversalStringFilter
 from repro.search.database import TreeDatabase
+from repro.service.engine import TreeSearchService
+from repro.service.metrics import ServiceMetrics
 from repro.search.join import similarity_join, similarity_self_join
 from repro.search.knn import knn_query
 from repro.search.index_scan import indexed_range_query
@@ -91,6 +94,8 @@ __all__ = [
     "HistogramFilter",
     "TraversalStringFilter",
     "TreeDatabase",
+    "TreeSearchService",
+    "ServiceMetrics",
     "range_query",
     "indexed_range_query",
     "knn_query",

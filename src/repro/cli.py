@@ -8,6 +8,7 @@ Commands
 ``generate``   synthetic (§5) or DBLP-like datasets to a ``.trees`` file
 ``stats``      structural summary of a dataset file
 ``search``     range or k-NN query over a dataset file
+``serve-bench``  replay synthetic query traffic through TreeSearchService
 ``join``       similarity self-join of a dataset file
 ``convert``    XML/JSON documents -> a ``.trees`` dataset file
 ``show``       draw a bracket tree
@@ -105,6 +106,50 @@ def build_parser() -> argparse.ArgumentParser:
     mode.add_argument("--knn", type=int, dest="knn_k")
     search.add_argument(
         "--filter", choices=sorted(_FILTERS), default="bibranch"
+    )
+    search.add_argument(
+        "--stats-json",
+        action="store_true",
+        help="print the SearchStats snapshot as JSON instead of the "
+        "human-readable summary",
+    )
+
+    serve_bench = commands.add_parser(
+        "serve-bench",
+        help="replay synthetic query traffic through TreeSearchService",
+    )
+    serve_bench.add_argument("file")
+    serve_bench.add_argument("--queries", type=int, default=50)
+    serve_bench.add_argument(
+        "--threshold", type=float, default=2.0, help="range-query radius"
+    )
+    serve_bench.add_argument("--knn-k", type=int, default=3, dest="k")
+    serve_bench.add_argument(
+        "--range-fraction",
+        type=float,
+        default=0.5,
+        help="fraction of fresh queries that are range queries (rest k-NN)",
+    )
+    serve_bench.add_argument(
+        "--repeat",
+        type=float,
+        default=0.5,
+        help="fraction of the stream that re-issues an earlier query",
+    )
+    serve_bench.add_argument(
+        "--clients", type=int, default=4, help="concurrent client threads"
+    )
+    serve_bench.add_argument("--seed", type=int, default=0)
+    serve_bench.add_argument(
+        "--cache-size", type=int, default=1024, help="result-cache bound (0 = off)"
+    )
+    serve_bench.add_argument(
+        "--filter", choices=sorted(_FILTERS), default="bibranch"
+    )
+    serve_bench.add_argument(
+        "--json",
+        action="store_true",
+        help="print the replay report and metrics snapshot as JSON",
     )
 
     convert = commands.add_parser(
@@ -205,11 +250,53 @@ def _cmd_search(args) -> int:
         matches, stats = knn_query(trees, query, args.knn_k, flt)
     for index, distance in matches:
         print(f"{index}\t{distance:g}\t{to_bracket(trees[index])}")
-    print(
-        f"# accessed {stats.candidates}/{stats.dataset_size} "
-        f"({stats.accessed_percentage:.1f}%)",
-        file=sys.stderr,
+    if args.stats_json:
+        import json
+
+        print(json.dumps(stats.to_dict(), sort_keys=True))
+    else:
+        print(
+            f"# accessed {stats.candidates}/{stats.dataset_size} "
+            f"({stats.accessed_percentage:.1f}%)",
+            file=sys.stderr,
+        )
+    return 0
+
+
+def _cmd_serve_bench(args) -> int:
+    import json
+
+    from repro.search.database import TreeDatabase
+    from repro.service import (
+        TreeSearchService,
+        WorkloadSpec,
+        format_report,
+        generate_workload,
+        replay,
     )
+
+    trees = load_forest(args.file)
+    if not trees:
+        print("dataset is empty", file=sys.stderr)
+        return 1
+    spec = WorkloadSpec(
+        queries=args.queries,
+        range_fraction=args.range_fraction,
+        threshold=args.threshold,
+        k=min(args.k, len(trees)),
+        repeat_fraction=args.repeat,
+        seed=args.seed,
+    )
+    workload = generate_workload(trees, spec)
+    database = TreeDatabase(trees, flt=_FILTERS[args.filter]().fit(trees))
+    with TreeSearchService(
+        database, max_workers=args.clients, cache_size=args.cache_size
+    ) as service:
+        _, report = replay(service, workload, clients=args.clients)
+    if args.json:
+        print(json.dumps(report.to_dict(), sort_keys=True))
+    else:
+        print(format_report(report))
     return 0
 
 
@@ -260,6 +347,7 @@ _HANDLERS = {
     "generate": _cmd_generate,
     "stats": _cmd_stats,
     "search": _cmd_search,
+    "serve-bench": _cmd_serve_bench,
     "join": _cmd_join,
     "convert": _cmd_convert,
 }

@@ -32,6 +32,7 @@ from repro.editdist.variants import constrained_edit_distance, selkow_edit_dista
 from repro.editdist.zhang_shasha import (
     EditDistanceCounter,
     PreparedTree,
+    PreparedTreeCache,
     prepare_tree,
     tree_edit_distance,
 )
@@ -40,6 +41,7 @@ __all__ = [
     "tree_edit_distance",
     "prepare_tree",
     "PreparedTree",
+    "PreparedTreeCache",
     "EditDistanceCounter",
     "CostModel",
     "UNIT_COSTS",

@@ -23,12 +23,20 @@ for a pure-Python inner loop.
 
 from __future__ import annotations
 
-from typing import Dict, List
+import threading
+from collections import OrderedDict
+from typing import Dict, List, Optional, Tuple
 
 from repro.editdist.costs import UNIT_COSTS, CostModel
 from repro.trees.node import Label, TreeNode
 
-__all__ = ["tree_edit_distance", "PreparedTree", "prepare_tree", "EditDistanceCounter"]
+__all__ = [
+    "tree_edit_distance",
+    "PreparedTree",
+    "prepare_tree",
+    "PreparedTreeCache",
+    "EditDistanceCounter",
+]
 
 
 class PreparedTree:
@@ -186,27 +194,77 @@ def tree_edit_distance(
     return _distance_general(a, b, costs)
 
 
+class PreparedTreeCache:
+    """Bounded, thread-safe identity cache of :class:`PreparedTree` forms.
+
+    Entries are keyed by ``id(tree)`` but also *hold a strong reference to
+    the tree itself*, so an id can never be recycled by a new object while
+    its entry is alive (caching bare ids is unsound: CPython reuses the
+    addresses of garbage-collected objects).  The stored tree is compared
+    with ``is`` on lookup as a second line of defense.  Eviction is LRU so
+    long-running services cannot grow the cache without bound.
+    """
+
+    def __init__(self, maxsize: int = 4096) -> None:
+        if maxsize < 1:
+            raise ValueError(f"maxsize must be >= 1, got {maxsize}")
+        self.maxsize = maxsize
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[int, Tuple[TreeNode, PreparedTree]]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, tree: TreeNode) -> PreparedTree:
+        """Return the prepared form of ``tree``, preparing it on a miss."""
+        key = id(tree)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None and entry[0] is tree:
+                self._entries.move_to_end(key)
+                return entry[1]
+        prepared = prepare_tree(tree)
+        with self._lock:
+            self._entries[key] = (tree, prepared)
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+        return prepared
+
+    def clear(self) -> None:
+        """Drop every cached entry."""
+        with self._lock:
+            self._entries.clear()
+
+
 class EditDistanceCounter:
     """Counting wrapper used by the benchmark harness.
 
     Tracks how many exact edit-distance computations were performed — the
     paper's core efficiency metric is precisely how many of these a filter
-    avoids — and caches prepared trees by identity.
+    avoids — and caches prepared trees in a bounded identity cache.  Pass a
+    shared :class:`PreparedTreeCache` to let several counters (e.g. one per
+    in-flight query of a service) reuse each other's preparation work.
     """
 
-    def __init__(self, costs: CostModel = UNIT_COSTS) -> None:
+    def __init__(
+        self,
+        costs: CostModel = UNIT_COSTS,
+        cache: Optional[PreparedTreeCache] = None,
+        cache_size: int = 4096,
+    ) -> None:
         self.costs = costs
         self.calls = 0
-        self._prepared: Dict[int, PreparedTree] = {}
+        self._prepared = cache if cache is not None else PreparedTreeCache(cache_size)
+
+    @property
+    def cache(self) -> PreparedTreeCache:
+        """The prepared-tree cache (shareable across counters)."""
+        return self._prepared
 
     def prepared(self, tree: TreeNode) -> PreparedTree:
         """Return (and cache) the prepared form of ``tree``."""
-        key = id(tree)
-        hit = self._prepared.get(key)
-        if hit is None:
-            hit = prepare_tree(tree)
-            self._prepared[key] = hit
-        return hit
+        return self._prepared.get(tree)
 
     def distance(self, t1: TreeNode, t2: TreeNode) -> float:
         """Exact distance with call counting and preparation caching."""

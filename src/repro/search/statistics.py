@@ -66,8 +66,18 @@ class SearchStats:
             refine_seconds=self.refine_seconds + other.refine_seconds,
         )
 
-    def as_dict(self) -> Dict[str, float]:
-        """Flat dictionary for report tables."""
+    def copy(self) -> "SearchStats":
+        """An independent copy (cached query results hand these out)."""
+        return SearchStats(
+            dataset_size=self.dataset_size,
+            candidates=self.candidates,
+            results=self.results,
+            filter_seconds=self.filter_seconds,
+            refine_seconds=self.refine_seconds,
+        )
+
+    def to_dict(self) -> Dict[str, float]:
+        """Flat dictionary for report tables and JSON export."""
         return {
             "dataset_size": self.dataset_size,
             "candidates": self.candidates,
@@ -78,3 +88,6 @@ class SearchStats:
             "refine_seconds": self.refine_seconds,
             "total_seconds": self.total_seconds,
         }
+
+    #: Backwards-compatible alias of :meth:`to_dict`.
+    as_dict = to_dict

@@ -1,0 +1,343 @@
+"""`TreeSearchService` — a thread-safe query-serving layer over TreeDatabase.
+
+The library's query functions are single-shot: one caller, one query, one
+`SearchStats`.  A serving deployment needs more:
+
+* **concurrency** — many clients issue queries against one shared database;
+  queries must not observe a half-applied ``add``;
+* **result caching** — real traffic repeats queries, and the refinement step
+  (pure-Python Zhang–Shasha) is expensive enough that a bounded LRU of
+  answers keyed by the *canonical bracket form* of the query plus the query
+  kind and parameters pays for itself immediately;
+* **shared preparation** — every in-flight query reuses one bounded
+  :class:`~repro.editdist.zhang_shasha.PreparedTreeCache`, so database trees
+  are postorder-flattened once, not once per thread;
+* **batching** — ``batch_range`` / ``batch_knn`` fan a list of queries out
+  over a ``ThreadPoolExecutor``;
+* **observability** — every query is folded into a
+  :class:`~repro.service.metrics.ServiceMetrics`.
+
+Consistency model: the result cache is invalidated whenever the database
+mutates (:meth:`TreeSearchService.add`), and mutations are exclusive —
+they wait for in-flight queries to drain, and queries started after the
+mutation see the new tree.  Answers are therefore always consistent with
+*some* complete database state, never a torn one.
+
+Examples
+--------
+>>> from repro.trees import parse_bracket
+>>> from repro.search.database import TreeDatabase
+>>> db = TreeDatabase([parse_bracket("a(b,c)"), parse_bracket("a(b,d)"),
+...                    parse_bracket("x(y)")])
+>>> service = TreeSearchService(db)
+>>> matches, _ = service.range(parse_bracket("a(b,c)"), 1)
+>>> [index for index, _ in matches]
+[0, 1]
+>>> matches, _ = service.range(parse_bracket("a(b,c)"), 1)  # cache hit
+>>> service.metrics.cache_hits
+1
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.editdist.zhang_shasha import EditDistanceCounter, PreparedTreeCache
+from repro.exceptions import QueryError
+from repro.search.database import TreeDatabase
+from repro.search.knn import knn_query
+from repro.search.range_query import range_query
+from repro.search.statistics import SearchStats
+from repro.service.metrics import ServiceMetrics
+from repro.trees.node import TreeNode
+from repro.trees.parse import to_bracket
+
+__all__ = ["QueryRequest", "TreeSearchService"]
+
+#: A query's answer: ``(matches, stats)`` exactly as the library returns it.
+QueryAnswer = Tuple[List[Tuple[int, float]], SearchStats]
+
+#: Cache keys: (kind, canonical bracket of the query tree, parameter).
+CacheKey = Tuple[str, str, float]
+
+
+@dataclass(frozen=True)
+class QueryRequest:
+    """One query of a (possibly mixed-kind) batch or workload.
+
+    ``kind`` is ``"range"`` (uses ``threshold``) or ``"knn"`` (uses ``k``).
+    """
+
+    kind: str
+    query: TreeNode
+    threshold: float = 0.0
+    k: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("range", "knn"):
+            raise QueryError(f"unknown query kind {self.kind!r}")
+
+
+class _ReadWriteLock:
+    """Many concurrent readers or one exclusive writer (writer-preferring)."""
+
+    def __init__(self) -> None:
+        self._condition = threading.Condition()
+        self._readers = 0
+        self._writer = False
+        self._writers_waiting = 0
+
+    def acquire_read(self) -> None:
+        with self._condition:
+            while self._writer or self._writers_waiting:
+                self._condition.wait()
+            self._readers += 1
+
+    def release_read(self) -> None:
+        with self._condition:
+            self._readers -= 1
+            if self._readers == 0:
+                self._condition.notify_all()
+
+    def acquire_write(self) -> None:
+        with self._condition:
+            self._writers_waiting += 1
+            while self._writer or self._readers:
+                self._condition.wait()
+            self._writers_waiting -= 1
+            self._writer = True
+
+    def release_write(self) -> None:
+        with self._condition:
+            self._writer = False
+            self._condition.notify_all()
+
+
+class _ResultCache:
+    """Bounded LRU of query answers; ``maxsize=0`` disables caching."""
+
+    def __init__(self, maxsize: int) -> None:
+        if maxsize < 0:
+            raise ValueError(f"cache size must be >= 0, got {maxsize}")
+        self.maxsize = maxsize
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[CacheKey, QueryAnswer]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: CacheKey) -> Optional[QueryAnswer]:
+        if self.maxsize == 0:
+            return None
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                return None
+            self._entries.move_to_end(key)
+            return entry
+
+    def put(self, key: CacheKey, answer: QueryAnswer) -> None:
+        if self.maxsize == 0:
+            return
+        with self._lock:
+            self._entries[key] = answer
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+
+class TreeSearchService:
+    """A concurrent, cached, observable facade over :class:`TreeDatabase`.
+
+    Parameters
+    ----------
+    database:
+        The wrapped database.  The service assumes exclusive write access:
+        mutate it only through :meth:`add`.
+    max_workers:
+        Thread-pool width for :meth:`batch`, :meth:`batch_range` and
+        :meth:`batch_knn`.
+    cache_size:
+        Bound on the LRU result cache (number of distinct query answers);
+        ``0`` disables result caching entirely.
+    prepared_cache_size:
+        Bound on the shared prepared-tree cache.  Size it to at least the
+        database size plus the expected distinct-query working set so
+        refinement never re-flattens a database tree.
+    metrics:
+        Optional externally owned :class:`ServiceMetrics` (e.g. one shared
+        by several services); a private instance is created by default.
+    """
+
+    def __init__(
+        self,
+        database: TreeDatabase,
+        max_workers: int = 4,
+        cache_size: int = 1024,
+        prepared_cache_size: int = 8192,
+        metrics: Optional[ServiceMetrics] = None,
+    ) -> None:
+        if max_workers < 1:
+            raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+        self.database = database
+        self.metrics = metrics if metrics is not None else ServiceMetrics()
+        self.max_workers = max_workers
+        self._cache = _ResultCache(cache_size)
+        self._prepared = PreparedTreeCache(prepared_cache_size)
+        self._rwlock = _ReadWriteLock()
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._executor_lock = threading.Lock()
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Shut down the worker pool (idempotent)."""
+        self._closed = True
+        with self._executor_lock:
+            executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=True)
+
+    def __enter__(self) -> "TreeSearchService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __len__(self) -> int:
+        return len(self.database)
+
+    def __repr__(self) -> str:
+        return (
+            f"TreeSearchService({len(self.database)} trees, "
+            f"cache={len(self._cache)}/{self._cache.maxsize}, "
+            f"workers={self.max_workers})"
+        )
+
+    def _pool(self) -> ThreadPoolExecutor:
+        if self._closed:
+            raise RuntimeError("service is closed")
+        with self._executor_lock:
+            if self._executor is None:
+                self._executor = ThreadPoolExecutor(
+                    max_workers=self.max_workers,
+                    thread_name_prefix="repro-service",
+                )
+            return self._executor
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def add(self, tree: TreeNode) -> int:
+        """Insert one tree; returns its index.
+
+        Exclusive: waits for in-flight queries to drain, then appends and
+        invalidates the result cache (any cached answer may now be missing
+        the new tree).  The prepared-tree cache is kept — preparation
+        depends only on the tree object, not on database membership.
+        """
+        self._rwlock.acquire_write()
+        try:
+            index = self.database.add(tree)
+            self._cache.clear()
+        finally:
+            self._rwlock.release_write()
+        self.metrics.observe_invalidation()
+        return index
+
+    # ------------------------------------------------------------------
+    # Single queries
+    # ------------------------------------------------------------------
+    def range(self, query: TreeNode, threshold: float) -> QueryAnswer:
+        """Filter-and-refine range query (cached, thread-safe)."""
+        return self._serve(QueryRequest("range", query, threshold=threshold))
+
+    def knn(self, query: TreeNode, k: int) -> QueryAnswer:
+        """Filter-and-refine k-NN query (cached, thread-safe)."""
+        return self._serve(QueryRequest("knn", query, k=k))
+
+    def execute(self, request: QueryRequest) -> QueryAnswer:
+        """Serve one :class:`QueryRequest` of either kind."""
+        return self._serve(request)
+
+    # ------------------------------------------------------------------
+    # Batches
+    # ------------------------------------------------------------------
+    def batch(self, requests: Sequence[QueryRequest]) -> List[QueryAnswer]:
+        """Serve a mixed-kind batch concurrently; answers in input order."""
+        self.metrics.observe_batch()
+        if not requests:
+            return []
+        if len(requests) == 1:
+            return [self._serve(requests[0])]
+        return list(self._pool().map(self._serve, requests))
+
+    def batch_range(
+        self, queries: Sequence[TreeNode], threshold: float
+    ) -> List[QueryAnswer]:
+        """Range queries fanned out over the worker pool (input order)."""
+        return self.batch(
+            [QueryRequest("range", query, threshold=threshold) for query in queries]
+        )
+
+    def batch_knn(self, queries: Sequence[TreeNode], k: int) -> List[QueryAnswer]:
+        """k-NN queries fanned out over the worker pool (input order)."""
+        return self.batch([QueryRequest("knn", query, k=k) for query in queries])
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _cache_key(self, request: QueryRequest) -> CacheKey:
+        parameter = (
+            float(request.threshold) if request.kind == "range" else float(request.k)
+        )
+        return (request.kind, to_bracket(request.query), parameter)
+
+    def _serve(self, request: QueryRequest) -> QueryAnswer:
+        start = time.perf_counter()
+        key = self._cache_key(request)
+        cached = self._cache.get(key)
+        if cached is not None:
+            matches, stats = cached
+            self.metrics.observe_query(
+                request.kind, stats, time.perf_counter() - start, cache_hit=True
+            )
+            return list(matches), stats.copy()
+        # Per-query counter so `calls` is race-free; preparation is shared.
+        counter = EditDistanceCounter(self.database.counter.costs, cache=self._prepared)
+        self._rwlock.acquire_read()
+        try:
+            if request.kind == "range":
+                matches, stats = range_query(
+                    self.database.trees,
+                    request.query,
+                    request.threshold,
+                    self.database.filter,
+                    counter,
+                )
+            else:
+                matches, stats = knn_query(
+                    self.database.trees,
+                    request.query,
+                    request.k,
+                    self.database.filter,
+                    counter,
+                )
+        finally:
+            self._rwlock.release_read()
+        self._cache.put(key, (list(matches), stats.copy()))
+        self.metrics.observe_query(
+            request.kind, stats, time.perf_counter() - start, cache_hit=False
+        )
+        return matches, stats

@@ -1,0 +1,262 @@
+"""Process-local serving metrics: counters and latency histograms.
+
+The serving layer's observability surface.  Every query the
+:class:`~repro.service.engine.TreeSearchService` executes is folded into a
+:class:`ServiceMetrics` instance: how many queries of each kind were served,
+how many hit the result cache, how much wall time the filter and refinement
+phases consumed (aggregated from :class:`~repro.search.statistics.SearchStats`),
+how many candidates were refined, and a log-bucketed latency histogram per
+query kind from which percentiles are interpolated.
+
+Everything is process-local and thread-safe; :meth:`ServiceMetrics.snapshot`
+returns a plain-``dict`` point-in-time view and :meth:`ServiceMetrics.to_json`
+serialises it, so scrapers (or the ``repro serve-bench`` CLI) never hold the
+metrics lock for longer than one shallow copy.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from typing import Dict, List, Optional, Sequence
+
+from repro.search.statistics import SearchStats
+
+__all__ = ["LatencyHistogram", "ServiceMetrics", "percentile"]
+
+
+def percentile(samples: Sequence[float], p: float) -> float:
+    """Exact percentile (nearest-rank) of a sample list.
+
+    ``p`` is in ``[0, 100]``; an empty sample list yields ``0.0``.  Used by
+    the workload driver where the full latency list is available.
+    """
+    if not 0 <= p <= 100:
+        raise ValueError(f"percentile must be in [0, 100], got {p}")
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    rank = max(0, min(len(ordered) - 1, round(p / 100 * (len(ordered) - 1))))
+    return ordered[rank]
+
+
+def _default_bounds() -> List[float]:
+    # 1 µs .. ~100 s in half-decade steps: wide enough for cache hits
+    # (microseconds) and pure-Python refinement of large trees (seconds)
+    bounds = []
+    value = 1e-6
+    while value < 100.0:
+        bounds.append(value)
+        bounds.append(value * 3.1623)  # half a decade
+        value *= 10.0
+    return bounds
+
+
+class LatencyHistogram:
+    """Fixed-bucket latency histogram with interpolated percentiles.
+
+    Buckets are upper-bound-inclusive like Prometheus histograms; the last
+    bucket is implicit ``+inf``.  Percentile estimates interpolate linearly
+    inside the winning bucket, which is accurate to within a bucket width —
+    plenty for serving dashboards (the workload driver computes exact
+    percentiles from raw samples where precision matters).
+    """
+
+    def __init__(self, bounds: Optional[Sequence[float]] = None) -> None:
+        self.bounds: List[float] = sorted(bounds) if bounds else _default_bounds()
+        self.counts: List[int] = [0] * (len(self.bounds) + 1)
+        self.total = 0
+        self.sum = 0.0
+        self.min = float("inf")
+        self.max = 0.0
+
+    def record(self, seconds: float) -> None:
+        """Fold one observation into the histogram."""
+        index = len(self.bounds)
+        for i, bound in enumerate(self.bounds):
+            if seconds <= bound:
+                index = i
+                break
+        self.counts[index] += 1
+        self.total += 1
+        self.sum += seconds
+        if seconds < self.min:
+            self.min = seconds
+        if seconds > self.max:
+            self.max = seconds
+
+    @property
+    def mean(self) -> float:
+        """Mean observed latency (0 when empty)."""
+        return self.sum / self.total if self.total else 0.0
+
+    def quantile(self, p: float) -> float:
+        """Interpolated ``p``-th percentile (0 when empty)."""
+        if not 0 <= p <= 100:
+            raise ValueError(f"percentile must be in [0, 100], got {p}")
+        if self.total == 0:
+            return 0.0
+        target = p / 100 * self.total
+        cumulative = 0
+        for i, count in enumerate(self.counts):
+            if count == 0:
+                continue
+            previous = cumulative
+            cumulative += count
+            if cumulative >= target:
+                lower = self.bounds[i - 1] if i > 0 else 0.0
+                upper = self.bounds[i] if i < len(self.bounds) else self.max
+                lower = max(lower, self.min if previous == 0 else lower)
+                upper = min(upper, self.max)
+                if upper <= lower:
+                    return upper
+                fraction = (target - previous) / count
+                return lower + fraction * (upper - lower)
+        return self.max
+
+    def to_dict(self) -> Dict[str, object]:
+        """Snapshot: count / sum / min / max / mean and key percentiles."""
+        return {
+            "count": self.total,
+            "sum_seconds": self.sum,
+            "min_seconds": self.min if self.total else 0.0,
+            "max_seconds": self.max,
+            "mean_seconds": self.mean,
+            "p50_seconds": self.quantile(50),
+            "p90_seconds": self.quantile(90),
+            "p99_seconds": self.quantile(99),
+        }
+
+
+class ServiceMetrics:
+    """Thread-safe aggregate of everything a serving layer should expose.
+
+    One instance per :class:`~repro.service.engine.TreeSearchService`;
+    multiple services may also share one instance (counters simply sum).
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.queries_by_kind: Dict[str, int] = {}
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.batches = 0
+        self.dataset_objects_considered = 0
+        self.candidates_examined = 0
+        self.results_returned = 0
+        self.filter_seconds = 0.0
+        self.refine_seconds = 0.0
+        self.invalidations = 0
+        self._latency: Dict[str, LatencyHistogram] = {}
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def observe_query(
+        self,
+        kind: str,
+        stats: SearchStats,
+        latency_seconds: float,
+        cache_hit: bool,
+    ) -> None:
+        """Fold one served query into the aggregate.
+
+        ``stats`` is the query's :class:`SearchStats`; for a cache hit the
+        stored stats describe the original computation and only the (tiny)
+        lookup latency is recorded as work done now, so filter/refine time
+        is attributed once per distinct computation.
+        """
+        with self._lock:
+            self.queries_by_kind[kind] = self.queries_by_kind.get(kind, 0) + 1
+            if cache_hit:
+                self.cache_hits += 1
+            else:
+                self.cache_misses += 1
+                self.dataset_objects_considered += stats.dataset_size
+                self.candidates_examined += stats.candidates
+                self.results_returned += stats.results
+                self.filter_seconds += stats.filter_seconds
+                self.refine_seconds += stats.refine_seconds
+            histogram = self._latency.get(kind)
+            if histogram is None:
+                histogram = self._latency[kind] = LatencyHistogram()
+            histogram.record(latency_seconds)
+
+    def observe_batch(self) -> None:
+        """Count one batch submission."""
+        with self._lock:
+            self.batches += 1
+
+    def observe_invalidation(self) -> None:
+        """Count one result-cache invalidation (a database mutation)."""
+        with self._lock:
+            self.invalidations += 1
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+    @property
+    def queries_served(self) -> int:
+        """Total queries served across all kinds."""
+        return sum(self.queries_by_kind.values())
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Result-cache hit rate over all served queries (0 when idle)."""
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+    def snapshot(self) -> Dict[str, object]:
+        """Point-in-time view as a plain JSON-serialisable dict."""
+        with self._lock:
+            return {
+                "queries_served": self.queries_served,
+                "queries_by_kind": dict(self.queries_by_kind),
+                "batches": self.batches,
+                "cache": {
+                    "hits": self.cache_hits,
+                    "misses": self.cache_misses,
+                    "hit_rate": self.cache_hit_rate,
+                    "invalidations": self.invalidations,
+                },
+                "work": {
+                    "dataset_objects_considered": self.dataset_objects_considered,
+                    "candidates_examined": self.candidates_examined,
+                    "results_returned": self.results_returned,
+                    "accessed_percentage": (
+                        100.0
+                        * self.candidates_examined
+                        / self.dataset_objects_considered
+                        if self.dataset_objects_considered
+                        else 0.0
+                    ),
+                },
+                "seconds": {
+                    "filter": self.filter_seconds,
+                    "refine": self.refine_seconds,
+                    "total": self.filter_seconds + self.refine_seconds,
+                },
+                "latency": {
+                    kind: histogram.to_dict()
+                    for kind, histogram in self._latency.items()
+                },
+            }
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        """:meth:`snapshot` serialised as JSON."""
+        return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
+
+    def reset(self) -> None:
+        """Zero every counter and histogram."""
+        with self._lock:
+            self.queries_by_kind.clear()
+            self.cache_hits = 0
+            self.cache_misses = 0
+            self.batches = 0
+            self.dataset_objects_considered = 0
+            self.candidates_examined = 0
+            self.results_returned = 0
+            self.filter_seconds = 0.0
+            self.refine_seconds = 0.0
+            self.invalidations = 0
+            self._latency.clear()

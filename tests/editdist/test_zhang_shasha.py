@@ -165,3 +165,72 @@ class TestCounter:
         counter = EditDistanceCounter()
         tree = parse_bracket("a(b)")
         assert counter.prepared(tree) is counter.prepared(tree)
+
+
+class TestPreparedTreeCache:
+    def test_holds_tree_reference_so_ids_cannot_recycle(self):
+        from repro.editdist import PreparedTreeCache
+
+        cache = PreparedTreeCache(maxsize=8)
+        tree = parse_bracket("a(b,c)")
+        cache.get(tree)
+        entry_tree, _ = cache._entries[id(tree)]
+        assert entry_tree is tree  # strong ref pins the id while cached
+
+    def test_identity_mismatch_reprepares(self):
+        from repro.editdist import PreparedTreeCache
+
+        cache = PreparedTreeCache(maxsize=8)
+        t1 = parse_bracket("a(b)")
+        prepared1 = cache.get(t1)
+        # simulate an id collision: poison the slot with a different tree
+        t2 = parse_bracket("x(y,z)")
+        cache._entries[id(t1)] = (t2, cache.get(t2))
+        reprepared = cache.get(t1)
+        assert reprepared is not prepared1
+        assert reprepared.labels == prepared1.labels
+
+    def test_bounded_lru_eviction(self):
+        from repro.editdist import PreparedTreeCache
+
+        cache = PreparedTreeCache(maxsize=3)
+        kept = [parse_bracket(f"a(b{i})") for i in range(5)]
+        for tree in kept:
+            cache.get(tree)
+        assert len(cache) == 3
+        # the oldest two were evicted; the newest three are present
+        assert id(kept[0]) not in cache._entries
+        assert id(kept[4]) in cache._entries
+
+    def test_get_after_eviction_still_correct(self):
+        from repro.editdist import PreparedTreeCache
+
+        cache = PreparedTreeCache(maxsize=1)
+        t1, t2 = parse_bracket("a(b,c)"), parse_bracket("a(b,d)")
+        prepared = cache.get(t1)
+        cache.get(t2)  # evicts t1
+        again = cache.get(t1)
+        assert again.labels == prepared.labels
+
+    def test_rejects_nonpositive_maxsize(self):
+        from repro.editdist import PreparedTreeCache
+
+        with pytest.raises(ValueError):
+            PreparedTreeCache(maxsize=0)
+
+    def test_counters_can_share_a_cache(self):
+        from repro.editdist import PreparedTreeCache
+
+        shared = PreparedTreeCache()
+        c1 = EditDistanceCounter(cache=shared)
+        c2 = EditDistanceCounter(cache=shared)
+        tree = parse_bracket("a(b(c),d)")
+        assert c1.prepared(tree) is c2.prepared(tree)
+        c1.distance(tree, parse_bracket("a"))
+        assert c1.calls == 1 and c2.calls == 0  # call counts stay private
+
+    def test_counter_cache_is_bounded(self):
+        counter = EditDistanceCounter(cache_size=2)
+        for i in range(10):
+            counter.prepared(parse_bracket(f"a(b{i})"))
+        assert len(counter.cache) == 2

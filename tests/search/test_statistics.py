@@ -36,3 +36,19 @@ class TestSearchStats:
         assert data["accessed_pct"] == 5.0
         assert data["results"] == 5
         assert "total_seconds" in data
+
+    def test_to_dict_is_json_serialisable(self):
+        import json
+
+        stats = SearchStats(dataset_size=100, candidates=5, results=5,
+                            filter_seconds=0.1, refine_seconds=0.2)
+        data = stats.to_dict()
+        assert data == stats.as_dict()  # alias stays in sync
+        assert json.loads(json.dumps(data)) == data
+
+    def test_copy_is_independent(self):
+        stats = SearchStats(dataset_size=10, candidates=3, results=1)
+        duplicate = stats.copy()
+        assert duplicate == stats
+        duplicate.candidates = 99
+        assert stats.candidates == 3

@@ -1,0 +1,122 @@
+"""Unit tests for the serving metrics layer."""
+
+import json
+
+import pytest
+
+from repro.search import SearchStats
+from repro.service import LatencyHistogram, ServiceMetrics, percentile
+
+
+class TestPercentile:
+    def test_empty_is_zero(self):
+        assert percentile([], 50) == 0.0
+
+    def test_single_sample(self):
+        assert percentile([0.25], 0) == 0.25
+        assert percentile([0.25], 100) == 0.25
+
+    def test_known_values(self):
+        samples = [float(i) for i in range(1, 101)]
+        assert percentile(samples, 50) == pytest.approx(50.0, abs=1.0)
+        assert percentile(samples, 99) == pytest.approx(99.0, abs=1.0)
+        assert percentile(samples, 100) == 100.0
+
+    def test_unsorted_input(self):
+        assert percentile([3.0, 1.0, 2.0], 100) == 3.0
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+
+
+class TestLatencyHistogram:
+    def test_empty(self):
+        histogram = LatencyHistogram()
+        assert histogram.mean == 0.0
+        assert histogram.quantile(50) == 0.0
+
+    def test_count_sum_min_max(self):
+        histogram = LatencyHistogram()
+        for value in (0.001, 0.01, 0.1):
+            histogram.record(value)
+        assert histogram.total == 3
+        assert histogram.sum == pytest.approx(0.111)
+        assert histogram.min == 0.001
+        assert histogram.max == 0.1
+
+    def test_quantiles_are_monotone_and_bracketing(self):
+        histogram = LatencyHistogram()
+        for i in range(1, 200):
+            histogram.record(i / 1000.0)  # 1ms .. 199ms
+        p50, p90, p99 = (histogram.quantile(p) for p in (50, 90, 99))
+        assert p50 <= p90 <= p99
+        assert histogram.min <= p50 and p99 <= histogram.max
+
+    def test_quantile_within_bucket_accuracy(self):
+        histogram = LatencyHistogram()
+        for _ in range(100):
+            histogram.record(0.005)
+        # every sample is 5 ms; any percentile must land in its bucket
+        assert histogram.quantile(50) == pytest.approx(0.005, rel=1.0)
+
+    def test_to_dict_is_json_serialisable(self):
+        histogram = LatencyHistogram()
+        histogram.record(0.002)
+        data = histogram.to_dict()
+        assert json.loads(json.dumps(data)) == data
+        assert data["count"] == 1
+
+
+class TestServiceMetrics:
+    def _stats(self):
+        return SearchStats(dataset_size=100, candidates=10, results=2,
+                           filter_seconds=0.01, refine_seconds=0.05)
+
+    def test_observe_miss_accumulates_work(self):
+        metrics = ServiceMetrics()
+        metrics.observe_query("range", self._stats(), 0.06, cache_hit=False)
+        assert metrics.queries_served == 1
+        assert metrics.candidates_examined == 10
+        assert metrics.filter_seconds == pytest.approx(0.01)
+        assert metrics.refine_seconds == pytest.approx(0.05)
+
+    def test_observe_hit_skips_work_counters(self):
+        metrics = ServiceMetrics()
+        metrics.observe_query("range", self._stats(), 0.06, cache_hit=False)
+        metrics.observe_query("range", self._stats(), 0.0001, cache_hit=True)
+        assert metrics.cache_hit_rate == 0.5
+        # the hit does not double-count filter/refine work
+        assert metrics.candidates_examined == 10
+
+    def test_snapshot_schema(self):
+        metrics = ServiceMetrics()
+        metrics.observe_query("knn", self._stats(), 0.06, cache_hit=False)
+        metrics.observe_batch()
+        metrics.observe_invalidation()
+        snapshot = metrics.snapshot()
+        assert snapshot["queries_served"] == 1
+        assert snapshot["queries_by_kind"] == {"knn": 1}
+        assert snapshot["batches"] == 1
+        assert snapshot["cache"]["invalidations"] == 1
+        assert snapshot["work"]["accessed_percentage"] == pytest.approx(10.0)
+        assert snapshot["seconds"]["total"] == pytest.approx(0.06)
+        assert set(snapshot["latency"]) == {"knn"}
+        for key in ("count", "p50_seconds", "p90_seconds", "p99_seconds"):
+            assert key in snapshot["latency"]["knn"]
+
+    def test_to_json_round_trips(self):
+        metrics = ServiceMetrics()
+        metrics.observe_query("range", self._stats(), 0.02, cache_hit=False)
+        decoded = json.loads(metrics.to_json())
+        assert decoded == metrics.snapshot()
+
+    def test_reset(self):
+        metrics = ServiceMetrics()
+        metrics.observe_query("range", self._stats(), 0.02, cache_hit=False)
+        metrics.reset()
+        assert metrics.queries_served == 0
+        assert metrics.snapshot()["latency"] == {}
+
+    def test_idle_hit_rate_is_zero(self):
+        assert ServiceMetrics().cache_hit_rate == 0.0

@@ -199,3 +199,63 @@ class TestVector:
     def test_vector_qlevel(self, capsys):
         assert main(["vector", "a(b)", "--q", "3"]) == 0
         assert "[a,b," in capsys.readouterr().out
+
+
+class TestSearchStatsJson:
+    def test_stats_json_replaces_summary(self, dataset_file, capsys):
+        import json
+
+        assert main(
+            ["search", dataset_file, "--query", "a(b,c)", "--range", "1",
+             "--stats-json"]
+        ) == 0
+        captured = capsys.readouterr()
+        assert "# accessed" not in captured.err
+        stats_line = captured.out.splitlines()[-1]
+        stats = json.loads(stats_line)
+        assert stats["dataset_size"] == 4
+        assert stats["results"] == 3
+        assert "filter_seconds" in stats
+
+    def test_human_summary_is_default(self, dataset_file, capsys):
+        assert main(
+            ["search", dataset_file, "--query", "a(b,c)", "--range", "1"]
+        ) == 0
+        assert "# accessed" in capsys.readouterr().err
+
+
+class TestServeBench:
+    def test_human_report(self, dataset_file, capsys):
+        assert main(
+            ["serve-bench", dataset_file, "--queries", "20", "--repeat", "0.6",
+             "--clients", "2", "--seed", "3"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "throughput" in out
+        assert "result cache" in out
+        assert "p99" in out
+
+    def test_json_report(self, dataset_file, capsys):
+        import json
+
+        assert main(
+            ["serve-bench", dataset_file, "--queries", "15", "--json"]
+        ) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["queries"] == 15
+        assert report["metrics"]["cache"]["hits"] >= 0
+        assert report["latency"]["p50_seconds"] <= report["latency"]["p99_seconds"]
+
+    def test_empty_dataset(self, tmp_path, capsys):
+        empty = tmp_path / "empty.trees"
+        empty.write_text("")
+        assert main(["serve-bench", str(empty)]) == 1
+
+    def test_serial_client(self, dataset_file, capsys):
+        assert main(
+            ["serve-bench", dataset_file, "--queries", "8", "--clients", "1",
+             "--cache-size", "0"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "serial" in out
+        assert "hit rate 0.0%" in out
