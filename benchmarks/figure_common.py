@@ -23,7 +23,7 @@ import os
 import random
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Callable, Dict, List, Sequence
+from typing import Dict, List, Sequence
 
 from repro.bench import (
     ComparisonReport,

@@ -8,9 +8,8 @@ two-constraint matching, reporting accessed-data percentages and filter
 cost for each.
 """
 
-import random
 
-from repro.bench import format_sweep, run_knn_comparison, select_queries
+from repro.bench import format_sweep, run_knn_comparison
 from repro.datasets import SyntheticSpec
 from repro.filters import BinaryBranchFilter, BranchCountFilter
 

@@ -14,7 +14,6 @@ actually hit, answers must be identical, and the served wall-clock must
 beat the sum of the cold single-query wall-clocks.
 """
 
-import time
 
 from benchmarks.figure_common import current_scale, save_report
 from repro.datasets import SyntheticSpec, generate_dataset

@@ -8,6 +8,8 @@ Commands
 ``generate``   synthetic (§5) or DBLP-like datasets to a ``.trees`` file
 ``stats``      structural summary of a dataset file
 ``search``     range or k-NN query over a dataset file
+``features``   build (``features build``) or inspect (``features stats``)
+               a dataset's shared feature plane
 ``serve-bench``  replay synthetic query traffic through TreeSearchService
 ``join``       similarity self-join of a dataset file
 ``convert``    XML/JSON documents -> a ``.trees`` dataset file
@@ -113,6 +115,30 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the SearchStats snapshot as JSON instead of the "
         "human-readable summary",
     )
+
+    features = commands.add_parser(
+        "features", help="build or inspect a shared feature plane"
+    )
+    features_commands = features.add_subparsers(
+        dest="features_command", required=True
+    )
+    features_build = features_commands.add_parser(
+        "build",
+        help="one-pass extraction of a dataset file to a feature-plane JSON",
+    )
+    features_build.add_argument("file", help="input .trees dataset file")
+    features_build.add_argument("--out", required=True, help="output JSON path")
+    features_build.add_argument(
+        "--q",
+        type=int,
+        nargs="+",
+        default=[2],
+        help="branch levels to extract (each >= 2)",
+    )
+    features_stats = features_commands.add_parser(
+        "stats", help="summary counters of a feature-plane JSON file"
+    )
+    features_stats.add_argument("file", help="feature-plane JSON file")
 
     serve_bench = commands.add_parser(
         "serve-bench",
@@ -263,6 +289,25 @@ def _cmd_search(args) -> int:
     return 0
 
 
+def _cmd_features(args) -> int:
+    from repro.features import FeatureStore, load_feature_plane, save_feature_plane
+
+    if args.features_command == "build":
+        trees = load_forest(args.file)
+        store = FeatureStore(tuple(args.q)).fit(trees)
+        save_feature_plane(store, args.out)
+        print(
+            f"wrote feature plane for {len(store)} trees "
+            f"({len(store.vocabulary)} interned branches, "
+            f"q_levels={list(store.q_levels)}) to {args.out}"
+        )
+        return 0
+    store = load_feature_plane(args.file)
+    for key, value in store.stats().items():
+        print(f"{key}: {value}")
+    return 0
+
+
 def _cmd_serve_bench(args) -> int:
     import json
 
@@ -347,6 +392,7 @@ _HANDLERS = {
     "generate": _cmd_generate,
     "stats": _cmd_stats,
     "search": _cmd_search,
+    "features": _cmd_features,
     "serve-bench": _cmd_serve_bench,
     "join": _cmd_join,
     "convert": _cmd_convert,

@@ -12,7 +12,12 @@ from repro.core.branches import (
     iter_branches,
     iter_positional_branches,
 )
-from repro.core.index_io import load_index, save_index
+from repro.core.index_io import (
+    load_features,
+    load_index,
+    save_features,
+    save_index,
+)
 from repro.core.inverted_file import InvertedFileIndex, Posting
 from repro.core.lower_bounds import branch_lower_bound, positional_lower_bound
 from repro.core.positional import (
@@ -58,4 +63,6 @@ __all__ = [
     "Posting",
     "save_index",
     "load_index",
+    "save_features",
+    "load_features",
 ]

@@ -31,7 +31,7 @@ from repro.core.qlevel import QLevelBranch
 from repro.exceptions import TreeParseError
 from repro.trees.binary import EPSILON
 
-__all__ = ["save_index", "load_index"]
+__all__ = ["save_index", "load_index", "save_features", "load_features"]
 
 _FORMAT = "repro-ifi"
 _VERSION = 1
@@ -139,3 +139,22 @@ def load_index(path: PathLike) -> InvertedFileIndex:
             postings.append(posting)
         index._lists[branch] = postings
     return index
+
+
+def save_features(store, path: PathLike) -> None:
+    """Serialize a :class:`~repro.features.store.FeatureStore` to ``path``.
+
+    Convenience re-export of
+    :func:`repro.features.io.save_feature_plane` (imported lazily — the
+    feature layer sits above this module).
+    """
+    from repro.features.io import save_feature_plane
+
+    save_feature_plane(store, path)
+
+
+def load_features(path: PathLike):
+    """Restore a feature store written by :func:`save_features`."""
+    from repro.features.io import load_feature_plane
+
+    return load_feature_plane(path)

@@ -21,6 +21,7 @@ from repro.core.branches import iter_positional_branches
 from repro.core.positional import PositionalProfile
 from repro.core.qlevel import iter_positional_qlevel_branches, qlevel_bound_factor
 from repro.core.vectors import BranchVector
+from repro.exceptions import InvalidParameterError
 from repro.trees.node import TreeNode
 
 __all__ = ["Posting", "InvertedFileIndex"]
@@ -78,7 +79,7 @@ class InvertedFileIndex:
     def add_tree(self, tree_id: int, tree: TreeNode) -> None:
         """Traverse ``tree`` and append its branch occurrences to the IFI."""
         if tree_id in self._tree_sizes:
-            raise ValueError(f"tree id {tree_id} already indexed")
+            raise InvalidParameterError(f"tree id {tree_id} already indexed")
         if self.q == 2:
             items = iter_positional_branches(tree)
         else:

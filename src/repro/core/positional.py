@@ -34,6 +34,7 @@ from typing import Dict, Hashable, List, Sequence, Tuple, Union
 
 from repro.core.branches import iter_positional_branches
 from repro.core.qlevel import iter_positional_qlevel_branches, qlevel_bound_factor
+from repro.exceptions import SignatureMismatchError
 from repro.trees.node import TreeNode
 
 __all__ = [
@@ -196,7 +197,7 @@ def positional_branch_distance(
     profile1 = p1 if isinstance(p1, PositionalProfile) else positional_profile(p1, q)
     profile2 = p2 if isinstance(p2, PositionalProfile) else positional_profile(p2, q)
     if profile1.q != profile2.q:
-        raise ValueError("profiles built with different branch levels")
+        raise SignatureMismatchError("profiles built with different branch levels")
     total = 0
     keys = set(profile1.pre_positions) | set(profile2.pre_positions)
     for key in keys:
@@ -245,7 +246,7 @@ def search_lower_bound(
     profile1 = p1 if isinstance(p1, PositionalProfile) else positional_profile(p1, q)
     profile2 = p2 if isinstance(p2, PositionalProfile) else positional_profile(p2, q)
     if profile1.q != profile2.q:
-        raise ValueError("profiles built with different branch levels")
+        raise SignatureMismatchError("profiles built with different branch levels")
     factor = qlevel_bound_factor(profile1.q)
 
     # The branches unique to one tree contribute a constant to PosBDist for

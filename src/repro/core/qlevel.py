@@ -17,6 +17,7 @@ from __future__ import annotations
 
 from typing import Iterator, List, NamedTuple, Optional, Tuple
 
+from repro.exceptions import InvalidParameterError
 from repro.trees.binary import EPSILON
 from repro.trees.node import Label, TreeNode
 
@@ -54,7 +55,7 @@ class PositionalQLevelBranch(NamedTuple):
 def qlevel_bound_factor(q: int) -> int:
     """The Theorem 3.3 constant ``4(q−1)+1`` (= 5 for the base case q=2)."""
     if q < 2:
-        raise ValueError("q must be >= 2 (q=1 encodes no structure at all)")
+        raise InvalidParameterError("q must be >= 2 (q=1 encodes no structure at all)")
     return 4 * (q - 1) + 1
 
 

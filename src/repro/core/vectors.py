@@ -20,6 +20,7 @@ from typing import Dict, Hashable, Mapping, Union
 
 from repro.core.branches import iter_branches
 from repro.core.qlevel import iter_qlevel_branches, qlevel_bound_factor
+from repro.exceptions import SignatureMismatchError
 from repro.trees.node import TreeNode
 
 __all__ = ["BranchVector", "branch_vector", "branch_distance"]
@@ -55,11 +56,12 @@ class BranchVector:
     def l1_distance(self, other: "BranchVector") -> int:
         """``BDist`` — the L1 distance between two branch vectors.
 
-        Raises ``ValueError`` when the vectors were built with different
+        Raises :class:`~repro.exceptions.SignatureMismatchError` (a
+        ``ValueError`` subclass) when the vectors were built with different
         branch levels (the embedding spaces are incomparable).
         """
         if self.q != other.q:
-            raise ValueError(
+            raise SignatureMismatchError(
                 f"cannot compare q={self.q} and q={other.q} branch vectors"
             )
         mine, theirs = self.counts, other.counts
@@ -76,7 +78,7 @@ class BranchVector:
     def overlap(self, other: "BranchVector") -> int:
         """Number of shared branches (multiset intersection size)."""
         if self.q != other.q:
-            raise ValueError("branch levels differ")
+            raise SignatureMismatchError("branch levels differ")
         mine, theirs = self.counts, other.counts
         if len(mine) > len(theirs):
             mine, theirs = theirs, mine

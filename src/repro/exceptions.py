@@ -8,6 +8,9 @@ __all__ = [
     "InvalidTreeError",
     "InvalidEditOperationError",
     "QueryError",
+    "InvalidParameterError",
+    "SignatureMismatchError",
+    "FilterStateError",
 ]
 
 
@@ -29,3 +32,20 @@ class InvalidEditOperationError(ReproError, ValueError):
 
 class QueryError(ReproError, ValueError):
     """A similarity query was issued with invalid parameters."""
+
+
+class InvalidParameterError(ReproError, ValueError):
+    """A structural parameter (branch level, index id, …) is out of range."""
+
+
+class SignatureMismatchError(ReproError, ValueError):
+    """Two per-tree signatures live in incomparable embedding spaces.
+
+    Raised when comparing branch vectors or positional profiles built with
+    different branch levels ``q``, or packed vectors interned against
+    different vocabularies.
+    """
+
+
+class FilterStateError(ReproError, RuntimeError):
+    """A filter was used outside its fit → add/bounds lifecycle."""

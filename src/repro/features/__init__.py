@@ -1,0 +1,27 @@
+"""The shared feature plane: one-pass signature extraction for a corpus.
+
+Every per-tree artifact the filter-and-refine stack derives — branch
+vectors, positional profiles, histograms, traversal strings — is computed
+by a single traversal per tree (:func:`extract_features`), interned against
+a corpus-wide :class:`Vocabulary`, packed into integer-array vectors
+(:class:`PackedVector`), and owned by one :class:`FeatureStore` that the
+filters, the database, the serving layer and the persistence code all
+share.  See ``docs/FEATURES.md``.
+"""
+
+from repro.features.extract import TreeFeatures, extract_features
+from repro.features.io import load_feature_plane, save_feature_plane
+from repro.features.packed import PackedVector, pack_counts
+from repro.features.store import FeatureStore
+from repro.features.vocabulary import Vocabulary
+
+__all__ = [
+    "FeatureStore",
+    "PackedVector",
+    "TreeFeatures",
+    "Vocabulary",
+    "extract_features",
+    "load_feature_plane",
+    "pack_counts",
+    "save_feature_plane",
+]

@@ -1,0 +1,203 @@
+"""One-pass extraction of every per-tree derived artifact.
+
+The filters and indexes of this package each need a different projection of
+the same traversal: branch windows with (preorder, postorder) positions for
+the BiBranch filters and the inverted file, label/degree/height histograms
+for the Kailing comparator, preorder/postorder label strings for the Guha
+baseline, and the tree size for everything.  Fitting them independently
+walks the corpus once *per filter*.  :func:`extract_features` walks each
+tree exactly once — a single explicit-stack traversal that assigns both
+traversal numbers, maintains child heights on the way back up, and cuts
+q-level branch windows for every requested level — and materializes all
+artifacts together in a :class:`TreeFeatures` record.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+from repro.core.branches import BinaryBranch
+from repro.core.positional import PositionalProfile
+from repro.core.qlevel import QLevelBranch, _window_labels, qlevel_bound_factor
+from repro.exceptions import InvalidParameterError
+from repro.trees.binary import EPSILON
+from repro.trees.node import TreeNode
+
+__all__ = ["TreeFeatures", "extract_features"]
+
+BranchKey = Hashable
+
+
+class TreeFeatures:
+    """Every derived artifact of one tree, produced by a single traversal.
+
+    Attributes
+    ----------
+    size:
+        ``|T|`` — number of nodes.
+    branch_counts:
+        Per q level, the branch → occurrence-count mapping (the sparse
+        branch vector before interning).
+    profiles:
+        Per q level, the :class:`~repro.core.positional.PositionalProfile`.
+    labels / degrees:
+        Unfolded label and degree histograms.
+    heights:
+        Ascending multiset of node heights.
+    pre_labels / post_labels:
+        Preorder and postorder label sequences (traversal strings).
+    leaf_count:
+        Number of leaves.
+    """
+
+    __slots__ = (
+        "size",
+        "branch_counts",
+        "profiles",
+        "labels",
+        "degrees",
+        "heights",
+        "pre_labels",
+        "post_labels",
+        "leaf_count",
+    )
+
+    def __init__(
+        self,
+        size: int,
+        branch_counts: Dict[int, Dict[BranchKey, int]],
+        profiles: Dict[int, PositionalProfile],
+        labels: Dict[object, int],
+        degrees: Dict[int, int],
+        heights: List[int],
+        pre_labels: List,
+        post_labels: List,
+        leaf_count: int,
+    ) -> None:
+        self.size = size
+        self.branch_counts = branch_counts
+        self.profiles = profiles
+        self.labels = labels
+        self.degrees = degrees
+        self.heights = heights
+        self.pre_labels = pre_labels
+        self.post_labels = post_labels
+        self.leaf_count = leaf_count
+
+    def __repr__(self) -> str:
+        return (
+            f"TreeFeatures(size={self.size}, "
+            f"q_levels={sorted(self.branch_counts)}, leaves={self.leaf_count})"
+        )
+
+
+def _branch_of(node: TreeNode) -> BinaryBranch:
+    first = node.first_child
+    sibling = node.next_sibling
+    return BinaryBranch(
+        node.label,
+        EPSILON if first is None else first.label,
+        EPSILON if sibling is None else sibling.label,
+    )
+
+
+def extract_features(
+    tree: TreeNode, q_levels: Sequence[int] = (2,)
+) -> TreeFeatures:
+    """Walk ``tree`` once and compute all per-tree artifacts.
+
+    ``q_levels`` selects the branch levels to extract windows for (each
+    validated by :func:`~repro.core.qlevel.qlevel_bound_factor`).  Per node
+    the work is ``O(Σ_q 2^q)`` for the windows plus ``O(1)`` bookkeeping for
+    the histograms, positions and traversal strings.
+
+    >>> from repro.trees import parse_bracket
+    >>> features = extract_features(parse_bracket("a(b,c)"))
+    >>> features.size, features.leaf_count, features.heights
+    (3, 2, [0, 0, 1])
+    >>> features.pre_labels, features.post_labels
+    (['a', 'b', 'c'], ['b', 'c', 'a'])
+    """
+    levels = tuple(dict.fromkeys(q_levels))  # dedupe, keep order
+    if not levels:
+        raise InvalidParameterError("at least one branch level is required")
+    for q in levels:
+        qlevel_bound_factor(q)  # validates q >= 2
+
+    pre_by_q: Dict[int, Dict[BranchKey, List[int]]] = {q: {} for q in levels}
+    post_by_q: Dict[int, Dict[BranchKey, List[int]]] = {q: {} for q in levels}
+    pairs_by_q: Dict[int, Dict[BranchKey, List[Tuple[int, int]]]] = {
+        q: {} for q in levels
+    }
+    labels: Counter = Counter()
+    degrees: Counter = Counter()
+    heights_by_id: Dict[int, int] = {}
+    heights: List[int] = []
+    pre_labels: List = []
+    post_labels: List = []
+    leaf_count = 0
+
+    pre_counter = 0
+    post_counter = 0
+    # stack holds (node, pre); pre is None before the node is expanded
+    stack: List[Tuple[TreeNode, Optional[int]]] = [(tree, None)]
+    while stack:
+        node, pre = stack.pop()
+        if pre is None:
+            pre_counter += 1
+            pre_labels.append(node.label)
+            stack.append((node, pre_counter))
+            for child in reversed(node.children):
+                stack.append((child, None))
+            continue
+        post_counter += 1
+        label = node.label
+        post_labels.append(label)
+        labels[label] += 1
+        degrees[node.degree] += 1
+        if node.is_leaf:
+            leaf_count += 1
+            height = 0
+        else:
+            height = 1 + max(
+                heights_by_id.pop(id(child)) for child in node.children
+            )
+        heights_by_id[id(node)] = height
+        heights.append(height)
+        for q in levels:
+            if q == 2:
+                branch: BranchKey = _branch_of(node)
+            else:
+                branch = QLevelBranch(_window_labels(node, q))
+            pre_by_q[q].setdefault(branch, []).append(pre)
+            post_by_q[q].setdefault(branch, []).append(post_counter)
+            pairs_by_q[q].setdefault(branch, []).append((pre, post_counter))
+
+    size = post_counter
+    heights.sort()
+    for q in levels:
+        for positions in pre_by_q[q].values():
+            positions.sort()
+        for positions in post_by_q[q].values():
+            positions.sort()
+
+    branch_counts = {
+        q: {branch: len(pairs) for branch, pairs in pairs_by_q[q].items()}
+        for q in levels
+    }
+    profiles = {
+        q: PositionalProfile(pre_by_q[q], post_by_q[q], pairs_by_q[q], size, q)
+        for q in levels
+    }
+    return TreeFeatures(
+        size=size,
+        branch_counts=branch_counts,
+        profiles=profiles,
+        labels=dict(labels),
+        degrees=dict(degrees),
+        heights=heights,
+        pre_labels=pre_labels,
+        post_labels=post_labels,
+        leaf_count=leaf_count,
+    )

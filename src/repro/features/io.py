@@ -1,0 +1,162 @@
+"""Persistence of the feature plane (vocabulary + packed artifacts).
+
+A fitted :class:`~repro.features.store.FeatureStore` is the dominant setup
+cost of a database after parsing; persisting it lets a reloaded database
+skip extraction entirely (its ``extraction_passes`` counter stays 0 — the
+round-trip tests assert exactly that).
+
+The JSON document stores the interned vocabulary once (branch keys in id
+order, labels encoded with the same tagged scheme as the inverted-file
+serializer in :mod:`repro.core.index_io`) and, per tree, only the
+irreducible raw material: sizes, degree histograms, height multisets and
+per-branch position lists in occurrence order.  Everything else — packed
+vectors, sorted position sequences, traversal strings, label histograms —
+is *derived* at load time from those, without touching any tree:
+
+* sorted pre/post sequences: sort the occurrence-order lists;
+* packed vectors: occurrence counts are the pair-list lengths, interned
+  against the restored vocabulary (ids match by construction — the
+  vocabulary is restored in id order);
+* traversal strings / label histogram: the branch key's root label is the
+  label of the node at that branch's preorder (and postorder) position.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections import Counter
+from typing import Dict, List, Union
+
+from repro.core.branches import BinaryBranch
+from repro.core.index_io import _decode_label, _encode_label
+from repro.core.positional import PositionalProfile
+from repro.core.qlevel import QLevelBranch
+from repro.exceptions import TreeParseError
+from repro.features.extract import TreeFeatures
+from repro.features.store import FeatureStore
+
+__all__ = ["save_feature_plane", "load_feature_plane"]
+
+_FORMAT = "repro-features"
+_VERSION = 1
+
+PathLike = Union[str, os.PathLike]
+
+
+def _encode_key(key) -> List:
+    if isinstance(key, BinaryBranch):
+        labels = tuple(key)
+    elif isinstance(key, QLevelBranch):
+        labels = key.labels
+    else:
+        raise TreeParseError(f"unknown branch type {type(key).__name__}")
+    return [_encode_label(label) for label in labels]
+
+
+def _decode_key(encoded: List):
+    labels = tuple(_decode_label(item) for item in encoded)
+    if len(labels) == 3:
+        # 2-level windows are always BinaryBranch triples in the store
+        return BinaryBranch(*labels)
+    return QLevelBranch(labels)
+
+
+def _root_label(key):
+    return key.root if isinstance(key, BinaryBranch) else key.labels[0]
+
+
+def save_feature_plane(store: FeatureStore, path: PathLike) -> None:
+    """Serialize a fitted feature store to ``path`` as JSON."""
+    vocabulary = store.vocabulary
+    trees = []
+    for features in store:
+        profiles: Dict[str, List] = {}
+        for q in store.q_levels:
+            entries = []
+            for branch, pairs in features.profiles[q].pairs.items():
+                dim = vocabulary.lookup(branch)
+                assert dim is not None  # store-side branches are interned
+                entries.append(
+                    [dim, [pre for pre, _ in pairs], [post for _, post in pairs]]
+                )
+            profiles[str(q)] = entries
+        trees.append(
+            {
+                "size": features.size,
+                "leaves": features.leaf_count,
+                "degrees": sorted(features.degrees.items()),
+                "heights": features.heights,
+                "profiles": profiles,
+            }
+        )
+    document = {
+        "format": _FORMAT,
+        "version": _VERSION,
+        "q_levels": list(store.q_levels),
+        "generation": store.generation,
+        "vocabulary": [_encode_key(key) for key in vocabulary],
+        "trees": trees,
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle)
+
+
+def load_feature_plane(path: PathLike) -> FeatureStore:
+    """Restore a feature store written by :func:`save_feature_plane`.
+
+    The restored store performs **no** tree traversals
+    (``store.extraction_passes == 0``); all artifacts are rebuilt from the
+    persisted raw material.
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        document = json.load(handle)
+    if document.get("format") != _FORMAT:
+        raise TreeParseError(f"{path}: not a repro feature plane")
+    if document.get("version") != _VERSION:
+        raise TreeParseError(
+            f"{path}: unsupported feature-plane version {document.get('version')!r}"
+        )
+    store = FeatureStore(q_levels=document["q_levels"])
+    keys = [_decode_key(encoded) for encoded in document["vocabulary"]]
+    for key in keys:
+        store.vocabulary.intern(key)
+    derive_q = store.q_levels[0]
+    for record in document["trees"]:
+        size = record["size"]
+        branch_counts: Dict[int, Dict] = {}
+        profiles: Dict[int, PositionalProfile] = {}
+        for q in store.q_levels:
+            pre: Dict = {}
+            post: Dict = {}
+            pairs: Dict = {}
+            counts: Dict = {}
+            for dim, raw_pre, raw_post in record["profiles"][str(q)]:
+                branch = keys[dim]
+                pre[branch] = sorted(raw_pre)
+                post[branch] = sorted(raw_post)
+                pairs[branch] = list(zip(raw_pre, raw_post))
+                counts[branch] = len(raw_pre)
+            branch_counts[q] = counts
+            profiles[q] = PositionalProfile(pre, post, pairs, size, q)
+        pre_labels: List = [None] * size
+        post_labels: List = [None] * size
+        for branch, occurrence_pairs in profiles[derive_q].pairs.items():
+            label = _root_label(branch)
+            for pre_position, post_position in occurrence_pairs:
+                pre_labels[pre_position - 1] = label
+                post_labels[post_position - 1] = label
+        features = TreeFeatures(
+            size=size,
+            branch_counts=branch_counts,
+            profiles=profiles,
+            labels=dict(Counter(pre_labels)),
+            degrees={degree: count for degree, count in record["degrees"]},
+            heights=list(record["heights"]),
+            pre_labels=pre_labels,
+            post_labels=post_labels,
+            leaf_count=record["leaves"],
+        )
+        store._append(features)
+    store.generation = document.get("generation", 0)
+    return store

@@ -6,13 +6,26 @@ edit distance to the query.  The search algorithms
 this interface: completeness of the query answers only requires the
 lower-bound property ``bound(q, i) ≤ EDist(query, trees[i])``, which every
 implementation in this package guarantees (each documents its proof).
+
+Filters can be fitted two ways:
+
+* **standalone** — :meth:`LowerBoundFilter.fit` traverses every tree and
+  builds this filter's signatures from scratch;
+* **store-backed** — :meth:`LowerBoundFilter.fit_from_store` derives the
+  signatures as views over a shared
+  :class:`~repro.features.store.FeatureStore`, whose one-pass extraction
+  already computed every artifact the filter needs.  Filters that support
+  this set :attr:`supports_store` and implement :meth:`store_signature`;
+  the two paths are proven bound-identical by the property tests in
+  ``tests/filters/test_store_equivalence.py``.
 """
 
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Generic, List, Sequence, TypeVar
+from typing import Generic, List, Sequence, Tuple, TypeVar
 
+from repro.exceptions import FilterStateError
 from repro.trees.node import TreeNode
 
 __all__ = ["LowerBoundFilter"]
@@ -23,12 +36,19 @@ Signature = TypeVar("Signature")
 class LowerBoundFilter(ABC, Generic[Signature]):
     """Abstract base class of edit-distance lower-bound filters.
 
-    Lifecycle: construct, :meth:`fit` on the database trees once (building
-    per-tree signatures), then call :meth:`bounds` per query.
+    Lifecycle: construct, then :meth:`fit` (or :meth:`fit_from_store`) on
+    the database trees once, then :meth:`bounds` per query and optionally
+    :meth:`add` per insertion.  Calling :meth:`add` or :meth:`bounds` before
+    a fit raises :class:`~repro.exceptions.FilterStateError`; to build a
+    filter incrementally from nothing, start from the explicit empty fit
+    ``flt.fit([])``.
     """
 
     #: Short identifier used in benchmark reports ("BiBranch", "Histo", …).
     name: str = "abstract"
+
+    #: Whether this filter can derive its signatures from a FeatureStore.
+    supports_store: bool = False
 
     def __init__(self) -> None:
         self._signatures: List[Signature] = []
@@ -39,7 +59,7 @@ class LowerBoundFilter(ABC, Generic[Signature]):
     # ------------------------------------------------------------------
     def fit(self, trees: Sequence[TreeNode]) -> "LowerBoundFilter[Signature]":
         """Precompute signatures for the database trees; returns ``self``."""
-        self._signatures = [self.signature(tree) for tree in trees]
+        self._signatures = [self._index_signature(tree) for tree in trees]
         self._fitted = True
         return self
 
@@ -47,10 +67,55 @@ class LowerBoundFilter(ABC, Generic[Signature]):
         """Append one tree's signature (dynamic insertion); returns its index.
 
         Signatures are independent per tree, so insertion is O(|tree|) for
-        every filter in this package.
+        every filter in this package.  The filter must already be fitted —
+        an ``add`` on a never-fitted filter would let :meth:`bounds` run
+        silently against a partial index; use ``fit([])`` first to build up
+        a filter from an empty collection.
         """
-        self._signatures.append(self.signature(tree))
+        if not self._fitted:
+            raise FilterStateError(
+                f"filter {self.name!r}: add() before fit(); "
+                "call fit([]) first to start from an empty index"
+            )
+        self._signatures.append(self._index_signature(tree))
+        return len(self._signatures) - 1
+
+    # ------------------------------------------------------------------
+    # Store-backed indexing
+    # ------------------------------------------------------------------
+    def required_q_levels(self) -> Tuple[int, ...]:
+        """Branch levels a backing FeatureStore must extract for this filter."""
+        return ()
+
+    def store_signature(self, store, index: int) -> Signature:
+        """Signature of the ``index``-th store tree, as a view over ``store``.
+
+        Must equal (in bound terms) ``self.signature(trees[index])``; only
+        meaningful when :attr:`supports_store` is true.
+        """
+        raise NotImplementedError(
+            f"filter {self.name!r} does not support store-backed signatures"
+        )
+
+    def _bind_store(self, store) -> None:
+        """Adopt store-owned shared state (vocabularies); default no-op."""
+
+    def fit_from_store(self, store) -> "LowerBoundFilter[Signature]":
+        """Derive all signatures from a fitted FeatureStore; returns ``self``."""
+        self._bind_store(store)
+        self._signatures = [
+            self.store_signature(store, index) for index in range(len(store))
+        ]
         self._fitted = True
+        return self
+
+    def add_from_store(self, store, index: int) -> int:
+        """Append the signature of a tree just added to the backing store."""
+        if not self._fitted:
+            raise FilterStateError(
+                f"filter {self.name!r}: add_from_store() before fit"
+            )
+        self._signatures.append(self.store_signature(store, index))
         return len(self._signatures) - 1
 
     @property
@@ -69,6 +134,15 @@ class LowerBoundFilter(ABC, Generic[Signature]):
     def signature(self, tree: TreeNode) -> Signature:
         """Build the per-tree signature the bound is computed from."""
 
+    def _index_signature(self, tree: TreeNode) -> Signature:
+        """Signature used for *database-side* trees during fit/add.
+
+        Defaults to :meth:`signature`.  Filters whose index side may mutate
+        shared state (e.g. grow a vocabulary) override this, keeping the
+        query-side :meth:`signature` read-only and therefore thread-safe.
+        """
+        return self.signature(tree)
+
     @abstractmethod
     def bound(self, query: Signature, data: Signature) -> float:
         """Lower bound on ``EDist`` between the signatures' trees."""
@@ -79,7 +153,7 @@ class LowerBoundFilter(ABC, Generic[Signature]):
     def bounds(self, query_tree: TreeNode) -> List[float]:
         """Lower bounds between ``query_tree`` and every indexed tree."""
         if not self._fitted:
-            raise RuntimeError(f"filter {self.name!r} used before fit()")
+            raise FilterStateError(f"filter {self.name!r} used before fit()")
         query = self.signature(query_tree)
         return [self.bound(query, data) for data in self._signatures]
 

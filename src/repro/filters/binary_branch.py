@@ -1,26 +1,36 @@
 """The paper's filter: binary branch lower bounds (denoted *BiBranch*).
 
-Two variants share the positional profile signature:
+Two variants:
 
 * :class:`BinaryBranchFilter` — the full method of §4: the positional
   optimistic bound ``pr_opt`` found by ``SearchLBound`` (always at least
-  ``⌈BDist/factor⌉`` and the size difference).
+  ``⌈BDist/factor⌉`` and the size difference).  Signatures are positional
+  profiles.
 * :class:`BranchCountFilter` — the §3-only ablation: ``⌈BDist/factor⌉``
-  from branch counts alone, ignoring positions.
+  from branch counts alone, ignoring positions.  Signatures are packed
+  branch vectors (:class:`~repro.features.packed.PackedVector`), so the L1
+  distance runs over sorted int arrays instead of dict unions.
 
 Both generalize to q-level branches via the ``q`` parameter
-(factor ``4(q−1)+1``).
+(factor ``4(q−1)+1``) and both can derive their signatures from a shared
+:class:`~repro.features.store.FeatureStore` instead of re-traversing the
+corpus (``fit_from_store``).
 """
 
 from __future__ import annotations
 
+from collections import Counter
+
+from repro.core.branches import iter_branches
 from repro.core.positional import (
     PositionalProfile,
     positional_branch_distance,
     positional_profile,
     search_lower_bound,
 )
-from repro.core.qlevel import qlevel_bound_factor
+from repro.core.qlevel import iter_qlevel_branches, qlevel_bound_factor
+from repro.features.packed import PackedVector, pack_counts
+from repro.features.vocabulary import Vocabulary
 from repro.filters.base import LowerBoundFilter
 from repro.trees.node import TreeNode
 
@@ -39,6 +49,8 @@ class BinaryBranchFilter(LowerBoundFilter[PositionalProfile]):
         linear-time approximation (slower; for experiments).
     """
 
+    supports_store = True
+
     def __init__(self, q: int = 2, exact_matching: bool = False) -> None:
         super().__init__()
         self.q = q
@@ -46,8 +58,14 @@ class BinaryBranchFilter(LowerBoundFilter[PositionalProfile]):
         self.exact_matching = exact_matching
         self.name = f"BiBranch({q})" if q != 2 else "BiBranch"
 
+    def required_q_levels(self):
+        return (self.q,)
+
     def signature(self, tree: TreeNode) -> PositionalProfile:
         return positional_profile(tree, self.q)
+
+    def store_signature(self, store, index: int) -> PositionalProfile:
+        return store.profile(index, self.q)
 
     def bound(self, query: PositionalProfile, data: PositionalProfile) -> float:
         return search_lower_bound(query, data, exact=self.exact_matching)
@@ -71,27 +89,54 @@ class BinaryBranchFilter(LowerBoundFilter[PositionalProfile]):
         return f"BinaryBranchFilter(q={self.q}, trees={self.size})"
 
 
-class BranchCountFilter(LowerBoundFilter[PositionalProfile]):
+class BranchCountFilter(LowerBoundFilter[PackedVector]):
     """Count-only binary branch filter: ``⌈BDist / (4(q−1)+1)⌉``.
 
     The §3 bound without the positional refinement — the natural ablation
     for measuring what positions buy (see ``benchmarks/test_ablation_*``).
+
+    Signatures are packed vectors interned against a per-filter vocabulary
+    (or, when store-backed, the corpus-wide store vocabulary).  Database
+    trees intern new branches during :meth:`fit`/:meth:`add`; query
+    signatures never mutate the vocabulary — branches the index has not
+    seen stay keyed by raw branch in the vector's ``extra`` mapping, which
+    keeps concurrent query threads race-free.
     """
+
+    supports_store = True
 
     def __init__(self, q: int = 2) -> None:
         super().__init__()
         self.q = q
         self.factor = qlevel_bound_factor(q)
         self.name = f"BiBranchCount({q})" if q != 2 else "BiBranchCount"
+        self._vocabulary = Vocabulary()
 
-    def signature(self, tree: TreeNode) -> PositionalProfile:
-        return positional_profile(tree, self.q)
+    def required_q_levels(self):
+        return (self.q,)
 
-    def bound(self, query: PositionalProfile, data: PositionalProfile) -> float:
-        # BDist equals PosBDist at unbounded range; computing it from the
-        # profiles avoids a second signature type.
-        distance = 0
-        keys = set(query.pre_positions) | set(data.pre_positions)
-        for key in keys:
-            distance += abs(query.count(key) - data.count(key))
-        return -(-distance // self.factor)
+    def _counts(self, tree: TreeNode):
+        if self.q == 2:
+            return Counter(iter_branches(tree))
+        return Counter(iter_qlevel_branches(tree, self.q))
+
+    def signature(self, tree: TreeNode) -> PackedVector:
+        """Query-side packed vector; leaves the vocabulary untouched."""
+        return pack_counts(
+            self._counts(tree), self._vocabulary, tree.size, self.q, grow=False
+        )
+
+    def _index_signature(self, tree: TreeNode) -> PackedVector:
+        """Database-side packed vector; interns unseen branches."""
+        return pack_counts(
+            self._counts(tree), self._vocabulary, tree.size, self.q, grow=True
+        )
+
+    def _bind_store(self, store) -> None:
+        self._vocabulary = store.vocabulary
+
+    def store_signature(self, store, index: int) -> PackedVector:
+        return store.packed_vector(index, self.q)
+
+    def bound(self, query: PackedVector, data: PackedVector) -> float:
+        return -(-query.l1_distance(data) // self.factor)

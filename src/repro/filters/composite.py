@@ -20,9 +20,13 @@ class SizeDifferenceFilter(LowerBoundFilter[int]):
     """The trivial ``||T1| − |T2||`` bound, mostly useful inside composites."""
 
     name = "SizeDiff"
+    supports_store = True
 
     def signature(self, tree: TreeNode) -> int:
         return tree.size
+
+    def store_signature(self, store, index: int) -> int:
+        return store.tree_size(index)
 
     def bound(self, query: int, data: int) -> float:
         return abs(query - data)
@@ -49,8 +53,30 @@ class MaxCompositeFilter(LowerBoundFilter[Tuple]):
         self.filters: List[LowerBoundFilter] = list(filters)
         self.name = name
 
+    @property
+    def supports_store(self) -> bool:  # type: ignore[override]
+        return all(child.supports_store for child in self.filters)
+
+    def required_q_levels(self) -> Tuple[int, ...]:
+        levels: List[int] = []
+        for child in self.filters:
+            levels.extend(child.required_q_levels())
+        return tuple(dict.fromkeys(levels))
+
+    def _bind_store(self, store) -> None:
+        for child in self.filters:
+            child._bind_store(store)
+
     def signature(self, tree: TreeNode) -> Tuple:
         return tuple(child.signature(tree) for child in self.filters)
+
+    def _index_signature(self, tree: TreeNode) -> Tuple:
+        return tuple(child._index_signature(tree) for child in self.filters)
+
+    def store_signature(self, store, index: int) -> Tuple:
+        return tuple(
+            child.store_signature(store, index) for child in self.filters
+        )
 
     def bound(self, query: Tuple, data: Tuple) -> float:
         return max(

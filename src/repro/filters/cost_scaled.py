@@ -50,8 +50,24 @@ class CostScaledFilter(LowerBoundFilter[Any]):
         self.costs = costs
         self.name = f"{inner.name}*{costs.min_operation_cost:g}"
 
+    @property
+    def supports_store(self) -> bool:  # type: ignore[override]
+        return self.inner.supports_store
+
+    def required_q_levels(self):
+        return self.inner.required_q_levels()
+
+    def _bind_store(self, store) -> None:
+        self.inner._bind_store(store)
+
     def signature(self, tree: TreeNode):
         return self.inner.signature(tree)
+
+    def _index_signature(self, tree: TreeNode):
+        return self.inner._index_signature(tree)
+
+    def store_signature(self, store, index: int):
+        return self.inner.store_signature(store, index)
 
     def bound(self, query, data) -> float:
         return self.inner.bound(query, data) * self.costs.min_operation_cost

@@ -37,7 +37,7 @@ from __future__ import annotations
 
 import zlib
 from collections import Counter
-from typing import Dict, List, NamedTuple, Optional, Sequence, Tuple
+from typing import Dict, List, NamedTuple, Optional, Sequence
 
 from repro.core.positional import greedy_interval_matching
 from repro.core.vectors import branch_vector
@@ -112,6 +112,40 @@ def _stable_fold(label: object, bins: int) -> int:
     return zlib.crc32(repr(label).encode("utf-8")) % bins
 
 
+def _fold_signature(
+    features,
+    label_bins: Optional[int],
+    degree_bins: Optional[int],
+    height_cap: Optional[int],
+) -> HistogramSignature:
+    """Fold a store's raw (unfolded) histograms to a filter's parameters.
+
+    Folding after extraction is exactly equivalent to folding during the
+    traversal: every fold merges bins by summing their counts, heights stay
+    sorted under the monotone ``min(·, cap)``, so the result is bit-identical
+    to :func:`_build_signature` on the original tree.
+    """
+    if label_bins is None:
+        labels = features.labels
+    else:
+        folded: Counter = Counter()
+        for label, count in features.labels.items():
+            folded[_stable_fold(label, label_bins)] += count
+        labels = dict(folded)
+    if degree_bins is None:
+        degrees = features.degrees
+    else:
+        clamped: Counter = Counter()
+        for degree, count in features.degrees.items():
+            clamped[min(degree, degree_bins - 1)] += count
+        degrees = dict(clamped)
+    if height_cap is None:
+        heights = features.heights
+    else:
+        heights = [min(height, height_cap) for height in features.heights]
+    return HistogramSignature(labels, degrees, heights, features.size)
+
+
 def _l1(a: Dict, b: Dict) -> int:
     if len(a) > len(b):
         a, b = b, a
@@ -171,6 +205,7 @@ class HistogramFilter(LowerBoundFilter[HistogramSignature]):
     """
 
     name = "Histo"
+    supports_store = True
 
     def __init__(
         self,
@@ -186,6 +221,11 @@ class HistogramFilter(LowerBoundFilter[HistogramSignature]):
     def signature(self, tree: TreeNode) -> HistogramSignature:
         return _build_signature(
             tree, self.label_bins, self.degree_bins, self.height_cap
+        )
+
+    def store_signature(self, store, index: int) -> HistogramSignature:
+        return _fold_signature(
+            store.features(index), self.label_bins, self.degree_bins, self.height_cap
         )
 
     def bound(self, query: HistogramSignature, data: HistogramSignature) -> float:
@@ -233,37 +273,43 @@ def space_parity_histogram_filter(trees: "Sequence[TreeNode]") -> HistogramFilte
     )
 
 
-class LabelHistogramFilter(LowerBoundFilter[HistogramSignature]):
-    """Label histogram only (component ablation)."""
+class _UnfoldedHistogramFilter(LowerBoundFilter[HistogramSignature]):
+    """Shared plumbing of the single-histogram ablation filters."""
 
-    name = "Histo-label"
+    supports_store = True
 
     def signature(self, tree: TreeNode) -> HistogramSignature:
         return _build_signature(tree)
+
+    def store_signature(self, store, index: int) -> HistogramSignature:
+        features = store.features(index)
+        return HistogramSignature(
+            features.labels, features.degrees, features.heights, features.size
+        )
+
+
+class LabelHistogramFilter(_UnfoldedHistogramFilter):
+    """Label histogram only (component ablation)."""
+
+    name = "Histo-label"
 
     def bound(self, query: HistogramSignature, data: HistogramSignature) -> float:
         return label_histogram_bound(query, data)
 
 
-class DegreeHistogramFilter(LowerBoundFilter[HistogramSignature]):
+class DegreeHistogramFilter(_UnfoldedHistogramFilter):
     """Degree histogram only (component ablation)."""
 
     name = "Histo-degree"
-
-    def signature(self, tree: TreeNode) -> HistogramSignature:
-        return _build_signature(tree)
 
     def bound(self, query: HistogramSignature, data: HistogramSignature) -> float:
         return degree_histogram_bound(query, data)
 
 
-class HeightHistogramFilter(LowerBoundFilter[HistogramSignature]):
+class HeightHistogramFilter(_UnfoldedHistogramFilter):
     """Height histogram only (component ablation)."""
 
     name = "Histo-height"
-
-    def signature(self, tree: TreeNode) -> HistogramSignature:
-        return _build_signature(tree)
 
     def bound(self, query: HistogramSignature, data: HistogramSignature) -> float:
         return height_histogram_bound(query, data)

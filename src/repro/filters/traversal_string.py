@@ -36,9 +36,14 @@ class TraversalStringFilter(LowerBoundFilter[TraversalStringSignature]):
     """Guha-style lower bound: max of the two traversal string distances."""
 
     name = "TraversalSED"
+    supports_store = True
 
     def signature(self, tree: TreeNode) -> TraversalStringSignature:
         return TraversalStringSignature(preorder_labels(tree), postorder_labels(tree))
+
+    def store_signature(self, store, index: int) -> TraversalStringSignature:
+        features = store.features(index)
+        return TraversalStringSignature(features.pre_labels, features.post_labels)
 
     def bound(
         self, query: TraversalStringSignature, data: TraversalStringSignature

@@ -24,6 +24,8 @@ from typing import Iterable, List, Optional, Tuple
 from repro.core.inverted_file import InvertedFileIndex
 from repro.editdist.costs import UNIT_COSTS, CostModel
 from repro.editdist.zhang_shasha import EditDistanceCounter
+from repro.exceptions import InvalidParameterError
+from repro.features.store import FeatureStore
 from repro.filters.base import LowerBoundFilter
 from repro.filters.binary_branch import BinaryBranchFilter
 from repro.search.knn import knn_query
@@ -45,12 +47,19 @@ class TreeDatabase:
     flt:
         The lower-bound filter; default is the paper's positional
         :class:`~repro.filters.binary_branch.BinaryBranchFilter`.  It is
-        fitted here if not already fitted.
+        fitted here if not already fitted — from the shared feature plane
+        when the filter supports it, so all signatures come out of one
+        extraction pass per tree.
     costs:
         Edit-operation cost model for the refinement distance.
     build_index:
         Also build the :class:`InvertedFileIndex` (Algorithm 1); needed by
         :meth:`inverted_index` and the join algorithm.
+    feature_store:
+        A prebuilt :class:`~repro.features.store.FeatureStore` covering
+        exactly ``trees`` (e.g. restored from disk by
+        :func:`repro.storage.load_database`).  When given, fitting the
+        filter performs **no** tree traversals.
     """
 
     def __init__(
@@ -59,16 +68,45 @@ class TreeDatabase:
         flt: Optional[LowerBoundFilter] = None,
         costs: CostModel = UNIT_COSTS,
         build_index: bool = False,
+        feature_store: Optional[FeatureStore] = None,
     ) -> None:
         self.trees: List[TreeNode] = list(trees)
         self.counter = EditDistanceCounter(costs)
         self.filter: LowerBoundFilter = flt if flt is not None else BinaryBranchFilter()
+        self._features: Optional[FeatureStore] = None
+        if feature_store is not None:
+            if len(feature_store) != len(self.trees):
+                raise InvalidParameterError(
+                    f"feature store covers {len(feature_store)} trees, "
+                    f"database has {len(self.trees)}"
+                )
+            self._features = feature_store
         if self.filter.size != len(self.trees):
-            self.filter.fit(self.trees)
+            self._fit_filter()
+        self._mutations = 0
         self._index: Optional[InvertedFileIndex] = None
         self._profiles = None
         if build_index:
             self._build_index()
+
+    def _store_q_levels(self) -> Tuple[int, ...]:
+        return self.filter.required_q_levels() or (getattr(self.filter, "q", 2),)
+
+    def _store_usable(self) -> bool:
+        """Whether the filter can be served from the feature plane."""
+        if not self.filter.supports_store:
+            return False
+        if self._features is None:
+            return True  # a compatible store can still be built
+        return all(q in self._features.q_levels for q in self._store_q_levels())
+
+    def _fit_filter(self) -> None:
+        if self._store_usable():
+            if self._features is None:
+                self._features = FeatureStore(self._store_q_levels()).fit(self.trees)
+            self.filter.fit_from_store(self._features)
+        else:
+            self.filter.fit(self.trees)
 
     def _build_index(self) -> None:
         q = getattr(self.filter, "q", 2)
@@ -82,15 +120,23 @@ class TreeDatabase:
     def add(self, tree: TreeNode) -> int:
         """Insert one tree; returns its index.
 
-        The filter signature is computed immediately (O(|tree|)); the
-        inverted index, if already built, is extended in place; cached
-        positional profiles are invalidated.
+        One extraction pass updates the feature plane (O(|tree|)), the
+        filter signature is derived from it (or computed directly for
+        store-less filters), the inverted index — if already built — is
+        extended in place, and cached positional profiles are invalidated.
         """
         index = len(self.trees)
         self.trees.append(tree)
-        self.filter.add(tree)
+        if self._features is not None and self._store_usable():
+            self._features.add(tree)
+            self.filter.add_from_store(self._features, index)
+        else:
+            if self._features is not None:
+                self._features.add(tree)
+            self.filter.add(tree)
         if self._index is not None:
             self._index.add_tree(index, tree)
+        self._mutations += 1
         self._profiles = None
         return index
 
@@ -102,6 +148,23 @@ class TreeDatabase:
 
     def __getitem__(self, index: int) -> TreeNode:
         return self.trees[index]
+
+    @property
+    def features(self) -> Optional[FeatureStore]:
+        """The shared feature plane, if one backs this database."""
+        return self._features
+
+    @property
+    def generation(self) -> int:
+        """Mutation counter for cache-freshness decisions.
+
+        Backed by the feature store's generation when one exists (so
+        out-of-band ``store.add`` calls are visible too), otherwise by a
+        local per-:meth:`add` counter.
+        """
+        if self._features is not None:
+            return self._features.generation
+        return self._mutations
 
     @property
     def inverted_index(self) -> InvertedFileIndex:

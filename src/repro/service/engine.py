@@ -17,11 +17,20 @@ The library's query functions are single-shot: one caller, one query, one
 * **observability** — every query is folded into a
   :class:`~repro.service.metrics.ServiceMetrics`.
 
-Consistency model: the result cache is invalidated whenever the database
-mutates (:meth:`TreeSearchService.add`), and mutations are exclusive —
-they wait for in-flight queries to drain, and queries started after the
-mutation see the new tree.  Answers are therefore always consistent with
-*some* complete database state, never a torn one.
+Consistency model: mutations are exclusive — they wait for in-flight
+queries to drain, and queries started after the mutation see the new tree.
+The result cache is invalidated **selectively** on
+:meth:`TreeSearchService.add`: the database's lower-bound filter already
+proves, for each cached answer, whether the newly inserted tree could
+possibly appear in it (range: the bound between the cached query and the
+new tree exceeds the threshold; k-NN: the result is full and the bound
+strictly exceeds the current k-th distance).  Provably unaffected entries
+are retained, everything else is evicted; entries are additionally stamped
+with the database's :attr:`~repro.search.database.TreeDatabase.generation`
+counter, so answers cached against a database state the service did not
+itself produce (e.g. an out-of-band ``database.add``) are discarded on
+lookup.  Answers are therefore always consistent with *some* complete
+database state, never a torn one.
 
 Examples
 --------
@@ -45,7 +54,7 @@ import time
 from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.editdist.zhang_shasha import EditDistanceCounter, PreparedTreeCache
 from repro.exceptions import QueryError
@@ -118,6 +127,22 @@ class _ReadWriteLock:
             self._condition.notify_all()
 
 
+@dataclass
+class _CacheEntry:
+    """One cached answer plus what the invalidation pruner needs.
+
+    ``query`` is the original query tree (so its filter signature can be
+    recomputed against the *current* state — a signature frozen at caching
+    time could under-count overlap with branches interned later, which
+    would overestimate the bound and unsoundly retain the entry);
+    ``generation`` is the database generation the answer was computed at.
+    """
+
+    answer: QueryAnswer
+    query: TreeNode
+    generation: int
+
+
 class _ResultCache:
     """Bounded LRU of query answers; ``maxsize=0`` disables caching."""
 
@@ -126,29 +151,58 @@ class _ResultCache:
             raise ValueError(f"cache size must be >= 0, got {maxsize}")
         self.maxsize = maxsize
         self._lock = threading.Lock()
-        self._entries: "OrderedDict[CacheKey, QueryAnswer]" = OrderedDict()
+        self._entries: "OrderedDict[CacheKey, _CacheEntry]" = OrderedDict()
 
     def __len__(self) -> int:
         return len(self._entries)
 
-    def get(self, key: CacheKey) -> Optional[QueryAnswer]:
+    def get(self, key: CacheKey, generation: int) -> Optional[QueryAnswer]:
+        """Answer for ``key`` if cached *at the given generation*.
+
+        A generation mismatch means the database mutated without this cache
+        being pruned (an out-of-band mutation); the stale entry is dropped.
+        """
         if self.maxsize == 0:
             return None
         with self._lock:
             entry = self._entries.get(key)
             if entry is None:
                 return None
+            if entry.generation != generation:
+                del self._entries[key]
+                return None
             self._entries.move_to_end(key)
-            return entry
+            return entry.answer
 
-    def put(self, key: CacheKey, answer: QueryAnswer) -> None:
+    def put(self, key: CacheKey, entry: _CacheEntry) -> None:
         if self.maxsize == 0:
             return
         with self._lock:
-            self._entries[key] = answer
+            self._entries[key] = entry
             self._entries.move_to_end(key)
             while len(self._entries) > self.maxsize:
                 self._entries.popitem(last=False)
+
+    def prune(
+        self,
+        keep: Callable[[CacheKey, _CacheEntry], bool],
+        generation: int,
+    ) -> Tuple[int, int]:
+        """Drop entries not proven valid; returns ``(retained, evicted)``.
+
+        Retained entries are re-stamped with the new ``generation`` (the
+        proof extends their validity to the mutated database state).
+        """
+        with self._lock:
+            evicted = 0
+            for key in list(self._entries):
+                entry = self._entries[key]
+                if keep(key, entry):
+                    entry.generation = generation
+                else:
+                    del self._entries[key]
+                    evicted += 1
+            return len(self._entries), evicted
 
     def clear(self) -> None:
         with self._lock:
@@ -243,18 +297,51 @@ class TreeSearchService:
         """Insert one tree; returns its index.
 
         Exclusive: waits for in-flight queries to drain, then appends and
-        invalidates the result cache (any cached answer may now be missing
-        the new tree).  The prepared-tree cache is kept — preparation
-        depends only on the tree object, not on database membership.
+        **selectively** invalidates the result cache.  A cached answer is
+        retained when the database's lower-bound filter proves the new tree
+        cannot appear in it — for a range query, the bound between the
+        cached query and the new tree exceeds the threshold; for a k-NN
+        query, the cached result already has ``k`` members and the bound
+        strictly exceeds the current k-th distance (the new tree is then
+        provably farther than every cached neighbor).  Everything else is
+        evicted.  The prepared-tree cache is kept — preparation depends
+        only on the tree object, not on database membership.
         """
         self._rwlock.acquire_write()
         try:
             index = self.database.add(tree)
-            self._cache.clear()
+            retained, evicted = self._cache.prune(
+                self._entry_survives_add(index), self.database.generation
+            )
         finally:
             self._rwlock.release_write()
-        self.metrics.observe_invalidation()
+        self.metrics.observe_invalidation(retained=retained, evicted=evicted)
         return index
+
+    def _entry_survives_add(
+        self, index: int
+    ) -> Callable[[CacheKey, _CacheEntry], bool]:
+        """Build the keep-predicate for :meth:`add` of tree ``index``.
+
+        The cached query's signature is recomputed against the *current*
+        filter state (vocabularies may have grown since the answer was
+        cached), so every bound below is a true edit-distance lower bound.
+        """
+        flt = self.database.filter
+        new_signature = flt.data_signature(index)
+
+        def keep(key: CacheKey, entry: _CacheEntry) -> bool:
+            kind, _, parameter = key
+            query_signature = flt.signature(entry.query)
+            if kind == "range":
+                return flt.refutes(query_signature, new_signature, parameter)
+            matches = entry.answer[0]
+            if len(matches) < int(parameter):
+                return False  # the new tree completes an under-full answer
+            kth_distance = matches[-1][1]
+            return flt.bound(query_signature, new_signature) > kth_distance
+
+        return keep
 
     # ------------------------------------------------------------------
     # Single queries
@@ -307,7 +394,7 @@ class TreeSearchService:
     def _serve(self, request: QueryRequest) -> QueryAnswer:
         start = time.perf_counter()
         key = self._cache_key(request)
-        cached = self._cache.get(key)
+        cached = self._cache.get(key, self.database.generation)
         if cached is not None:
             matches, stats = cached
             self.metrics.observe_query(
@@ -334,9 +421,13 @@ class TreeSearchService:
                     self.database.filter,
                     counter,
                 )
+            generation = self.database.generation
         finally:
             self._rwlock.release_read()
-        self._cache.put(key, (list(matches), stats.copy()))
+        self._cache.put(
+            key,
+            _CacheEntry((list(matches), stats.copy()), request.query, generation),
+        )
         self.metrics.observe_query(
             request.kind, stats, time.perf_counter() - start, cache_hit=False
         )

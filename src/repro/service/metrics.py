@@ -147,6 +147,8 @@ class ServiceMetrics:
         self.filter_seconds = 0.0
         self.refine_seconds = 0.0
         self.invalidations = 0
+        self.cache_entries_retained = 0
+        self.cache_entries_evicted = 0
         self._latency: Dict[str, LatencyHistogram] = {}
 
     # ------------------------------------------------------------------
@@ -187,10 +189,17 @@ class ServiceMetrics:
         with self._lock:
             self.batches += 1
 
-    def observe_invalidation(self) -> None:
-        """Count one result-cache invalidation (a database mutation)."""
+    def observe_invalidation(self, retained: int = 0, evicted: int = 0) -> None:
+        """Count one invalidation pass (a database mutation).
+
+        ``retained``/``evicted`` break down what the selective pruner did
+        to the result cache: entries proven still valid by the filter's
+        lower bound versus entries that had to go.
+        """
         with self._lock:
             self.invalidations += 1
+            self.cache_entries_retained += retained
+            self.cache_entries_evicted += evicted
 
     # ------------------------------------------------------------------
     # Export
@@ -218,6 +227,8 @@ class ServiceMetrics:
                     "misses": self.cache_misses,
                     "hit_rate": self.cache_hit_rate,
                     "invalidations": self.invalidations,
+                    "entries_retained": self.cache_entries_retained,
+                    "entries_evicted": self.cache_entries_evicted,
                 },
                 "work": {
                     "dataset_objects_considered": self.dataset_objects_considered,
@@ -259,4 +270,6 @@ class ServiceMetrics:
             self.filter_seconds = 0.0
             self.refine_seconds = 0.0
             self.invalidations = 0
+            self.cache_entries_retained = 0
+            self.cache_entries_evicted = 0
             self._latency.clear()

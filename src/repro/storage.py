@@ -5,6 +5,12 @@ Tree datasets are stored as plain text: one bracket-notation tree per line
 diff-friendly, and — unlike pickling the linked node structure — safe for
 arbitrarily deep trees.  A loader for directories of XML documents covers
 the paper's XML-repository use case.
+
+:func:`save_database` / :func:`load_database` persist a whole
+:class:`~repro.search.database.TreeDatabase` as the forest file **plus**
+its feature plane (:mod:`repro.features.io`), so reloading fits the filter
+without a single tree traversal (``database.features.extraction_passes``
+is 0 after a load — asserted by the round-trip tests).
 """
 
 from __future__ import annotations
@@ -18,7 +24,13 @@ from repro.trees.node import TreeNode
 from repro.trees.parse import parse_bracket, to_bracket
 from repro.trees.xml_io import parse_xml_file
 
-__all__ = ["save_forest", "load_forest", "load_xml_directory"]
+__all__ = [
+    "save_forest",
+    "load_forest",
+    "load_xml_directory",
+    "save_database",
+    "load_database",
+]
 
 PathLike = Union[str, os.PathLike]
 
@@ -71,6 +83,50 @@ def load_forest(path: PathLike) -> List[TreeNode]:
                     f"{path}:{line_number}: {exc}"
                 ) from exc
     return trees
+
+
+def _features_path(forest_path: PathLike) -> str:
+    return f"{os.fspath(forest_path)}.features.json"
+
+
+def save_database(database, path: PathLike, header: Optional[str] = None) -> int:
+    """Persist a :class:`~repro.search.database.TreeDatabase` to disk.
+
+    Writes the forest to ``path`` (bracket notation, one tree per line) and
+    the database's feature plane — built on demand if the filter never
+    needed one — to ``<path>.features.json``.  Returns the number of trees
+    written.
+    """
+    from repro.features.io import save_feature_plane
+    from repro.features.store import FeatureStore
+
+    count = save_forest(database.trees, path, header=header)
+    store = database.features
+    if store is None:
+        q = getattr(database.filter, "q", 2)
+        store = FeatureStore((q,)).fit(database.trees)
+    save_feature_plane(store, _features_path(path))
+    return count
+
+
+def load_database(path: PathLike, flt=None, **database_options):
+    """Restore a database written by :func:`save_database`.
+
+    The feature plane at ``<path>.features.json`` is loaded alongside the
+    forest and handed to :class:`~repro.search.database.TreeDatabase`, so a
+    store-capable filter is fitted without re-extracting any tree.  When
+    the sidecar file is missing (e.g. a forest written by
+    :func:`save_forest`), the database is built from scratch.
+    """
+    from repro.features.io import load_feature_plane
+    from repro.search.database import TreeDatabase
+
+    trees = load_forest(path)
+    store = None
+    features_path = _features_path(path)
+    if os.path.exists(features_path):
+        store = load_feature_plane(features_path)
+    return TreeDatabase(trees, flt=flt, feature_store=store, **database_options)
 
 
 def load_xml_directory(

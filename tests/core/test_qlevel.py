@@ -7,7 +7,6 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core import (
-    QLevelBranch,
     iter_branches,
     iter_positional_branches,
     iter_positional_qlevel_branches,

@@ -7,7 +7,6 @@ These are sharper statements than the aggregate ``BDist ≤ 5·EDist`` and pin
 the proof's structure directly.
 """
 
-import random
 
 from hypothesis import given, settings
 from hypothesis import strategies as st

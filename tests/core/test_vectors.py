@@ -3,7 +3,7 @@
 import pytest
 from hypothesis import given, settings
 
-from repro.core import BranchVector, branch_distance, branch_vector
+from repro.core import branch_distance, branch_vector
 from repro.trees import parse_bracket
 from tests.strategies import tree_pairs, trees
 

@@ -1,11 +1,9 @@
 """Unit and property tests for the JWZ tree alignment distance."""
 
-import pytest
 from hypothesis import given, settings
 
 from repro.editdist import string_edit_distance, tree_edit_distance, weighted_costs
 from repro.editdist.alignment import alignment_distance
-from repro.editdist.variants import constrained_edit_distance
 from repro.trees import parse_bracket, preorder_labels
 from tests.strategies import tree_pairs, trees
 

@@ -1,0 +1,83 @@
+"""Packed vectors must be value-identical to the dict-based BranchVector."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import branch_vector
+from repro.exceptions import SignatureMismatchError
+from repro.features import Vocabulary, extract_features, pack_counts
+from repro.trees import parse_bracket
+from tests.strategies import tree_pairs, trees
+
+
+def _pack(tree, vocabulary, q=2, grow=True):
+    features = extract_features(tree, (q,))
+    return pack_counts(
+        features.branch_counts[q], vocabulary, features.size, q, grow=grow
+    )
+
+
+class TestPackedVector:
+    @given(tree_pairs(), st.sampled_from([2, 3]))
+    @settings(max_examples=60, deadline=None)
+    def test_matches_dict_oracle(self, pair, q):
+        vocabulary = Vocabulary()
+        packed_a = _pack(pair[0], vocabulary, q=q)
+        packed_b = _pack(pair[1], vocabulary, q=q)
+        oracle_a = branch_vector(pair[0], q=q)
+        oracle_b = branch_vector(pair[1], q=q)
+        assert packed_a.l1_distance(packed_b) == oracle_a.l1_distance(oracle_b)
+        assert packed_a.overlap(packed_b) == oracle_a.overlap(oracle_b)
+
+    @given(trees(max_leaves=8), trees(max_leaves=8))
+    @settings(max_examples=60, deadline=None)
+    def test_query_side_extra_is_exact(self, data_tree, query_tree):
+        """grow=False packing (unseen branches in ``extra``) stays exact."""
+        vocabulary = Vocabulary()
+        packed_data = _pack(data_tree, vocabulary, grow=True)
+        packed_query = _pack(query_tree, vocabulary, grow=False)
+        oracle_data = branch_vector(data_tree)
+        oracle_query = branch_vector(query_tree)
+        assert packed_query.l1_distance(packed_data) == (
+            oracle_query.l1_distance(oracle_data)
+        )
+        assert packed_query.overlap(packed_data) == oracle_query.overlap(oracle_data)
+
+    def test_query_packing_never_grows_vocabulary(self):
+        vocabulary = Vocabulary()
+        _pack(parse_bracket("a(b,c)"), vocabulary, grow=True)
+        size = len(vocabulary)
+        packed = _pack(parse_bracket("z(w)"), vocabulary, grow=False)
+        assert len(vocabulary) == size
+        assert packed.extra  # unseen branches kept by raw key
+
+    def test_two_extra_vectors_compare_by_raw_key(self):
+        """Two all-out-of-vocabulary vectors still get exact distances."""
+        vocabulary = Vocabulary()
+        packed_a = _pack(parse_bracket("a(b,c)"), vocabulary, grow=False)
+        packed_b = _pack(parse_bracket("a(b,d)"), vocabulary, grow=False)
+        oracle_a = branch_vector(parse_bracket("a(b,c)"))
+        oracle_b = branch_vector(parse_bracket("a(b,d)"))
+        assert packed_a.l1_distance(packed_b) == oracle_a.l1_distance(oracle_b)
+
+    def test_q_mismatch_raises(self):
+        vocabulary = Vocabulary()
+        packed_2 = _pack(parse_bracket("a(b)"), vocabulary, q=2)
+        packed_3 = _pack(parse_bracket("a(b)"), vocabulary, q=3)
+        with pytest.raises(SignatureMismatchError):
+            packed_2.l1_distance(packed_3)
+        # the typed error still satisfies legacy ValueError handlers
+        with pytest.raises(ValueError):
+            packed_2.overlap(packed_3)
+
+    def test_dims_are_strictly_ascending(self):
+        vocabulary = Vocabulary()
+        packed = _pack(parse_bracket("a(b(c),b(c),d)"), vocabulary)
+        assert list(packed.dims) == sorted(set(packed.dims))
+
+    def test_to_branch_vector_round_trip(self):
+        vocabulary = Vocabulary()
+        tree = parse_bracket("a(b(c,d),e)")
+        packed = _pack(tree, vocabulary)
+        assert packed.to_branch_vector(vocabulary).counts == branch_vector(tree).counts

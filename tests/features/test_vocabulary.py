@@ -1,0 +1,52 @@
+"""Unit tests for the interned branch-key vocabulary."""
+
+from repro.core.branches import BinaryBranch
+from repro.features import Vocabulary
+
+
+def _branch(root: str) -> BinaryBranch:
+    return BinaryBranch(root, "x", "y")
+
+
+class TestVocabulary:
+    def test_intern_assigns_sequential_ids(self):
+        vocabulary = Vocabulary()
+        assert vocabulary.intern(_branch("a")) == 0
+        assert vocabulary.intern(_branch("b")) == 1
+        assert vocabulary.intern(_branch("c")) == 2
+        assert len(vocabulary) == 3
+
+    def test_intern_is_idempotent(self):
+        vocabulary = Vocabulary()
+        first = vocabulary.intern(_branch("a"))
+        assert vocabulary.intern(_branch("a")) == first
+        assert len(vocabulary) == 1
+
+    def test_lookup_never_grows(self):
+        vocabulary = Vocabulary()
+        assert vocabulary.lookup(_branch("a")) is None
+        assert len(vocabulary) == 0
+        vocabulary.intern(_branch("a"))
+        assert vocabulary.lookup(_branch("a")) == 0
+
+    def test_key_inverts_intern(self):
+        vocabulary = Vocabulary()
+        for root in "abc":
+            dim = vocabulary.intern(_branch(root))
+            assert vocabulary.key(dim) == _branch(root)
+
+    def test_iteration_in_id_order(self):
+        vocabulary = Vocabulary()
+        branches = [_branch(root) for root in "cab"]
+        for branch in branches:
+            vocabulary.intern(branch)
+        assert list(vocabulary) == branches
+        assert list(vocabulary.items()) == [
+            (branch, index) for index, branch in enumerate(branches)
+        ]
+
+    def test_contains(self):
+        vocabulary = Vocabulary()
+        vocabulary.intern(_branch("a"))
+        assert _branch("a") in vocabulary
+        assert _branch("b") not in vocabulary

@@ -1,0 +1,66 @@
+"""Filter lifecycle: add() on a never-fitted filter must fail loudly.
+
+Regression test — ``add()`` used to silently append to an empty signature
+list, letting ``bounds()`` run against a partial index that missed every
+tree present before the first ``add``.
+"""
+
+import pytest
+
+from repro.editdist.costs import UNIT_COSTS
+from repro.exceptions import FilterStateError
+from repro.features import FeatureStore
+from repro.filters import (
+    BinaryBranchFilter,
+    BranchCountFilter,
+    CostScaledFilter,
+    HistogramFilter,
+    MaxCompositeFilter,
+    SizeDifferenceFilter,
+    TraversalStringFilter,
+)
+from repro.trees import parse_bracket
+
+ALL_FILTERS = [
+    BinaryBranchFilter,
+    BranchCountFilter,
+    HistogramFilter,
+    TraversalStringFilter,
+    SizeDifferenceFilter,
+    lambda: MaxCompositeFilter([BinaryBranchFilter(), SizeDifferenceFilter()]),
+    lambda: CostScaledFilter(BinaryBranchFilter(), UNIT_COSTS),
+]
+
+
+@pytest.mark.parametrize("make_filter", ALL_FILTERS)
+class TestAddBeforeFit:
+    def test_add_on_never_fitted_filter_raises(self, make_filter):
+        flt = make_filter()
+        with pytest.raises(FilterStateError):
+            flt.add(parse_bracket("a(b)"))
+        assert flt.size == 0  # nothing was silently appended
+
+    def test_error_is_a_runtime_error(self, make_filter):
+        """Backward compatibility: callers catching RuntimeError still work."""
+        with pytest.raises(RuntimeError):
+            make_filter().add(parse_bracket("a(b)"))
+
+    def test_explicit_empty_fit_enables_incremental_build(self, make_filter):
+        flt = make_filter().fit([])
+        assert flt.add(parse_bracket("a(b)")) == 0
+        assert flt.add(parse_bracket("a(c)")) == 1
+        bounds = flt.bounds(parse_bracket("a(b)"))
+        assert len(bounds) == 2
+        assert bounds[0] == 0
+
+
+def test_add_from_store_before_fit_raises():
+    store = FeatureStore().fit([parse_bracket("a(b)")])
+    flt = BinaryBranchFilter()
+    with pytest.raises(FilterStateError):
+        flt.add_from_store(store, 0)
+
+
+def test_bounds_before_fit_raises():
+    with pytest.raises(FilterStateError):
+        BinaryBranchFilter().bounds(parse_bracket("a"))

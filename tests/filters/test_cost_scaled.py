@@ -1,6 +1,5 @@
 """Unit and property tests for general-cost filtering."""
 
-import pytest
 from hypothesis import given, settings
 
 from repro.editdist import EditDistanceCounter, tree_edit_distance, weighted_costs

@@ -7,7 +7,6 @@ checked against it.  Unlike randomized property tests, this leaves no
 corner of the small-tree space unexplored.
 """
 
-from functools import lru_cache
 from itertools import product
 
 import pytest

@@ -1,6 +1,5 @@
 """Unit tests for the TreeDatabase facade."""
 
-import pytest
 
 from repro import TreeDatabase
 from repro.filters import HistogramFilter

@@ -1,6 +1,5 @@
 """Edge-case and failure-mode tests for the search framework."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -10,7 +9,6 @@ from repro.search import (
     distance_matrix,
     knn_query,
     range_query,
-    sequential_knn_query,
     sequential_range_query,
 )
 from repro.trees import TreeNode, parse_bracket

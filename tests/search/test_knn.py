@@ -3,8 +3,6 @@
 import random
 
 import pytest
-from hypothesis import given, settings
-from hypothesis import strategies as st
 
 from repro.datasets import SyntheticSpec, generate_dataset
 from repro.exceptions import QueryError

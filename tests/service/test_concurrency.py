@@ -7,7 +7,6 @@ service or how often the result cache is hit.
 
 import threading
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

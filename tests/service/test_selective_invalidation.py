@@ -1,0 +1,117 @@
+"""Selective result-cache invalidation on TreeSearchService.add().
+
+The service keeps a cached answer across an insertion only when the
+database's lower-bound filter *proves* the new tree cannot appear in it;
+these tests pin both directions (retention serves hits, eviction recomputes)
+and the overall soundness property: every answer served after any sequence
+of adds equals a freshly computed one.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.search.database import TreeDatabase
+from repro.service import TreeSearchService
+from repro.trees import parse_bracket
+from tests.strategies import trees
+
+
+def _service(texts, **options):
+    database = TreeDatabase([parse_bracket(text) for text in texts])
+    return TreeSearchService(database, **options)
+
+
+class TestSelectiveInvalidation:
+    def test_unaffected_range_entry_is_retained(self):
+        service = _service(["a(b,c)", "a(b,d)"])
+        query = parse_bracket("a(b,c)")
+        first, _ = service.range(query, 1)
+        # far from the query: the BiBranch bound provably exceeds 1
+        service.add(parse_bracket("z(w(v,u),t(s,r),p,o,n)"))
+        second, _ = service.range(query, 1)
+        assert second == first
+        assert service.metrics.cache_hits == 1
+        assert service.metrics.cache_entries_retained == 1
+        assert service.metrics.cache_entries_evicted == 0
+
+    def test_affected_range_entry_is_evicted_and_recomputed(self):
+        service = _service(["a(b,c)", "x(y)"])
+        query = parse_bracket("a(b,c)")
+        service.range(query, 1)
+        index = service.add(parse_bracket("a(b,c)"))  # exact duplicate
+        matches, _ = service.range(query, 1)
+        assert (index, 0.0) in matches
+        assert service.metrics.cache_hits == 0
+        assert service.metrics.cache_entries_evicted == 1
+
+    def test_full_knn_entry_with_distant_add_is_retained(self):
+        service = _service(["a(b,c)", "a(b,d)", "x(y)"])
+        query = parse_bracket("a(b,c)")
+        first, _ = service.knn(query, 2)
+        service.add(parse_bracket("z(w(v,u),t(s,r),p,o,n)"))
+        second, _ = service.knn(query, 2)
+        assert second == first
+        assert service.metrics.cache_hits == 1
+
+    def test_knn_entry_improved_by_add_is_evicted(self):
+        """A new tree closer than the k-th neighbor must enter the answer."""
+        service = _service(["a(b,c)", "zz(ww,vv,uu,tt)"])
+        query = parse_bracket("a(b,c)")
+        first, _ = service.knn(query, 2)
+        assert first[-1][1] > 1  # the 2nd neighbor is far from the query
+        index = service.add(parse_bracket("a(e,c)"))  # closer than that
+        second, _ = service.knn(query, 2)
+        assert service.metrics.cache_hits == 0  # entry could not be proven safe
+        assert {i for i, _ in second} == {0, index}
+
+    def test_knn_entry_with_close_add_is_evicted(self):
+        service = _service(["a(b,c)", "z(w(v,u),t(s,r),p)"])
+        query = parse_bracket("a(b,c)")
+        service.knn(query, 2)
+        index = service.add(parse_bracket("a(b,c)"))
+        neighbors, _ = service.knn(query, 2)
+        assert {i for i, _ in neighbors} == {0, index}
+
+    def test_invalidation_metrics_accumulate(self):
+        service = _service(["a(b,c)", "x(y)"])
+        service.range(parse_bracket("a(b,c)"), 1)
+        service.range(parse_bracket("x(y)"), 0)
+        service.add(parse_bracket("z(w(v,u),t(s,r),p,o,n)"))
+        snapshot = service.metrics.snapshot()["cache"]
+        assert snapshot["invalidations"] == 1
+        assert snapshot["entries_retained"] == 2
+        assert snapshot["entries_evicted"] == 0
+
+    def test_out_of_band_mutation_forces_miss(self):
+        """Generation stamps catch database.add() calls bypassing the service."""
+        service = _service(["a(b,c)", "x(y)"])
+        query = parse_bracket("a(b,c)")
+        service.range(query, 1)
+        index = service.database.add(parse_bracket("a(b,c)"))  # bypass
+        matches, _ = service.range(query, 1)
+        assert (index, 0.0) in matches
+        assert service.metrics.cache_hits == 0
+
+    @given(
+        forest=st.lists(trees(max_leaves=5), min_size=1, max_size=4),
+        additions=st.lists(trees(max_leaves=5), min_size=1, max_size=3),
+        query=trees(max_leaves=5),
+        threshold=st.integers(0, 3),
+        k=st.integers(1, 3),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_served_answers_always_fresh(
+        self, forest, additions, query, threshold, k
+    ):
+        """Soundness: cached-or-not, answers equal a freshly built database's."""
+        k = min(k, len(forest))  # knn rejects k beyond the dataset size
+        service = TreeSearchService(TreeDatabase(list(forest)))
+        service.range(query, threshold)
+        service.knn(query, k)
+        for added in additions:
+            service.add(added)
+            oracle = TreeDatabase(service.database.trees)
+            range_answer, _ = service.range(query, threshold)
+            knn_answer, _ = service.knn(query, k)
+            assert range_answer == oracle.range_query(query, threshold)[0]
+            assert knn_answer == oracle.knn(query, k)[0]

@@ -3,7 +3,6 @@
 import math
 
 from hypothesis import given, settings
-from hypothesis import strategies as st
 
 from repro.editdist import tree_edit_distance
 from repro.extensions import HierarchicalParser, hierarchical_embedding_distance

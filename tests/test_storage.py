@@ -70,3 +70,71 @@ class TestXmlDirectory:
             tmp_path, include_attributes=False, include_text=False
         )
         assert plain.is_leaf
+
+
+class TestSaveLoadDatabase:
+    FOREST = ["a(b(c,d),b(c,d),e)", "a(b(c,d,b(e)),c,d,e)", "x(y(z),y(z))"]
+
+    def _database(self):
+        from repro.search.database import TreeDatabase
+
+        return TreeDatabase([parse_bracket(text) for text in self.FOREST])
+
+    def test_round_trip_skips_extraction(self, tmp_path):
+        from repro.storage import load_database, save_database
+
+        path = tmp_path / "db.trees"
+        assert save_database(self._database(), path) == len(self.FOREST)
+        loaded = load_database(path)
+        assert len(loaded) == len(self.FOREST)
+        assert loaded.features is not None
+        assert loaded.features.extraction_passes == 0
+        assert loaded.filter.size == len(self.FOREST)
+
+    def test_loaded_database_answers_match(self, tmp_path):
+        from repro.storage import load_database, save_database
+
+        original = self._database()
+        path = tmp_path / "db.trees"
+        save_database(original, path)
+        loaded = load_database(path)
+        query = parse_bracket(self.FOREST[0])
+        assert loaded.range_query(query, 2)[0] == original.range_query(query, 2)[0]
+        assert loaded.knn(query, 2)[0] == original.knn(query, 2)[0]
+
+    def test_loaded_database_supports_add(self, tmp_path):
+        from repro.storage import load_database, save_database
+
+        path = tmp_path / "db.trees"
+        save_database(self._database(), path)
+        loaded = load_database(path)
+        index = loaded.add(parse_bracket("q(r,s)"))
+        assert loaded.features.extraction_passes == 1  # only the added tree
+        assert (index, 0.0) in loaded.range_query(parse_bracket("q(r,s)"), 0)[0]
+
+    def test_missing_sidecar_falls_back_to_fresh_fit(self, tmp_path):
+        from repro.storage import load_database
+
+        path = tmp_path / "plain.trees"
+        save_forest([parse_bracket(text) for text in self.FOREST], path)
+        loaded = load_database(path)
+        assert loaded.features is not None
+        assert loaded.features.extraction_passes == len(self.FOREST)
+
+    def test_sidecar_written_for_storeless_filter(self, tmp_path):
+        from repro.search.database import TreeDatabase
+        from repro.storage import load_database, save_database
+
+        from repro.filters import SizeDifferenceFilter
+
+        flt = SizeDifferenceFilter()
+        flt.supports_store = False  # force the legacy path
+        database = TreeDatabase(
+            [parse_bracket(text) for text in self.FOREST], flt=flt
+        )
+        assert database.features is None
+        path = tmp_path / "db.trees"
+        save_database(database, path)
+        loaded = load_database(path)
+        assert loaded.features is not None
+        assert loaded.features.extraction_passes == 0
