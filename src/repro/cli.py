@@ -11,6 +11,7 @@ Commands
 ``features``   build (``features build``) or inspect (``features stats``)
                a dataset's shared feature plane
 ``serve-bench``  replay synthetic query traffic through TreeSearchService
+``verify``     run the differential/metamorphic oracle harness
 ``join``       similarity self-join of a dataset file
 ``convert``    XML/JSON documents -> a ``.trees`` dataset file
 ``show``       draw a bracket tree
@@ -176,6 +177,54 @@ def build_parser() -> argparse.ArgumentParser:
         "--json",
         action="store_true",
         help="print the replay report and metrics snapshot as JSON",
+    )
+
+    verify = commands.add_parser(
+        "verify",
+        help="run the differential/metamorphic oracle harness",
+        description="Checks every registered invariant (filter lower-bound "
+        "soundness, metric properties, store/storage/service transparency) "
+        "over a seeded corpus; violations are shrunk to minimal "
+        "counterexamples and written as replayable JSON repro files.",
+    )
+    verify.add_argument("--seed", type=int, default=0)
+    verify.add_argument(
+        "--budget",
+        choices=["small", "medium", "large"],
+        default="small",
+        help="corpus size / check count preset",
+    )
+    verify.add_argument(
+        "--oracle",
+        action="append",
+        dest="oracles",
+        metavar="NAME",
+        help="run only this oracle (repeatable; default: all). "
+        "Use --list-oracles to see the registry.",
+    )
+    verify.add_argument(
+        "--list-oracles",
+        action="store_true",
+        help="print the oracle registry and exit",
+    )
+    verify.add_argument(
+        "--no-shrink",
+        action="store_true",
+        help="skip counterexample shrinking (faster on failure)",
+    )
+    verify.add_argument(
+        "--repro-dir",
+        help="write one replayable JSON repro file per violation here",
+    )
+    verify.add_argument(
+        "--replay",
+        metavar="FILE",
+        help="re-check a previously written repro file instead of running",
+    )
+    verify.add_argument(
+        "--json",
+        action="store_true",
+        help="print the report snapshot as JSON",
     )
 
     convert = commands.add_parser(
@@ -345,6 +394,41 @@ def _cmd_serve_bench(args) -> int:
     return 0
 
 
+def _cmd_verify(args) -> int:
+    import json
+
+    from repro.verify.oracles import ORACLE_FACTORIES, make_oracles
+    from repro.verify.runner import (
+        format_replay,
+        replay_repro_file,
+        run_verification,
+    )
+
+    if args.list_oracles:
+        for name in ORACLE_FACTORIES:
+            oracle = ORACLE_FACTORIES[name]()
+            print(f"{name}: {oracle.description}")
+        return 0
+    if args.replay:
+        violation = replay_repro_file(args.replay)
+        print(format_replay(violation))
+        return 1 if violation.message else 0
+    if args.oracles:
+        make_oracles(args.oracles)  # fail fast on unknown names
+    report = run_verification(
+        seed=args.seed,
+        budget=args.budget,
+        oracles=args.oracles,
+        shrink=not args.no_shrink,
+        repro_dir=args.repro_dir,
+    )
+    if args.json:
+        print(json.dumps(report.snapshot(), sort_keys=True, default=repr))
+    else:
+        print(report.format())
+    return 0 if report.ok else 1
+
+
 def _cmd_convert(args) -> int:
     import os
 
@@ -394,6 +478,7 @@ _HANDLERS = {
     "search": _cmd_search,
     "features": _cmd_features,
     "serve-bench": _cmd_serve_bench,
+    "verify": _cmd_verify,
     "join": _cmd_join,
     "convert": _cmd_convert,
 }

@@ -16,6 +16,7 @@ is 0 after a load — asserted by the round-trip tests).
 from __future__ import annotations
 
 import os
+import warnings
 from pathlib import Path
 from typing import Iterable, List, Optional, Union
 
@@ -116,7 +117,11 @@ def load_database(path: PathLike, flt=None, **database_options):
     forest and handed to :class:`~repro.search.database.TreeDatabase`, so a
     store-capable filter is fitted without re-extracting any tree.  When
     the sidecar file is missing (e.g. a forest written by
-    :func:`save_forest`), the database is built from scratch.
+    :func:`save_forest`), the database is built from scratch; a sidecar
+    that fails to load — truncated write, foreign format, or covering a
+    different number of trees than the forest — degrades the same way with
+    a :class:`UserWarning` instead of refusing to open the dataset (the
+    sidecar is a pure cache: correctness never depends on it).
     """
     from repro.features.io import load_feature_plane
     from repro.search.database import TreeDatabase
@@ -125,7 +130,23 @@ def load_database(path: PathLike, flt=None, **database_options):
     store = None
     features_path = _features_path(path)
     if os.path.exists(features_path):
-        store = load_feature_plane(features_path)
+        try:
+            store = load_feature_plane(features_path)
+        except (ValueError, KeyError, IndexError, TypeError, OSError) as exc:
+            warnings.warn(
+                f"ignoring unreadable feature sidecar {features_path}: {exc}; "
+                "features will be re-extracted",
+                stacklevel=2,
+            )
+        else:
+            if len(store) != len(trees):
+                warnings.warn(
+                    f"ignoring stale feature sidecar {features_path}: covers "
+                    f"{len(store)} trees but the forest has {len(trees)}; "
+                    "features will be re-extracted",
+                    stacklevel=2,
+                )
+                store = None
     return TreeDatabase(trees, flt=flt, feature_store=store, **database_options)
 
 

@@ -25,6 +25,7 @@ from repro.trees.edits import (
     Relabel,
     apply_operation,
     apply_script,
+    prune_subtree,
     random_edit_script,
     random_operation,
 )
@@ -95,6 +96,7 @@ __all__ = [
     "EditOperation",
     "apply_operation",
     "apply_script",
+    "prune_subtree",
     "random_operation",
     "random_edit_script",
     "random_tree",

@@ -32,6 +32,7 @@ __all__ = [
     "EditOperation",
     "apply_operation",
     "apply_script",
+    "prune_subtree",
     "random_operation",
     "random_edit_script",
 ]
@@ -144,6 +145,29 @@ def apply_script(
     result = tree.clone()
     for operation in operations:
         apply_operation(result, operation)
+    return result
+
+
+def prune_subtree(tree: TreeNode, position: int) -> TreeNode:
+    """Remove the whole subtree rooted at preorder ``position`` (clone-based).
+
+    Unlike :class:`Delete` — which removes a single node and splices its
+    children up — this drops the node *and all its descendants* at once,
+    which corresponds to ``size(subtree)`` delete operations.  It is the
+    reduction step of the counterexample shrinker
+    (:mod:`repro.verify.shrink`): pruning can only remove structure, so a
+    property that fails on the pruned tree fails on a strictly smaller
+    witness.  The input is not modified; the root cannot be pruned.
+    """
+    if position < 2:
+        raise InvalidEditOperationError(
+            f"cannot prune position {position}: the root is not removable"
+        )
+    result = tree.clone()
+    node = _node_at(result, position)
+    parent = node.parent
+    assert parent is not None  # position >= 2 ensures a non-root node
+    parent.remove_child(node)
     return result
 
 

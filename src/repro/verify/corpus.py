@@ -1,0 +1,204 @@
+"""Verification corpora: synthetic trees plus edit-script perturbation pairs.
+
+Two kinds of ground truth feed the oracles:
+
+* **differential** — any pair of corpus trees can be checked against the
+  reference Zhang–Shasha distance (expensive but exact);
+* **metamorphic** — a pair built by applying ``k`` random edit operations
+  from :mod:`repro.trees.edits` to a corpus tree has, *by construction*,
+  ``EDist ≤ k`` (each operation costs at most one unit).  No reference
+  implementation is needed for that bound, which makes it an independent
+  check on the reference itself.
+
+The corpus is fully determined by ``(seed, budget)``: generation goes
+through a single :class:`random.Random` stream, so every violation a run
+surfaces is reproducible from its seed alone.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.datasets.synthetic import SyntheticSpec, generate_dataset
+from repro.exceptions import InvalidParameterError
+from repro.trees.edits import random_edit_script
+from repro.trees.node import TreeNode
+
+__all__ = ["BudgetSpec", "BUDGETS", "TreePair", "VerifyCorpus", "build_corpus"]
+
+
+@dataclass(frozen=True)
+class BudgetSpec:
+    """How much work one verification run performs.
+
+    The q-level and positional bounds need branch collisions to be
+    interesting, so the corpus mixes a small-alphabet spec (lots of shared
+    branches) with a larger-alphabet one (mostly disjoint vocabularies).
+    """
+
+    #: trees kept in the corpus (split across the two synthetic specs)
+    corpus_trees: int
+    #: (base tree, perturbed tree, k) metamorphic pairs
+    perturbation_pairs: int
+    #: maximum edit-script length for perturbation pairs
+    max_edit_ops: int
+    #: random cross pairs (no construction bound; differential only)
+    random_pairs: int
+    #: interleaved add/query steps driven through TreeSearchService
+    service_steps: int
+    #: mean tree size of the synthetic specs
+    tree_size_mean: float = 14.0
+
+
+BUDGETS: Dict[str, BudgetSpec] = {
+    # tier-1: a few seconds of pure-Python Zhang–Shasha
+    "small": BudgetSpec(
+        corpus_trees=16,
+        perturbation_pairs=10,
+        max_edit_ops=4,
+        random_pairs=8,
+        service_steps=12,
+    ),
+    "medium": BudgetSpec(
+        corpus_trees=40,
+        perturbation_pairs=30,
+        max_edit_ops=6,
+        random_pairs=24,
+        service_steps=30,
+        tree_size_mean=18.0,
+    ),
+    # CI soak: minutes, not hours
+    "large": BudgetSpec(
+        corpus_trees=80,
+        perturbation_pairs=80,
+        max_edit_ops=10,
+        random_pairs=60,
+        service_steps=60,
+        tree_size_mean=24.0,
+    ),
+}
+
+
+@dataclass(frozen=True)
+class TreePair:
+    """One pair of trees under test.
+
+    ``max_distance`` is the construction-time upper bound on
+    ``EDist(t1, t2)`` (the perturbation script length), or ``None`` for
+    pairs without one (random cross pairs, identity pairs).
+    """
+
+    t1: TreeNode
+    t2: TreeNode
+    origin: str
+    max_distance: Optional[int] = None
+
+
+@dataclass
+class VerifyCorpus:
+    """Everything one verification run iterates over."""
+
+    seed: int
+    budget: str
+    trees: List[TreeNode]
+    pairs: List[TreePair]
+    labels: List[str]
+    #: query/add schedule for the stateful service oracle:
+    #: ("add", tree) or ("query", kind, tree, parameter)
+    service_schedule: List[Tuple] = field(default_factory=list)
+
+    @property
+    def spec(self) -> BudgetSpec:
+        return BUDGETS[self.budget]
+
+
+def _resolve_budget(budget: str) -> BudgetSpec:
+    try:
+        return BUDGETS[budget]
+    except KeyError:
+        raise InvalidParameterError(
+            f"unknown budget {budget!r} (choose from {sorted(BUDGETS)})"
+        ) from None
+
+
+def build_corpus(seed: int = 0, budget: str = "small") -> VerifyCorpus:
+    """Build the deterministic verification corpus for ``(seed, budget)``."""
+    spec = _resolve_budget(budget)
+    rng = random.Random(seed)
+
+    # Two regimes: a tiny alphabet (maximal branch collisions — the hard
+    # case for positional matching) and a wider one (sparse vocabularies —
+    # the hard case for packed/extra handling).
+    dense = SyntheticSpec(
+        fanout_mean=2.5,
+        fanout_stddev=0.8,
+        size_mean=spec.tree_size_mean,
+        size_stddev=3.0,
+        label_count=3,
+        decay=0.15,
+    )
+    sparse = SyntheticSpec(
+        fanout_mean=3.0,
+        fanout_stddev=1.0,
+        size_mean=spec.tree_size_mean,
+        size_stddev=4.0,
+        label_count=24,
+        decay=0.1,
+    )
+    half = spec.corpus_trees // 2
+    trees = generate_dataset(dense, count=half, seed_count=3, rng=rng)
+    trees += generate_dataset(
+        sparse, count=spec.corpus_trees - half, seed_count=3, rng=rng
+    )
+    # degenerate shapes the generators rarely emit but the theorems cover
+    trees.append(TreeNode("l0"))  # single node
+    chain = TreeNode("l0")
+    tip = chain
+    for i in range(1, 5):
+        tip = tip.add_child(TreeNode(f"l{i % 3}"))
+    trees.append(chain)  # pure path
+
+    labels = sorted({str(node.label) for tree in trees for node in tree.iter_preorder()})
+
+    pairs: List[TreePair] = []
+    for _ in range(spec.perturbation_pairs):
+        base = rng.choice(trees)
+        k = rng.randint(1, spec.max_edit_ops)
+        perturbed, script = random_edit_script(base, k, labels, rng)
+        pairs.append(
+            TreePair(base, perturbed, origin="perturbation", max_distance=len(script))
+        )
+    for _ in range(spec.random_pairs):
+        t1, t2 = rng.choice(trees), rng.choice(trees)
+        pairs.append(TreePair(t1, t2, origin="random"))
+    # identity pairs: every bound must be 0-consistent on clones
+    for tree in rng.sample(trees, min(3, len(trees))):
+        pairs.append(TreePair(tree, tree.clone(), origin="identity", max_distance=0))
+
+    schedule: List[Tuple] = []
+    service_pool = list(trees)
+    for step in range(spec.service_steps):
+        roll = rng.random()
+        if roll < 0.3:
+            base = rng.choice(service_pool)
+            mutated, _ = random_edit_script(
+                base, rng.randint(1, spec.max_edit_ops), labels, rng
+            )
+            schedule.append(("add", mutated))
+        elif roll < 0.65:
+            query = rng.choice(service_pool)
+            schedule.append(("query", "range", query, float(rng.randint(1, 4))))
+        else:
+            query = rng.choice(service_pool)
+            schedule.append(("query", "knn", query, rng.randint(1, 3)))
+
+    return VerifyCorpus(
+        seed=seed,
+        budget=budget,
+        trees=trees,
+        pairs=pairs,
+        labels=labels,
+        service_schedule=schedule,
+    )

@@ -1,0 +1,791 @@
+"""The oracle registry: every invariant the system claims, re-checked.
+
+Each oracle audits one class of invariant over a
+:class:`~repro.verify.corpus.VerifyCorpus`:
+
+``bound:*``
+    Lower-bound **soundness** of every filter against the reference
+    Zhang–Shasha distance (Theorems 3.1/4.2 and the ``[4(q−1)+1]·k``
+    q-level generalization), plus consistency of the ``refutes`` fast
+    paths with the numeric bounds.
+``bound:dominance``
+    The positional bound dominates both the plain count bound and the
+    size difference (the ``SearchLBound`` guarantee), and the exact
+    two-constraint matching never *weakens* the bound.
+``editdist:metamorphic``
+    The reference distance itself, checked without a second
+    implementation: ``EDist(T, apply_script(T, k ops)) ≤ k`` by
+    construction, symmetry, and identity on clones.
+``metric:bdist``
+    Metric properties of the binary branch distance (symmetry, identity,
+    triangle inequality) — what makes BDist usable inside index structures.
+``features:packed-l1``
+    The hybrid dict/numpy :class:`~repro.features.packed.PackedVector` L1
+    equals the dict-keyed :class:`~repro.core.vectors.BranchVector` L1.
+``store:identity``
+    Store-backed filter fitting (``fit_from_store`` / ``add_from_store``)
+    is bound-identical to legacy per-filter fitting, including after adds.
+``storage:roundtrip``
+    ``save_database``/``load_database`` round-trips answer-identically with
+    zero re-extraction.
+``search:completeness``
+    Filter-and-refine range/k-NN answers equal brute-force sequential scans.
+``service:cache-transparency``
+    Under interleaved add/query traffic, every answer the (caching,
+    selectively-invalidating) service returns equals a cold answer
+    computed on a fresh database at the same generation.
+
+Pairwise oracles expose a ``violates(t1, t2)`` predicate, which is what
+lets the runner shrink their violations to minimal counterexamples.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.vectors import branch_distance
+from repro.core.positional import search_lower_bound
+from repro.core.qlevel import qlevel_bound_factor
+from repro.editdist.zhang_shasha import tree_edit_distance
+from repro.exceptions import InvalidParameterError
+from repro.features.store import FeatureStore
+from repro.filters.base import LowerBoundFilter
+from repro.filters.binary_branch import BinaryBranchFilter, BranchCountFilter
+from repro.filters.composite import MaxCompositeFilter, SizeDifferenceFilter
+from repro.filters.histogram import HistogramFilter
+from repro.filters.traversal_string import TraversalStringFilter
+from repro.trees.node import TreeNode
+from repro.trees.parse import to_bracket
+from repro.verify.corpus import TreePair, VerifyCorpus
+from repro.verify.report import OracleOutcome, Violation
+
+__all__ = [
+    "Oracle",
+    "PairOracle",
+    "ORACLE_FACTORIES",
+    "default_oracle_names",
+    "make_oracles",
+]
+
+#: numeric slack for float bound comparisons (all distances are integral
+#: under unit costs, so anything beyond rounding noise is a real violation)
+_EPS = 1e-9
+
+DistanceFn = Callable[[TreePair], float]
+
+
+class Oracle:
+    """One verifiable invariant class; ``run`` tallies it over a corpus."""
+
+    name: str = "abstract"
+    description: str = ""
+
+    def run(self, corpus: VerifyCorpus, distance: DistanceFn) -> OracleOutcome:
+        """Check the invariant over ``corpus``; ``distance`` memoizes TED."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class PairOracle(Oracle):
+    """An oracle whose invariant is a property of one tree pair.
+
+    Subclasses implement :meth:`check_pair`; violations automatically carry
+    the :meth:`violates` predicate, making them shrinkable and replayable.
+    """
+
+    def check_pair(self, t1: TreeNode, t2: TreeNode) -> Optional[Tuple[str, Dict]]:
+        """Return ``(message, details)`` when the pair violates, else None."""
+        raise NotImplementedError
+
+    def violates(self, t1: TreeNode, t2: TreeNode) -> bool:
+        return self.check_pair(t1, t2) is not None
+
+    def run(self, corpus: VerifyCorpus, distance: DistanceFn) -> OracleOutcome:
+        outcome = OracleOutcome(self.name)
+        for pair in corpus.pairs:
+            outcome.checks += 1
+            found = self.check_pair(pair.t1, pair.t2)
+            if found is not None:
+                message, details = found
+                details.setdefault("origin", pair.origin)
+                outcome.record(
+                    Violation(
+                        oracle=self.name,
+                        message=message,
+                        t1=pair.t1,
+                        t2=pair.t2,
+                        details=details,
+                        predicate=self.violates,
+                    )
+                )
+        return outcome
+
+
+# ----------------------------------------------------------------------
+# bound:* — filter lower-bound soundness
+# ----------------------------------------------------------------------
+class FilterBoundOracle(PairOracle):
+    """``filter.bound(q, d) ≤ EDist`` and ``refutes ⟹ EDist > τ``.
+
+    The filter is exercised exactly as deployed: a fresh instance is fitted
+    on the data tree, the query signature comes from :meth:`signature`, and
+    both the numeric bound and the range-refutation fast path are compared
+    against the reference distance.
+    """
+
+    def __init__(self, factory: Callable[[], LowerBoundFilter], label: str) -> None:
+        self.factory = factory
+        self.name = f"bound:{label}"
+        self.description = f"lower-bound soundness of {label}"
+
+    def check_pair(self, t1: TreeNode, t2: TreeNode) -> Optional[Tuple[str, Dict]]:
+        flt = self.factory().fit([t2])
+        reference = tree_edit_distance(t1, t2)
+        bound = flt.bounds(t1)[0]
+        if bound > reference + _EPS:
+            return (
+                f"{flt.name}: bound {bound:g} exceeds EDist {reference:g}",
+                {"bound": bound, "edist": reference, "kind": "bound"},
+            )
+        query_signature = flt.signature(t1)
+        data_signature = flt.data_signature(0)
+        for threshold in {0.0, 1.0, 2.0, max(0.0, float(int(reference)) - 1.0)}:
+            if flt.refutes(query_signature, data_signature, threshold):
+                if reference <= threshold + _EPS:
+                    return (
+                        f"{flt.name}: refutes(τ={threshold:g}) "
+                        f"but EDist is {reference:g}",
+                        {
+                            "threshold": threshold,
+                            "edist": reference,
+                            "kind": "refutes",
+                        },
+                    )
+        return None
+
+    def run(self, corpus: VerifyCorpus, distance: DistanceFn) -> OracleOutcome:
+        outcome = super().run(corpus, distance)
+        # metamorphic leg: construction bounds need no reference distance,
+        # so they cross-check reference and filter at once
+        for pair in corpus.pairs:
+            if pair.max_distance is None:
+                continue
+            outcome.checks += 1
+            flt = self.factory().fit([pair.t2])
+            bound = flt.bounds(pair.t1)[0]
+            if bound > pair.max_distance + _EPS:
+                outcome.record(
+                    Violation(
+                        oracle=self.name,
+                        message=(
+                            f"{flt.name}: bound {bound:g} exceeds the "
+                            f"edit-script length {pair.max_distance}"
+                        ),
+                        t1=pair.t1,
+                        t2=pair.t2,
+                        details={
+                            "bound": bound,
+                            "script_length": pair.max_distance,
+                            "kind": "metamorphic",
+                            "origin": pair.origin,
+                        },
+                        predicate=self.violates,
+                    )
+                )
+        return outcome
+
+
+class DominanceOracle(PairOracle):
+    """``SearchLBound`` dominance and exact-matching monotonicity (§4.2).
+
+    The positional bound must be at least ``⌈BDist/[4(q−1)+1]⌉`` and at
+    least the size difference; the exact two-constraint matching can only
+    match less than the per-dimension approximation, so the exact bound can
+    only be equal or larger.
+    """
+
+    name = "bound:dominance"
+    description = "positional bound dominates count bound and size difference"
+
+    #: exact bipartite matching is O(V·E) per branch — cap the input size
+    _EXACT_LIMIT = 14
+
+    def check_pair(self, t1: TreeNode, t2: TreeNode) -> Optional[Tuple[str, Dict]]:
+        for q in (2, 3):
+            factor = qlevel_bound_factor(q)
+            positional = search_lower_bound(t1, t2, q=q)
+            count_bound = -(-branch_distance(t1, t2, q=q) // factor)
+            size_bound = abs(t1.size - t2.size)
+            if positional + _EPS < max(count_bound, size_bound):
+                return (
+                    f"positional bound {positional} at q={q} below "
+                    f"max(count {count_bound}, size {size_bound})",
+                    {
+                        "q": q,
+                        "positional": positional,
+                        "count_bound": count_bound,
+                        "size_bound": size_bound,
+                        "kind": "dominance",
+                    },
+                )
+            if t1.size <= self._EXACT_LIMIT and t2.size <= self._EXACT_LIMIT:
+                exact = search_lower_bound(t1, t2, q=q, exact=True)
+                if exact + _EPS < positional:
+                    return (
+                        f"exact positional bound {exact} at q={q} below "
+                        f"approximate bound {positional}",
+                        {
+                            "q": q,
+                            "exact": exact,
+                            "approximate": positional,
+                            "kind": "exact-dominance",
+                        },
+                    )
+        return None
+
+
+# ----------------------------------------------------------------------
+# editdist:metamorphic — the reference distance checked against itself
+# ----------------------------------------------------------------------
+class EditScriptOracle(PairOracle):
+    """Reference-distance sanity: construction bound, symmetry, identity."""
+
+    name = "editdist:metamorphic"
+    description = "Zhang–Shasha obeys construction bounds and symmetry"
+
+    def check_pair(self, t1: TreeNode, t2: TreeNode) -> Optional[Tuple[str, Dict]]:
+        forward = tree_edit_distance(t1, t2)
+        backward = tree_edit_distance(t2, t1)
+        if abs(forward - backward) > _EPS:
+            return (
+                f"EDist not symmetric: {forward:g} vs {backward:g}",
+                {"forward": forward, "backward": backward, "kind": "symmetry"},
+            )
+        if forward < -_EPS:
+            return (
+                f"EDist negative: {forward:g}",
+                {"edist": forward, "kind": "nonnegative"},
+            )
+        return None
+
+    def run(self, corpus: VerifyCorpus, distance: DistanceFn) -> OracleOutcome:
+        outcome = super().run(corpus, distance)
+        for pair in corpus.pairs:
+            if pair.max_distance is None:
+                continue
+            outcome.checks += 1
+            reference = distance(pair)
+            if reference > pair.max_distance + _EPS:
+                outcome.record(
+                    Violation(
+                        oracle=self.name,
+                        message=(
+                            f"EDist {reference:g} exceeds the edit-script "
+                            f"length {pair.max_distance}"
+                        ),
+                        t1=pair.t1,
+                        t2=pair.t2,
+                        details={
+                            "edist": reference,
+                            "script_length": pair.max_distance,
+                            "kind": "construction-bound",
+                            "origin": pair.origin,
+                        },
+                    )
+                )
+        return outcome
+
+
+# ----------------------------------------------------------------------
+# metric:bdist — BDist is a metric on vectors
+# ----------------------------------------------------------------------
+class BranchMetricOracle(Oracle):
+    """Symmetry, identity and triangle inequality of the L1 branch distance."""
+
+    name = "metric:bdist"
+    description = "binary branch distance metric properties"
+
+    def run(self, corpus: VerifyCorpus, distance: DistanceFn) -> OracleOutcome:
+        outcome = OracleOutcome(self.name)
+        trees = corpus.trees
+        for q in (2, 3):
+            for i, tree in enumerate(trees):
+                outcome.checks += 1
+                identity = branch_distance(tree, tree.clone(), q=q)
+                if identity != 0:
+                    outcome.record(
+                        Violation(
+                            oracle=self.name,
+                            message=f"BDist(T, clone(T)) = {identity} at q={q}",
+                            t1=tree,
+                            details={"q": q, "index": i, "kind": "identity"},
+                        )
+                    )
+            # deterministic triple sweep: consecutive windows cover every
+            # tree while keeping the check count linear in the corpus
+            for i in range(len(trees) - 2):
+                a, b, c = trees[i], trees[i + 1], trees[i + 2]
+                outcome.checks += 1
+                ab = branch_distance(a, b, q=q)
+                ba = branch_distance(b, a, q=q)
+                if ab != ba:
+                    outcome.record(
+                        Violation(
+                            oracle=self.name,
+                            message=f"BDist not symmetric at q={q}: {ab} vs {ba}",
+                            t1=a,
+                            t2=b,
+                            details={"q": q, "kind": "symmetry"},
+                        )
+                    )
+                    continue
+                bc = branch_distance(b, c, q=q)
+                ac = branch_distance(a, c, q=q)
+                if ac > ab + bc:
+                    outcome.record(
+                        Violation(
+                            oracle=self.name,
+                            message=(
+                                f"triangle inequality broken at q={q}: "
+                                f"d(a,c)={ac} > d(a,b)+d(b,c)={ab + bc}"
+                            ),
+                            t1=a,
+                            t2=c,
+                            details={
+                                "q": q,
+                                "ab": ab,
+                                "bc": bc,
+                                "ac": ac,
+                                "middle": to_bracket(b),
+                                "kind": "triangle",
+                            },
+                        )
+                    )
+        return outcome
+
+
+# ----------------------------------------------------------------------
+# features:packed-l1 — packed vectors equal the dict-keyed reference
+# ----------------------------------------------------------------------
+class PackedVectorOracle(PairOracle):
+    """Hybrid packed L1 (dict or numpy merge) equals the BranchVector L1.
+
+    The corpus-wide pass catches vocabulary-growth bugs (shared store, every
+    pair); the pairwise predicate rebuilds a minimal one-tree store so the
+    violation shrinks and replays in isolation — the query side goes through
+    :meth:`FeatureStore.pack_query`, exercising the out-of-vocabulary
+    ``extra`` path.
+    """
+
+    name = "features:packed-l1"
+    description = "PackedVector L1 equals dict-keyed BranchVector L1"
+
+    def check_pair(self, t1: TreeNode, t2: TreeNode) -> Optional[Tuple[str, Dict]]:
+        for q in (2, 3):
+            store = FeatureStore((q,)).fit([t1])
+            packed = store.packed_vector(0, q)
+            query = store.pack_query(t2, q)
+            got = packed.l1_distance(query)
+            expected = branch_distance(t1, t2, q=q)
+            if got != expected:
+                return (
+                    f"packed L1 {got} != reference L1 {expected} at q={q}",
+                    {"q": q, "packed": got, "reference": expected},
+                )
+        return None
+
+    def run(self, corpus: VerifyCorpus, distance: DistanceFn) -> OracleOutcome:
+        outcome = super().run(corpus, distance)
+        store = FeatureStore((2, 3)).fit(corpus.trees)
+        trees = corpus.trees
+        for q in (2, 3):
+            for i in range(len(trees) - 1):
+                outcome.checks += 1
+                got = store.packed_vector(i, q).l1_distance(
+                    store.packed_vector(i + 1, q)
+                )
+                expected = branch_distance(trees[i], trees[i + 1], q=q)
+                if got != expected:
+                    outcome.record(
+                        Violation(
+                            oracle=self.name,
+                            message=(
+                                f"store-interned packed L1 {got} != reference "
+                                f"{expected} at q={q} (trees {i}, {i + 1})"
+                            ),
+                            t1=trees[i],
+                            t2=trees[i + 1],
+                            details={"q": q, "packed": got, "reference": expected},
+                            predicate=self.violates,
+                        )
+                    )
+        return outcome
+
+
+# ----------------------------------------------------------------------
+# store:identity — fit_from_store ≡ fit
+# ----------------------------------------------------------------------
+class StoreIdentityOracle(Oracle):
+    """Store-backed signatures produce bit-identical bounds, incl. after add."""
+
+    name = "store:identity"
+    description = "fit_from_store/add_from_store bounds equal legacy fit/add"
+
+    def __init__(
+        self, factories: Sequence[Tuple[str, Callable[[], LowerBoundFilter]]]
+    ) -> None:
+        self.factories = list(factories)
+
+    def run(self, corpus: VerifyCorpus, distance: DistanceFn) -> OracleOutcome:
+        outcome = OracleOutcome(self.name)
+        base = corpus.trees[: max(4, len(corpus.trees) // 2)]
+        added = corpus.trees[len(base) : len(base) + 3]
+        queries = [pair.t2 for pair in corpus.pairs[:6]]
+        for label, factory in self.factories:
+            legacy = factory()
+            if not legacy.supports_store:
+                continue
+            legacy.fit(base)
+            store = FeatureStore(legacy.required_q_levels() or (2,)).fit(base)
+            store_backed = factory().fit_from_store(store)
+            phases = [("fit", legacy, store_backed)]
+            for tree in added:
+                legacy.add(tree)
+                store_backed.add_from_store(store, store.add(tree))
+            phases.append(("add", legacy, store_backed))
+            for phase, flt_a, flt_b in phases:
+                for query in queries:
+                    outcome.checks += 1
+                    bounds_a = flt_a.bounds(query)
+                    bounds_b = flt_b.bounds(query)
+                    if bounds_a != bounds_b:
+                        mismatch = next(
+                            (i, a, b)
+                            for i, (a, b) in enumerate(zip(bounds_a, bounds_b))
+                            if a != b
+                        )
+                        outcome.record(
+                            Violation(
+                                oracle=self.name,
+                                message=(
+                                    f"{label}: store-backed bound differs after "
+                                    f"{phase} at tree {mismatch[0]}: "
+                                    f"legacy {mismatch[1]:g} vs store {mismatch[2]:g}"
+                                ),
+                                t1=query,
+                                t2=(base + added)[mismatch[0]],
+                                details={
+                                    "filter": label,
+                                    "phase": phase,
+                                    "tree_index": mismatch[0],
+                                    "legacy": mismatch[1],
+                                    "store": mismatch[2],
+                                },
+                            )
+                        )
+                        break  # one mismatch per filter/phase is enough signal
+        return outcome
+
+
+# ----------------------------------------------------------------------
+# storage:roundtrip — persistence is answer-identical
+# ----------------------------------------------------------------------
+class RoundTripOracle(Oracle):
+    """save/load round-trip: zero re-extraction, identical answers."""
+
+    name = "storage:roundtrip"
+    description = "save_database/load_database round-trips answer-identically"
+
+    def run(self, corpus: VerifyCorpus, distance: DistanceFn) -> OracleOutcome:
+        import tempfile
+        from pathlib import Path
+
+        from repro.search.database import TreeDatabase
+        from repro.storage import load_database, save_database
+
+        outcome = OracleOutcome(self.name)
+        original = TreeDatabase(list(corpus.trees))
+        with tempfile.TemporaryDirectory(prefix="repro-verify-") as tmp:
+            path = Path(tmp) / "corpus.trees"
+            save_database(original, path)
+            loaded = load_database(path)
+            outcome.checks += 1
+            if loaded.features is None or loaded.features.extraction_passes != 0:
+                passes = (
+                    None
+                    if loaded.features is None
+                    else loaded.features.extraction_passes
+                )
+                outcome.record(
+                    Violation(
+                        oracle=self.name,
+                        message=(
+                            "loaded database re-extracted features "
+                            f"(extraction_passes={passes})"
+                        ),
+                        details={"extraction_passes": passes},
+                    )
+                )
+            for pair in corpus.pairs[:8]:
+                query = pair.t2
+                outcome.checks += 1
+                fresh_bounds = original.filter.bounds(query)
+                loaded_bounds = loaded.filter.bounds(query)
+                if fresh_bounds != loaded_bounds:
+                    outcome.record(
+                        Violation(
+                            oracle=self.name,
+                            message="loaded filter bounds differ from original",
+                            t1=query,
+                            details={
+                                "first_mismatch": next(
+                                    i
+                                    for i, (a, b) in enumerate(
+                                        zip(fresh_bounds, loaded_bounds)
+                                    )
+                                    if a != b
+                                ),
+                            },
+                        )
+                    )
+                    continue
+                outcome.checks += 1
+                threshold = 2.0
+                if (
+                    original.range_query(query, threshold)[0]
+                    != loaded.range_query(query, threshold)[0]
+                ):
+                    outcome.record(
+                        Violation(
+                            oracle=self.name,
+                            message="loaded range answer differs from original",
+                            t1=query,
+                            details={"threshold": threshold},
+                        )
+                    )
+                outcome.checks += 1
+                if original.knn(query, 3)[0] != loaded.knn(query, 3)[0]:
+                    outcome.record(
+                        Violation(
+                            oracle=self.name,
+                            message="loaded k-NN answer differs from original",
+                            t1=query,
+                            details={"k": 3},
+                        )
+                    )
+        return outcome
+
+
+# ----------------------------------------------------------------------
+# search:completeness — filter-and-refine equals sequential scan
+# ----------------------------------------------------------------------
+class SearchCompletenessOracle(Oracle):
+    """Range/k-NN through the filter pipeline equal brute-force answers."""
+
+    name = "search:completeness"
+    description = "filtered range/k-NN answers equal sequential ground truth"
+
+    def run(self, corpus: VerifyCorpus, distance: DistanceFn) -> OracleOutcome:
+        from repro.search.database import TreeDatabase
+
+        outcome = OracleOutcome(self.name)
+        database = TreeDatabase(list(corpus.trees))
+        for pair in corpus.pairs[:10]:
+            query = pair.t2
+            for threshold in (1.0, 3.0):
+                outcome.checks += 1
+                filtered = database.range_query(query, threshold)[0]
+                sequential = database.sequential_range_query(query, threshold)[0]
+                if filtered != sequential:
+                    outcome.record(
+                        Violation(
+                            oracle=self.name,
+                            message=(
+                                f"range(τ={threshold:g}) differs from "
+                                f"sequential scan: {len(filtered)} vs "
+                                f"{len(sequential)} matches"
+                            ),
+                            t1=query,
+                            details={
+                                "threshold": threshold,
+                                "filtered": filtered,
+                                "sequential": sequential,
+                            },
+                        )
+                    )
+            outcome.checks += 1
+            k = 3
+            filtered_knn = database.knn(query, k)[0]
+            sequential_knn = database.sequential_knn(query, k)[0]
+            # ties at the k-th distance make the member set ambiguous; the
+            # invariant is the sorted distance profile
+            if [d for _, d in filtered_knn] != [d for _, d in sequential_knn]:
+                outcome.record(
+                    Violation(
+                        oracle=self.name,
+                        message="k-NN distance profile differs from sequential",
+                        t1=query,
+                        details={
+                            "k": k,
+                            "filtered": filtered_knn,
+                            "sequential": sequential_knn,
+                        },
+                    )
+                )
+        return outcome
+
+
+# ----------------------------------------------------------------------
+# service:cache-transparency — cached answers equal cold answers
+# ----------------------------------------------------------------------
+class ServiceCacheOracle(Oracle):
+    """Interleaved add/query: the service never serves a stale answer.
+
+    Replays the corpus's deterministic schedule through a
+    :class:`~repro.service.engine.TreeSearchService` with a small result
+    cache, and after every step compares each live query's served answer —
+    which may come from the selectively-invalidated cache — against a cold
+    answer computed on a fresh database at the same generation.
+    """
+
+    name = "service:cache-transparency"
+    description = "cached answers equal cold answers at every generation"
+
+    #: distinct queries re-validated after each mutation
+    _REVALIDATED = 4
+
+    def run(self, corpus: VerifyCorpus, distance: DistanceFn) -> OracleOutcome:
+        from repro.search.database import TreeDatabase
+        from repro.search.knn import knn_query
+        from repro.search.range_query import range_query
+        from repro.service.engine import TreeSearchService
+
+        outcome = OracleOutcome(self.name)
+        shadow: List[TreeNode] = list(corpus.trees)
+        service = TreeSearchService(
+            TreeDatabase(list(shadow)), cache_size=64, max_workers=1
+        )
+        live: List[Tuple[str, TreeNode, float]] = []
+
+        def cold_answer(kind: str, query: TreeNode, parameter: float):
+            reference = TreeDatabase(list(shadow))
+            if kind == "range":
+                return range_query(
+                    reference.trees, query, parameter, reference.filter,
+                    reference.counter,
+                )[0]
+            return knn_query(
+                reference.trees, query, int(parameter), reference.filter,
+                reference.counter,
+            )[0]
+
+        def compare(kind: str, query: TreeNode, parameter: float, step: int) -> None:
+            outcome.checks += 1
+            if kind == "range":
+                served = service.range(query, parameter)[0]
+            else:
+                served = service.knn(query, int(parameter))[0]
+            expected = cold_answer(kind, query, parameter)
+            if served != expected:
+                outcome.record(
+                    Violation(
+                        oracle=self.name,
+                        message=(
+                            f"{kind} answer diverged from cold answer at "
+                            f"schedule step {step} "
+                            f"(generation {service.database.generation})"
+                        ),
+                        t1=query,
+                        details={
+                            "step": step,
+                            "kind": kind,
+                            "parameter": parameter,
+                            "served": served,
+                            "expected": expected,
+                            "generation": service.database.generation,
+                        },
+                    )
+                )
+
+        try:
+            for step, entry in enumerate(corpus.service_schedule):
+                if entry[0] == "add":
+                    tree = entry[1]
+                    service.add(tree)
+                    shadow.append(tree)
+                    # cached entries surviving the selective invalidation
+                    # must still match cold answers at the new generation
+                    for kind, query, parameter in live[-self._REVALIDATED:]:
+                        compare(kind, query, parameter, step)
+                else:
+                    _, kind, query, parameter = entry
+                    compare(kind, query, parameter, step)
+                    live.append((kind, query, parameter))
+                    # immediately re-issue: the second answer is served from
+                    # cache and must be identical
+                    compare(kind, query, parameter, step)
+        finally:
+            service.close()
+        return outcome
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+_STORE_FILTERS: List[Tuple[str, Callable[[], LowerBoundFilter]]] = [
+    ("BiBranch", BinaryBranchFilter),
+    ("BiBranch3", lambda: BinaryBranchFilter(q=3)),
+    ("BiBranchCount", BranchCountFilter),
+    ("BiBranchCount3", lambda: BranchCountFilter(q=3)),
+    ("Histo", HistogramFilter),
+    (
+        "HistoFolded",
+        lambda: HistogramFilter(label_bins=4, degree_bins=4, height_cap=4),
+    ),
+    ("TraversalSED", TraversalStringFilter),
+    ("SizeDiff", SizeDifferenceFilter),
+    (
+        "Composite",
+        lambda: MaxCompositeFilter(
+            [BranchCountFilter(), SizeDifferenceFilter(), HistogramFilter()]
+        ),
+    ),
+]
+
+ORACLE_FACTORIES: Dict[str, Callable[[], Oracle]] = {}
+for _label, _factory in _STORE_FILTERS:
+    ORACLE_FACTORIES[f"bound:{_label}"] = (
+        lambda _f=_factory, _l=_label: FilterBoundOracle(_f, _l)
+    )
+ORACLE_FACTORIES["bound:dominance"] = DominanceOracle
+ORACLE_FACTORIES["editdist:metamorphic"] = EditScriptOracle
+ORACLE_FACTORIES["metric:bdist"] = BranchMetricOracle
+ORACLE_FACTORIES["features:packed-l1"] = PackedVectorOracle
+ORACLE_FACTORIES["store:identity"] = lambda: StoreIdentityOracle(_STORE_FILTERS)
+ORACLE_FACTORIES["storage:roundtrip"] = RoundTripOracle
+ORACLE_FACTORIES["search:completeness"] = SearchCompletenessOracle
+ORACLE_FACTORIES["service:cache-transparency"] = ServiceCacheOracle
+
+
+def default_oracle_names() -> List[str]:
+    """Every registered oracle, in registry order."""
+    return list(ORACLE_FACTORIES)
+
+
+def make_oracles(names: Optional[Sequence[str]] = None) -> List[Oracle]:
+    """Instantiate oracles by name (all of them by default)."""
+    if names is None:
+        names = default_oracle_names()
+    oracles = []
+    for name in names:
+        try:
+            factory = ORACLE_FACTORIES[name]
+        except KeyError:
+            raise InvalidParameterError(
+                f"unknown oracle {name!r} "
+                f"(choose from {', '.join(sorted(ORACLE_FACTORIES))})"
+            ) from None
+        oracles.append(factory())
+    return oracles

@@ -1,0 +1,182 @@
+"""Verification runs: orchestrate oracles, shrink violations, emit repros.
+
+:func:`run_verification` is the single entry point used by the CLI, the
+pytest bridge and CI.  It builds the deterministic corpus for
+``(seed, budget)``, runs the requested oracles, shrinks every violation
+that carries a pair predicate to a minimal counterexample, and (optionally)
+writes one replayable JSON repro file per violation.
+
+Repro files (format ``repro-verify`` v1) are self-contained: the oracle
+name plus the two bracket-notation trees are enough to re-check the
+violated invariant on any checkout — :func:`replay_repro_file` does exactly
+that, so a repro file attached to a bug report doubles as a regression
+test fixture.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Dict, Optional, Sequence, Union
+
+from repro.exceptions import TreeParseError
+from repro.trees.parse import parse_bracket, to_bracket
+from repro.verify.corpus import TreePair, build_corpus
+from repro.verify.oracles import ORACLE_FACTORIES, PairOracle, make_oracles
+from repro.verify.report import VerifyReport, Violation
+from repro.verify.shrink import shrink_pair
+
+__all__ = [
+    "run_verification",
+    "save_repro_file",
+    "load_repro_file",
+    "replay_repro_file",
+    "format_replay",
+]
+
+PathLike = Union[str, os.PathLike]
+
+_FORMAT = "repro-verify"
+_VERSION = 1
+
+
+def run_verification(
+    seed: int = 0,
+    budget: str = "small",
+    oracles: Optional[Sequence[str]] = None,
+    shrink: bool = True,
+    shrink_steps: int = 2000,
+    repro_dir: Optional[PathLike] = None,
+) -> VerifyReport:
+    """Run the oracle harness; returns the aggregated :class:`VerifyReport`.
+
+    Parameters
+    ----------
+    seed, budget:
+        Corpus determinants (see :mod:`repro.verify.corpus`).
+    oracles:
+        Oracle names to run (default: the full registry).
+    shrink:
+        Shrink each pair-predicate violation to a minimal counterexample.
+    repro_dir:
+        When given, write one replayable JSON repro file per violation
+        into this directory (created if missing).
+    """
+    corpus = build_corpus(seed=seed, budget=budget)
+    report = VerifyReport(seed=seed, budget=budget)
+
+    from repro.editdist.zhang_shasha import tree_edit_distance
+
+    memo: Dict[int, float] = {}
+
+    def distance(pair: TreePair) -> float:
+        key = id(pair)
+        if key not in memo:
+            memo[key] = tree_edit_distance(pair.t1, pair.t2)
+        return memo[key]
+
+    for oracle in make_oracles(oracles):
+        started = time.perf_counter()
+        outcome = oracle.run(corpus, distance)
+        outcome.seconds = time.perf_counter() - started
+        if shrink:
+            for violation in outcome.violations:
+                _shrink_violation(violation, shrink_steps)
+        report.add(outcome)
+
+    if repro_dir is not None and report.violations:
+        os.makedirs(repro_dir, exist_ok=True)
+        for index, violation in enumerate(report.violations):
+            save_repro_file(
+                violation,
+                os.path.join(repro_dir, f"violation-{index:03d}.json"),
+                seed=seed,
+                budget=budget,
+            )
+    return report
+
+
+def _shrink_violation(violation: Violation, shrink_steps: int) -> None:
+    if violation.predicate is None or violation.t1 is None or violation.t2 is None:
+        return
+    shrunk1, shrunk2 = shrink_pair(
+        violation.t1, violation.t2, violation.predicate, max_steps=shrink_steps
+    )
+    if shrunk1 is not None:
+        violation.shrunk1, violation.shrunk2 = shrunk1, shrunk2
+
+
+# ----------------------------------------------------------------------
+# Repro files
+# ----------------------------------------------------------------------
+def save_repro_file(
+    violation: Violation,
+    path: PathLike,
+    seed: Optional[int] = None,
+    budget: Optional[str] = None,
+) -> None:
+    """Write one violation as a replayable JSON repro file."""
+    document = {
+        "format": _FORMAT,
+        "version": _VERSION,
+        "seed": seed,
+        "budget": budget,
+        **violation.to_dict(),
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True, default=repr)
+
+
+def load_repro_file(path: PathLike) -> Dict[str, object]:
+    """Load and validate a repro file written by :func:`save_repro_file`."""
+    with open(path, "r", encoding="utf-8") as handle:
+        document = json.load(handle)
+    if document.get("format") != _FORMAT:
+        raise TreeParseError(f"{path}: not a {_FORMAT} file")
+    if document.get("version") != _VERSION:
+        raise TreeParseError(
+            f"{path}: unsupported repro version {document.get('version')!r}"
+        )
+    return document
+
+
+def replay_repro_file(path: PathLike) -> Violation:
+    """Re-check a repro file's invariant; returns the re-found violation.
+
+    Prefers the shrunk counterexample when present.  Raises ``ValueError``
+    when the file's oracle is not replayable pairwise, and returns a
+    violation with an empty message when the invariant no longer fails
+    (i.e. the bug is fixed).
+    """
+    document = load_repro_file(path)
+    name = str(document["oracle"])
+    factory = ORACLE_FACTORIES.get(name)
+    if factory is None:
+        raise ValueError(f"{path}: unknown oracle {name!r}")
+    oracle = factory()
+    if not isinstance(oracle, PairOracle):
+        raise ValueError(
+            f"{path}: oracle {name!r} is stateful and cannot be replayed "
+            "from a tree pair; re-run `repro verify` with its seed instead"
+        )
+    t1_text = document.get("shrunk1") or document.get("t1")
+    t2_text = document.get("shrunk2") or document.get("t2")
+    if not t1_text or not t2_text:
+        raise ValueError(f"{path}: repro file carries no tree pair")
+    t1, t2 = parse_bracket(str(t1_text)), parse_bracket(str(t2_text))
+    found = oracle.check_pair(t1, t2)
+    if found is None:
+        return Violation(oracle=name, message="", t1=t1, t2=t2)
+    message, details = found
+    return Violation(oracle=name, message=message, t1=t1, t2=t2, details=details)
+
+
+def format_replay(violation: Violation) -> str:
+    """Human-readable one-liner for ``repro verify --replay``."""
+    if not violation.message:
+        return (
+            f"[{violation.oracle}] no longer violates on "
+            f"{to_bracket(violation.t1)} vs {to_bracket(violation.t2)}"
+        )
+    return f"[{violation.oracle}] still violates: {violation.message}"

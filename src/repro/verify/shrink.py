@@ -1,0 +1,134 @@
+"""Greedy counterexample shrinking by subtree deletion.
+
+A violation found on two ~20-node corpus trees is hard to read; the same
+violation on a 3-node pair is a unit test.  The shrinker exploits that every
+oracle predicate is *re-evaluable*: given a predicate
+``violates(t1, t2) -> bool``, it repeatedly deletes whole subtrees
+(:func:`repro.trees.edits.prune_subtree`) from either tree, keeping each
+deletion for which the violation persists, until no single deletion keeps
+the predicate true — a 1-minimal counterexample with respect to subtree
+removal, the same fixpoint notion delta debugging uses.
+
+Candidate subtrees are tried **largest first**, so big irrelevant branches
+vanish in one step and the loop converges in
+``O(nodes · successful_prunes)`` predicate calls rather than quadratic.
+A predicate that *raises* on a candidate (e.g. an invariant checker that
+cannot process the mutated shape) counts as "violation did not persist":
+shrinking must never escalate an inequality violation into a crash witness.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+from repro.trees.edits import prune_subtree
+from repro.trees.node import TreeNode
+
+__all__ = ["shrink_tree", "shrink_pair"]
+
+PairPredicate = Callable[[TreeNode, TreeNode], bool]
+
+
+class _Budget:
+    """Mutable predicate-evaluation allowance shared across passes."""
+
+    def __init__(self, steps: int) -> None:
+        self.steps = steps
+
+    def spend(self) -> bool:
+        self.steps -= 1
+        return self.steps >= 0
+
+    @property
+    def exhausted(self) -> bool:
+        return self.steps <= 0
+
+
+def _holds(predicate: PairPredicate, t1: TreeNode, t2: TreeNode) -> bool:
+    try:
+        return bool(predicate(t1, t2))
+    except Exception:
+        return False
+
+
+def _candidate_positions(tree: TreeNode) -> List[int]:
+    """Non-root preorder positions, largest subtree first."""
+    sized = [
+        (node.size, position)
+        for position, node in enumerate(tree.iter_preorder(), start=1)
+        if position > 1
+    ]
+    sized.sort(reverse=True)
+    return [position for _, position in sized]
+
+
+def _shrink_side(
+    first_side: bool,
+    target: TreeNode,
+    other: TreeNode,
+    predicate: PairPredicate,
+    budget: _Budget,
+) -> Tuple[TreeNode, bool]:
+    """Delete subtrees from ``target`` while the pair still violates.
+
+    ``first_side`` says whether ``target`` is the pair's first element (the
+    predicate is order-sensitive).  Returns the shrunk tree and whether any
+    deletion was accepted.
+    """
+    changed = False
+    progress = True
+    while progress and not budget.exhausted:
+        progress = False
+        for position in _candidate_positions(target):
+            if not budget.spend():
+                break
+            candidate = prune_subtree(target, position)
+            pair = (candidate, other) if first_side else (other, candidate)
+            if _holds(predicate, *pair):
+                target = candidate
+                changed = True
+                progress = True
+                break  # positions shifted; recompute candidates
+    return target, changed
+
+
+def shrink_pair(
+    t1: TreeNode,
+    t2: TreeNode,
+    predicate: PairPredicate,
+    max_steps: int = 2000,
+) -> Tuple[Optional[TreeNode], Optional[TreeNode]]:
+    """Greedily minimise a violating pair; returns the shrunk clones.
+
+    ``predicate(t1, t2)`` must be True for the input pair (the violation);
+    the result is a pair on which it is still True but on which no single
+    subtree deletion keeps it True (unless the ``max_steps`` predicate-call
+    budget ran out first — shrinking is best-effort, soundness lives in the
+    predicate).  Returns ``(None, None)`` when the input pair does not
+    violate to begin with, so callers can detect non-reproducible (flaky)
+    predicates.
+    """
+    t1, t2 = t1.clone(), t2.clone()
+    if not _holds(predicate, t1, t2):
+        return None, None
+    budget = _Budget(max_steps)
+    # Alternate until neither side shrinks in a full pass: deleting from t1
+    # can unlock deletions in t2 (e.g. bounds involving the size difference).
+    while not budget.exhausted:
+        t1, changed1 = _shrink_side(True, t1, t2, predicate, budget)
+        t2, changed2 = _shrink_side(False, t2, t1, predicate, budget)
+        if not changed1 and not changed2:
+            break
+    return t1, t2
+
+
+def shrink_tree(
+    tree: TreeNode,
+    predicate: Callable[[TreeNode], bool],
+    max_steps: int = 2000,
+) -> Optional[TreeNode]:
+    """Shrink a single-tree counterexample (wraps :func:`shrink_pair`)."""
+    shrunk, _ = shrink_pair(
+        tree, TreeNode("_"), lambda a, _b: predicate(a), max_steps=max_steps
+    )
+    return shrunk

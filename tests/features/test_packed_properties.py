@@ -1,0 +1,110 @@
+"""Property tests for PackedVector edge cases (ISSUE satellite).
+
+The packed L1/overlap must equal the dict-keyed BranchVector reference in
+the regimes a vocabulary-interning refactor is most likely to break: empty
+vectors, fully disjoint vocabularies, and vocabulary growth between fitting
+and querying.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import branch_distance, branch_vector
+from repro.features import FeatureStore, Vocabulary, extract_features, pack_counts
+from repro.trees import parse_bracket
+from tests.strategies import trees
+
+
+def _pack(tree, vocabulary, q=2, grow=True):
+    features = extract_features(tree, (q,))
+    return pack_counts(
+        features.branch_counts[q], vocabulary, features.size, q, grow=grow
+    )
+
+
+def _relabel_disjoint(tree):
+    """Clone with every label moved to a disjoint alphabet."""
+    clone = tree.clone()
+    for node in clone.iter_preorder():
+        node.label = f"Z::{node.label}"
+    return clone
+
+
+class TestEmptyVectors:
+    @given(trees(max_leaves=6), st.sampled_from([2, 3]))
+    @settings(max_examples=40, deadline=None)
+    def test_distance_to_empty_is_total_mass(self, tree, q):
+        vocabulary = Vocabulary()
+        packed = _pack(tree, vocabulary, q=q)
+        empty = pack_counts({}, vocabulary, 0, q)
+        assert empty.total == 0
+        assert packed.l1_distance(empty) == packed.total
+        assert empty.l1_distance(packed) == packed.total
+        assert empty.overlap(packed) == 0
+
+    def test_empty_vs_empty(self):
+        vocabulary = Vocabulary()
+        a = pack_counts({}, vocabulary, 0, 2)
+        b = pack_counts({}, vocabulary, 0, 2, grow=False)
+        assert a.l1_distance(b) == 0
+        assert a.overlap(b) == 0
+
+
+class TestDisjointVocabularies:
+    @given(trees(max_leaves=8), trees(max_leaves=8), st.sampled_from([2, 3]))
+    @settings(max_examples=40, deadline=None)
+    def test_matches_reference_without_shared_branches(self, t1, t2, q):
+        t2 = _relabel_disjoint(t2)
+        vocabulary = Vocabulary()
+        packed_1 = _pack(t1, vocabulary, q=q)
+        packed_2 = _pack(t2, vocabulary, q=q)
+        reference = branch_vector(t1, q=q).l1_distance(branch_vector(t2, q=q))
+        assert packed_1.l1_distance(packed_2) == reference
+        # disjoint labels ⟹ disjoint branches ⟹ no overlap at all
+        assert reference == packed_1.total + packed_2.total
+        assert packed_1.overlap(packed_2) == 0
+
+    @given(trees(max_leaves=6))
+    @settings(max_examples=30, deadline=None)
+    def test_disjoint_query_lands_entirely_in_extra(self, tree):
+        store = FeatureStore((2,)).fit([tree])
+        foreign = _relabel_disjoint(tree)
+        query = store.pack_query(foreign, 2)
+        # nothing the store interned can appear in the foreign query
+        assert len(query.dims) == 0
+        assert sum(query.extra.values()) == query.total
+
+
+class TestVocabularyGrowth:
+    @given(
+        trees(max_leaves=6), trees(max_leaves=6), trees(max_leaves=6),
+        st.sampled_from([2, 3]),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_growth_between_fit_and_query_keeps_distances(self, t1, t2, t3, q):
+        """Interning new branches must not change existing distances.
+
+        A query packed before ``store.add`` grew the vocabulary and one
+        packed after must both match the dict-keyed reference — the classic
+        failure is a frozen query vector whose ``extra`` keys were interned
+        later, silently losing their overlap.
+        """
+        store = FeatureStore((q,)).fit([t1])
+        reference = branch_distance(t1, t2, q=q)
+        before = store.pack_query(t2, q)
+        assert store.packed_vector(0, q).l1_distance(before) == reference
+        store.add(t3)  # may grow the vocabulary
+        after = store.pack_query(t2, q)
+        assert store.packed_vector(0, q).l1_distance(after) == reference
+        assert store.packed_vector(0, q).l1_distance(before) == reference
+
+    def test_fit_then_add_matches_reference_explicitly(self):
+        t1 = parse_bracket("a(b,c)")
+        t2 = parse_bracket("a(b,d)")
+        grower = parse_bracket("d(e,f,g)")
+        store = FeatureStore((2,)).fit([t1])
+        query = store.pack_query(t2, 2)
+        store.add(grower)
+        assert store.packed_vector(0, 2).l1_distance(query) == branch_distance(
+            t1, t2, q=2
+        )

@@ -92,6 +92,47 @@ class TestSelectiveInvalidation:
         assert (index, 0.0) in matches
         assert service.metrics.cache_hits == 0
 
+    def test_retained_entries_equal_cold_queries_after_add(self):
+        """Every entry surviving an add answers exactly like a cold database."""
+        service = _service(["a(b,c)", "a(b,d)", "x(y)", "a(b(c),d)"])
+        for kind, text, parameter in [
+            ("range", "a(b,c)", 1.0),
+            ("range", "x(y)", 0.0),
+            ("knn", "a(b,d)", 2),
+        ]:
+            query = parse_bracket(text)
+            if kind == "range":
+                service.range(query, parameter)
+            else:
+                service.knn(query, parameter)
+        service.add(parse_bracket("z(w(v,u),t(s,r),p,o,n)"))
+        assert service.metrics.cache_entries_retained > 0
+        cold = TreeDatabase(list(service.database.trees))
+        for (kind, bracket, parameter), entry in service._cache._entries.items():
+            # surviving entries are re-stamped to the current generation …
+            assert entry.generation == service.database.generation
+            query = parse_bracket(bracket)
+            expected = (
+                cold.range_query(query, parameter)[0]
+                if kind == "range"
+                else cold.knn(query, int(parameter))[0]
+            )
+            # … and their payload equals a from-scratch computation
+            assert entry.answer[0] == expected
+
+    def test_generation_mismatch_is_a_miss_never_a_stale_hit(self):
+        """A mis-stamped entry must be dropped, not served."""
+        service = _service(["a(b,c)", "x(y)"])
+        query = parse_bracket("a(b,c)")
+        first, _ = service.range(query, 1)
+        for entry in service._cache._entries.values():
+            entry.generation -= 1
+            entry.answer[0].append(("poison", -1.0))  # detectable if served
+        matches, _ = service.range(query, 1)
+        assert matches == first
+        assert ("poison", -1.0) not in matches
+        assert service.metrics.cache_hits == 0
+
     @given(
         forest=st.lists(trees(max_leaves=5), min_size=1, max_size=4),
         additions=st.lists(trees(max_leaves=5), min_size=1, max_size=3),

@@ -292,3 +292,56 @@ class TestFeaturesCommands:
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["features"])
+
+
+class TestVerify:
+    def test_list_oracles(self, capsys):
+        assert main(["verify", "--list-oracles"]) == 0
+        out = capsys.readouterr().out
+        assert "bound:BiBranch" in out
+        assert "service:cache-transparency" in out
+
+    def test_single_oracle_human_report(self, capsys):
+        assert main(["verify", "--oracle", "metric:bdist"]) == 0
+        out = capsys.readouterr().out
+        assert "verify seed=0 budget=small" in out
+        assert "metric:bdist" in out
+        assert "TOTAL" in out
+
+    def test_json_report(self, capsys):
+        import json
+
+        assert main(
+            ["verify", "--oracle", "bound:SizeDiff", "--json", "--seed", "4"]
+        ) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["ok"] is True
+        assert report["seed"] == 4
+        assert report["oracles"]["bound:SizeDiff"]["checks"] > 0
+
+    def test_unknown_oracle_fails_fast(self, capsys):
+        assert main(["verify", "--oracle", "bound:nope"]) == 2
+        assert "unknown oracle" in capsys.readouterr().err
+
+    def test_unknown_budget_rejected_by_parser(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["verify", "--budget", "galactic"])
+
+    def test_replay_fixed_repro_file(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "violation.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "format": "repro-verify",
+                    "version": 1,
+                    "oracle": "bound:BiBranchCount",
+                    "message": "stale report",
+                    "t1": "a(b,c)",
+                    "t2": "a(b,c)",
+                }
+            )
+        )
+        assert main(["verify", "--replay", str(path)]) == 0
+        assert "no longer violates" in capsys.readouterr().out

@@ -121,6 +121,59 @@ class TestSaveLoadDatabase:
         assert loaded.features is not None
         assert loaded.features.extraction_passes == len(self.FOREST)
 
+    def test_corrupt_sidecar_warns_and_reextracts(self, tmp_path):
+        from repro.storage import load_database, save_database
+
+        original = self._database()
+        path = tmp_path / "db.trees"
+        save_database(original, path)
+        sidecar = tmp_path / "db.trees.features.json"
+        sidecar.write_text("{ not json at all")
+        with pytest.warns(UserWarning, match="unreadable feature sidecar"):
+            loaded = load_database(path)
+        # fell back to a from-scratch fit, answers unaffected
+        assert loaded.features is not None
+        assert loaded.features.extraction_passes == len(self.FOREST)
+        query = parse_bracket(self.FOREST[0])
+        assert loaded.knn(query, 2)[0] == original.knn(query, 2)[0]
+
+    def test_foreign_json_sidecar_warns_and_reextracts(self, tmp_path):
+        from repro.storage import load_database, save_database
+
+        path = tmp_path / "db.trees"
+        save_database(self._database(), path)
+        (tmp_path / "db.trees.features.json").write_text('{"other": "format"}')
+        with pytest.warns(UserWarning, match="unreadable feature sidecar"):
+            loaded = load_database(path)
+        assert loaded.features.extraction_passes == len(self.FOREST)
+
+    def test_stale_sidecar_length_mismatch_warns_and_reextracts(self, tmp_path):
+        from repro.search.database import TreeDatabase
+        from repro.storage import load_database, save_database
+
+        path = tmp_path / "db.trees"
+        save_database(self._database(), path)
+        # overwrite the sidecar with a plane covering fewer trees (e.g. the
+        # forest was edited by hand after the save)
+        shorter = TreeDatabase([parse_bracket(self.FOREST[0])])
+        save_database(shorter, tmp_path / "other.trees")
+        (tmp_path / "db.trees.features.json").write_text(
+            (tmp_path / "other.trees.features.json").read_text()
+        )
+        with pytest.warns(UserWarning, match="stale feature sidecar"):
+            loaded = load_database(path)
+        assert len(loaded) == len(self.FOREST)
+        assert loaded.features.extraction_passes == len(self.FOREST)
+
+    def test_intact_sidecar_does_not_warn(self, tmp_path, recwarn):
+        from repro.storage import load_database, save_database
+
+        path = tmp_path / "db.trees"
+        save_database(self._database(), path)
+        loaded = load_database(path)
+        assert loaded.features.extraction_passes == 0
+        assert not [w for w in recwarn if "sidecar" in str(w.message)]
+
     def test_sidecar_written_for_storeless_filter(self, tmp_path):
         from repro.search.database import TreeDatabase
         from repro.storage import load_database, save_database

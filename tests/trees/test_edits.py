@@ -14,6 +14,7 @@ from repro.trees import (
     apply_operation,
     apply_script,
     parse_bracket,
+    prune_subtree,
     random_edit_script,
     random_operation,
     to_bracket,
@@ -99,6 +100,32 @@ class TestInsert:
 
     def test_describe(self):
         assert "insert" in Insert(1, 0, 0, "z").describe()
+
+
+class TestPruneSubtree:
+    """Whole-subtree removal — the shrinker's reduction primitive."""
+
+    def test_differs_from_delete(self):
+        # Delete splices children up; prune drops the whole subtree
+        tree = parse_bracket("a(b(c,d),e)")
+        assert to_bracket(prune_subtree(tree, 2)) == "a(e)"
+        apply_operation(tree, Delete(2))
+        assert to_bracket(tree) == "a(c,d,e)"
+
+    def test_root_rejected(self):
+        with pytest.raises(InvalidEditOperationError):
+            prune_subtree(parse_bracket("a(b)"), 1)
+
+    @given(trees(), st.integers(0, 2**31))
+    @settings(max_examples=40, deadline=None)
+    def test_size_drops_by_exactly_the_subtree(self, tree, seed):
+        if tree.size < 2:
+            return
+        position = 2 + random.Random(seed).randrange(tree.size - 1)
+        victim_size = list(tree.iter_preorder())[position - 1].size
+        pruned = prune_subtree(tree, position)
+        assert pruned.size == tree.size - victim_size
+        assert tree.size == sum(1 for _ in tree.iter_preorder())  # untouched
 
 
 class TestScripts:

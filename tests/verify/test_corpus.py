@@ -1,0 +1,84 @@
+"""Unit tests for the verification corpus builder."""
+
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.trees import to_bracket
+from repro.verify import BUDGETS, build_corpus
+
+
+class TestDeterminism:
+    def test_same_seed_same_corpus(self):
+        a = build_corpus(seed=7, budget="small")
+        b = build_corpus(seed=7, budget="small")
+        assert [to_bracket(t) for t in a.trees] == [to_bracket(t) for t in b.trees]
+        assert [
+            (to_bracket(p.t1), to_bracket(p.t2), p.origin, p.max_distance)
+            for p in a.pairs
+        ] == [
+            (to_bracket(p.t1), to_bracket(p.t2), p.origin, p.max_distance)
+            for p in b.pairs
+        ]
+        assert len(a.service_schedule) == len(b.service_schedule)
+
+    def test_different_seeds_differ(self):
+        a = build_corpus(seed=0, budget="small")
+        b = build_corpus(seed=1, budget="small")
+        assert [to_bracket(t) for t in a.trees] != [to_bracket(t) for t in b.trees]
+
+
+class TestBudgets:
+    def test_small_counts_match_spec(self):
+        corpus = build_corpus(seed=0, budget="small")
+        spec = BUDGETS["small"]
+        # +2 degenerate shapes (single node, pure path) appended to the mix
+        assert len(corpus.trees) == spec.corpus_trees + 2
+        origins = [pair.origin for pair in corpus.pairs]
+        assert origins.count("perturbation") == spec.perturbation_pairs
+        assert origins.count("random") == spec.random_pairs
+        assert origins.count("identity") == 3
+        assert len(corpus.service_schedule) == spec.service_steps
+
+    def test_budgets_are_ordered(self):
+        small, medium, large = (
+            BUDGETS["small"], BUDGETS["medium"], BUDGETS["large"],
+        )
+        assert small.corpus_trees < medium.corpus_trees < large.corpus_trees
+        assert small.max_edit_ops < medium.max_edit_ops < large.max_edit_ops
+
+    def test_unknown_budget_rejected(self):
+        with pytest.raises(InvalidParameterError, match="unknown budget"):
+            build_corpus(seed=0, budget="galactic")
+
+
+class TestGroundTruth:
+    def test_perturbation_pairs_carry_construction_bound(self):
+        corpus = build_corpus(seed=3, budget="small")
+        spec = BUDGETS["small"]
+        for pair in corpus.pairs:
+            if pair.origin == "perturbation":
+                assert 1 <= pair.max_distance <= spec.max_edit_ops
+            elif pair.origin == "identity":
+                assert pair.max_distance == 0
+                assert pair.t1 == pair.t2
+                assert pair.t1 is not pair.t2  # clone, not alias
+            else:
+                assert pair.max_distance is None
+
+    def test_degenerate_shapes_present(self):
+        corpus = build_corpus(seed=0, budget="small")
+        sizes = [tree.size for tree in corpus.trees]
+        assert 1 in sizes  # single node
+        assert any(
+            tree.size == 5 and max(len(n.children) for n in tree.iter_preorder()) == 1
+            for tree in corpus.trees
+        )  # pure path
+
+    def test_schedule_entries_well_formed(self):
+        corpus = build_corpus(seed=5, budget="small")
+        for entry in corpus.service_schedule:
+            if entry[0] == "add":
+                assert len(entry) == 2
+            else:
+                assert entry[0] == "query"
+                assert entry[1] in {"range", "knn"}

@@ -1,0 +1,126 @@
+"""Unit tests for the oracle registry.
+
+The positive direction (every oracle passes on a clean checkout) is covered
+by ``test_harness.py``; this module checks the registry surface and — the
+part that makes the harness trustworthy — that a *deliberately broken*
+filter is caught and shrunk to a tiny counterexample.
+"""
+
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.filters.binary_branch import BranchCountFilter
+from repro.verify import (
+    ORACLE_FACTORIES,
+    build_corpus,
+    default_oracle_names,
+    make_oracles,
+)
+from repro.verify.oracles import FilterBoundOracle, PairOracle
+from repro.verify.shrink import shrink_pair
+
+
+class TestRegistry:
+    def test_every_default_name_instantiates(self):
+        names = default_oracle_names()
+        assert len(names) == len(ORACLE_FACTORIES)
+        for oracle, name in zip(make_oracles(names), names):
+            assert oracle.name == name
+
+    def test_expected_families_present(self):
+        names = set(default_oracle_names())
+        for required in (
+            "bound:BiBranch",
+            "bound:TraversalSED",
+            "bound:Composite",
+            "bound:dominance",
+            "editdist:metamorphic",
+            "metric:bdist",
+            "features:packed-l1",
+            "store:identity",
+            "storage:roundtrip",
+            "search:completeness",
+            "service:cache-transparency",
+        ):
+            assert required in names
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(InvalidParameterError, match="unknown oracle"):
+            make_oracles(["bound:nope"])
+
+    def test_selection_preserves_order(self):
+        picked = make_oracles(["metric:bdist", "bound:BiBranch"])
+        assert [o.name for o in picked] == ["metric:bdist", "bound:BiBranch"]
+
+
+class BrokenCountFilter(BranchCountFilter):
+    """A count filter whose query signature inflates one dimension.
+
+    Adding 3 to a vector count inflates the L1 distance and therefore the
+    bound — exactly the kind of off-by-N a packed-vector refactor could
+    introduce.  The harness must catch it and shrink it to a tiny pair.
+    """
+
+    def signature(self, tree):
+        packed = super().signature(tree)
+        if packed.counts:
+            packed.counts[0] += 3
+            packed.total += 3
+        return packed
+
+
+class TestDeliberateBreak:
+    """The ISSUE acceptance experiment: break a bound, watch it get caught."""
+
+    @pytest.fixture(scope="class")
+    def outcome(self):
+        corpus = build_corpus(seed=0, budget="small")
+        oracle = FilterBoundOracle(BrokenCountFilter, "BrokenCount")
+        return oracle, oracle.run(corpus, distance=None)
+
+    def test_violations_detected(self, outcome):
+        _, result = outcome
+        assert not result.ok
+        assert len(result.violations) >= 5
+
+    def test_violation_identifies_the_bound(self, outcome):
+        _, result = outcome
+        violation = result.violations[0]
+        assert violation.oracle == "bound:BrokenCount"
+        assert "bound" in violation.message
+
+    def test_shrinks_to_small_counterexample(self, outcome):
+        oracle, result = outcome
+        violation = result.violations[0]
+        shrunk1, shrunk2 = shrink_pair(
+            violation.t1, violation.t2, violation.predicate
+        )
+        assert shrunk1 is not None
+        assert shrunk1.size + shrunk2.size <= 8
+        assert oracle.violates(shrunk1, shrunk2)
+
+    def test_intact_filter_is_clean_on_same_corpus(self):
+        corpus = build_corpus(seed=0, budget="small")
+        oracle = FilterBoundOracle(BranchCountFilter, "BiBranchCount")
+        assert oracle.run(corpus, distance=None).ok
+
+
+class TestPairOraclePredicate:
+    def test_violates_mirrors_check_pair(self):
+        class AlwaysSad(PairOracle):
+            name = "test:always"
+
+            def check_pair(self, t1, t2):
+                return ("sad", {})
+
+        class NeverSad(PairOracle):
+            name = "test:never"
+
+            def check_pair(self, t1, t2):
+                return None
+
+        from repro.trees import parse_bracket
+
+        a, b = parse_bracket("a"), parse_bracket("b")
+        assert AlwaysSad().violates(a, b)
+        assert not NeverSad().violates(a, b)

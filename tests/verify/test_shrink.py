@@ -1,0 +1,116 @@
+"""Unit tests for counterexample shrinking."""
+
+import pytest
+
+from repro.exceptions import InvalidEditOperationError
+from repro.trees import parse_bracket, prune_subtree, to_bracket
+from repro.verify import shrink_pair, shrink_tree
+
+
+class TestPruneSubtree:
+    def test_prune_leaf(self):
+        tree = parse_bracket("a(b,c)")
+        assert to_bracket(prune_subtree(tree, 2)) == "a(c)"
+
+    def test_prune_removes_whole_subtree(self):
+        # unlike Delete, pruning does not splice the children back in
+        tree = parse_bracket("a(b(c,d),e)")
+        assert to_bracket(prune_subtree(tree, 2)) == "a(e)"
+
+    def test_input_untouched(self):
+        tree = parse_bracket("a(b(c),d)")
+        prune_subtree(tree, 2)
+        assert to_bracket(tree) == "a(b(c),d)"
+
+    def test_root_not_prunable(self):
+        with pytest.raises(InvalidEditOperationError):
+            prune_subtree(parse_bracket("a(b)"), 1)
+
+    def test_position_out_of_range(self):
+        with pytest.raises(InvalidEditOperationError):
+            prune_subtree(parse_bracket("a(b)"), 5)
+
+
+class TestShrinkPair:
+    def test_shrinks_to_minimal_label_pair(self):
+        # "t1 contains an x and t2 contains a y" minimises to two 2-node
+        # trees: the root is never prunable, so the marked child survives
+        t1 = parse_bracket("a(b(c,d),x,e(f,g))")
+        t2 = parse_bracket("a(h,y(j),i(k(m)))")
+
+        def predicate(a, b):
+            labels_a = {n.label for n in a.iter_preorder()}
+            labels_b = {n.label for n in b.iter_preorder()}
+            return "x" in labels_a and "y" in labels_b
+
+        s1, s2 = shrink_pair(t1, t2, predicate)
+        assert to_bracket(s1) == "a(x)"
+        assert to_bracket(s2) == "a(y)"
+
+    def test_needed_node_keeps_its_ancestor_chain(self):
+        # whole-subtree deletion cannot splice: a nested witness keeps the
+        # path from the root down to it
+        t1 = parse_bracket("a(b(c,x),d)")
+        s1, _ = shrink_pair(
+            t1,
+            parse_bracket("z"),
+            lambda a, b: "x" in {n.label for n in a.iter_preorder()},
+        )
+        assert to_bracket(s1) == "a(b(x))"
+
+    def test_non_violating_input_returns_none(self):
+        t1, t2 = parse_bracket("a"), parse_bracket("b")
+        assert shrink_pair(t1, t2, lambda a, b: False) == (None, None)
+
+    def test_inputs_never_mutated(self):
+        t1 = parse_bracket("a(b,c,d)")
+        t2 = parse_bracket("x(y,z)")
+        shrink_pair(t1, t2, lambda a, b: True)
+        assert to_bracket(t1) == "a(b,c,d)"
+        assert to_bracket(t2) == "x(y,z)"
+
+    def test_always_true_shrinks_to_roots(self):
+        s1, s2 = shrink_pair(
+            parse_bracket("a(b(c),d)"), parse_bracket("x(y)"), lambda a, b: True
+        )
+        assert s1.size == 1 and s2.size == 1
+
+    def test_raising_predicate_counts_as_gone(self):
+        # predicate raises whenever t1 lost nodes: shrinking must treat the
+        # crash as "violation did not persist", not as a counterexample
+        t1 = parse_bracket("a(b,c)")
+        t2 = parse_bracket("x")
+
+        def fragile(a, b):
+            if a.size < 3:
+                raise RuntimeError("cannot process this shape")
+            return True
+
+        s1, s2 = shrink_pair(t1, t2, fragile)
+        assert s1.size == 3  # nothing could be removed from t1
+        assert s2.size == 1
+
+    def test_budget_caps_predicate_calls(self):
+        calls = []
+
+        def counting(a, b):
+            calls.append(1)
+            return True
+
+        shrink_pair(
+            parse_bracket("a(b(c,d),e(f,g),h)"),
+            parse_bracket("x(y,z)"),
+            counting,
+            max_steps=3,
+        )
+        # one initial evaluation plus at most max_steps budgeted calls
+        assert len(calls) <= 4
+
+
+class TestShrinkTree:
+    def test_single_tree_wrapper(self):
+        tree = parse_bracket("a(b(c,x),d)")
+        shrunk = shrink_tree(
+            tree, lambda t: "x" in {n.label for n in t.iter_preorder()}
+        )
+        assert to_bracket(shrunk) == "a(b(x))"
