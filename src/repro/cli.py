@@ -11,6 +11,8 @@ Commands
 ``features``   build (``features build``) or inspect (``features stats``)
                a dataset's shared feature plane
 ``serve-bench``  replay synthetic query traffic through TreeSearchService
+``trace``      run one query fully traced: span tree + filter funnel
+``metrics``    dump the process-wide metrics registry (Prometheus text)
 ``verify``     run the differential/metamorphic oracle harness
 ``join``       similarity self-join of a dataset file
 ``convert``    XML/JSON documents -> a ``.trees`` dataset file
@@ -116,6 +118,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the SearchStats snapshot as JSON instead of the "
         "human-readable summary",
     )
+    search.add_argument(
+        "--trace",
+        action="store_true",
+        help="record spans for the query and print the span tree on stderr",
+    )
+    search.add_argument(
+        "--funnel",
+        action="store_true",
+        help="collect the filter funnel and print its table on stderr "
+        "(with --stats-json the funnel also rides in the JSON)",
+    )
 
     features = commands.add_parser(
         "features", help="build or inspect a shared feature plane"
@@ -177,6 +190,78 @@ def build_parser() -> argparse.ArgumentParser:
         "--json",
         action="store_true",
         help="print the replay report and metrics snapshot as JSON",
+    )
+    serve_bench.add_argument(
+        "--funnel",
+        action="store_true",
+        help="collect per-query filter funnels and print the aggregate "
+        "selectivity table (exits non-zero on a funnel-invariant breach)",
+    )
+    serve_bench.add_argument(
+        "--funnel-export",
+        metavar="PATH",
+        help="write the aggregated funnel statistics (and any invariant "
+        "violations) as JSON to PATH",
+    )
+    serve_bench.add_argument(
+        "--metrics-out",
+        metavar="PATH",
+        help="write the service metrics in Prometheus text format to PATH",
+    )
+    serve_bench.add_argument(
+        "--chrome-trace",
+        metavar="PATH",
+        help="trace the replay and write a chrome://tracing event file",
+    )
+
+    trace = commands.add_parser(
+        "trace",
+        help="run one query fully traced: span tree + filter funnel",
+        description="Executes a single range or k-NN query with tracing and "
+        "funnel collection forced on, then prints the matches, the recorded "
+        "span tree and the per-query funnel table.",
+    )
+    trace.add_argument("file")
+    trace.add_argument("--query", required=True, help="bracket-notation tree")
+    trace_mode = trace.add_mutually_exclusive_group(required=True)
+    trace_mode.add_argument("--range", type=float, dest="range_threshold")
+    trace_mode.add_argument("--knn", type=int, dest="knn_k")
+    trace.add_argument("--filter", choices=sorted(_FILTERS), default="bibranch")
+    trace.add_argument(
+        "--chrome-trace",
+        metavar="PATH",
+        help="also write the spans as a chrome://tracing event file",
+    )
+    trace.add_argument(
+        "--json",
+        action="store_true",
+        help="print the trace document and funnel records as JSON instead "
+        "of the rendered tree/table",
+    )
+
+    metrics = commands.add_parser(
+        "metrics", help="inspect the process-wide metrics registry"
+    )
+    metrics_commands = metrics.add_subparsers(dest="metrics_command", required=True)
+    metrics_dump = metrics_commands.add_parser(
+        "dump",
+        help="print the registry in Prometheus text format",
+        description="With a dataset FILE, first replays a small seeded "
+        "workload through a TreeSearchService registered on the process-wide "
+        "registry, so the dump shows live serving series.",
+    )
+    metrics_dump.add_argument(
+        "file", nargs="?", help="optional .trees dataset to generate traffic from"
+    )
+    metrics_dump.add_argument("--queries", type=int, default=20)
+    metrics_dump.add_argument("--seed", type=int, default=0)
+    metrics_dump.add_argument(
+        "--filter", choices=sorted(_FILTERS), default="bibranch"
+    )
+    metrics_dump.add_argument(
+        "--json",
+        action="store_true",
+        help="print the JSON snapshot instead of Prometheus text",
     )
 
     verify = commands.add_parser(
@@ -313,21 +398,36 @@ def _cmd_stats(args) -> int:
 
 
 def _cmd_search(args) -> int:
+    from repro.obs import Tracer, collect_funnels, set_tracer
+
     trees = load_forest(args.file)
     if not trees:
         print("dataset is empty", file=sys.stderr)
         return 1
     query = parse_bracket(args.query)
     flt = _FILTERS[args.filter]().fit(trees)
-    if args.range_threshold is not None:
-        matches, stats = range_query(trees, query, args.range_threshold, flt)
-    else:
-        matches, stats = knn_query(trees, query, args.knn_k, flt)
+    import contextlib
+
+    tracer = set_tracer(Tracer()) if args.trace else None
+    sink = None
+    try:
+        with contextlib.ExitStack() as stack:
+            if args.funnel:
+                sink = stack.enter_context(collect_funnels())
+            if args.range_threshold is not None:
+                matches, stats = range_query(trees, query, args.range_threshold, flt)
+            else:
+                matches, stats = knn_query(trees, query, args.knn_k, flt)
+    finally:
+        if tracer is not None:
+            set_tracer(None)
     for index, distance in matches:
         print(f"{index}\t{distance:g}\t{to_bracket(trees[index])}")
     if args.stats_json:
         import json
 
+        if not args.funnel:
+            stats.funnel = None  # keep the historic schema unless asked
         print(json.dumps(stats.to_dict(), sort_keys=True))
     else:
         print(
@@ -335,6 +435,11 @@ def _cmd_search(args) -> int:
             f"({stats.accessed_percentage:.1f}%)",
             file=sys.stderr,
         )
+    if sink is not None:
+        for funnel in sink.funnels:
+            print(funnel.format_table(), file=sys.stderr)
+    if tracer is not None:
+        print(tracer.format_tree(), file=sys.stderr)
     return 0
 
 
@@ -358,8 +463,10 @@ def _cmd_features(args) -> int:
 
 
 def _cmd_serve_bench(args) -> int:
+    import contextlib
     import json
 
+    from repro.obs import Tracer, collect_funnels, set_tracer
     from repro.search.database import TreeDatabase
     from repro.service import (
         TreeSearchService,
@@ -383,14 +490,149 @@ def _cmd_serve_bench(args) -> int:
     )
     workload = generate_workload(trees, spec)
     database = TreeDatabase(trees, flt=_FILTERS[args.filter]().fit(trees))
-    with TreeSearchService(
-        database, max_workers=args.clients, cache_size=args.cache_size
-    ) as service:
-        _, report = replay(service, workload, clients=args.clients)
+    collecting = args.funnel or args.funnel_export
+    tracer = set_tracer(Tracer()) if args.chrome_trace else None
+    sink = None
+    try:
+        with contextlib.ExitStack() as stack:
+            if collecting:
+                sink = stack.enter_context(collect_funnels())
+            service = stack.enter_context(
+                TreeSearchService(
+                    database, max_workers=args.clients, cache_size=args.cache_size
+                )
+            )
+            _, report = replay(service, workload, clients=args.clients)
+    finally:
+        if tracer is not None:
+            set_tracer(None)
+
+    violations = []
+    if sink is not None:
+        for position, funnel in enumerate(sink.funnels):
+            for problem in funnel.check_invariants():
+                violations.append(
+                    f"query funnel {position} ({funnel.kind}): {problem}"
+                )
+    if args.metrics_out:
+        with open(args.metrics_out, "w", encoding="utf-8") as handle:
+            handle.write(service.metrics.prometheus_text())
+        print(f"wrote metrics to {args.metrics_out}", file=sys.stderr)
+    if args.chrome_trace:
+        with open(args.chrome_trace, "w", encoding="utf-8") as handle:
+            json.dump(tracer.to_chrome_trace(), handle)
+        print(
+            f"wrote {len(tracer.finished_spans())} spans to {args.chrome_trace}",
+            file=sys.stderr,
+        )
+    if args.funnel_export:
+        document = {
+            "aggregate": sink.aggregate().to_dict(),
+            "funnels_collected": len(sink.funnels),
+            "invariant_violations": violations,
+        }
+        with open(args.funnel_export, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, sort_keys=True)
+        print(f"wrote funnel statistics to {args.funnel_export}", file=sys.stderr)
+
     if args.json:
-        print(json.dumps(report.to_dict(), sort_keys=True))
+        summary = report.to_dict()
+        if sink is not None:
+            summary["funnel"] = sink.aggregate().to_dict()
+        print(json.dumps(summary, sort_keys=True))
     else:
         print(format_report(report))
+        if args.funnel:
+            print(sink.aggregate().format_table())
+    if violations:
+        for violation in violations:
+            print(f"funnel invariant violated: {violation}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_trace(args) -> int:
+    import json
+
+    from repro.obs import Tracer, collect_funnels, set_tracer
+
+    trees = load_forest(args.file)
+    if not trees:
+        print("dataset is empty", file=sys.stderr)
+        return 1
+    query = parse_bracket(args.query)
+    flt = _FILTERS[args.filter]().fit(trees)
+    tracer = Tracer(sample_rate=1.0)
+    set_tracer(tracer)
+    try:
+        with collect_funnels() as sink:
+            if args.range_threshold is not None:
+                matches, _ = range_query(trees, query, args.range_threshold, flt)
+            else:
+                matches, _ = knn_query(trees, query, args.knn_k, flt)
+    finally:
+        set_tracer(None)
+    if args.chrome_trace:
+        with open(args.chrome_trace, "w", encoding="utf-8") as handle:
+            json.dump(tracer.to_chrome_trace(), handle)
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "matches": [[index, distance] for index, distance in matches],
+                    "trace": tracer.to_dict(),
+                    "funnels": [funnel.to_dict() for funnel in sink.funnels],
+                },
+                sort_keys=True,
+                default=repr,
+            )
+        )
+        return 0
+    for index, distance in matches:
+        print(f"{index}\t{distance:g}\t{to_bracket(trees[index])}")
+    print()
+    print(tracer.format_tree())
+    for funnel in sink.funnels:
+        print()
+        print(funnel.format_table())
+    if args.chrome_trace:
+        print(
+            f"\nwrote {len(tracer.finished_spans())} spans to {args.chrome_trace}",
+            file=sys.stderr,
+        )
+    return 0
+
+
+def _cmd_metrics(args) -> int:
+    from repro.obs import get_registry
+
+    registry = get_registry()
+    if args.file:
+        from repro.search.database import TreeDatabase
+        from repro.service import (
+            ServiceMetrics,
+            TreeSearchService,
+            WorkloadSpec,
+            generate_workload,
+            replay,
+        )
+
+        trees = load_forest(args.file)
+        if not trees:
+            print("dataset is empty", file=sys.stderr)
+            return 1
+        spec = WorkloadSpec(
+            queries=args.queries, k=min(3, len(trees)), seed=args.seed
+        )
+        workload = generate_workload(trees, spec)
+        database = TreeDatabase(trees, flt=_FILTERS[args.filter]().fit(trees))
+        metrics = ServiceMetrics(registry=registry)
+        with TreeSearchService(database, metrics=metrics) as service:
+            replay(service, workload)
+    if args.json:
+        print(registry.to_json(indent=2))
+    else:
+        sys.stdout.write(registry.prometheus_text())
     return 0
 
 
@@ -478,6 +720,8 @@ _HANDLERS = {
     "search": _cmd_search,
     "features": _cmd_features,
     "serve-bench": _cmd_serve_bench,
+    "trace": _cmd_trace,
+    "metrics": _cmd_metrics,
     "verify": _cmd_verify,
     "join": _cmd_join,
     "convert": _cmd_convert,

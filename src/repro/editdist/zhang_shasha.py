@@ -28,6 +28,7 @@ from collections import OrderedDict
 from typing import Dict, List, Optional, Tuple
 
 from repro.editdist.costs import UNIT_COSTS, CostModel
+from repro.obs import tracing
 from repro.trees.node import Label, TreeNode
 
 __all__ = [
@@ -269,7 +270,19 @@ class EditDistanceCounter:
     def distance(self, t1: TreeNode, t2: TreeNode) -> float:
         """Exact distance with call counting and preparation caching."""
         self.calls += 1
-        return tree_edit_distance(self.prepared(t1), self.prepared(t2), self.costs)
+        a = self.prepared(t1)
+        b = self.prepared(t2)
+        if not tracing.enabled():  # keep the hot path allocation-free
+            return tree_edit_distance(a, b, self.costs)
+        with tracing.span(
+            "editdist.zhang_shasha",
+            n1=a.size,
+            n2=b.size,
+            keyroot_pairs=len(a.keyroots) * len(b.keyroots),
+        ) as sp:
+            result = tree_edit_distance(a, b, self.costs)
+            sp.set(distance=result)
+        return result
 
     def reset(self) -> None:
         """Zero the call counter (the preparation cache is kept)."""

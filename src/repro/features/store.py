@@ -28,6 +28,7 @@ from repro.exceptions import InvalidParameterError
 from repro.features.extract import TreeFeatures, extract_features
 from repro.features.packed import PackedVector, pack_counts
 from repro.features.vocabulary import Vocabulary
+from repro.obs import tracing
 from repro.trees.node import TreeNode
 
 __all__ = ["FeatureStore"]
@@ -76,8 +77,11 @@ class FeatureStore:
     # ------------------------------------------------------------------
     def fit(self, trees: Sequence[TreeNode]) -> "FeatureStore":
         """Extract all artifacts for ``trees`` (one traversal each)."""
-        for tree in trees:
-            self._extract(tree)
+        with tracing.span(
+            "features.fit", trees=len(trees), q_levels=repr(self.q_levels)
+        ):
+            for tree in trees:
+                self._extract(tree)
         return self
 
     def add(self, tree: TreeNode) -> int:
@@ -92,7 +96,12 @@ class FeatureStore:
         return index
 
     def _extract(self, tree: TreeNode) -> int:
-        features = extract_features(tree, self.q_levels)
+        if not tracing.enabled():
+            features = extract_features(tree, self.q_levels)
+        else:
+            with tracing.span("features.extract") as sp:
+                features = extract_features(tree, self.q_levels)
+                sp.set(nodes=features.size)
         self.extraction_passes += 1
         return self._append(features)
 

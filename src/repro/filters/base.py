@@ -166,6 +166,18 @@ class LowerBoundFilter(ABC, Generic[Signature]):
         """
         return self.bound(query, data) > threshold
 
+    def funnel_components(self):
+        """Per-stage ``(name, refute)`` decomposition for funnel telemetry.
+
+        Each ``refute(query_signature, data_signature, threshold)`` callable
+        operates on this filter's *full* signature objects.  Default: the
+        filter is a single funnel stage; composites override this to expose
+        one stage per sub-filter, so the observability layer can attribute
+        pruning to the component that did it.  Applying the stages as a
+        cascade must refute exactly the candidates :meth:`refutes` refutes.
+        """
+        return [(self.name, self.refutes)]
+
     def __repr__(self) -> str:
         status = f"{self.size} trees" if self._fitted else "unfitted"
         return f"{type(self).__name__}(name={self.name!r}, {status})"

@@ -90,3 +90,19 @@ class MaxCompositeFilter(LowerBoundFilter[Tuple]):
             child.refutes(q, d, threshold)
             for child, q, d in zip(self.filters, query, data)
         )
+
+    def funnel_components(self):
+        """One funnel stage per sub-filter, applied as a cascade.
+
+        Stage names are position-prefixed so two children of the same class
+        stay distinguishable.  A candidate surviving every stage survives
+        :meth:`refutes` and vice versa (refutation is an ``any`` over the
+        children), so the cascade's final survivor set is identical.
+        """
+        components = []
+        for position, child in enumerate(self.filters):
+            def refute(query, data, threshold, _child=child, _position=position):
+                return _child.refutes(query[_position], data[_position], threshold)
+
+            components.append((f"{position}:{child.name}", refute))
+        return components

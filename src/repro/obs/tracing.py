@@ -1,0 +1,406 @@
+"""Lightweight span tracing with contextvars propagation.
+
+The observability layer's answer to "where did this query spend its
+time".  A :class:`Tracer` hands out :class:`Span` context managers; spans
+nest through a :mod:`contextvars` variable (so propagation survives thread
+hops when the caller copies its context, as the service batch executor
+does), time themselves with the monotonic :func:`time.perf_counter`, and
+are collected into a flat buffer from which the tracer can export a JSON
+document, a ``chrome://tracing`` event file, or a rendered span tree.
+
+Design constraints, in priority order:
+
+1. **near-zero overhead when disabled** — library code calls the
+   module-level :func:`span`; with no tracer installed it returns the
+   shared :data:`NOOP_SPAN` singleton immediately (one global read, one
+   identity check, no allocation);
+2. **sampling** — the keep/drop decision is made once per *root* span;
+   descendants of an unsampled root short-circuit to the no-op span, so a
+   sampled-out query costs one tiny marker allocation total;
+3. **bounded memory** — the span buffer is capped (``max_spans``); spans
+   beyond the cap are counted in :attr:`Tracer.dropped`, never stored.
+
+Hot loops (the Zhang–Shasha refinement step) should guard instrumentation
+with :func:`enabled` so even the no-op call and its keyword-argument dict
+are skipped when tracing is off.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import random
+import threading
+import time
+from contextvars import ContextVar
+from typing import Dict, List, Optional
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "NOOP_SPAN",
+    "span",
+    "enabled",
+    "current_span",
+    "get_tracer",
+    "set_tracer",
+]
+
+#: The innermost live span of the current execution context (or a
+#: sampled-out marker).  Copied by ``contextvars.copy_context()``, which is
+#: how parent ids survive ThreadPoolExecutor hand-offs.
+_CURRENT: "ContextVar[Optional[object]]" = ContextVar(
+    "repro_obs_current_span", default=None
+)
+
+_ACTIVE_TRACER: Optional["Tracer"] = None
+
+
+class _NoopSpan:
+    """The shared do-nothing span returned whenever tracing is off.
+
+    Stateless, so one instance serves every caller concurrently; its
+    methods are no-ops and it never touches the context variable.
+    """
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        return False
+
+    def set(self, **attributes) -> "_NoopSpan":
+        return self
+
+    def __repr__(self) -> str:
+        return "<noop span>"
+
+
+NOOP_SPAN = _NoopSpan()
+
+
+class _UnrecordedSpan:
+    """Marker entered for a *sampled-out* root span.
+
+    It installs itself as the current span so every descendant sees "this
+    trace is dropped" and short-circuits to :data:`NOOP_SPAN`; nothing is
+    ever recorded.  One tiny instance per unsampled root.
+    """
+
+    __slots__ = ("_token",)
+
+    def __enter__(self) -> "_UnrecordedSpan":
+        self._token = _CURRENT.set(self)
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        _CURRENT.reset(self._token)
+        return False
+
+    def set(self, **attributes) -> "_UnrecordedSpan":
+        return self
+
+
+class Span:
+    """One timed, attributed operation; a context manager.
+
+    ``start``/``end`` are :func:`time.perf_counter` readings (monotonic;
+    meaningful only relative to other spans of the same process).
+    """
+
+    __slots__ = (
+        "tracer",
+        "name",
+        "span_id",
+        "parent_id",
+        "trace_id",
+        "thread_id",
+        "start",
+        "end",
+        "attributes",
+        "error",
+        "_token",
+    )
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        name: str,
+        span_id: int,
+        parent_id: Optional[int],
+        trace_id: int,
+        attributes: Dict[str, object],
+    ) -> None:
+        self.tracer = tracer
+        self.name = name
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.trace_id = trace_id
+        self.thread_id = 0
+        self.start = 0.0
+        self.end = 0.0
+        self.attributes = attributes
+        self.error: Optional[str] = None
+
+    def __enter__(self) -> "Span":
+        self._token = _CURRENT.set(self)
+        self.thread_id = threading.get_ident()
+        self.start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> bool:
+        self.end = time.perf_counter()
+        _CURRENT.reset(self._token)
+        if exc_type is not None:
+            self.error = f"{exc_type.__name__}: {exc_value}"
+        self.tracer._finish(self)
+        return False
+
+    def set(self, **attributes) -> "Span":
+        """Attach (or overwrite) attributes; chainable."""
+        self.attributes.update(attributes)
+        return self
+
+    @property
+    def duration(self) -> float:
+        """Wall seconds between enter and exit (0 while still open)."""
+        return max(0.0, self.end - self.start)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serialisable record of one finished span."""
+        record: Dict[str, object] = {
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "trace_id": self.trace_id,
+            "thread_id": self.thread_id,
+            "start_seconds": self.start,
+            "duration_seconds": self.duration,
+            "attributes": dict(self.attributes),
+        }
+        if self.error is not None:
+            record["error"] = self.error
+        return record
+
+    def __repr__(self) -> str:
+        return (
+            f"Span({self.name!r}, id={self.span_id}, "
+            f"parent={self.parent_id}, {self.duration * 1000:.3f} ms)"
+        )
+
+
+class Tracer:
+    """Creates, samples and collects spans.
+
+    Parameters
+    ----------
+    sample_rate:
+        Probability that a *root* span (and therefore its whole trace) is
+        recorded.  ``1.0`` records everything, ``0.0`` nothing.
+    max_spans:
+        Bound on the finished-span buffer; further spans still time their
+        block but are dropped (counted in :attr:`dropped`).
+    seed:
+        Optional seed for the sampling stream, for deterministic tests.
+    """
+
+    def __init__(
+        self,
+        sample_rate: float = 1.0,
+        max_spans: int = 100_000,
+        seed: Optional[int] = None,
+    ) -> None:
+        if not 0.0 <= sample_rate <= 1.0:
+            raise ValueError(f"sample_rate must be in [0, 1], got {sample_rate}")
+        if max_spans < 1:
+            raise ValueError(f"max_spans must be >= 1, got {max_spans}")
+        self.sample_rate = sample_rate
+        self.max_spans = max_spans
+        self.dropped = 0
+        self._rng = random.Random(seed)
+        self._ids = itertools.count(1)
+        self._trace_ids = itertools.count(1)
+        self._lock = threading.Lock()
+        self._spans: List[Span] = []
+
+    # ------------------------------------------------------------------
+    # Span creation
+    # ------------------------------------------------------------------
+    def span(self, name: str, **attributes):
+        """Open a span as a child of the context's current span.
+
+        Returns a context manager: a real :class:`Span`, an unrecorded
+        marker (sampled-out root), or :data:`NOOP_SPAN` (descendant of a
+        sampled-out root).
+        """
+        parent = _CURRENT.get()
+        if parent is None:
+            if self.sample_rate < 1.0 and self._rng.random() >= self.sample_rate:
+                return _UnrecordedSpan()
+            return Span(
+                self, name, next(self._ids), None, next(self._trace_ids), attributes
+            )
+        if type(parent) is _UnrecordedSpan:
+            return NOOP_SPAN
+        return Span(
+            self, name, next(self._ids), parent.span_id, parent.trace_id, attributes
+        )
+
+    def _finish(self, span: Span) -> None:
+        with self._lock:
+            if len(self._spans) >= self.max_spans:
+                self.dropped += 1
+            else:
+                self._spans.append(span)
+
+    # ------------------------------------------------------------------
+    # Collection access
+    # ------------------------------------------------------------------
+    def finished_spans(self) -> List[Span]:
+        """Snapshot of the collected spans (completion order)."""
+        with self._lock:
+            return list(self._spans)
+
+    def clear(self) -> None:
+        """Drop every collected span and reset the drop counter."""
+        with self._lock:
+            self._spans.clear()
+            self.dropped = 0
+
+    def __len__(self) -> int:
+        return len(self._spans)
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """The whole collection as one JSON-serialisable document."""
+        spans = self.finished_spans()
+        return {
+            "format": "repro-trace",
+            "version": 1,
+            "sample_rate": self.sample_rate,
+            "dropped": self.dropped,
+            "spans": [record.to_dict() for record in spans],
+        }
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        """:meth:`to_dict` serialised as JSON."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True, default=repr)
+
+    def to_chrome_trace(self) -> Dict[str, object]:
+        """The collection as a ``chrome://tracing`` / Perfetto event file.
+
+        Complete ("X") events with microsecond timestamps relative to the
+        earliest span, one row per thread.  Load the JSON dump of this
+        dict via ``chrome://tracing`` or https://ui.perfetto.dev.
+        """
+        spans = self.finished_spans()
+        epoch = min((record.start for record in spans), default=0.0)
+        events = [
+            {
+                "name": record.name,
+                "cat": "repro",
+                "ph": "X",
+                "ts": (record.start - epoch) * 1e6,
+                "dur": record.duration * 1e6,
+                "pid": record.trace_id,
+                "tid": record.thread_id,
+                "args": {
+                    key: value if isinstance(value, (int, float, str, bool)) else repr(value)
+                    for key, value in record.attributes.items()
+                },
+            }
+            for record in spans
+        ]
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+    def format_tree(self) -> str:
+        """Render the collected spans as indented trees (one per trace)."""
+        spans = self.finished_spans()
+        if not spans:
+            return "(no spans recorded)"
+        children: Dict[Optional[int], List[Span]] = {}
+        for record in spans:
+            children.setdefault(record.parent_id, []).append(record)
+        for siblings in children.values():
+            siblings.sort(key=lambda record: (record.start, record.span_id))
+
+        lines: List[str] = []
+
+        def render(record: Span, prefix: str, is_last: bool, is_root: bool) -> None:
+            connector = "" if is_root else ("└─ " if is_last else "├─ ")
+            attributes = " ".join(
+                f"{key}={value:g}" if isinstance(value, float) else f"{key}={value}"
+                for key, value in record.attributes.items()
+            )
+            suffix = f"  [{attributes}]" if attributes else ""
+            error = f"  !{record.error}" if record.error else ""
+            lines.append(
+                f"{prefix}{connector}{record.name}  "
+                f"{record.duration * 1000:.3f} ms{suffix}{error}"
+            )
+            kids = children.get(record.span_id, [])
+            for position, child in enumerate(kids):
+                extension = "" if is_root else ("   " if is_last else "│  ")
+                render(
+                    child,
+                    prefix + extension,
+                    position == len(kids) - 1,
+                    False,
+                )
+
+        for root in children.get(None, []):
+            render(root, "", True, True)
+        if self.dropped:
+            lines.append(f"({self.dropped} spans dropped beyond max_spans)")
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# Module-level switchboard
+# ----------------------------------------------------------------------
+def get_tracer() -> Optional[Tracer]:
+    """The installed process-wide tracer, or ``None`` when tracing is off."""
+    return _ACTIVE_TRACER
+
+
+def set_tracer(tracer: Optional[Tracer]) -> Optional[Tracer]:
+    """Install (or, with ``None``, remove) the process-wide tracer.
+
+    Returns the tracer for chaining.  Instrumented library code observes
+    the change on its next :func:`span` call.
+    """
+    global _ACTIVE_TRACER
+    _ACTIVE_TRACER = tracer
+    return tracer
+
+
+def enabled() -> bool:
+    """Whether a tracer is installed (guards hot-loop instrumentation)."""
+    return _ACTIVE_TRACER is not None
+
+
+def span(name: str, **attributes):
+    """Open a span on the installed tracer; no-op when tracing is off.
+
+    This is the one call instrumented code makes::
+
+        with span("search.refine", candidates=n) as sp:
+            ...
+            sp.set(results=len(matches))
+    """
+    tracer = _ACTIVE_TRACER
+    if tracer is None:
+        return NOOP_SPAN
+    return tracer.span(name, **attributes)
+
+
+def current_span():
+    """The context's innermost live span (``None`` outside any span)."""
+    current = _CURRENT.get()
+    if current is None or type(current) is _UnrecordedSpan:
+        return None
+    return current

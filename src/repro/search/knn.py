@@ -25,6 +25,8 @@ from typing import List, Optional, Sequence, Tuple
 from repro.editdist.zhang_shasha import EditDistanceCounter
 from repro.exceptions import QueryError
 from repro.filters.base import LowerBoundFilter
+from repro.obs import tracing
+from repro.obs.funnel import FilterFunnel, FunnelStage, active_sink
 from repro.search.statistics import SearchStats
 from repro.trees.node import TreeNode
 
@@ -58,27 +60,57 @@ def knn_query(
         counter = EditDistanceCounter()
     stats = SearchStats(dataset_size=len(trees))
 
-    start = time.perf_counter()
-    bounds = flt.bounds(query)
-    order = sorted(range(len(trees)), key=lambda index: (bounds[index], index))
-    stats.filter_seconds = time.perf_counter() - start
+    sink = active_sink()
+    with tracing.span(
+        "search.knn", dataset_size=len(trees), k=k, filter=flt.name
+    ) as root:
+        start = time.perf_counter()
+        with tracing.span(f"filter.{flt.name}"):
+            bounds = flt.bounds(query)
+            order = sorted(range(len(trees)), key=lambda index: (bounds[index], index))
+        stats.filter_seconds = time.perf_counter() - start
 
-    # max-heap of (−distance, −index) so the worst current neighbor is on top
-    heap: List[Tuple[float, int]] = []
-    start = time.perf_counter()
-    refined = 0
-    for index in order:
-        if len(heap) == k and bounds[index] > -heap[0][0]:
-            break  # optimal stopping: no unseen object can improve the result
-        distance = counter.distance(query, trees[index])
-        refined += 1
-        if len(heap) < k:
-            heapq.heappush(heap, (-distance, -index))
-        elif distance < -heap[0][0]:
-            heapq.heapreplace(heap, (-distance, -index))
-    stats.refine_seconds = time.perf_counter() - start
-    stats.candidates = refined
-    stats.results = len(heap)
+        # max-heap of (−distance, −index) so the worst current neighbor is on top
+        heap: List[Tuple[float, int]] = []
+        start = time.perf_counter()
+        refined = 0
+        with tracing.span("search.refine") as refine_span:
+            for index in order:
+                if len(heap) == k and bounds[index] > -heap[0][0]:
+                    break  # optimal stopping: no unseen object can improve the result
+                distance = counter.distance(query, trees[index])
+                refined += 1
+                if len(heap) < k:
+                    heapq.heappush(heap, (-distance, -index))
+                elif distance < -heap[0][0]:
+                    heapq.heapreplace(heap, (-distance, -index))
+            refine_span.set(refined=refined, results=len(heap))
+        stats.refine_seconds = time.perf_counter() - start
+        stats.candidates = refined
+        stats.results = len(heap)
+        root.set(candidates=refined, results=len(heap))
+
+    if sink is not None or tracing.enabled():
+        # the ordering pass bounds every object but prunes none; pruning
+        # happens implicitly through the optimal-stopping refinement
+        stats.funnel = FilterFunnel(
+            kind="knn",
+            corpus_size=len(trees),
+            stages=[
+                FunnelStage(
+                    f"order:{flt.name}",
+                    len(trees),
+                    len(trees),
+                    stats.filter_seconds,
+                )
+            ],
+            refined=refined,
+            results=len(heap),
+            refine_seconds=stats.refine_seconds,
+            parameter=float(k),
+        )
+        if sink is not None:
+            sink.add(stats.funnel)
 
     neighbors = sorted(
         ((-neg_index, -neg_distance) for neg_distance, neg_index in heap),

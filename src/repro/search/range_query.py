@@ -16,6 +16,8 @@ from typing import List, Optional, Sequence, Tuple
 from repro.editdist.zhang_shasha import EditDistanceCounter
 from repro.exceptions import QueryError
 from repro.filters.base import LowerBoundFilter
+from repro.obs import tracing
+from repro.obs.funnel import FilterFunnel, FunnelStage, active_sink
 from repro.search.statistics import SearchStats
 from repro.trees.node import TreeNode
 
@@ -61,22 +63,76 @@ def range_query(
         counter = EditDistanceCounter()
     stats = SearchStats(dataset_size=len(trees))
 
-    start = time.perf_counter()
-    query_signature = flt.signature(query)
-    survivors = [
-        index
-        for index in range(len(trees))
-        if not flt.refutes(query_signature, flt.data_signature(index), threshold)
-    ]
-    stats.filter_seconds = time.perf_counter() - start
+    sink = active_sink()
+    observing = sink is not None or tracing.enabled()
+    with tracing.span(
+        "search.range", dataset_size=len(trees), threshold=threshold,
+        filter=flt.name,
+    ) as root:
+        stages: List[FunnelStage] = []
+        start = time.perf_counter()
+        with tracing.span("search.filter"):
+            query_signature = flt.signature(query)
+            if not observing:
+                survivors = [
+                    index
+                    for index in range(len(trees))
+                    if not flt.refutes(
+                        query_signature, flt.data_signature(index), threshold
+                    )
+                ]
+            else:
+                # staged cascade: same survivor set as the one-pass
+                # `refutes` (refutation is an `any` over the stages), but
+                # pruning is attributed to the stage that did it
+                survivors = list(range(len(trees)))
+                for name, refute in flt.funnel_components():
+                    with tracing.span(f"filter.{name}") as stage_span:
+                        entered = len(survivors)
+                        stage_start = time.perf_counter()
+                        survivors = [
+                            index
+                            for index in survivors
+                            if not refute(
+                                query_signature,
+                                flt.data_signature(index),
+                                threshold,
+                            )
+                        ]
+                        stage_seconds = time.perf_counter() - stage_start
+                        stages.append(
+                            FunnelStage(name, entered, len(survivors), stage_seconds)
+                        )
+                        stage_span.set(
+                            entered=entered,
+                            survivors=len(survivors),
+                            refuted=entered - len(survivors),
+                        )
+        stats.filter_seconds = time.perf_counter() - start
 
-    matches: List[Tuple[int, float]] = []
-    start = time.perf_counter()
-    for index in survivors:
-        distance = counter.distance(query, trees[index])
-        if distance <= threshold:
-            matches.append((index, distance))
-    stats.refine_seconds = time.perf_counter() - start
-    stats.candidates = len(survivors)
-    stats.results = len(matches)
+        matches: List[Tuple[int, float]] = []
+        start = time.perf_counter()
+        with tracing.span("search.refine", candidates=len(survivors)) as refine_span:
+            for index in survivors:
+                distance = counter.distance(query, trees[index])
+                if distance <= threshold:
+                    matches.append((index, distance))
+            refine_span.set(results=len(matches))
+        stats.refine_seconds = time.perf_counter() - start
+        stats.candidates = len(survivors)
+        stats.results = len(matches)
+        root.set(candidates=len(survivors), results=len(matches))
+
+    if observing:
+        stats.funnel = FilterFunnel(
+            kind="range",
+            corpus_size=len(trees),
+            stages=stages,
+            refined=len(survivors),
+            results=len(matches),
+            refine_seconds=stats.refine_seconds,
+            parameter=threshold,
+        )
+        if sink is not None:
+            sink.add(stats.funnel)
     return matches, stats

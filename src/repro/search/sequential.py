@@ -12,10 +12,30 @@ from typing import List, Optional, Sequence, Tuple
 
 from repro.editdist.zhang_shasha import EditDistanceCounter
 from repro.exceptions import QueryError
+from repro.obs import tracing
+from repro.obs.funnel import FilterFunnel, active_sink
 from repro.search.statistics import SearchStats
 from repro.trees.node import TreeNode
 
 __all__ = ["sequential_range_query", "sequential_knn_query", "distance_matrix"]
+
+
+def _record_funnel(stats: SearchStats, kind: str, parameter: float) -> None:
+    """Attach a stage-less funnel (sequential scans refine everything)."""
+    sink = active_sink()
+    if sink is None and not tracing.enabled():
+        return
+    stats.funnel = FilterFunnel(
+        kind=kind,
+        corpus_size=stats.dataset_size,
+        stages=[],
+        refined=stats.candidates,
+        results=stats.results,
+        refine_seconds=stats.refine_seconds,
+        parameter=parameter,
+    )
+    if sink is not None:
+        sink.add(stats.funnel)
 
 
 def sequential_range_query(
@@ -31,13 +51,18 @@ def sequential_range_query(
         counter = EditDistanceCounter()
     stats = SearchStats(dataset_size=len(trees), candidates=len(trees))
     start = time.perf_counter()
-    matches = []
-    for index, tree in enumerate(trees):
-        distance = counter.distance(query, tree)
-        if distance <= threshold:
-            matches.append((index, distance))
+    with tracing.span(
+        "search.sequential_range", dataset_size=len(trees), threshold=threshold
+    ) as root:
+        matches = []
+        for index, tree in enumerate(trees):
+            distance = counter.distance(query, tree)
+            if distance <= threshold:
+                matches.append((index, distance))
+        root.set(results=len(matches))
     stats.refine_seconds = time.perf_counter() - start
     stats.results = len(matches)
+    _record_funnel(stats, "sequential_range", threshold)
     return matches, stats
 
 
@@ -54,13 +79,15 @@ def sequential_knn_query(
         counter = EditDistanceCounter()
     stats = SearchStats(dataset_size=len(trees), candidates=len(trees))
     start = time.perf_counter()
-    distances = [
-        (counter.distance(query, tree), index)
-        for index, tree in enumerate(trees)
-    ]
-    distances.sort()
+    with tracing.span("search.sequential_knn", dataset_size=len(trees), k=k):
+        distances = [
+            (counter.distance(query, tree), index)
+            for index, tree in enumerate(trees)
+        ]
+        distances.sort()
     stats.refine_seconds = time.perf_counter() - start
     stats.results = k
+    _record_funnel(stats, "sequential_knn", float(k))
     return [(index, distance) for distance, index in distances[:k]], stats
 
 

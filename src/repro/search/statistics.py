@@ -15,7 +15,10 @@ checked.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
+from typing import TYPE_CHECKING, Dict, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.funnel import FilterFunnel
 
 __all__ = ["SearchStats"]
 
@@ -31,6 +34,9 @@ class SearchStats:
     results: int = 0
     filter_seconds: float = 0.0
     refine_seconds: float = 0.0
+    #: the query's :class:`~repro.obs.funnel.FilterFunnel`, populated when
+    #: funnel collection or tracing is active (see :mod:`repro.obs.funnel`)
+    funnel: "Optional[FilterFunnel]" = None
 
     @property
     def false_positives(self) -> int:
@@ -74,11 +80,16 @@ class SearchStats:
             results=self.results,
             filter_seconds=self.filter_seconds,
             refine_seconds=self.refine_seconds,
+            funnel=self.funnel,
         )
 
     def to_dict(self) -> Dict[str, float]:
-        """Flat dictionary for report tables and JSON export."""
-        return {
+        """Flat dictionary for report tables and JSON export.
+
+        The funnel record, when one was collected, rides along under the
+        ``"funnel"`` key; without collection the schema is unchanged.
+        """
+        data = {
             "dataset_size": self.dataset_size,
             "candidates": self.candidates,
             "results": self.results,
@@ -88,6 +99,9 @@ class SearchStats:
             "refine_seconds": self.refine_seconds,
             "total_seconds": self.total_seconds,
         }
+        if self.funnel is not None:
+            data["funnel"] = self.funnel.to_dict()
+        return data
 
     #: Backwards-compatible alias of :meth:`to_dict`.
     as_dict = to_dict

@@ -38,6 +38,8 @@ from repro.core.qlevel import qlevel_bound_factor
 from repro.editdist.zhang_shasha import EditDistanceCounter
 from repro.exceptions import QueryError
 from repro.filters.binary_branch import BinaryBranchFilter
+from repro.obs import tracing
+from repro.obs.funnel import FilterFunnel, FunnelStage, active_sink
 from repro.search.statistics import SearchStats
 from repro.trees.node import TreeNode
 
@@ -82,38 +84,75 @@ def tiered_knn_query(
     factor = qlevel_bound_factor(flt.q)
     stats = SearchStats(dataset_size=len(trees))
 
-    start = time.perf_counter()
-    query_signature = flt.signature(query)
-    cheap = [
-        _count_bound(query_signature, flt.data_signature(index), factor)
-        for index in range(len(trees))
-    ]
-    order = sorted(range(len(trees)), key=lambda index: (cheap[index], index))
-    stats.filter_seconds = time.perf_counter() - start
+    sink = active_sink()
+    with tracing.span(
+        "search.tiered_knn", dataset_size=len(trees), k=k, q=flt.q
+    ) as root:
+        start = time.perf_counter()
+        with tracing.span("filter.count-bound"):
+            query_signature = flt.signature(query)
+            cheap = [
+                _count_bound(query_signature, flt.data_signature(index), factor)
+                for index in range(len(trees))
+            ]
+            order = sorted(range(len(trees)), key=lambda index: (cheap[index], index))
+        stats.filter_seconds = time.perf_counter() - start
 
-    heap: List[Tuple[float, int]] = []  # (-distance, -index) max-heap
-    refined = 0
-    tight_evaluations = 0
-    start = time.perf_counter()
-    for index in order:
-        if len(heap) == k and cheap[index] > -heap[0][0]:
-            break  # optimal stopping on the ordering bound
-        if len(heap) == k:
-            tight_evaluations += 1
-            tight = search_lower_bound(
-                query_signature, flt.data_signature(index)
+        heap: List[Tuple[float, int]] = []  # (-distance, -index) max-heap
+        refined = 0
+        tight_evaluations = 0
+        tight_skips = 0
+        start = time.perf_counter()
+        with tracing.span("search.refine") as refine_span:
+            for index in order:
+                if len(heap) == k and cheap[index] > -heap[0][0]:
+                    break  # optimal stopping on the ordering bound
+                if len(heap) == k:
+                    tight_evaluations += 1
+                    tight = search_lower_bound(
+                        query_signature, flt.data_signature(index)
+                    )
+                    if tight > -heap[0][0]:
+                        tight_skips += 1
+                        continue  # skip this object; the scan goes on
+                distance = counter.distance(query, trees[index])
+                refined += 1
+                if len(heap) < k:
+                    heapq.heappush(heap, (-distance, -index))
+                elif distance < -heap[0][0]:
+                    heapq.heapreplace(heap, (-distance, -index))
+            refine_span.set(
+                refined=refined,
+                tight_evaluations=tight_evaluations,
+                tight_skips=tight_skips,
             )
-            if tight > -heap[0][0]:
-                continue  # skip this object; the scan goes on
-        distance = counter.distance(query, trees[index])
-        refined += 1
-        if len(heap) < k:
-            heapq.heappush(heap, (-distance, -index))
-        elif distance < -heap[0][0]:
-            heapq.heapreplace(heap, (-distance, -index))
-    stats.refine_seconds = time.perf_counter() - start
-    stats.candidates = refined
-    stats.results = len(heap)
+        stats.refine_seconds = time.perf_counter() - start
+        stats.candidates = refined
+        stats.results = len(heap)
+        root.set(candidates=refined, results=len(heap))
+
+    if sink is not None or tracing.enabled():
+        stats.funnel = FilterFunnel(
+            kind="tiered_knn",
+            corpus_size=len(trees),
+            stages=[
+                FunnelStage(
+                    "order:count-bound", len(trees), len(trees), stats.filter_seconds
+                ),
+                FunnelStage(
+                    "tighten:positional",
+                    len(trees),
+                    len(trees) - tight_skips,
+                    0.0,
+                ),
+            ],
+            refined=refined,
+            results=len(heap),
+            refine_seconds=stats.refine_seconds,
+            parameter=float(k),
+        )
+        if sink is not None:
+            sink.add(stats.funnel)
 
     neighbors = sorted(
         ((-neg_index, -neg_distance) for neg_distance, neg_index in heap),

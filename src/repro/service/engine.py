@@ -49,6 +49,7 @@ Examples
 
 from __future__ import annotations
 
+import contextvars
 import threading
 import time
 from collections import OrderedDict
@@ -58,6 +59,7 @@ from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.editdist.zhang_shasha import EditDistanceCounter, PreparedTreeCache
 from repro.exceptions import QueryError
+from repro.obs import tracing
 from repro.search.database import TreeDatabase
 from repro.search.knn import knn_query
 from repro.search.range_query import range_query
@@ -307,14 +309,18 @@ class TreeSearchService:
         evicted.  The prepared-tree cache is kept — preparation depends
         only on the tree object, not on database membership.
         """
-        self._rwlock.acquire_write()
-        try:
-            index = self.database.add(tree)
-            retained, evicted = self._cache.prune(
-                self._entry_survives_add(index), self.database.generation
-            )
-        finally:
-            self._rwlock.release_write()
+        with tracing.span("service.add") as add_span:
+            self._rwlock.acquire_write()
+            try:
+                index = self.database.add(tree)
+                with tracing.span("service.invalidate") as inv_span:
+                    retained, evicted = self._cache.prune(
+                        self._entry_survives_add(index), self.database.generation
+                    )
+                    inv_span.set(retained=retained, evicted=evicted)
+            finally:
+                self._rwlock.release_write()
+            add_span.set(index=index, retained=retained, evicted=evicted)
         self.metrics.observe_invalidation(retained=retained, evicted=evicted)
         return index
 
@@ -368,7 +374,17 @@ class TreeSearchService:
             return []
         if len(requests) == 1:
             return [self._serve(requests[0])]
-        return list(self._pool().map(self._serve, requests))
+        # ThreadPoolExecutor workers do not inherit the caller's context, so
+        # an active span (or funnel sink) would be invisible to them; give
+        # each request a copy of the submitting thread's context.  One copy
+        # per request — a single Context cannot be entered concurrently.
+        contexts = [contextvars.copy_context() for _ in requests]
+        return list(
+            self._pool().map(
+                lambda pair: pair[0].run(self._serve, pair[1]),
+                zip(contexts, requests),
+            )
+        )
 
     def batch_range(
         self, queries: Sequence[TreeNode], threshold: float
@@ -392,43 +408,52 @@ class TreeSearchService:
         return (request.kind, to_bracket(request.query), parameter)
 
     def _serve(self, request: QueryRequest) -> QueryAnswer:
-        start = time.perf_counter()
-        key = self._cache_key(request)
-        cached = self._cache.get(key, self.database.generation)
-        if cached is not None:
-            matches, stats = cached
-            self.metrics.observe_query(
-                request.kind, stats, time.perf_counter() - start, cache_hit=True
+        with tracing.span("service.serve", kind=request.kind) as serve_span:
+            start = time.perf_counter()
+            key = self._cache_key(request)
+            cached = self._cache.get(key, self.database.generation)
+            if cached is not None:
+                matches, stats = cached
+                serve_span.set(
+                    cache_hit=True, candidates=stats.candidates, results=stats.results
+                )
+                self.metrics.observe_query(
+                    request.kind, stats, time.perf_counter() - start, cache_hit=True
+                )
+                return list(matches), stats.copy()
+            # Per-query counter so `calls` is race-free; preparation is shared.
+            counter = EditDistanceCounter(
+                self.database.counter.costs, cache=self._prepared
             )
-            return list(matches), stats.copy()
-        # Per-query counter so `calls` is race-free; preparation is shared.
-        counter = EditDistanceCounter(self.database.counter.costs, cache=self._prepared)
-        self._rwlock.acquire_read()
-        try:
-            if request.kind == "range":
-                matches, stats = range_query(
-                    self.database.trees,
-                    request.query,
-                    request.threshold,
-                    self.database.filter,
-                    counter,
-                )
-            else:
-                matches, stats = knn_query(
-                    self.database.trees,
-                    request.query,
-                    request.k,
-                    self.database.filter,
-                    counter,
-                )
-            generation = self.database.generation
-        finally:
-            self._rwlock.release_read()
-        self._cache.put(
-            key,
-            _CacheEntry((list(matches), stats.copy()), request.query, generation),
-        )
-        self.metrics.observe_query(
-            request.kind, stats, time.perf_counter() - start, cache_hit=False
-        )
-        return matches, stats
+            self._rwlock.acquire_read()
+            try:
+                if request.kind == "range":
+                    matches, stats = range_query(
+                        self.database.trees,
+                        request.query,
+                        request.threshold,
+                        self.database.filter,
+                        counter,
+                    )
+                else:
+                    matches, stats = knn_query(
+                        self.database.trees,
+                        request.query,
+                        request.k,
+                        self.database.filter,
+                        counter,
+                    )
+                generation = self.database.generation
+            finally:
+                self._rwlock.release_read()
+            self._cache.put(
+                key,
+                _CacheEntry((list(matches), stats.copy()), request.query, generation),
+            )
+            serve_span.set(
+                cache_hit=False, candidates=stats.candidates, results=stats.results
+            )
+            self.metrics.observe_query(
+                request.kind, stats, time.perf_counter() - start, cache_hit=False
+            )
+            return matches, stats

@@ -8,6 +8,15 @@ phases consumed (aggregated from :class:`~repro.search.statistics.SearchStats`),
 how many candidates were refined, and a log-bucketed latency histogram per
 query kind from which percentiles are interpolated.
 
+Since PR 4 the storage is a :class:`~repro.obs.metrics.MetricsRegistry` —
+each ``ServiceMetrics`` owns a private registry by default (so independent
+instances never share counters) or can be pointed at a shared one (e.g. the
+process-wide :func:`~repro.obs.metrics.get_registry`), in which case several
+services' counters simply sum.  The classic attribute API
+(``metrics.cache_hits`` etc.) is preserved as read-only views over the
+instruments, and :meth:`ServiceMetrics.prometheus_text` exposes everything
+in the Prometheus text format.
+
 Everything is process-local and thread-safe; :meth:`ServiceMetrics.snapshot`
 returns a plain-``dict`` point-in-time view and :meth:`ServiceMetrics.to_json`
 serialises it, so scrapers (or the ``repro serve-bench`` CLI) never hold the
@@ -18,8 +27,9 @@ from __future__ import annotations
 
 import json
 import threading
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Optional, Sequence
 
+from repro.obs.metrics import HistogramState, MetricsRegistry
 from repro.search.statistics import SearchStats
 
 __all__ = ["LatencyHistogram", "ServiceMetrics", "percentile"]
@@ -40,19 +50,7 @@ def percentile(samples: Sequence[float], p: float) -> float:
     return ordered[rank]
 
 
-def _default_bounds() -> List[float]:
-    # 1 µs .. ~100 s in half-decade steps: wide enough for cache hits
-    # (microseconds) and pure-Python refinement of large trees (seconds)
-    bounds = []
-    value = 1e-6
-    while value < 100.0:
-        bounds.append(value)
-        bounds.append(value * 3.1623)  # half a decade
-        value *= 10.0
-    return bounds
-
-
-class LatencyHistogram:
+class LatencyHistogram(HistogramState):
     """Fixed-bucket latency histogram with interpolated percentiles.
 
     Buckets are upper-bound-inclusive like Prometheus histograms; the last
@@ -60,72 +58,10 @@ class LatencyHistogram:
     inside the winning bucket, which is accurate to within a bucket width —
     plenty for serving dashboards (the workload driver computes exact
     percentiles from raw samples where precision matters).
+
+    Now a thin alias of :class:`~repro.obs.metrics.HistogramState` with the
+    default latency buckets; kept for backwards compatibility.
     """
-
-    def __init__(self, bounds: Optional[Sequence[float]] = None) -> None:
-        self.bounds: List[float] = sorted(bounds) if bounds else _default_bounds()
-        self.counts: List[int] = [0] * (len(self.bounds) + 1)
-        self.total = 0
-        self.sum = 0.0
-        self.min = float("inf")
-        self.max = 0.0
-
-    def record(self, seconds: float) -> None:
-        """Fold one observation into the histogram."""
-        index = len(self.bounds)
-        for i, bound in enumerate(self.bounds):
-            if seconds <= bound:
-                index = i
-                break
-        self.counts[index] += 1
-        self.total += 1
-        self.sum += seconds
-        if seconds < self.min:
-            self.min = seconds
-        if seconds > self.max:
-            self.max = seconds
-
-    @property
-    def mean(self) -> float:
-        """Mean observed latency (0 when empty)."""
-        return self.sum / self.total if self.total else 0.0
-
-    def quantile(self, p: float) -> float:
-        """Interpolated ``p``-th percentile (0 when empty)."""
-        if not 0 <= p <= 100:
-            raise ValueError(f"percentile must be in [0, 100], got {p}")
-        if self.total == 0:
-            return 0.0
-        target = p / 100 * self.total
-        cumulative = 0
-        for i, count in enumerate(self.counts):
-            if count == 0:
-                continue
-            previous = cumulative
-            cumulative += count
-            if cumulative >= target:
-                lower = self.bounds[i - 1] if i > 0 else 0.0
-                upper = self.bounds[i] if i < len(self.bounds) else self.max
-                lower = max(lower, self.min if previous == 0 else lower)
-                upper = min(upper, self.max)
-                if upper <= lower:
-                    return upper
-                fraction = (target - previous) / count
-                return lower + fraction * (upper - lower)
-        return self.max
-
-    def to_dict(self) -> Dict[str, object]:
-        """Snapshot: count / sum / min / max / mean and key percentiles."""
-        return {
-            "count": self.total,
-            "sum_seconds": self.sum,
-            "min_seconds": self.min if self.total else 0.0,
-            "max_seconds": self.max,
-            "mean_seconds": self.mean,
-            "p50_seconds": self.quantile(50),
-            "p90_seconds": self.quantile(90),
-            "p99_seconds": self.quantile(99),
-        }
 
 
 class ServiceMetrics:
@@ -133,23 +69,64 @@ class ServiceMetrics:
 
     One instance per :class:`~repro.service.engine.TreeSearchService`;
     multiple services may also share one instance (counters simply sum).
+
+    Parameters
+    ----------
+    registry:
+        Optional :class:`~repro.obs.metrics.MetricsRegistry` to register
+        the instruments in — pass :func:`repro.obs.metrics.get_registry`
+        to expose this service on the process-wide scrape endpoint, or a
+        shared registry to sum several services into one set of series.
+        A private registry is created by default, preserving the historic
+        per-instance counting semantics.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
         self._lock = threading.Lock()
-        self.queries_by_kind: Dict[str, int] = {}
-        self.cache_hits = 0
-        self.cache_misses = 0
-        self.batches = 0
-        self.dataset_objects_considered = 0
-        self.candidates_examined = 0
-        self.results_returned = 0
-        self.filter_seconds = 0.0
-        self.refine_seconds = 0.0
-        self.invalidations = 0
-        self.cache_entries_retained = 0
-        self.cache_entries_evicted = 0
-        self._latency: Dict[str, LatencyHistogram] = {}
+        self.registry = registry if registry is not None else MetricsRegistry()
+        r = self.registry
+        self._queries = r.counter(
+            "repro_queries_total", "Queries served, by kind.", ("kind",)
+        )
+        self._cache_hits = r.counter(
+            "repro_cache_hits_total", "Result-cache hits."
+        )
+        self._cache_misses = r.counter(
+            "repro_cache_misses_total", "Result-cache misses."
+        )
+        self._batches = r.counter(
+            "repro_batches_total", "Batch submissions."
+        )
+        self._objects = r.counter(
+            "repro_dataset_objects_considered_total",
+            "Database objects scanned by the filter step.",
+        )
+        self._candidates = r.counter(
+            "repro_candidates_examined_total",
+            "Filter survivors refined with the exact edit distance.",
+        )
+        self._results = r.counter(
+            "repro_results_returned_total", "Objects in final answers."
+        )
+        self._phase_seconds = r.counter(
+            "repro_phase_seconds_total",
+            "CPU seconds per query phase, by phase and query kind.",
+            ("phase", "kind"),
+        )
+        self._invalidations = r.counter(
+            "repro_invalidations_total", "Cache invalidation passes (mutations)."
+        )
+        self._entries_retained = r.counter(
+            "repro_cache_entries_retained_total",
+            "Cache entries proven valid across a mutation.",
+        )
+        self._entries_evicted = r.counter(
+            "repro_cache_entries_evicted_total",
+            "Cache entries dropped by a mutation.",
+        )
+        self._latency_histogram = r.histogram(
+            "repro_query_latency_seconds", "End-to-end query latency.", ("kind",)
+        )
 
     # ------------------------------------------------------------------
     # Recording
@@ -169,25 +146,25 @@ class ServiceMetrics:
         is attributed once per distinct computation.
         """
         with self._lock:
-            self.queries_by_kind[kind] = self.queries_by_kind.get(kind, 0) + 1
+            self._queries.inc(kind=kind)
             if cache_hit:
-                self.cache_hits += 1
+                self._cache_hits.inc()
             else:
-                self.cache_misses += 1
-                self.dataset_objects_considered += stats.dataset_size
-                self.candidates_examined += stats.candidates
-                self.results_returned += stats.results
-                self.filter_seconds += stats.filter_seconds
-                self.refine_seconds += stats.refine_seconds
-            histogram = self._latency.get(kind)
-            if histogram is None:
-                histogram = self._latency[kind] = LatencyHistogram()
-            histogram.record(latency_seconds)
+                self._cache_misses.inc()
+                self._objects.inc(stats.dataset_size)
+                self._candidates.inc(stats.candidates)
+                self._results.inc(stats.results)
+                self._phase_seconds.inc(
+                    stats.filter_seconds, phase="filter", kind=kind
+                )
+                self._phase_seconds.inc(
+                    stats.refine_seconds, phase="refine", kind=kind
+                )
+            self._latency_histogram.observe(latency_seconds, kind=kind)
 
     def observe_batch(self) -> None:
         """Count one batch submission."""
-        with self._lock:
-            self.batches += 1
+        self._batches.inc()
 
     def observe_invalidation(self, retained: int = 0, evicted: int = 0) -> None:
         """Count one invalidation pass (a database mutation).
@@ -197,9 +174,88 @@ class ServiceMetrics:
         lower bound versus entries that had to go.
         """
         with self._lock:
-            self.invalidations += 1
-            self.cache_entries_retained += retained
-            self.cache_entries_evicted += evicted
+            self._invalidations.inc()
+            self._entries_retained.inc(retained)
+            self._entries_evicted.inc(evicted)
+
+    # ------------------------------------------------------------------
+    # Attribute views (the classic ServiceMetrics API)
+    # ------------------------------------------------------------------
+    @property
+    def queries_by_kind(self) -> Dict[str, int]:
+        """Queries served per kind (a fresh dict, safe to mutate)."""
+        return {key[0]: int(value) for key, value in self._queries.values().items()}
+
+    @property
+    def cache_hits(self) -> int:
+        return int(self._cache_hits.value())
+
+    @property
+    def cache_misses(self) -> int:
+        return int(self._cache_misses.value())
+
+    @property
+    def batches(self) -> int:
+        return int(self._batches.value())
+
+    @property
+    def dataset_objects_considered(self) -> int:
+        return int(self._objects.value())
+
+    @property
+    def candidates_examined(self) -> int:
+        return int(self._candidates.value())
+
+    @property
+    def results_returned(self) -> int:
+        return int(self._results.value())
+
+    def _phase_total(self, phase: str) -> float:
+        return sum(
+            value
+            for (value_phase, _), value in self._phase_seconds.values().items()
+            if value_phase == phase
+        )
+
+    @property
+    def filter_seconds(self) -> float:
+        """Total filtering CPU seconds across every query kind."""
+        return self._phase_total("filter")
+
+    @property
+    def refine_seconds(self) -> float:
+        """Total refinement CPU seconds across every query kind."""
+        return self._phase_total("refine")
+
+    def seconds_by_kind(self) -> Dict[str, Dict[str, float]]:
+        """Filter/refine/total CPU seconds broken down per query kind."""
+        breakdown: Dict[str, Dict[str, float]] = {}
+        for (phase, kind), value in sorted(self._phase_seconds.values().items()):
+            entry = breakdown.setdefault(kind, {"filter": 0.0, "refine": 0.0})
+            entry[phase] = value
+        for entry in breakdown.values():
+            entry["total"] = entry["filter"] + entry["refine"]
+        return breakdown
+
+    @property
+    def invalidations(self) -> int:
+        return int(self._invalidations.value())
+
+    @property
+    def cache_entries_retained(self) -> int:
+        return int(self._entries_retained.value())
+
+    @property
+    def cache_entries_evicted(self) -> int:
+        return int(self._entries_evicted.value())
+
+    @property
+    def _latency(self) -> Dict[str, HistogramState]:
+        """Per-kind latency series (kept for backwards compatibility)."""
+        return {
+            key[0]: state
+            for key, state in self._latency_histogram.states().items()
+        }
 
     # ------------------------------------------------------------------
     # Export
@@ -220,7 +276,7 @@ class ServiceMetrics:
         with self._lock:
             return {
                 "queries_served": self.queries_served,
-                "queries_by_kind": dict(self.queries_by_kind),
+                "queries_by_kind": self.queries_by_kind,
                 "batches": self.batches,
                 "cache": {
                     "hits": self.cache_hits,
@@ -246,10 +302,11 @@ class ServiceMetrics:
                     "filter": self.filter_seconds,
                     "refine": self.refine_seconds,
                     "total": self.filter_seconds + self.refine_seconds,
+                    "by_kind": self.seconds_by_kind(),
                 },
                 "latency": {
                     kind: histogram.to_dict()
-                    for kind, histogram in self._latency.items()
+                    for kind, histogram in sorted(self._latency.items())
                 },
             }
 
@@ -257,19 +314,34 @@ class ServiceMetrics:
         """:meth:`snapshot` serialised as JSON."""
         return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
 
+    def prometheus_text(self) -> str:
+        """This instance's instruments in the Prometheus text format.
+
+        Convenience passthrough to the backing registry — note a *shared*
+        registry exposes every instrument registered in it, not just this
+        service's.
+        """
+        return self.registry.prometheus_text()
+
     def reset(self) -> None:
-        """Zero every counter and histogram."""
+        """Zero every counter and histogram owned by this instance.
+
+        Only this service's instruments are reset; unrelated instruments in
+        a shared registry are untouched.
+        """
         with self._lock:
-            self.queries_by_kind.clear()
-            self.cache_hits = 0
-            self.cache_misses = 0
-            self.batches = 0
-            self.dataset_objects_considered = 0
-            self.candidates_examined = 0
-            self.results_returned = 0
-            self.filter_seconds = 0.0
-            self.refine_seconds = 0.0
-            self.invalidations = 0
-            self.cache_entries_retained = 0
-            self.cache_entries_evicted = 0
-            self._latency.clear()
+            for instrument in (
+                self._queries,
+                self._cache_hits,
+                self._cache_misses,
+                self._batches,
+                self._objects,
+                self._candidates,
+                self._results,
+                self._phase_seconds,
+                self._invalidations,
+                self._entries_retained,
+                self._entries_evicted,
+                self._latency_histogram,
+            ):
+                instrument.reset()

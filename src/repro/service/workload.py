@@ -19,6 +19,7 @@ the answers are not).
 
 from __future__ import annotations
 
+import contextvars
 import random
 import time
 from concurrent.futures import ThreadPoolExecutor
@@ -158,11 +159,20 @@ def replay(
         for position in range(len(workload)):
             serve_one(position)
     else:
+        # copy the caller's context per query so an active funnel sink or
+        # span survives the hop into the client threads (one copy per
+        # query — a single Context cannot be entered concurrently)
+        contexts = [contextvars.copy_context() for _ in workload]
         with ThreadPoolExecutor(
             max_workers=clients, thread_name_prefix="repro-client"
         ) as pool:
             # list() propagates the first worker exception, if any
-            list(pool.map(serve_one, range(len(workload))))
+            list(
+                pool.map(
+                    lambda position: contexts[position].run(serve_one, position),
+                    range(len(workload)),
+                )
+            )
     wall = time.perf_counter() - start
     report = WorkloadReport(
         mode="serial" if clients == 1 else f"concurrent×{clients}",

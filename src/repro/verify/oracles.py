@@ -34,6 +34,12 @@ Each oracle audits one class of invariant over a
     Under interleaved add/query traffic, every answer the (caching,
     selectively-invalidating) service returns equals a cold answer
     computed on a fresh database at the same generation.
+``obs:funnel-consistency``
+    The funnel telemetry (:mod:`repro.obs.funnel`) tells the truth: the
+    per-stage survivor counts a traced query reports equal an independent
+    sequential recount through the filter's ``funnel_components`` cascade,
+    the staged cascade equals the deployed one-pass ``refutes`` path, and
+    every funnel satisfies its monotonicity invariants.
 
 Pairwise oracles expose a ``violates(t1, t2)`` predicate, which is what
 lets the runner shrink their violations to minimal counterexamples.
@@ -732,6 +738,144 @@ class ServiceCacheOracle(Oracle):
 
 
 # ----------------------------------------------------------------------
+# obs:funnel-consistency — telemetry vs independent recount
+# ----------------------------------------------------------------------
+class FunnelConsistencyOracle(Oracle):
+    """Funnel telemetry equals an independent survivor recount.
+
+    For each checked query the oracle collects the funnel the search
+    pipeline emits, then recounts every stage sequentially through the
+    filter's ``funnel_components`` cascade and independently through the
+    deployed one-pass ``refutes`` path.  All three views must agree, and
+    the funnel's internal invariants (monotone survivors, refined drawn
+    from the last stage, results ⊆ refined) must hold.
+    """
+
+    name = "obs:funnel-consistency"
+    description = "funnel telemetry equals an independent survivor recount"
+
+    def run(self, corpus: VerifyCorpus, distance: DistanceFn) -> OracleOutcome:
+        from repro.obs.funnel import collect_funnels
+        from repro.search.knn import knn_query
+        from repro.search.range_query import range_query
+
+        outcome = OracleOutcome(self.name)
+        trees = list(corpus.trees)
+        factories: List[Tuple[str, Callable[[], LowerBoundFilter]]] = [
+            ("BiBranch", BinaryBranchFilter),
+            (
+                "Composite",
+                lambda: MaxCompositeFilter(
+                    [BranchCountFilter(), SizeDifferenceFilter(), HistogramFilter()]
+                ),
+            ),
+        ]
+        queries = [pair.t2 for pair in corpus.pairs[:6]]
+        for label, factory in factories:
+            flt = factory().fit(trees)
+            for query in queries:
+                query_signature = flt.signature(query)
+                for threshold in (1.0, 3.0):
+                    outcome.checks += 1
+                    with collect_funnels() as sink:
+                        matches, stats = range_query(trees, query, threshold, flt)
+                    funnel = sink.funnels[0]
+                    problems = funnel.check_invariants()
+                    # independent sequential recount through the cascade
+                    survivors = list(range(len(trees)))
+                    recount: List[int] = []
+                    for _, refute in flt.funnel_components():
+                        survivors = [
+                            index
+                            for index in survivors
+                            if not refute(
+                                query_signature,
+                                flt.data_signature(index),
+                                threshold,
+                            )
+                        ]
+                        recount.append(len(survivors))
+                    # the deployed one-pass refutation path must agree
+                    direct = sum(
+                        1
+                        for index in range(len(trees))
+                        if not flt.refutes(
+                            query_signature, flt.data_signature(index), threshold
+                        )
+                    )
+                    telemetry = [stage.survivors for stage in funnel.stages]
+                    final = recount[-1] if recount else len(trees)
+                    if telemetry != recount:
+                        problems.append(
+                            f"telemetry survivors {telemetry} != recount {recount}"
+                        )
+                    if direct != final:
+                        problems.append(
+                            f"one-pass refutes kept {direct}, cascade kept {final}"
+                        )
+                    if funnel.refined != final:
+                        problems.append(
+                            f"funnel refined {funnel.refined} != survivors {final}"
+                        )
+                    if funnel.results != len(matches) or funnel.results != stats.results:
+                        problems.append(
+                            f"funnel results {funnel.results} != answer "
+                            f"{len(matches)}"
+                        )
+                    if problems:
+                        outcome.record(
+                            Violation(
+                                oracle=self.name,
+                                message=(
+                                    f"{label} range(τ={threshold:g}) funnel "
+                                    f"inconsistent: {problems[0]}"
+                                ),
+                                t1=query,
+                                details={
+                                    "filter": label,
+                                    "threshold": threshold,
+                                    "problems": problems,
+                                    "funnel": funnel.to_dict(),
+                                },
+                            )
+                        )
+                # k-NN: the funnel must mirror the stats and the answer
+                outcome.checks += 1
+                k = min(3, len(trees))
+                with collect_funnels() as sink:
+                    matches, stats = knn_query(trees, query, k, flt)
+                funnel = sink.funnels[0]
+                problems = funnel.check_invariants()
+                if funnel.refined != stats.candidates:
+                    problems.append(
+                        f"funnel refined {funnel.refined} != stats candidates "
+                        f"{stats.candidates}"
+                    )
+                if funnel.results != len(matches):
+                    problems.append(
+                        f"funnel results {funnel.results} != answer {len(matches)}"
+                    )
+                if problems:
+                    outcome.record(
+                        Violation(
+                            oracle=self.name,
+                            message=(
+                                f"{label} knn(k={k}) funnel inconsistent: "
+                                f"{problems[0]}"
+                            ),
+                            t1=query,
+                            details={
+                                "filter": label,
+                                "k": k,
+                                "problems": problems,
+                                "funnel": funnel.to_dict(),
+                            },
+                        )
+                    )
+        return outcome
+
+
+# ----------------------------------------------------------------------
 # Registry
 # ----------------------------------------------------------------------
 _STORE_FILTERS: List[Tuple[str, Callable[[], LowerBoundFilter]]] = [
@@ -767,6 +911,7 @@ ORACLE_FACTORIES["store:identity"] = lambda: StoreIdentityOracle(_STORE_FILTERS)
 ORACLE_FACTORIES["storage:roundtrip"] = RoundTripOracle
 ORACLE_FACTORIES["search:completeness"] = SearchCompletenessOracle
 ORACLE_FACTORIES["service:cache-transparency"] = ServiceCacheOracle
+ORACLE_FACTORIES["obs:funnel-consistency"] = FunnelConsistencyOracle
 
 
 def default_oracle_names() -> List[str]:

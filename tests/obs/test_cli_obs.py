@@ -1,0 +1,200 @@
+"""CLI tests for the observability surface: trace, metrics dump, flags."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.obs import tracing
+from repro.storage import save_forest
+from repro.trees import parse_bracket
+
+
+@pytest.fixture(autouse=True)
+def _no_global_tracer():
+    tracing.set_tracer(None)
+    yield
+    tracing.set_tracer(None)
+
+
+@pytest.fixture
+def dataset_file(tmp_path):
+    path = tmp_path / "data.trees"
+    save_forest(
+        [
+            parse_bracket(t)
+            for t in ["a(b,c)", "a(b,d)", "a(b(e),d)", "x(y,z)", "x(y(w),z(v))", "m"]
+        ],
+        path,
+    )
+    return str(path)
+
+
+class TestParser:
+    def test_trace_modes_exclusive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["trace", "f", "--query", "a", "--range", "1", "--knn", "2"]
+            )
+
+    def test_metrics_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["metrics"])
+
+
+class TestTraceCommand:
+    def test_range_trace_renders_tree_and_funnel(self, dataset_file, capsys):
+        assert main(["trace", dataset_file, "--query", "a(b,c)", "--range", "1"]) == 0
+        captured = capsys.readouterr()
+        assert "search.range" in captured.out
+        assert "editdist.zhang_shasha" in captured.out
+        assert "corpus" in captured.out  # funnel table
+        # tracing must be torn down after the command
+        assert tracing.enabled() is False
+
+    def test_knn_trace(self, dataset_file, capsys):
+        assert main(["trace", dataset_file, "--query", "a(b,c)", "--knn", "2"]) == 0
+        assert "search.knn" in capsys.readouterr().out
+
+    def test_json_output(self, dataset_file, capsys):
+        assert (
+            main(
+                ["trace", dataset_file, "--query", "a(b,c)", "--range", "1", "--json"]
+            )
+            == 0
+        )
+        document = json.loads(capsys.readouterr().out)
+        assert document["trace"]["format"] == "repro-trace"
+        assert document["funnels"][0]["kind"] == "range"
+        names = {record["name"] for record in document["trace"]["spans"]}
+        assert "search.range" in names
+
+    def test_chrome_trace_export(self, dataset_file, tmp_path, capsys):
+        out = tmp_path / "trace.json"
+        assert (
+            main(
+                [
+                    "trace", dataset_file, "--query", "a(b,c)", "--range", "1",
+                    "--chrome-trace", str(out),
+                ]
+            )
+            == 0
+        )
+        document = json.loads(out.read_text())
+        assert document["displayTimeUnit"] == "ms"
+        assert all(event["ph"] == "X" for event in document["traceEvents"])
+
+
+class TestMetricsCommand:
+    def test_dump_empty_registry(self, capsys):
+        assert main(["metrics", "dump"]) == 0
+        # nothing registered by default — output may be empty but must not fail
+        capsys.readouterr()
+
+    def test_dump_with_traffic_prometheus(self, dataset_file, capsys):
+        assert main(["metrics", "dump", dataset_file, "--queries", "6"]) == 0
+        text = capsys.readouterr().out
+        assert "# TYPE repro_queries_total counter" in text
+        assert "repro_query_latency_seconds_bucket" in text
+
+    def test_dump_with_traffic_json(self, dataset_file, capsys):
+        assert (
+            main(["metrics", "dump", dataset_file, "--queries", "6", "--json"]) == 0
+        )
+        snapshot = json.loads(capsys.readouterr().out)
+        assert snapshot["repro_queries_total"]["type"] == "counter"
+
+
+class TestSearchFlags:
+    def test_search_trace_flag_prints_span_tree_to_stderr(
+        self, dataset_file, capsys
+    ):
+        assert (
+            main(
+                [
+                    "search", dataset_file, "--query", "a(b,c)", "--range", "1",
+                    "--trace",
+                ]
+            )
+            == 0
+        )
+        captured = capsys.readouterr()
+        assert "search.range" in captured.err
+        assert "search.range" not in captured.out
+
+    def test_search_funnel_flag_prints_table_to_stderr(self, dataset_file, capsys):
+        assert (
+            main(
+                [
+                    "search", dataset_file, "--query", "a(b,c)", "--range", "1",
+                    "--funnel",
+                ]
+            )
+            == 0
+        )
+        assert "corpus" in capsys.readouterr().err
+
+    def test_stats_json_schema_unchanged_without_funnel(self, dataset_file, capsys):
+        assert (
+            main(
+                [
+                    "search", dataset_file, "--query", "a(b,c)", "--range", "1",
+                    "--stats-json",
+                ]
+            )
+            == 0
+        )
+        stats = json.loads(capsys.readouterr().out.splitlines()[-1])
+        assert "funnel" not in stats
+
+    def test_stats_json_carries_funnel_when_asked(self, dataset_file, capsys):
+        assert (
+            main(
+                [
+                    "search", dataset_file, "--query", "a(b,c)", "--range", "1",
+                    "--stats-json", "--funnel",
+                ]
+            )
+            == 0
+        )
+        stats = json.loads(capsys.readouterr().out.splitlines()[-1])
+        assert stats["funnel"]["kind"] == "range"
+        assert stats["funnel"]["refined"] == stats["candidates"]
+
+
+class TestServeBenchFlags:
+    def test_funnel_export_and_metrics_out(self, dataset_file, tmp_path, capsys):
+        funnel_path = tmp_path / "funnel.json"
+        metrics_path = tmp_path / "metrics.prom"
+        chrome_path = tmp_path / "chrome.json"
+        code = main(
+            [
+                "serve-bench", dataset_file, "--queries", "8", "--clients", "2",
+                "--json",
+                "--funnel",
+                "--funnel-export", str(funnel_path),
+                "--metrics-out", str(metrics_path),
+                "--chrome-trace", str(chrome_path),
+            ]
+        )
+        assert code == 0
+        report = json.loads(capsys.readouterr().out)
+        assert "funnel" in report
+        export = json.loads(funnel_path.read_text())
+        assert export["invariant_violations"] == []
+        assert export["funnels_collected"] > 0
+        assert export["aggregate"]["queries"] == export["funnels_collected"]
+        metrics_text = metrics_path.read_text()
+        assert "# TYPE repro_queries_total counter" in metrics_text
+        chrome = json.loads(chrome_path.read_text())
+        assert chrome["traceEvents"]
+
+    def test_funnel_human_table(self, dataset_file, capsys):
+        assert (
+            main(
+                ["serve-bench", dataset_file, "--queries", "6", "--clients", "2",
+                 "--funnel"]
+            )
+            == 0
+        )
+        assert "refine" in capsys.readouterr().out

@@ -1,0 +1,70 @@
+"""Overhead guard: disabled tracing must stay near-free (satellite 2).
+
+Timing tests on shared CI boxes are noisy, so the ratio threshold is
+deliberately generous — the point is to catch accidental O(work) regressions
+in the disabled path (e.g. building attribute dicts before the enabled()
+check), not to benchmark.
+"""
+
+import time
+
+from repro.filters.binary_branch import BinaryBranchFilter
+from repro.obs import tracing
+from repro.obs.tracing import NOOP_SPAN, Tracer
+from repro.search.range_query import range_query
+from repro.trees import parse_bracket
+
+
+def _corpus(n=40):
+    return [parse_bracket(f"a(b(c{i % 7}),d{i % 5}(e))") for i in range(n)]
+
+
+def _run_queries(trees, flt, repeats=3):
+    start = time.perf_counter()
+    for _ in range(repeats):
+        for query in trees[:10]:
+            range_query(trees, query, 2.0, flt)
+    return time.perf_counter() - start
+
+
+def test_disabled_span_is_the_shared_noop_singleton():
+    tracing.set_tracer(None)
+    spans = {tracing.span("a"), tracing.span("b", n=1), tracing.span("c")}
+    assert spans == {NOOP_SPAN}
+
+
+def test_disabled_path_does_not_allocate_per_call_state():
+    tracing.set_tracer(None)
+    with tracing.span("outer") as outer:
+        with tracing.span("inner") as inner:
+            assert inner is outer is NOOP_SPAN
+    assert tracing.current_span() is None
+
+
+def test_tracing_overhead_ratio_is_bounded():
+    trees = _corpus()
+    flt = BinaryBranchFilter().fit(trees)
+    tracing.set_tracer(None)
+    _run_queries(trees, flt, repeats=1)  # warm caches before timing
+    disabled = _run_queries(trees, flt)
+    tracing.set_tracer(Tracer(sample_rate=1.0))
+    try:
+        enabled = _run_queries(trees, flt)
+    finally:
+        tracing.set_tracer(None)
+    # Full-fidelity tracing may cost something, but never an order of
+    # magnitude; and the disabled path must not be slower than enabled.
+    assert enabled < disabled * 10.0
+
+
+def test_sampled_out_traces_cost_no_buffer_space():
+    tracer = Tracer(sample_rate=0.0)
+    tracing.set_tracer(tracer)
+    try:
+        trees = _corpus(10)
+        flt = BinaryBranchFilter().fit(trees)
+        range_query(trees, trees[0], 1.0, flt)
+    finally:
+        tracing.set_tracer(None)
+    assert tracer.finished_spans() == []
+    assert tracer.dropped == 0

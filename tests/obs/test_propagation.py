@@ -1,0 +1,108 @@
+"""Trace/funnel context propagation across service worker threads (satellite 3).
+
+``ThreadPoolExecutor`` does not propagate :mod:`contextvars` by itself, so the
+service copies the caller's context per request and runs each worker inside
+it.  These tests pin that behaviour: spans emitted from worker threads must be
+parented under the caller's root span, and funnels recorded in workers must
+land in the caller's active sink.
+"""
+
+import threading
+
+import pytest
+
+from repro.obs import tracing
+from repro.obs.funnel import collect_funnels
+from repro.obs.tracing import Tracer
+from repro.search.database import TreeDatabase
+from repro.service import TreeSearchService
+from repro.trees import parse_bracket
+
+
+@pytest.fixture(autouse=True)
+def _no_global_tracer():
+    tracing.set_tracer(None)
+    yield
+    tracing.set_tracer(None)
+
+
+@pytest.fixture
+def service():
+    trees = [
+        parse_bracket("a(b,c)"),
+        parse_bracket("a(b,d)"),
+        parse_bracket("a(b(e),d)"),
+        parse_bracket("x(y,z)"),
+        parse_bracket("x(y(w),z(v))"),
+        parse_bracket("m"),
+    ]
+    svc = TreeSearchService(TreeDatabase(trees), max_workers=3, cache_size=0)
+    yield svc
+    svc.close()
+
+
+def _queries():
+    return [parse_bracket("a(b,c)"), parse_bracket("x(y,z)"), parse_bracket("m")]
+
+
+def test_batch_range_spans_parented_under_caller_root(service):
+    tracer = tracing.set_tracer(Tracer())
+    with tracing.span("test.batch") as root:
+        service.batch_range(_queries(), threshold=1.0)
+    spans = tracer.finished_spans()
+    serve_spans = [s for s in spans if s.name == "service.serve"]
+    assert len(serve_spans) == 3
+    for span in serve_spans:
+        assert span.trace_id == root.trace_id
+        assert span.parent_id == root.span_id
+    # worker spans really ran off the caller's thread (pool width 3 > 1 job)
+    thread_ids = {s.thread_id for s in serve_spans}
+    assert thread_ids  # at least one worker thread recorded
+    assert all(tid != 0 for tid in thread_ids)
+
+
+def test_batch_knn_child_spans_cross_the_thread_hop(service):
+    tracer = tracing.set_tracer(Tracer())
+    with tracing.span("test.batch") as root:
+        caller_thread = threading.get_ident()
+        service.batch_knn(_queries(), k=2)
+    spans = tracer.finished_spans()
+    assert all(s.trace_id == root.trace_id for s in spans)
+    # deeper spans (search/editdist) emitted inside workers chain up to
+    # service.serve, which chains up to the test root
+    serve_ids = {s.span_id for s in spans if s.name == "service.serve"}
+    nested = [s for s in spans if s.parent_id in serve_ids]
+    assert nested, "expected search spans nested under service.serve"
+    worker_threads = {s.thread_id for s in spans if s.name == "service.serve"}
+    assert worker_threads != {caller_thread} or service.max_workers == 1
+
+
+def test_batch_without_root_span_still_traces(service):
+    tracer = tracing.set_tracer(Tracer())
+    service.batch_range(_queries(), threshold=1.0)
+    serve_spans = [s for s in tracer.finished_spans() if s.name == "service.serve"]
+    assert len(serve_spans) == 3
+    assert all(s.parent_id is None for s in serve_spans)
+
+
+def test_funnel_sink_collects_from_worker_threads(service):
+    with collect_funnels() as sink:
+        service.batch_range(_queries(), threshold=1.0)
+        service.batch_knn(_queries(), k=2)
+    assert len(sink.funnels) == 6
+    kinds = sorted(f.kind for f in sink.funnels)
+    assert kinds == ["knn"] * 3 + ["range"] * 3
+    for funnel in sink.funnels:
+        assert funnel.check_invariants() == []
+
+
+def test_sequential_and_batch_traces_are_equivalent(service):
+    """The thread hop must not change what gets measured, only where."""
+    tracer = tracing.set_tracer(Tracer())
+    for query in _queries():
+        service.range(query, threshold=1.0)
+    sequential_names = sorted(s.name for s in tracer.finished_spans())
+    tracer.clear()
+    service.batch_range(_queries(), threshold=1.0)
+    batch_names = sorted(s.name for s in tracer.finished_spans())
+    assert batch_names == sequential_names

@@ -1,0 +1,190 @@
+"""Unit tests for the span tracing layer."""
+
+import json
+import threading
+
+import pytest
+
+from repro.obs import tracing
+from repro.obs.tracing import NOOP_SPAN, Tracer
+
+
+@pytest.fixture(autouse=True)
+def _no_global_tracer():
+    """Every test starts and ends with tracing uninstalled."""
+    tracing.set_tracer(None)
+    yield
+    tracing.set_tracer(None)
+
+
+class TestDisabled:
+    def test_module_span_returns_the_noop_singleton(self):
+        assert tracing.span("anything", key=1) is NOOP_SPAN
+
+    def test_noop_span_is_inert(self):
+        with tracing.span("x") as sp:
+            assert sp is NOOP_SPAN
+            assert sp.set(a=1) is NOOP_SPAN
+        assert tracing.enabled() is False
+        assert tracing.current_span() is None
+
+
+class TestSpans:
+    def test_parent_child_ids(self):
+        tracer = tracing.set_tracer(Tracer())
+        with tracing.span("root", size=3) as root:
+            with tracing.span("child") as child:
+                assert child.parent_id == root.span_id
+                assert child.trace_id == root.trace_id
+            with tracing.span("sibling") as sibling:
+                assert sibling.parent_id == root.span_id
+        spans = tracer.finished_spans()
+        assert [s.name for s in spans] == ["child", "sibling", "root"]
+        assert spans[-1].parent_id is None
+
+    def test_attributes_via_kwargs_and_set(self):
+        tracer = tracing.set_tracer(Tracer())
+        with tracing.span("op", candidates=7) as sp:
+            sp.set(results=2)
+        record = tracer.finished_spans()[0]
+        assert record.attributes == {"candidates": 7, "results": 2}
+
+    def test_durations_are_monotone_and_nested(self):
+        tracer = tracing.set_tracer(Tracer())
+        with tracing.span("outer"):
+            with tracing.span("inner"):
+                pass
+        inner, outer = tracer.finished_spans()
+        assert outer.duration >= inner.duration >= 0.0
+        assert outer.start <= inner.start
+        assert inner.end <= outer.end
+
+    def test_exception_is_recorded_and_propagates(self):
+        tracer = tracing.set_tracer(Tracer())
+        with pytest.raises(RuntimeError):
+            with tracing.span("boom"):
+                raise RuntimeError("kaput")
+        record = tracer.finished_spans()[0]
+        assert record.error == "RuntimeError: kaput"
+
+    def test_current_span_tracks_nesting(self):
+        tracing.set_tracer(Tracer())
+        assert tracing.current_span() is None
+        with tracing.span("outer") as outer:
+            assert tracing.current_span() is outer
+            with tracing.span("inner") as inner:
+                assert tracing.current_span() is inner
+            assert tracing.current_span() is outer
+        assert tracing.current_span() is None
+
+    def test_thread_id_recorded(self):
+        tracer = tracing.set_tracer(Tracer())
+        with tracing.span("here"):
+            pass
+        assert tracer.finished_spans()[0].thread_id == threading.get_ident()
+
+
+class TestSampling:
+    def test_rate_zero_records_nothing(self):
+        tracer = tracing.set_tracer(Tracer(sample_rate=0.0))
+        for _ in range(10):
+            with tracing.span("root"):
+                with tracing.span("child") as child:
+                    assert child is NOOP_SPAN
+        assert tracer.finished_spans() == []
+
+    def test_rate_one_records_everything(self):
+        tracer = tracing.set_tracer(Tracer(sample_rate=1.0))
+        for _ in range(5):
+            with tracing.span("root"):
+                pass
+        assert len(tracer.finished_spans()) == 5
+
+    def test_sampling_is_per_trace_not_per_span(self):
+        tracer = tracing.set_tracer(Tracer(sample_rate=0.5, seed=42))
+        for _ in range(50):
+            with tracing.span("root"):
+                with tracing.span("child"):
+                    pass
+        spans = tracer.finished_spans()
+        # traces are kept or dropped whole: every kept root has its child
+        roots = [s for s in spans if s.parent_id is None]
+        children = [s for s in spans if s.parent_id is not None]
+        assert 0 < len(roots) < 50
+        assert len(children) == len(roots)
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ValueError):
+            Tracer(sample_rate=1.5)
+
+
+class TestBuffer:
+    def test_max_spans_drops_and_counts(self):
+        tracer = tracing.set_tracer(Tracer(max_spans=3))
+        for _ in range(5):
+            with tracing.span("op"):
+                pass
+        assert len(tracer.finished_spans()) == 3
+        assert tracer.dropped == 2
+        assert "2 spans dropped" in tracer.format_tree()
+
+    def test_clear(self):
+        tracer = tracing.set_tracer(Tracer(max_spans=1))
+        for _ in range(2):
+            with tracing.span("op"):
+                pass
+        tracer.clear()
+        assert tracer.finished_spans() == []
+        assert tracer.dropped == 0
+
+
+class TestExport:
+    def _trace_something(self) -> Tracer:
+        tracer = tracing.set_tracer(Tracer())
+        with tracing.span("root", flavor="test"):
+            with tracing.span("leaf", n=3):
+                pass
+        return tracer
+
+    def test_json_round_trip(self):
+        tracer = self._trace_something()
+        decoded = json.loads(tracer.to_json())
+        assert decoded["format"] == "repro-trace"
+        assert decoded["version"] == 1
+        assert len(decoded["spans"]) == 2
+        names = {record["name"] for record in decoded["spans"]}
+        assert names == {"root", "leaf"}
+
+    def test_chrome_trace_shape(self):
+        tracer = self._trace_something()
+        document = tracer.to_chrome_trace()
+        assert document["displayTimeUnit"] == "ms"
+        events = document["traceEvents"]
+        assert len(events) == 2
+        for event in events:
+            assert event["ph"] == "X"
+            assert event["ts"] >= 0.0
+            assert event["dur"] >= 0.0
+            assert event["cat"] == "repro"
+        # must serialise cleanly — that is the whole point of the format
+        json.dumps(document)
+
+    def test_chrome_trace_args_are_primitive(self):
+        tracer = tracing.set_tracer(Tracer())
+        with tracing.span("op", obj=object(), n=1):
+            pass
+        (event,) = tracer.to_chrome_trace()["traceEvents"]
+        assert event["args"]["n"] == 1
+        assert isinstance(event["args"]["obj"], str)
+
+    def test_format_tree_renders_hierarchy(self):
+        tracer = self._trace_something()
+        rendered = tracer.format_tree()
+        lines = rendered.splitlines()
+        assert lines[0].startswith("root")
+        assert "└─ leaf" in rendered
+        assert "[n=3]" in rendered
+
+    def test_format_tree_empty(self):
+        tracer = tracing.set_tracer(Tracer())
+        assert tracer.format_tree() == "(no spans recorded)"

@@ -120,3 +120,92 @@ class TestServiceMetrics:
 
     def test_idle_hit_rate_is_zero(self):
         assert ServiceMetrics().cache_hit_rate == 0.0
+
+
+class TestPerKindSeconds:
+    """Regression: snapshot() must break filter/refine time down per kind."""
+
+    @staticmethod
+    def _stats(filter_seconds, refine_seconds):
+        return SearchStats(dataset_size=50, candidates=5, results=1,
+                           filter_seconds=filter_seconds,
+                           refine_seconds=refine_seconds)
+
+    def test_seconds_by_kind(self):
+        metrics = ServiceMetrics()
+        metrics.observe_query("range", self._stats(0.01, 0.04), 0.05,
+                              cache_hit=False)
+        metrics.observe_query("range", self._stats(0.01, 0.04), 0.05,
+                              cache_hit=False)
+        metrics.observe_query("knn", self._stats(0.002, 0.008), 0.01,
+                              cache_hit=False)
+        by_kind = metrics.seconds_by_kind()
+        assert by_kind["range"]["filter"] == pytest.approx(0.02)
+        assert by_kind["range"]["refine"] == pytest.approx(0.08)
+        assert by_kind["range"]["total"] == pytest.approx(0.10)
+        assert by_kind["knn"]["filter"] == pytest.approx(0.002)
+        assert by_kind["knn"]["refine"] == pytest.approx(0.008)
+
+    def test_snapshot_carries_by_kind_and_totals_agree(self):
+        metrics = ServiceMetrics()
+        metrics.observe_query("range", self._stats(0.01, 0.04), 0.05,
+                              cache_hit=False)
+        metrics.observe_query("knn", self._stats(0.002, 0.008), 0.01,
+                              cache_hit=False)
+        snapshot = metrics.snapshot()
+        by_kind = snapshot["seconds"]["by_kind"]
+        assert set(by_kind) == {"range", "knn"}
+        assert sum(entry["filter"] for entry in by_kind.values()) == pytest.approx(
+            snapshot["seconds"]["filter"]
+        )
+        assert sum(entry["refine"] for entry in by_kind.values()) == pytest.approx(
+            snapshot["seconds"]["refine"]
+        )
+
+    def test_cache_hits_do_not_accrue_phase_seconds(self):
+        metrics = ServiceMetrics()
+        metrics.observe_query("range", self._stats(0.01, 0.04), 0.05,
+                              cache_hit=False)
+        metrics.observe_query("range", self._stats(0.01, 0.04), 0.0001,
+                              cache_hit=True)
+        assert metrics.seconds_by_kind()["range"]["filter"] == pytest.approx(0.01)
+
+
+class TestPrometheusExport:
+    @staticmethod
+    def _stats():
+        return SearchStats(dataset_size=100, candidates=10, results=2,
+                           filter_seconds=0.01, refine_seconds=0.05)
+
+    def test_exposes_serving_series(self):
+        metrics = ServiceMetrics()
+        metrics.observe_query("range", self._stats(), 0.06, cache_hit=False)
+        metrics.observe_batch()
+        text = metrics.prometheus_text()
+        assert "# TYPE repro_queries_total counter" in text
+        assert 'repro_queries_total{kind="range"} 1.0' in text
+        assert 'repro_phase_seconds_total{phase="filter",kind="range"}' in text
+        assert 'repro_query_latency_seconds_bucket{kind="range",le="+Inf"} 1' in text
+        assert "repro_batches_total 1.0" in text
+
+    def test_shared_registry_aggregates_two_services(self):
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        first = ServiceMetrics(registry=registry)
+        second = ServiceMetrics(registry=registry)
+        first.observe_query("range", self._stats(), 0.06, cache_hit=False)
+        second.observe_query("range", self._stats(), 0.06, cache_hit=False)
+        counter = registry.get("repro_queries_total")
+        assert counter.value(kind="range") == 2
+
+    def test_reset_is_instance_scoped_on_shared_registry(self):
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        metrics = ServiceMetrics(registry=registry)
+        registry.counter("unrelated_total").inc(3)
+        metrics.observe_query("range", self._stats(), 0.06, cache_hit=False)
+        metrics.reset()
+        assert metrics.queries_served == 0
+        assert registry.get("unrelated_total").value() == 3
