@@ -1,12 +1,25 @@
 # Convenience targets for the SIGMOD 2005 reproduction.
 
-.PHONY: install test soak bench bench-medium bench-paper examples clean
+.PHONY: install test lint soak bench bench-medium bench-paper examples clean
 
 install:
 	python setup.py develop
 
 test:
 	pytest tests/
+
+# ruff + repro-lint + mypy in one shot. ruff and mypy are dev-only tools:
+# when one is not installed the step is skipped with a note (CI installs
+# both), but a real finding from an installed tool still fails the target.
+lint:
+	@if python -c "import ruff" 2>/dev/null || command -v ruff >/dev/null; \
+	then ruff check src tests benchmarks; \
+	else echo "ruff not installed - skipping (pip install ruff)"; fi
+	PYTHONPATH=src python -m repro.cli lint
+	PYTHONPATH=src python scripts/check_fixture_coverage.py
+	@if python -c "import mypy" 2>/dev/null; \
+	then mypy --config-file pyproject.toml; \
+	else echo "mypy not installed - skipping (pip install mypy)"; fi
 
 soak:
 	HYPOTHESIS_PROFILE=soak pytest tests/

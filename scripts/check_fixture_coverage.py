@@ -1,0 +1,33 @@
+"""CI guard: every lint rule still fires on the known-bad fixtures.
+
+A rule whose detection silently breaks would leave `repro lint` green
+forever; this script runs the full rule set over
+``tests/analysis/fixtures`` and exits non-zero unless all eight rules
+(RL001–RL008) produce at least one finding.  The per-rule *exactness*
+checks live in ``tests/analysis/test_rules.py``; this is the cheap
+end-to-end canary the CI lint job runs next to the real lint pass.
+"""
+
+import sys
+from pathlib import Path
+
+from repro.analysis import analyze_paths
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+FIXTURES = REPO_ROOT / "tests" / "analysis" / "fixtures"
+
+
+def main() -> int:
+    run = analyze_paths([FIXTURES], root=FIXTURES)
+    fired = {finding.rule for finding in run.findings}
+    expected = {f"RL00{n}" for n in range(1, 9)}
+    missing = sorted(expected - fired)
+    if missing:
+        print(f"rules produced no fixture findings: {', '.join(missing)}")
+        return 1
+    print(f"all {len(expected)} rules reproduced on {FIXTURES.relative_to(REPO_ROOT)}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,39 @@
+"""repro.analysis — project-invariant static checking (``repro lint``).
+
+An AST-based linter whose rules encode *this repository's* contracts —
+filter soundness registration, lock discipline, span hygiene, metric label
+cardinality, recursion safety, export surfaces — rather than generic style.
+See ``docs/ANALYSIS.md`` for the rule catalog and the baseline workflow.
+"""
+
+from repro.analysis.baseline import Baseline, partition
+from repro.analysis.engine import (
+    ClassInfo,
+    LintRun,
+    ModuleInfo,
+    ProjectModel,
+    analyze_paths,
+    collect_files,
+)
+from repro.analysis.findings import SEVERITIES, Finding
+from repro.analysis.registry import Rule, all_rules, get_rule, register
+from repro.analysis.report import render_json, render_text
+
+__all__ = [
+    "Baseline",
+    "ClassInfo",
+    "Finding",
+    "LintRun",
+    "ModuleInfo",
+    "ProjectModel",
+    "Rule",
+    "SEVERITIES",
+    "all_rules",
+    "analyze_paths",
+    "collect_files",
+    "get_rule",
+    "partition",
+    "register",
+    "render_json",
+    "render_text",
+]

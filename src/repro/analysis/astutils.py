@@ -1,0 +1,168 @@
+"""Shared AST plumbing for the lint rules.
+
+The standard :mod:`ast` module gives child links only; the rules also need
+parents (to classify the syntactic context of a call), scope walks that do
+*not* descend into nested function/class bodies, and a handful of "what
+does this node refer to" helpers that every rule would otherwise reinvent.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Sequence, Set, Tuple, Union
+
+__all__ = [
+    "LOOP_NODES",
+    "attach_parents",
+    "base_name",
+    "call_name",
+    "decorator_names",
+    "iter_scope",
+    "iter_self_writes",
+    "parent_chain",
+    "self_attribute",
+    "string_elements",
+]
+
+FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+#: Nodes whose bodies open a new variable scope for :func:`iter_scope`.
+_SCOPE_NODES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda)
+
+#: Comprehensions iterate their element expression per item — rules that
+#: care about "inside a loop" must treat them like ``for`` statements.
+LOOP_NODES = (
+    ast.For,
+    ast.While,
+    ast.AsyncFor,
+    ast.ListComp,
+    ast.SetComp,
+    ast.DictComp,
+    ast.GeneratorExp,
+)
+
+
+def attach_parents(tree: ast.AST) -> None:
+    """Set a ``.repro_parent`` attribute on every node (root gets ``None``)."""
+    tree.repro_parent = None  # type: ignore[attr-defined]
+    for node in ast.walk(tree):
+        for child in ast.iter_child_nodes(node):
+            child.repro_parent = node  # type: ignore[attr-defined]
+
+
+def parent_chain(node: ast.AST) -> Iterator[ast.AST]:
+    """Ancestors of ``node``, innermost first (requires attached parents)."""
+    current = getattr(node, "repro_parent", None)
+    while current is not None:
+        yield current
+        current = getattr(current, "repro_parent", None)
+
+
+def iter_scope(node: ast.AST, *, skip_nested: bool = True) -> Iterator[ast.AST]:
+    """Walk ``node``'s subtree, optionally skipping nested def/class bodies.
+
+    The root node itself is not yielded.  With ``skip_nested`` (the
+    default), a nested ``def``/``class``/``lambda`` is yielded as a node
+    but its body is not entered — what "this function's own code" means
+    for recursion and span-ownership analyses.
+    """
+    stack: List[ast.AST] = list(ast.iter_child_nodes(node))
+    while stack:
+        current = stack.pop()
+        yield current
+        if skip_nested and isinstance(current, _SCOPE_NODES):
+            continue
+        stack.extend(ast.iter_child_nodes(current))
+
+
+def call_name(node: ast.Call) -> str:
+    """The trailing identifier of a call: ``f`` for ``f(…)``/``a.b.f(…)``."""
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return ""
+
+
+def base_name(node: ast.expr) -> str:
+    """The class-name identifier of a base-class expression.
+
+    Unwraps subscripts so ``LowerBoundFilter[int]`` and
+    ``filters.LowerBoundFilter`` both resolve to ``LowerBoundFilter``.
+    """
+    if isinstance(node, ast.Subscript):
+        return base_name(node.value)
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return ""
+
+
+def self_attribute(node: ast.AST) -> Optional[str]:
+    """``"x"`` when ``node`` is exactly ``self.x``, else ``None``."""
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def _write_targets(node: ast.stmt) -> Sequence[ast.expr]:
+    if isinstance(node, ast.Assign):
+        return node.targets
+    if isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+        return (node.target,)
+    return ()
+
+
+def iter_self_writes(node: ast.stmt) -> Iterator[Tuple[str, int]]:
+    """``(attribute, line)`` for every ``self.x`` an assignment mutates.
+
+    Covers plain/augmented/annotated assignment, tuple unpacking, and
+    item/slice mutation of an attribute (``self.x[k] = v`` counts as a
+    write to ``x`` — the container changed).
+    """
+    for target in _write_targets(node):
+        stack: List[ast.expr] = [target]
+        while stack:
+            current = stack.pop()
+            if isinstance(current, (ast.Tuple, ast.List)):
+                stack.extend(current.elts)
+                continue
+            if isinstance(current, ast.Starred):
+                stack.append(current.value)
+                continue
+            if isinstance(current, ast.Subscript):
+                current = current.value
+            attribute = self_attribute(current)
+            if attribute is not None:
+                yield attribute, current.lineno
+
+
+def string_elements(node: ast.expr) -> Optional[List[str]]:
+    """The string elements of a literal list/tuple, or ``None`` if not one."""
+    if not isinstance(node, (ast.List, ast.Tuple)):
+        return None
+    out: List[str] = []
+    for element in node.elts:
+        if isinstance(element, ast.Constant) and isinstance(element.value, str):
+            out.append(element.value)
+        else:
+            return None
+    return out
+
+
+def decorator_names(node: FunctionNode) -> Set[str]:
+    """Trailing identifiers of a function's decorators."""
+    names: Set[str] = set()
+    for decorator in node.decorator_list:
+        if isinstance(decorator, ast.Call):
+            decorator = decorator.func
+        name = base_name(decorator)
+        if name:
+            names.add(name)
+    return names

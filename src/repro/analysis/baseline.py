@@ -1,0 +1,92 @@
+"""Baseline file handling: grandfathering known findings.
+
+The baseline is a checked-in JSON file mapping finding fingerprints to a
+human-written ``comment`` explaining why each grandfathered finding is
+tolerated.  ``repro lint`` subtracts baselined findings from its output and
+exits non-zero only on *new* ones, so the rule set can ship strict while
+legacy debt is paid down incrementally.  Fingerprints exclude line numbers
+(see :mod:`repro.analysis.findings`), so routine edits don't churn the file.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple
+
+from repro.analysis.findings import Finding
+
+__all__ = ["Baseline", "partition"]
+
+_FORMAT = "repro-lint-baseline"
+_VERSION = 1
+
+
+class Baseline:
+    """The set of grandfathered finding fingerprints."""
+
+    def __init__(self, entries: Dict[str, Dict[str, object]]) -> None:
+        #: fingerprint -> {rule, path, symbol, message, comment}
+        self.entries = entries
+
+    def __contains__(self, finding: Finding) -> bool:
+        return finding.fingerprint in self.entries
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    @classmethod
+    def empty(cls) -> "Baseline":
+        return cls({})
+
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        """Read a baseline file; a missing file is an empty baseline."""
+        if not path.exists():
+            return cls.empty()
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        if payload.get("format") != _FORMAT:
+            raise ValueError(f"{path}: not a {_FORMAT} file")
+        entries: Dict[str, Dict[str, object]] = {}
+        for record in payload.get("findings", []):
+            entries[str(record["fingerprint"])] = dict(record)
+        return cls(entries)
+
+    @classmethod
+    def from_findings(
+        cls, findings: Sequence[Finding], comment: str = ""
+    ) -> "Baseline":
+        entries: Dict[str, Dict[str, object]] = {}
+        for finding in findings:
+            entries[finding.fingerprint] = {
+                "fingerprint": finding.fingerprint,
+                "rule": finding.rule,
+                "path": finding.path,
+                "symbol": finding.symbol,
+                "message": finding.message,
+                "comment": comment,
+            }
+        return cls(entries)
+
+    def save(self, path: Path) -> None:
+        records = sorted(
+            self.entries.values(),
+            key=lambda r: (str(r.get("path", "")), str(r.get("rule", ""))),
+        )
+        payload = {
+            "format": _FORMAT,
+            "version": _VERSION,
+            "findings": records,
+        }
+        path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+
+def partition(
+    findings: Sequence[Finding], baseline: Baseline
+) -> Tuple[List[Finding], List[Finding]]:
+    """Split findings into ``(new, grandfathered)`` against the baseline."""
+    new: List[Finding] = []
+    old: List[Finding] = []
+    for finding in findings:
+        (old if finding in baseline else new).append(finding)
+    return new, old

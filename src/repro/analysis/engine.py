@@ -1,0 +1,284 @@
+"""The analysis engine: file collection, project model, rule driving.
+
+``repro lint`` is a *project-invariant* checker: its rules encode contracts
+("every filter is registered with a soundness oracle", "attributes guarded
+by a lock stay guarded") that span files, so the engine runs in two passes.
+Pass one parses every file into a :class:`ModuleInfo` and folds them into
+one :class:`ProjectModel` — the cross-file facts rules may consult: a
+name-based class hierarchy and the set of identifiers the oracle registry
+references.  Pass two runs every rule over every module against that model.
+
+Suppression happens here, uniformly, after the rules run: a
+``# repro-lint: disable=RL00x`` pragma on a finding's line (or on a
+comment-only line directly above it) drops the finding; everything else
+flows to the baseline/reporting layers untouched.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.astutils import (
+    attach_parents,
+    base_name,
+    decorator_names,
+)
+from repro.analysis.findings import Finding
+
+__all__ = [
+    "ClassInfo",
+    "LintRun",
+    "ModuleInfo",
+    "ProjectModel",
+    "analyze_paths",
+    "collect_files",
+]
+
+#: ``# repro-lint: disable=RL001`` or ``disable=RL001,RL005`` or ``disable=all``
+_PRAGMA = re.compile(r"#\s*repro-lint\s*:\s*disable\s*=\s*([A-Za-z0-9_,\s]+)")
+
+#: Modules whose filename marks them as the soundness-oracle registry.
+_ORACLE_FILENAME = "oracles.py"
+
+
+class ModuleInfo:
+    """One parsed source file plus its pragma suppression map."""
+
+    def __init__(self, path: Path, display_path: str, source: str) -> None:
+        self.path = path
+        #: posix-style path relative to the analysis root (baseline identity)
+        self.display_path = display_path
+        self.source = source
+        self.lines = source.splitlines()
+        self.tree = ast.parse(source)
+        attach_parents(self.tree)
+        self._suppressions = self._scan_pragmas(self.lines)
+
+    @property
+    def filename(self) -> str:
+        return self.path.name
+
+    @property
+    def is_init(self) -> bool:
+        return self.filename == "__init__.py"
+
+    @staticmethod
+    def _scan_pragmas(lines: Sequence[str]) -> Dict[int, Set[str]]:
+        suppressions: Dict[int, Set[str]] = {}
+        for number, line in enumerate(lines, start=1):
+            match = _PRAGMA.search(line)
+            if match is None:
+                continue
+            rules = {
+                token.strip().upper()
+                for token in match.group(1).split(",")
+                if token.strip()
+            }
+            targets = [number]
+            if line.lstrip().startswith("#"):
+                # a standalone pragma comment shields the following line
+                targets.append(number + 1)
+            for target in targets:
+                suppressions.setdefault(target, set()).update(rules)
+        return suppressions
+
+    def suppressed(self, rule_id: str, line: int) -> bool:
+        rules = self._suppressions.get(line)
+        if not rules:
+            return False
+        return rule_id.upper() in rules or "ALL" in rules
+
+
+class ClassInfo:
+    """One class definition as the project model sees it."""
+
+    def __init__(self, module: ModuleInfo, node: ast.ClassDef) -> None:
+        self.module = module
+        self.node = node
+        self.name = node.name
+        self.base_names = [
+            name for name in (base_name(expr) for expr in node.bases) if name
+        ]
+        self.methods: Dict[str, ast.FunctionDef] = {}
+        for statement in node.body:
+            if isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                # later (e.g. version-gated) redefinitions win, like runtime
+                self.methods[statement.name] = statement  # type: ignore[assignment]
+
+
+class ProjectModel:
+    """Cross-file facts the rules consult.
+
+    Class ancestry is resolved *by name*: the analyzer never imports the
+    code it checks, so ``class X(LowerBoundFilter)`` links to whichever
+    analyzed class is called ``LowerBoundFilter``.  Shadowed names could in
+    principle confuse this, but rule scopes are narrow enough (and the
+    repository disciplined enough) that name identity is the right
+    cost/precision trade for a lint pass.
+    """
+
+    def __init__(self, modules: Sequence[ModuleInfo]) -> None:
+        self.modules = list(modules)
+        self.classes_by_name: Dict[str, List[ClassInfo]] = {}
+        self.oracle_names: Set[str] = set()
+        self.has_oracles_module = False
+        for module in self.modules:
+            for node in ast.walk(module.tree):
+                if isinstance(node, ast.ClassDef):
+                    info = ClassInfo(module, node)
+                    self.classes_by_name.setdefault(info.name, []).append(info)
+            if module.filename == _ORACLE_FILENAME:
+                self.has_oracles_module = True
+                for node in ast.walk(module.tree):
+                    if isinstance(node, ast.Name):
+                        self.oracle_names.add(node.id)
+                    elif isinstance(node, ast.Attribute):
+                        self.oracle_names.add(node.attr)
+
+    def ancestry(self, info: ClassInfo) -> Set[str]:
+        """Transitive base-class *names* of ``info`` (excluding itself)."""
+        seen: Set[str] = set()
+        frontier = list(info.base_names)
+        while frontier:
+            name = frontier.pop()
+            if name in seen:
+                continue
+            seen.add(name)
+            for ancestor in self.classes_by_name.get(name, ()):
+                frontier.extend(ancestor.base_names)
+        return seen
+
+    def subclasses_of(self, root_name: str) -> List[ClassInfo]:
+        """Every analyzed class whose ancestry reaches ``root_name``."""
+        return [
+            info
+            for infos in self.classes_by_name.values()
+            for info in infos
+            if root_name in self.ancestry(info)
+        ]
+
+    def resolve_method(
+        self, info: ClassInfo, method: str
+    ) -> Optional[ast.FunctionDef]:
+        """MRO-ish lookup: the class's own def, else the nearest ancestor's."""
+        if method in info.methods:
+            return info.methods[method]
+        frontier = list(info.base_names)
+        seen: Set[str] = set()
+        while frontier:
+            name = frontier.pop(0)
+            if name in seen:
+                continue
+            seen.add(name)
+            for ancestor in self.classes_by_name.get(name, ()):
+                if method in ancestor.methods:
+                    return ancestor.methods[method]
+                frontier.extend(ancestor.base_names)
+        return None
+
+    def is_concrete_filter(self, info: ClassInfo) -> bool:
+        """A filter subclass with concrete ``signature`` *and* ``bound``."""
+        for method in ("signature", "bound"):
+            resolved = self.resolve_method(info, method)
+            if resolved is None or "abstractmethod" in decorator_names(resolved):
+                return False
+        return True
+
+
+class LintRun:
+    """The outcome of one analysis pass."""
+
+    def __init__(
+        self,
+        findings: List[Finding],
+        suppressed: int,
+        files: List[str],
+        parse_failures: List[Finding],
+    ) -> None:
+        #: pragma-surviving findings, sorted by location (parse failures last)
+        self.findings = sorted(findings, key=Finding.sort_key) + parse_failures
+        self.suppressed = suppressed
+        self.files = files
+        self.parse_failures = parse_failures
+
+
+def collect_files(paths: Iterable[Path]) -> List[Path]:
+    """Expand files/directories into a sorted, de-duplicated ``.py`` list."""
+    out: List[Path] = []
+    seen: Set[Path] = set()
+    for path in paths:
+        if path.is_dir():
+            candidates: Iterable[Path] = sorted(path.rglob("*.py"))
+        else:
+            candidates = [path]
+        for candidate in candidates:
+            if any(part.startswith(".") for part in candidate.parts):
+                continue
+            if "__pycache__" in candidate.parts:
+                continue
+            resolved = candidate.resolve()
+            if resolved not in seen:
+                seen.add(resolved)
+                out.append(candidate)
+    return out
+
+
+def _display_path(path: Path, root: Path) -> str:
+    try:
+        return path.resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def analyze_paths(
+    paths: Sequence[Path],
+    rules: Optional[Sequence[object]] = None,
+    root: Optional[Path] = None,
+) -> LintRun:
+    """Run the rule set over ``paths``; the one entry point callers need.
+
+    ``root`` anchors the relative paths findings (and therefore baseline
+    fingerprints) carry — pass the repository root for stable baselines
+    regardless of the current directory.  ``rules`` defaults to the full
+    registry.
+    """
+    from repro.analysis.registry import all_rules
+
+    active = list(rules) if rules is not None else list(all_rules())
+    root = root if root is not None else Path.cwd()
+    modules: List[ModuleInfo] = []
+    parse_failures: List[Finding] = []
+    files: List[str] = []
+    for path in collect_files(paths):
+        display = _display_path(path, root)
+        files.append(display)
+        try:
+            source = path.read_text(encoding="utf-8")
+            modules.append(ModuleInfo(path, display, source))
+        except (SyntaxError, UnicodeDecodeError) as exc:
+            line = getattr(exc, "lineno", 0) or 0
+            parse_failures.append(
+                Finding(
+                    rule="RL000",
+                    severity="error",
+                    path=display,
+                    line=line,
+                    message=f"file could not be parsed: {exc.msg if isinstance(exc, SyntaxError) else exc}",
+                    symbol="",
+                    hint="fix the syntax error; unparseable files are invisible to every other rule",
+                )
+            )
+    project = ProjectModel(modules)
+    findings: List[Finding] = []
+    suppressed = 0
+    for module in modules:
+        for rule in active:
+            for finding in rule.check(module, project):
+                if module.suppressed(finding.rule, finding.line):
+                    suppressed += 1
+                else:
+                    findings.append(finding)
+    return LintRun(findings, suppressed, files, parse_failures)

@@ -1,0 +1,65 @@
+"""Finding objects: what a lint rule reports and how it is fingerprinted.
+
+A :class:`Finding` is one rule violation at one source location.  Its
+:attr:`~Finding.fingerprint` deliberately excludes the line number — the
+baseline workflow (:mod:`repro.analysis.baseline`) must keep recognising a
+grandfathered finding when unrelated edits shift the file, so the identity
+is ``(rule, path, symbol, message)`` hashed.  Rules therefore keep line
+numbers (and anything else volatile) out of their messages and anchor each
+finding to the enclosing class/function via ``symbol``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Dict
+
+__all__ = ["Finding", "SEVERITIES"]
+
+#: Recognised severities, strongest first.  Both gate the exit code — a
+#: warning that is not baselined still fails ``repro lint`` (severity is
+#: advice about urgency, not about enforcement).
+SEVERITIES = ("error", "warning")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    severity: str
+    path: str  # posix-style, relative to the analysis root
+    line: int
+    message: str
+    #: enclosing ``Class.method`` (or function) — anchors the fingerprint
+    symbol: str = ""
+    #: how to fix it (shown by ``repro lint --fix-hints``)
+    hint: str = ""
+
+    @property
+    def fingerprint(self) -> str:
+        """Line-independent identity used for baseline matching."""
+        payload = "|".join((self.rule, self.path, self.symbol, self.message))
+        return hashlib.sha1(payload.encode("utf-8")).hexdigest()[:16]
+
+    @property
+    def location(self) -> str:
+        """Clickable ``path:line``."""
+        return f"{self.path}:{self.line}"
+
+    def sort_key(self) -> tuple:
+        return (self.path, self.line, self.rule, self.message)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serialisable record (what ``repro lint --json`` emits)."""
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "path": self.path,
+            "line": self.line,
+            "symbol": self.symbol,
+            "message": self.message,
+            "hint": self.hint,
+            "fingerprint": self.fingerprint,
+        }

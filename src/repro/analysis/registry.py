@@ -1,0 +1,83 @@
+"""Rule registry: one decorator, one lookup, stable ordering.
+
+A rule is a small class with metadata (id, title, severity, rationale,
+hint) and a ``check(module, project)`` generator.  Modules in
+:mod:`repro.analysis.rules` register themselves at import time via
+:func:`register`; the engine and the CLI only ever talk to
+:func:`all_rules` / :func:`get_rule`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Type
+
+from repro.analysis.engine import ModuleInfo, ProjectModel
+from repro.analysis.findings import SEVERITIES, Finding
+
+__all__ = ["Rule", "all_rules", "get_rule", "register"]
+
+
+class Rule:
+    """Base class for lint rules; subclasses override :meth:`check`."""
+
+    rule_id: str = ""
+    title: str = ""
+    severity: str = "error"
+    #: why the rule exists — printed by ``repro lint --explain``
+    rationale: str = ""
+    #: generic fix guidance, used when a finding carries no specific hint
+    hint: str = ""
+
+    def check(self, module: ModuleInfo, project: ProjectModel) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(
+        self,
+        module: ModuleInfo,
+        line: int,
+        message: str,
+        symbol: str = "",
+        hint: str = "",
+    ) -> Finding:
+        """Build a finding pre-filled with this rule's id/severity/hint."""
+        return Finding(
+            rule=self.rule_id,
+            severity=self.severity,
+            path=module.display_path,
+            line=line,
+            message=message,
+            symbol=symbol,
+            hint=hint or self.hint,
+        )
+
+
+_RULES: Dict[str, Rule] = {}
+
+
+def register(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator: instantiate and index a rule by its id."""
+    if not cls.rule_id:
+        raise ValueError(f"{cls.__name__} has no rule_id")
+    if cls.severity not in SEVERITIES:
+        raise ValueError(f"{cls.__name__}: unknown severity {cls.severity!r}")
+    if cls.rule_id in _RULES:
+        raise ValueError(f"duplicate rule id {cls.rule_id}")
+    _RULES[cls.rule_id] = cls()
+    return cls
+
+
+def _ensure_loaded() -> None:
+    # Importing the rules package triggers the @register decorators.
+    from repro.analysis import rules  # noqa: F401
+
+
+def all_rules() -> List[Rule]:
+    """Every registered rule, ordered by id."""
+    _ensure_loaded()
+    return [_RULES[rule_id] for rule_id in sorted(_RULES)]
+
+
+def get_rule(rule_id: str) -> Rule:
+    """Look up one rule by id (case-insensitive); raises ``KeyError``."""
+    _ensure_loaded()
+    return _RULES[rule_id.upper()]

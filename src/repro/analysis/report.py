@@ -1,0 +1,59 @@
+"""Reporters: render a lint run for terminals (text) and machines (JSON)."""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Sequence
+
+from repro.analysis.findings import Finding
+
+__all__ = ["render_json", "render_text"]
+
+
+def render_text(
+    new: Sequence[Finding],
+    grandfathered: Sequence[Finding],
+    suppressed: int,
+    file_count: int,
+    show_hints: bool = False,
+) -> str:
+    """Human-readable report: one ``path:line rule [severity] message`` per
+    finding, grandfathered ones counted but not listed."""
+    lines: List[str] = []
+    for finding in new:
+        location = finding.location
+        lines.append(
+            f"{location}: {finding.rule} [{finding.severity}] {finding.message}"
+        )
+        if show_hints and finding.hint:
+            lines.append(f"    hint: {finding.hint}")
+    summary = (
+        f"{len(new)} finding(s) in {file_count} file(s)"
+        f" ({len(grandfathered)} baselined, {suppressed} suppressed by pragma)"
+    )
+    if new:
+        lines.append("")
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(
+    new: Sequence[Finding],
+    grandfathered: Sequence[Finding],
+    suppressed: int,
+    files: Sequence[str],
+) -> str:
+    """Machine-readable report (consumed by the CI artifact upload)."""
+    payload: Dict[str, object] = {
+        "format": "repro-lint-report",
+        "version": 1,
+        "files": list(files),
+        "summary": {
+            "new": len(new),
+            "baselined": len(grandfathered),
+            "suppressed": suppressed,
+        },
+        "findings": [finding.to_dict() for finding in new],
+        "baselined": [finding.to_dict() for finding in grandfathered],
+    }
+    return json.dumps(payload, indent=2)

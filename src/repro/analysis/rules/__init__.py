@@ -1,0 +1,22 @@
+"""Rule modules; importing this package registers every rule.
+
+Each module groups rules by the subsystem contract they protect:
+
+- :mod:`~repro.analysis.rules.contracts` — the filter-and-refine contract
+  (RL001 filter-contract, RL006 hot-path-purity)
+- :mod:`~repro.analysis.rules.concurrency` — service/obs locking
+  (RL002 lock-discipline)
+- :mod:`~repro.analysis.rules.observability` — tracing + metrics hygiene
+  (RL003 span-hygiene, RL004 metric-label-cardinality)
+- :mod:`~repro.analysis.rules.structure` — repo-wide structural hygiene
+  (RL005 unbounded-recursion, RL007 export-surface, RL008 bare-except)
+"""
+
+from repro.analysis.rules import (  # noqa: F401
+    concurrency,
+    contracts,
+    observability,
+    structure,
+)
+
+__all__ = ["concurrency", "contracts", "observability", "structure"]

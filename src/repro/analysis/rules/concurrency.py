@@ -1,0 +1,115 @@
+"""RL002: lock discipline in the concurrent layers.
+
+The service and obs layers share mutable state across request threads.  The
+project convention is a private lock attribute acquired with ``with
+self._lock:`` (or ``_condition``, etc.); any attribute *ever* written under
+such a block is treated as lock-guarded, and every other write to it in the
+same class must also hold a lock.  ``__init__`` is exempt — construction
+happens-before publication.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, Iterator, List, Set, Tuple
+
+from repro.analysis.astutils import (
+    iter_scope,
+    iter_self_writes,
+    self_attribute,
+)
+from repro.analysis.engine import ClassInfo, ModuleInfo, ProjectModel
+from repro.analysis.findings import Finding
+from repro.analysis.registry import Rule, register
+
+__all__ = ["LockDisciplineRule"]
+
+#: ``self.<attr>`` names that count as locks when used as a context manager.
+_LOCK_ATTR = re.compile(r"lock|mutex|condition|sema", re.IGNORECASE)
+
+
+def _is_lock_with(item: ast.withitem) -> bool:
+    attribute = self_attribute(item.context_expr)
+    return attribute is not None and bool(_LOCK_ATTR.search(attribute))
+
+
+def _walk_method(
+    fn: ast.FunctionDef,
+) -> Iterator[Tuple[str, int, bool]]:
+    """``(attribute, line, under_lock)`` for every self-attribute write."""
+    # Manual stack walk tracking lock depth; nested defs get their own
+    # discipline (they run on whatever thread calls them).
+    stack: List[Tuple[ast.AST, int]] = [(child, 0) for child in fn.body]
+    while stack:
+        node, depth = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        if isinstance(node, ast.stmt):
+            for attribute, line in iter_self_writes(node):
+                yield attribute, line, depth > 0
+        entered = depth
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            if any(_is_lock_with(item) for item in node.items):
+                entered = depth + 1
+        for child in ast.iter_child_nodes(node):
+            stack.append((child, entered))
+
+
+@register
+class LockDisciplineRule(Rule):
+    """RL002: attributes written under a lock are never written without one."""
+
+    rule_id = "RL002"
+    title = "lock-discipline"
+    severity = "error"
+    rationale = (
+        "TreeSearchService and the obs sinks share caches, counters and "
+        "buffers across request threads. The convention is `with "
+        "self._lock:` around every mutation of shared state; a single "
+        "unlocked write reintroduces the torn-read/lost-update races the "
+        "locks exist to prevent, and those races only surface under "
+        "production concurrency, never in single-threaded tests."
+    )
+    hint = (
+        "wrap the write in `with self._lock:` (or move it into __init__ if "
+        "it is construction-time only)"
+    )
+
+    def check(self, module: ModuleInfo, project: ProjectModel) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ClassDef):
+                yield from self._check_class(module, node)
+
+    def _check_class(
+        self, module: ModuleInfo, cls: ast.ClassDef
+    ) -> Iterator[Finding]:
+        methods = [
+            stmt
+            for stmt in cls.body
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+        ]
+        guarded: Set[str] = set()
+        writes: Dict[str, List[Tuple[str, int, bool]]] = {}
+        for fn in methods:
+            records = list(_walk_method(fn))
+            writes[fn.name] = records
+            if fn.name != "__init__":
+                for attribute, _line, under_lock in records:
+                    if under_lock and not _LOCK_ATTR.search(attribute):
+                        guarded.add(attribute)
+        if not guarded:
+            return
+        for fn in methods:
+            if fn.name == "__init__":
+                continue
+            for attribute, line, under_lock in writes[fn.name]:
+                if attribute in guarded and not under_lock:
+                    yield self.finding(
+                        module,
+                        line,
+                        f"{cls.name}.{fn.name} writes self.{attribute} "
+                        "without holding a lock, but the attribute is "
+                        "lock-guarded elsewhere in the class",
+                        symbol=f"{cls.name}.{fn.name}",
+                    )

@@ -1,0 +1,197 @@
+"""Rules protecting the filter-and-refine contract (Theorem 4.2).
+
+Every :class:`LowerBoundFilter` promises ``bound(q, d) <= EDist(q, d)``; the
+whole search architecture (range/knn pruning, tiered cascades, the service
+cache) is only correct if that holds.  RL001 checks the *shape* of the
+contract — override signatures stay compatible, and every concrete filter is
+wired to a soundness oracle in ``repro.verify.oracles`` so the dynamic
+harness actually exercises it.  RL006 checks the *cost* side: the reason
+filters exist is that the bound is orders of magnitude cheaper than the
+refinement step, so refinement-grade calls inside a filter's per-candidate
+path defeat the architecture even when the answer stays correct.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Tuple
+
+from repro.analysis.astutils import LOOP_NODES, call_name, iter_scope, parent_chain
+from repro.analysis.engine import ClassInfo, ModuleInfo, ProjectModel
+from repro.analysis.findings import Finding
+from repro.analysis.registry import Rule, register
+
+__all__ = ["FilterContractRule", "HotPathPurityRule"]
+
+_ROOT = "LowerBoundFilter"
+
+#: method -> exact positional parameter names an override must keep.
+#: ``None`` entries are optional methods (checked only when overridden).
+_SIGNATURES = {
+    "fit": ("self", "trees"),
+    "refutes": ("self", "query", "data", "threshold"),
+    "bound": ("self", "query", "data"),
+    "signature": ("self", "tree"),
+}
+
+
+def _positional_names(fn: ast.FunctionDef) -> Optional[Tuple[str, ...]]:
+    """Positional parameter names, or ``None`` when *args/**kwargs blur them."""
+    args = fn.args
+    if args.vararg or args.kwarg or args.kwonlyargs:
+        return None
+    return tuple(arg.arg for arg in args.posonlyargs + args.args)
+
+
+def _is_exempt(info: ClassInfo) -> bool:
+    """The ABC itself and private helpers are outside RL001's scope."""
+    return info.name == _ROOT or info.name.startswith("_")
+
+
+@register
+class FilterContractRule(Rule):
+    """RL001: filter overrides keep the contract signature and every
+    concrete filter is registered with a soundness oracle."""
+
+    rule_id = "RL001"
+    title = "filter-contract"
+    severity = "error"
+    rationale = (
+        "Every LowerBoundFilter must be a sound lower bound of the tree edit "
+        "distance (Theorem 4.2); repro.verify checks that dynamically, but "
+        "only for filters its oracle registry knows about. A filter that "
+        "drifts its override signatures breaks polymorphic callers (the "
+        "cascade calls refutes(query, data, threshold) on every stage), and "
+        "a filter missing from repro.verify.oracles ships with its soundness "
+        "unchecked."
+    )
+    hint = (
+        "match the LowerBoundFilter signature exactly, and register the "
+        "class with a bound-soundness oracle in repro/verify/oracles.py"
+    )
+
+    def check(self, module: ModuleInfo, project: ProjectModel) -> Iterator[Finding]:
+        for info in project.subclasses_of(_ROOT):
+            if info.module is not module or _is_exempt(info):
+                continue
+            yield from self._check_signatures(module, info)
+            if project.has_oracles_module and project.is_concrete_filter(info):
+                if info.name not in project.oracle_names:
+                    yield self.finding(
+                        module,
+                        info.node.lineno,
+                        f"filter {info.name} is not referenced by any "
+                        "soundness oracle in repro.verify.oracles",
+                        symbol=info.name,
+                        hint=(
+                            "add the filter to the oracle registry in "
+                            "repro/verify/oracles.py so `repro verify` "
+                            "exercises its lower-bound soundness"
+                        ),
+                    )
+
+    def _check_signatures(
+        self, module: ModuleInfo, info: ClassInfo
+    ) -> Iterator[Finding]:
+        for method, expected in _SIGNATURES.items():
+            fn = info.methods.get(method)
+            if fn is None:
+                continue
+            actual = _positional_names(fn)
+            if actual == expected:
+                continue
+            shown = "(" + ", ".join(actual) + ")" if actual is not None else (
+                "*args/**kwargs"
+            )
+            yield self.finding(
+                module,
+                fn.lineno,
+                f"{info.name}.{method} signature {shown} does not match the "
+                f"LowerBoundFilter contract ({', '.join(expected)})",
+                symbol=f"{info.name}.{method}",
+            )
+
+
+#: Refinement-grade calls: quadratic-or-worse edit distances and tree prep.
+_HEAVY_CALLS = frozenset(
+    {
+        "tree_edit_distance",
+        "tree_edit_mapping",
+        "memoized_edit_distance",
+        "alignment_distance",
+        "constrained_edit_distance",
+        "selkow_edit_distance",
+        "prepare_tree",
+    }
+)
+
+#: Fitting/extraction calls: legitimate at fit time, not per candidate.
+_FIT_CALLS = frozenset({"signature", "fit", "fit_from_store", "_index_signature"})
+
+#: Methods on the per-candidate hot path of a filter.
+_HOT_METHODS = ("bound", "bounds", "refutes")
+
+
+@register
+class HotPathPurityRule(Rule):
+    """RL006: no refinement-grade or extraction calls on the filter hot path."""
+
+    rule_id = "RL006"
+    title = "hot-path-purity"
+    severity = "error"
+    rationale = (
+        "Filters exist because their bound is orders of magnitude cheaper "
+        "than the Zhang-Shasha refinement step. An edit-distance or "
+        "prepare_tree call inside bound/bounds/refutes, or feature "
+        "extraction inside a per-candidate loop, silently turns the filter "
+        "funnel into a full refinement pass - correct answers, catastrophic "
+        "cost, invisible to unit tests on small corpora."
+    )
+    hint = (
+        "precompute per-tree state in fit()/signature() and keep "
+        "bound()/refutes() to cheap vector arithmetic"
+    )
+
+    def check(self, module: ModuleInfo, project: ProjectModel) -> Iterator[Finding]:
+        for info in project.subclasses_of(_ROOT):
+            if info.module is not module:
+                continue
+            for method in _HOT_METHODS:
+                fn = info.methods.get(method)
+                if fn is None:
+                    continue
+                symbol = f"{info.name}.{method}"
+                for node in iter_scope(fn):
+                    if not isinstance(node, ast.Call):
+                        continue
+                    name = call_name(node)
+                    if name in _HEAVY_CALLS:
+                        yield self.finding(
+                            module,
+                            node.lineno,
+                            f"{symbol} calls refinement-grade {name}() on "
+                            "the per-candidate filter path",
+                            symbol=symbol,
+                        )
+                    elif name in _FIT_CALLS and self._in_loop(node, fn):
+                        yield self.finding(
+                            module,
+                            node.lineno,
+                            f"{symbol} calls extraction-grade {name}() "
+                            "inside a per-candidate loop",
+                            symbol=symbol,
+                            hint=(
+                                "hoist extraction out of the loop; "
+                                "signatures belong in fit()/add(), not on "
+                                "the per-candidate path"
+                            ),
+                        )
+
+    @staticmethod
+    def _in_loop(node: ast.AST, stop: ast.AST) -> bool:
+        for ancestor in parent_chain(node):
+            if ancestor is stop:
+                return False
+            if isinstance(ancestor, LOOP_NODES):
+                return True
+        return False

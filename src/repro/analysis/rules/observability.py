@@ -1,0 +1,167 @@
+"""Rules for tracing and metrics hygiene.
+
+RL003 keeps span lifecycles structural: a span must be entered via ``with``
+(the context manager guarantees ``finish`` on every exit path), because a
+leaked open span corrupts the parent chain of every span recorded after it
+on that context.  RL004 keeps metric label sets enumerable: a label value
+interpolated from unbounded data (tree ids, queries, error strings) makes
+the registry grow one time series per distinct value until snapshotting and
+Prometheus scraping fall over.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional, Set
+
+from repro.analysis.astutils import call_name, iter_scope, parent_chain
+from repro.analysis.engine import ModuleInfo, ProjectModel
+from repro.analysis.findings import Finding
+from repro.analysis.registry import Rule, register
+
+__all__ = ["MetricLabelCardinalityRule", "SpanHygieneRule"]
+
+#: Call names that create a span (module-level helper and Tracer method).
+_SPAN_CALLS = frozenset({"span", "start_span"})
+
+
+def _enclosing_symbol(node: ast.AST) -> str:
+    parts = []
+    for ancestor in parent_chain(node):
+        if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            parts.append(ancestor.name)
+    return ".".join(reversed(parts))
+
+
+def _enclosing_scope(node: ast.AST) -> Optional[ast.AST]:
+    for ancestor in parent_chain(node):
+        if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Module)):
+            return ancestor
+    return None
+
+
+@register
+class SpanHygieneRule(Rule):
+    """RL003: spans are only opened via ``with`` (no orphan span calls)."""
+
+    rule_id = "RL003"
+    title = "span-hygiene"
+    severity = "error"
+    rationale = (
+        "A span entered without a context manager has no guaranteed finish "
+        "on exceptions; the contextvars parent chain then dangles, so every "
+        "span recorded afterwards on that context nests under a dead "
+        "parent. The `with tracing.span(...)` form closes the span on every "
+        "exit path; anything else leaks."
+    )
+    hint = "open spans with `with tracing.span(name) as sp:`"
+
+    def check(self, module: ModuleInfo, project: ProjectModel) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call) or call_name(node) not in _SPAN_CALLS:
+                continue
+            if self._allowed(node, module):
+                continue
+            yield self.finding(
+                module,
+                node.lineno,
+                f"span call `{call_name(node)}(...)` is not entered via a "
+                "`with` block",
+                symbol=_enclosing_symbol(node),
+            )
+
+    def _allowed(self, node: ast.Call, module: ModuleInfo) -> bool:
+        parent = getattr(node, "repro_parent", None)
+        # `with span(...) as sp:` — the canonical form.
+        if isinstance(parent, ast.withitem) and parent.context_expr is node:
+            return True
+        # `return tracer.span(...)` — factory delegation (tracing.span itself).
+        if isinstance(parent, ast.Return):
+            return True
+        # `cm = span(...)` later entered with `with cm:` in the same scope.
+        if isinstance(parent, ast.Assign) and len(parent.targets) == 1:
+            target = parent.targets[0]
+            if isinstance(target, ast.Name):
+                return self._entered_later(target.id, node, module)
+        return False
+
+    @staticmethod
+    def _entered_later(name: str, call: ast.Call, module: ModuleInfo) -> bool:
+        scope = _enclosing_scope(call)
+        if scope is None:
+            return False
+        for node in iter_scope(scope, skip_nested=False):
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    expr = item.context_expr
+                    if isinstance(expr, ast.Name) and expr.id == name:
+                        return True
+        return False
+
+
+#: Instrument mutators whose keyword arguments are label values.  ``set`` is
+#: deliberately absent: Span.set(**attributes) shares the name and span
+#: attributes legitimately carry unbounded values.
+_LABEL_METHODS = frozenset({"inc", "dec", "observe", "state"})
+
+#: Call names that build strings out of runtime values.
+_FORMATTING_CALLS = frozenset({"str", "repr", "format"})
+
+
+@register
+class MetricLabelCardinalityRule(Rule):
+    """RL004: metric label values are literals/constants, never interpolated."""
+
+    rule_id = "RL004"
+    title = "metric-label-cardinality"
+    severity = "warning"
+    rationale = (
+        "MetricsRegistry keeps one time series per distinct label "
+        "combination. A label built with an f-string (or str()/%/+) of an "
+        "unbounded value - tree ids, thresholds, error messages - grows the "
+        "registry without limit, bloating every snapshot and Prometheus "
+        "scrape until the process pays O(corpus) per observation."
+    )
+    hint = (
+        "pass a value from a bounded enumeration (literal, constant, or a "
+        "small closed set computed upstream); unbounded detail belongs in "
+        "span attributes, not metric labels"
+    )
+
+    def check(self, module: ModuleInfo, project: ProjectModel) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if not isinstance(node.func, ast.Attribute):
+                continue
+            if node.func.attr not in _LABEL_METHODS:
+                continue
+            for keyword in node.keywords:
+                if keyword.arg is None:
+                    continue  # **labels: the values are bound upstream
+                problem = self._interpolation(keyword.value)
+                if problem:
+                    yield self.finding(
+                        module,
+                        keyword.value.lineno,
+                        f"metric label {keyword.arg!r} is built with "
+                        f"{problem}; label values must come from a bounded "
+                        "set",
+                        symbol=_enclosing_symbol(node),
+                    )
+
+    @staticmethod
+    def _interpolation(value: ast.expr) -> str:
+        if isinstance(value, ast.JoinedStr):
+            return "an f-string"
+        if isinstance(value, ast.Call) and call_name(value) in _FORMATTING_CALLS:
+            return f"{call_name(value)}()"
+        if isinstance(value, ast.BinOp) and isinstance(value.op, (ast.Mod, ast.Add)):
+            # flag only when a string literal participates - arithmetic is fine
+            for side in (value.left, value.right):
+                if isinstance(side, ast.Constant) and isinstance(side.value, str):
+                    return "string concatenation/%-formatting"
+            for side in (value.left, value.right):
+                if isinstance(side, ast.JoinedStr):
+                    return "string concatenation of an f-string"
+        return ""

@@ -1,0 +1,290 @@
+"""Repo-wide structural hygiene rules.
+
+RL005 guards stack safety: trees in the target workloads reach depths that
+overflow CPython's default recursion limit, so functions that recurse down
+``Node.children`` must either be iterative or sit in a module that manages
+``sys.setrecursionlimit`` the way ``editdist/alignment.py`` does.  RL007
+keeps ``__all__`` honest — the export list is what mypy's
+``no_implicit_reexport`` and the API docs trust.  RL008 bans blanket
+exception handlers, which in this codebase have a history of swallowing
+oracle violations; the one sanctioned catch lives in ``verify/shrink.py``
+and carries a pragma explaining itself.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Set
+
+from repro.analysis.astutils import (
+    FunctionNode,
+    call_name,
+    iter_scope,
+    parent_chain,
+    string_elements,
+)
+from repro.analysis.engine import ModuleInfo, ProjectModel
+from repro.analysis.findings import Finding
+from repro.analysis.registry import Rule, register
+
+__all__ = ["BareExceptRule", "ExportSurfaceRule", "UnboundedRecursionRule"]
+
+_FUNCTION_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+#: Attribute names that mark traversal of the tree structure.
+_CHILD_ATTRS = frozenset({"children", "_children"})
+
+
+def _module_sets_recursionlimit(module: ModuleInfo) -> bool:
+    for node in ast.walk(module.tree):
+        if isinstance(node, ast.Call) and call_name(node) == "setrecursionlimit":
+            return True
+    return False
+
+
+def _qualified_name(fn: FunctionNode) -> str:
+    parts = [fn.name]
+    for ancestor in parent_chain(fn):
+        if isinstance(ancestor, (*_FUNCTION_NODES, ast.ClassDef)):
+            parts.append(ancestor.name)
+    return ".".join(reversed(parts))
+
+
+def _is_recursive(fn: FunctionNode) -> bool:
+    """Does ``fn``'s own body call something named like itself?
+
+    Both ``helper(...)`` and ``node.clone()``-style method recursion count:
+    a method recursing through child objects calls ``child.<own name>()``,
+    not ``self.<own name>()``.
+    """
+    for node in iter_scope(fn):
+        if isinstance(node, ast.Call) and call_name(node) == fn.name:
+            return True
+    return False
+
+
+def _touches_children(fn: FunctionNode) -> bool:
+    for node in iter_scope(fn):
+        if isinstance(node, ast.Attribute) and node.attr in _CHILD_ATTRS:
+            return True
+    return False
+
+
+@register
+class UnboundedRecursionRule(Rule):
+    """RL005: no unguarded recursion over ``Node.children`` outside editdist."""
+
+    rule_id = "RL005"
+    title = "unbounded-recursion"
+    severity = "warning"
+    rationale = (
+        "Production corpora contain trees deeper than CPython's default "
+        "recursion limit (~1000 frames). A function that recurses down "
+        "Node.children works on every test corpus and then dies with "
+        "RecursionError on the first deep tree. editdist/ is exempt "
+        "because alignment.py manages sys.setrecursionlimit explicitly; "
+        "everywhere else, traversals must be iterative (explicit stack) or "
+        "the module must do the same recursionlimit dance."
+    )
+    hint = (
+        "rewrite with an explicit stack/worklist, or manage "
+        "sys.setrecursionlimit like editdist/alignment.py and suppress "
+        "with `# repro-lint: disable=RL005` plus a depth-bound argument"
+    )
+
+    def check(self, module: ModuleInfo, project: ProjectModel) -> Iterator[Finding]:
+        if "editdist" in module.path.parts:
+            return
+        if _module_sets_recursionlimit(module):
+            return
+        for node in ast.walk(module.tree):
+            if not isinstance(node, _FUNCTION_NODES):
+                continue
+            if _is_recursive(node) and _touches_children(node):
+                symbol = _qualified_name(node)
+                yield self.finding(
+                    module,
+                    node.lineno,
+                    f"{symbol} recurses over tree children without a "
+                    "recursion-depth guard",
+                    symbol=symbol,
+                )
+
+
+def _top_level_bindings(tree: ast.Module) -> Set[str]:
+    """Names bound at module top level (descending into top-level If/Try)."""
+    bound: Set[str] = set()
+    stack: List[ast.stmt] = list(tree.body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (*_FUNCTION_NODES, ast.ClassDef)):
+            bound.add(node.name)
+        elif isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            for target in targets:
+                for leaf in ast.walk(target):
+                    if isinstance(leaf, ast.Name):
+                        bound.add(leaf.id)
+        elif isinstance(node, ast.Import):
+            for alias in node.names:
+                bound.add(alias.asname or alias.name.split(".")[0])
+        elif isinstance(node, ast.ImportFrom):
+            for alias in node.names:
+                if alias.name != "*":
+                    bound.add(alias.asname or alias.name)
+        elif isinstance(node, ast.If):
+            stack.extend(node.body)
+            stack.extend(node.orelse)
+        elif isinstance(node, ast.Try):
+            stack.extend(node.body)
+            stack.extend(node.orelse)
+            stack.extend(node.finalbody)
+            for handler in node.handlers:
+                stack.extend(handler.body)
+    return bound
+
+
+def _import_star(tree: ast.Module) -> bool:
+    return any(
+        isinstance(node, ast.ImportFrom)
+        and any(alias.name == "*" for alias in node.names)
+        for node in ast.walk(tree)
+    )
+
+
+def _public_from_imports(tree: ast.Module) -> Iterator[str]:
+    for node in tree.body:
+        if not isinstance(node, ast.ImportFrom):
+            continue
+        if node.module == "__future__":
+            continue
+        for alias in node.names:
+            name = alias.asname or alias.name
+            if name != "*" and not name.startswith("_"):
+                yield name
+
+
+@register
+class ExportSurfaceRule(Rule):
+    """RL007: ``__all__`` lists exactly what the module actually exports."""
+
+    rule_id = "RL007"
+    title = "export-surface"
+    severity = "error"
+    rationale = (
+        "__all__ is the contract the API docs, star-imports and mypy's "
+        "no_implicit_reexport all trust. A name listed but not bound "
+        "breaks `from pkg import *` at runtime; a re-export bound in an "
+        "__init__ but missing from __all__ is invisible to strict typing "
+        "consumers and silently drops out of the documented surface."
+    )
+    hint = "keep __all__ in sync with the module's top-level bindings"
+
+    def check(self, module: ModuleInfo, project: ProjectModel) -> Iterator[Finding]:
+        declaration = self._find_all(module.tree)
+        if declaration is None:
+            return
+        node, names = declaration
+        bound = _top_level_bindings(module.tree)
+        has_star = _import_star(module.tree)
+        seen: Set[str] = set()
+        for name in names:
+            if name in seen:
+                yield self.finding(
+                    module,
+                    node.lineno,
+                    f"__all__ lists {name!r} more than once",
+                    symbol="__all__",
+                )
+            seen.add(name)
+            if name not in bound and not has_star:
+                yield self.finding(
+                    module,
+                    node.lineno,
+                    f"__all__ lists {name!r} but the module never binds it",
+                    symbol="__all__",
+                )
+        if module.is_init and not has_star:
+            for name in _public_from_imports(module.tree):
+                if name not in seen:
+                    yield self.finding(
+                        module,
+                        node.lineno,
+                        f"package re-exports {name!r} but __all__ omits it",
+                        symbol="__all__",
+                        hint=(
+                            "add the name to __all__ (or alias it with a "
+                            "leading underscore if it is internal)"
+                        ),
+                    )
+
+    @staticmethod
+    def _find_all(tree: ast.Module) -> Optional[tuple]:
+        for node in tree.body:
+            if isinstance(node, ast.Assign) and any(
+                isinstance(t, ast.Name) and t.id == "__all__" for t in node.targets
+            ):
+                names = string_elements(node.value)
+                if names is not None:
+                    return node, names
+        return None
+
+
+#: Exception names whose blanket catch RL008 bans.
+_BLANKET = frozenset({"Exception", "BaseException"})
+
+
+def _blanket_name(expr: Optional[ast.expr]) -> str:
+    if expr is None:
+        return "bare except"
+    if isinstance(expr, ast.Name) and expr.id in _BLANKET:
+        return f"except {expr.id}"
+    if isinstance(expr, ast.Tuple):
+        for element in expr.elts:
+            if isinstance(element, ast.Name) and element.id in _BLANKET:
+                return f"except (... {element.id} ...)"
+    return ""
+
+
+@register
+class BareExceptRule(Rule):
+    """RL008: no bare ``except`` / ``except Exception`` blanket handlers."""
+
+    rule_id = "RL008"
+    title = "bare-except"
+    severity = "error"
+    rationale = (
+        "A blanket handler cannot distinguish the failure it anticipates "
+        "from the bug it doesn't - in this codebase that means an oracle "
+        "violation or a corrupted signature gets logged-and-ignored "
+        "instead of failing loudly. The one sanctioned catch is "
+        "verify/shrink.py's _holds (a shrinking probe must never escalate "
+        "a violation into a crash witness); it carries an explanatory "
+        "pragma, which is the required pattern for any future exception."
+    )
+    hint = (
+        "catch the specific exceptions the operation can raise; if a "
+        "blanket catch is genuinely required, add `# repro-lint: "
+        "disable=RL008` with a comment justifying it"
+    )
+
+    def check(self, module: ModuleInfo, project: ProjectModel) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            shape = _blanket_name(node.type)
+            if shape:
+                yield self.finding(
+                    module,
+                    node.lineno,
+                    f"blanket `{shape}` handler",
+                    symbol=_symbol_for(node),
+                )
+
+
+def _symbol_for(node: ast.AST) -> str:
+    parts = []
+    for ancestor in parent_chain(node):
+        if isinstance(ancestor, (*_FUNCTION_NODES, ast.ClassDef)):
+            parts.append(ancestor.name)
+    return ".".join(reversed(parts))

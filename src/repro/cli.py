@@ -14,6 +14,7 @@ Commands
 ``trace``      run one query fully traced: span tree + filter funnel
 ``metrics``    dump the process-wide metrics registry (Prometheus text)
 ``verify``     run the differential/metamorphic oracle harness
+``lint``       run the project-invariant static checker (repro.analysis)
 ``join``       similarity self-join of a dataset file
 ``convert``    XML/JSON documents -> a ``.trees`` dataset file
 ``show``       draw a bracket tree
@@ -310,6 +311,54 @@ def build_parser() -> argparse.ArgumentParser:
         "--json",
         action="store_true",
         help="print the report snapshot as JSON",
+    )
+
+    lint = commands.add_parser(
+        "lint",
+        help="run the project-invariant static checker",
+        description="AST-based checks of this repository's own contracts: "
+        "filter soundness registration, lock discipline, span hygiene, "
+        "metric label cardinality, recursion safety, export surfaces and "
+        "blanket excepts. Exits 1 on findings not in the baseline.",
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files or directories to analyze (default: src/repro)",
+    )
+    lint.add_argument(
+        "--json", action="store_true", help="emit a machine-readable report"
+    )
+    lint.add_argument(
+        "--baseline",
+        default=".repro-lint-baseline.json",
+        help="baseline file of grandfathered findings",
+    )
+    lint.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore the baseline (report every finding)",
+    )
+    lint.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="record the current findings as the new baseline and exit 0",
+    )
+    lint.add_argument(
+        "--fix-hints",
+        action="store_true",
+        help="print each finding's fix hint (text reporter only)",
+    )
+    lint.add_argument(
+        "--rules",
+        metavar="RL00x[,RL00y]",
+        help="run only these rules (comma-separated ids)",
+    )
+    lint.add_argument(
+        "--explain",
+        metavar="RL00x",
+        help="print one rule's rationale and exit",
     )
 
     convert = commands.add_parser(
@@ -709,6 +758,71 @@ def _cmd_join(args) -> int:
     return 0
 
 
+def _cmd_lint(args) -> int:
+    from pathlib import Path
+
+    from repro import analysis
+
+    if args.explain:
+        try:
+            rule = analysis.get_rule(args.explain)
+        except KeyError:
+            print(f"repro lint: unknown rule {args.explain!r}", file=sys.stderr)
+            return 2
+        print(f"{rule.rule_id} ({rule.title}) [{rule.severity}]")
+        print()
+        print(rule.rationale)
+        if rule.hint:
+            print()
+            print(f"fix: {rule.hint}")
+        return 0
+
+    rules = None
+    if args.rules:
+        try:
+            rules = [
+                analysis.get_rule(rule_id)
+                for rule_id in args.rules.split(",")
+                if rule_id.strip()
+            ]
+        except KeyError as exc:
+            print(f"repro lint: unknown rule {exc.args[0]!r}", file=sys.stderr)
+            return 2
+
+    run = analysis.analyze_paths(
+        [Path(p) for p in args.paths], rules=rules, root=Path.cwd()
+    )
+    baseline_path = Path(args.baseline)
+    if args.write_baseline:
+        analysis.Baseline.from_findings(
+            run.findings, comment="grandfathered by --write-baseline"
+        ).save(baseline_path)
+        print(
+            f"wrote {len(run.findings)} finding(s) to {baseline_path}",
+            file=sys.stderr,
+        )
+        return 0
+    baseline = (
+        analysis.Baseline.empty()
+        if args.no_baseline
+        else analysis.Baseline.load(baseline_path)
+    )
+    new, grandfathered = analysis.partition(run.findings, baseline)
+    if args.json:
+        print(analysis.render_json(new, grandfathered, run.suppressed, run.files))
+    else:
+        print(
+            analysis.render_text(
+                new,
+                grandfathered,
+                run.suppressed,
+                len(run.files),
+                show_hints=args.fix_hints,
+            )
+        )
+    return 1 if new else 0
+
+
 _HANDLERS = {
     "distance": _cmd_distance,
     "bound": _cmd_bound,
@@ -723,6 +837,7 @@ _HANDLERS = {
     "trace": _cmd_trace,
     "metrics": _cmd_metrics,
     "verify": _cmd_verify,
+    "lint": _cmd_lint,
     "join": _cmd_join,
     "convert": _cmd_convert,
 }

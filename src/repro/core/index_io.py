@@ -23,13 +23,16 @@ from __future__ import annotations
 
 import json
 import os
-from typing import Any, List, Union
+from typing import TYPE_CHECKING, Any, List, Union
 
 from repro.core.branches import BinaryBranch
 from repro.core.inverted_file import InvertedFileIndex, Posting
 from repro.core.qlevel import QLevelBranch
 from repro.exceptions import TreeParseError
 from repro.trees.binary import EPSILON
+
+if TYPE_CHECKING:  # the feature layer sits above this module
+    from repro.features.store import FeatureStore
 
 __all__ = ["save_index", "load_index", "save_features", "load_features"]
 
@@ -141,7 +144,7 @@ def load_index(path: PathLike) -> InvertedFileIndex:
     return index
 
 
-def save_features(store, path: PathLike) -> None:
+def save_features(store: "FeatureStore", path: PathLike) -> None:
     """Serialize a :class:`~repro.features.store.FeatureStore` to ``path``.
 
     Convenience re-export of
@@ -153,7 +156,7 @@ def save_features(store, path: PathLike) -> None:
     save_feature_plane(store, path)
 
 
-def load_features(path: PathLike):
+def load_features(path: PathLike) -> "FeatureStore":
     """Restore a feature store written by :func:`save_features`."""
     from repro.features.io import load_feature_plane
 

@@ -23,12 +23,23 @@ Filters can be fitted two ways:
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Generic, List, Sequence, Tuple, TypeVar
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Generic,
+    List,
+    Sequence,
+    Tuple,
+    TypeVar,
+)
 
 from repro.exceptions import FilterStateError
 from repro.trees.node import TreeNode
 
-__all__ = ["LowerBoundFilter"]
+if TYPE_CHECKING:  # import cycle: features.store fits via filter signatures
+    from repro.features.store import FeatureStore
+
+__all__ = ["LowerBoundFilter", "Signature"]
 
 Signature = TypeVar("Signature")
 
@@ -87,7 +98,7 @@ class LowerBoundFilter(ABC, Generic[Signature]):
         """Branch levels a backing FeatureStore must extract for this filter."""
         return ()
 
-    def store_signature(self, store, index: int) -> Signature:
+    def store_signature(self, store: "FeatureStore", index: int) -> Signature:
         """Signature of the ``index``-th store tree, as a view over ``store``.
 
         Must equal (in bound terms) ``self.signature(trees[index])``; only
@@ -97,10 +108,10 @@ class LowerBoundFilter(ABC, Generic[Signature]):
             f"filter {self.name!r} does not support store-backed signatures"
         )
 
-    def _bind_store(self, store) -> None:
+    def _bind_store(self, store: "FeatureStore") -> None:
         """Adopt store-owned shared state (vocabularies); default no-op."""
 
-    def fit_from_store(self, store) -> "LowerBoundFilter[Signature]":
+    def fit_from_store(self, store: "FeatureStore") -> "LowerBoundFilter[Signature]":
         """Derive all signatures from a fitted FeatureStore; returns ``self``."""
         self._bind_store(store)
         self._signatures = [
@@ -109,7 +120,7 @@ class LowerBoundFilter(ABC, Generic[Signature]):
         self._fitted = True
         return self
 
-    def add_from_store(self, store, index: int) -> int:
+    def add_from_store(self, store: "FeatureStore", index: int) -> int:
         """Append the signature of a tree just added to the backing store."""
         if not self._fitted:
             raise FilterStateError(
@@ -166,7 +177,9 @@ class LowerBoundFilter(ABC, Generic[Signature]):
         """
         return self.bound(query, data) > threshold
 
-    def funnel_components(self):
+    def funnel_components(
+        self,
+    ) -> List[Tuple[str, Callable[[Signature, Signature, float], bool]]]:
         """Per-stage ``(name, refute)`` decomposition for funnel telemetry.
 
         Each ``refute(query_signature, data_signature, threshold)`` callable

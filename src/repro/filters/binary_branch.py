@@ -20,6 +20,7 @@ corpus (``fit_from_store``).
 from __future__ import annotations
 
 from collections import Counter
+from typing import TYPE_CHECKING, Tuple
 
 from repro.core.branches import iter_branches
 from repro.core.positional import (
@@ -33,6 +34,9 @@ from repro.features.packed import PackedVector, pack_counts
 from repro.features.vocabulary import Vocabulary
 from repro.filters.base import LowerBoundFilter
 from repro.trees.node import TreeNode
+
+if TYPE_CHECKING:
+    from repro.features.store import FeatureStore
 
 __all__ = ["BinaryBranchFilter", "BranchCountFilter"]
 
@@ -58,13 +62,13 @@ class BinaryBranchFilter(LowerBoundFilter[PositionalProfile]):
         self.exact_matching = exact_matching
         self.name = f"BiBranch({q})" if q != 2 else "BiBranch"
 
-    def required_q_levels(self):
+    def required_q_levels(self) -> Tuple[int, ...]:
         return (self.q,)
 
     def signature(self, tree: TreeNode) -> PositionalProfile:
         return positional_profile(tree, self.q)
 
-    def store_signature(self, store, index: int) -> PositionalProfile:
+    def store_signature(self, store: "FeatureStore", index: int) -> PositionalProfile:
         return store.profile(index, self.q)
 
     def bound(self, query: PositionalProfile, data: PositionalProfile) -> float:
@@ -112,10 +116,10 @@ class BranchCountFilter(LowerBoundFilter[PackedVector]):
         self.name = f"BiBranchCount({q})" if q != 2 else "BiBranchCount"
         self._vocabulary = Vocabulary()
 
-    def required_q_levels(self):
+    def required_q_levels(self) -> Tuple[int, ...]:
         return (self.q,)
 
-    def _counts(self, tree: TreeNode):
+    def _counts(self, tree: TreeNode) -> "Counter[object]":
         if self.q == 2:
             return Counter(iter_branches(tree))
         return Counter(iter_qlevel_branches(tree, self.q))
@@ -132,10 +136,10 @@ class BranchCountFilter(LowerBoundFilter[PackedVector]):
             self._counts(tree), self._vocabulary, tree.size, self.q, grow=True
         )
 
-    def _bind_store(self, store) -> None:
+    def _bind_store(self, store: "FeatureStore") -> None:
         self._vocabulary = store.vocabulary
 
-    def store_signature(self, store, index: int) -> PackedVector:
+    def store_signature(self, store: "FeatureStore", index: int) -> PackedVector:
         return store.packed_vector(index, self.q)
 
     def bound(self, query: PackedVector, data: PackedVector) -> float:

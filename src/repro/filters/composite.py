@@ -8,10 +8,16 @@ compose freely; Kailing et al. combine their three histograms this way, and
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+from typing import TYPE_CHECKING, Any, Callable, List, Sequence, Tuple
 
 from repro.filters.base import LowerBoundFilter
 from repro.trees.node import TreeNode
+
+if TYPE_CHECKING:
+    from repro.features.store import FeatureStore
+
+#: A composite signature: one opaque component signature per sub-filter.
+CompositeSignature = Tuple[Any, ...]
 
 __all__ = ["MaxCompositeFilter", "SizeDifferenceFilter"]
 
@@ -25,14 +31,14 @@ class SizeDifferenceFilter(LowerBoundFilter[int]):
     def signature(self, tree: TreeNode) -> int:
         return tree.size
 
-    def store_signature(self, store, index: int) -> int:
+    def store_signature(self, store: "FeatureStore", index: int) -> int:
         return store.tree_size(index)
 
     def bound(self, query: int, data: int) -> float:
         return abs(query - data)
 
 
-class MaxCompositeFilter(LowerBoundFilter[Tuple]):
+class MaxCompositeFilter(LowerBoundFilter[CompositeSignature]):
     """Pointwise maximum of several lower-bound filters.
 
     >>> from repro.filters.histogram import LabelHistogramFilter
@@ -45,12 +51,14 @@ class MaxCompositeFilter(LowerBoundFilter[Tuple]):
     """
 
     def __init__(
-        self, filters: Sequence[LowerBoundFilter], name: str = "Composite"
+        self,
+        filters: Sequence[LowerBoundFilter[Any]],
+        name: str = "Composite",
     ) -> None:
         super().__init__()
         if not filters:
             raise ValueError("composite needs at least one filter")
-        self.filters: List[LowerBoundFilter] = list(filters)
+        self.filters: List[LowerBoundFilter[Any]] = list(filters)
         self.name = name
 
     @property
@@ -63,35 +71,41 @@ class MaxCompositeFilter(LowerBoundFilter[Tuple]):
             levels.extend(child.required_q_levels())
         return tuple(dict.fromkeys(levels))
 
-    def _bind_store(self, store) -> None:
+    def _bind_store(self, store: "FeatureStore") -> None:
         for child in self.filters:
             child._bind_store(store)
 
-    def signature(self, tree: TreeNode) -> Tuple:
+    def signature(self, tree: TreeNode) -> CompositeSignature:
         return tuple(child.signature(tree) for child in self.filters)
 
-    def _index_signature(self, tree: TreeNode) -> Tuple:
+    def _index_signature(self, tree: TreeNode) -> CompositeSignature:
         return tuple(child._index_signature(tree) for child in self.filters)
 
-    def store_signature(self, store, index: int) -> Tuple:
+    def store_signature(self, store: "FeatureStore", index: int) -> CompositeSignature:
         return tuple(
             child.store_signature(store, index) for child in self.filters
         )
 
-    def bound(self, query: Tuple, data: Tuple) -> float:
+    def bound(self, query: CompositeSignature, data: CompositeSignature) -> float:
         return max(
             child.bound(q, d)
             for child, q, d in zip(self.filters, query, data)
         )
 
-    def refutes(self, query: Tuple, data: Tuple, threshold: float) -> bool:
+    def refutes(
+        self, query: CompositeSignature, data: CompositeSignature, threshold: float
+    ) -> bool:
         """Short-circuit: any component refutation suffices."""
         return any(
             child.refutes(q, d, threshold)
             for child, q, d in zip(self.filters, query, data)
         )
 
-    def funnel_components(self):
+    def funnel_components(
+        self,
+    ) -> List[
+        Tuple[str, Callable[[CompositeSignature, CompositeSignature, float], bool]]
+    ]:
         """One funnel stage per sub-filter, applied as a cascade.
 
         Stage names are position-prefixed so two children of the same class
@@ -99,9 +113,21 @@ class MaxCompositeFilter(LowerBoundFilter[Tuple]):
         :meth:`refutes` and vice versa (refutation is an ``any`` over the
         children), so the cascade's final survivor set is identical.
         """
-        components = []
+        components: List[
+            Tuple[
+                str,
+                Callable[[CompositeSignature, CompositeSignature, float], bool],
+            ]
+        ] = []
         for position, child in enumerate(self.filters):
-            def refute(query, data, threshold, _child=child, _position=position):
+
+            def refute(
+                query: CompositeSignature,
+                data: CompositeSignature,
+                threshold: float,
+                _child: LowerBoundFilter[Any] = child,
+                _position: int = position,
+            ) -> bool:
                 return _child.refutes(query[_position], data[_position], threshold)
 
             components.append((f"{position}:{child.name}", refute))

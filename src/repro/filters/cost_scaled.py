@@ -16,16 +16,19 @@ exactly (verified against a weighted sequential scan in the tests).
 
 from __future__ import annotations
 
-from typing import Any
+from typing import TYPE_CHECKING, Tuple
 
 from repro.editdist.costs import CostModel
-from repro.filters.base import LowerBoundFilter
+from repro.filters.base import LowerBoundFilter, Signature
 from repro.trees.node import TreeNode
+
+if TYPE_CHECKING:
+    from repro.features.store import FeatureStore
 
 __all__ = ["CostScaledFilter"]
 
 
-class CostScaledFilter(LowerBoundFilter[Any]):
+class CostScaledFilter(LowerBoundFilter[Signature]):
     """Adapt a unit-cost lower-bound filter to a general cost model.
 
     Parameters
@@ -44,7 +47,9 @@ class CostScaledFilter(LowerBoundFilter[Any]):
     True
     """
 
-    def __init__(self, inner: LowerBoundFilter, costs: CostModel) -> None:
+    def __init__(
+        self, inner: LowerBoundFilter[Signature], costs: CostModel
+    ) -> None:
         super().__init__()
         self.inner = inner
         self.costs = costs
@@ -54,25 +59,25 @@ class CostScaledFilter(LowerBoundFilter[Any]):
     def supports_store(self) -> bool:  # type: ignore[override]
         return self.inner.supports_store
 
-    def required_q_levels(self):
+    def required_q_levels(self) -> Tuple[int, ...]:
         return self.inner.required_q_levels()
 
-    def _bind_store(self, store) -> None:
+    def _bind_store(self, store: "FeatureStore") -> None:
         self.inner._bind_store(store)
 
-    def signature(self, tree: TreeNode):
+    def signature(self, tree: TreeNode) -> Signature:
         return self.inner.signature(tree)
 
-    def _index_signature(self, tree: TreeNode):
+    def _index_signature(self, tree: TreeNode) -> Signature:
         return self.inner._index_signature(tree)
 
-    def store_signature(self, store, index: int):
+    def store_signature(self, store: "FeatureStore", index: int) -> Signature:
         return self.inner.store_signature(store, index)
 
-    def bound(self, query, data) -> float:
+    def bound(self, query: Signature, data: Signature) -> float:
         return self.inner.bound(query, data) * self.costs.min_operation_cost
 
-    def refutes(self, query, data, threshold: float) -> bool:
+    def refutes(self, query: Signature, data: Signature, threshold: float) -> bool:
         """Refute ``EDist_general <= threshold`` via the unit-cost filter.
 
         ``EDist_general <= t`` implies ``EDist_unit <= t / c_min``, so the

@@ -37,12 +37,16 @@ from __future__ import annotations
 
 import zlib
 from collections import Counter
-from typing import Dict, List, NamedTuple, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, NamedTuple, Optional, Sequence
 
 from repro.core.positional import greedy_interval_matching
 from repro.core.vectors import branch_vector
 from repro.filters.base import LowerBoundFilter
 from repro.trees.node import TreeNode
+
+if TYPE_CHECKING:
+    from repro.features.extract import TreeFeatures
+    from repro.features.store import FeatureStore
 
 __all__ = [
     "HistogramSignature",
@@ -113,7 +117,7 @@ def _stable_fold(label: object, bins: int) -> int:
 
 
 def _fold_signature(
-    features,
+    features: "TreeFeatures",
     label_bins: Optional[int],
     degree_bins: Optional[int],
     height_cap: Optional[int],
@@ -223,7 +227,7 @@ class HistogramFilter(LowerBoundFilter[HistogramSignature]):
             tree, self.label_bins, self.degree_bins, self.height_cap
         )
 
-    def store_signature(self, store, index: int) -> HistogramSignature:
+    def store_signature(self, store: "FeatureStore", index: int) -> HistogramSignature:
         return _fold_signature(
             store.features(index), self.label_bins, self.degree_bins, self.height_cap
         )
@@ -281,7 +285,7 @@ class _UnfoldedHistogramFilter(LowerBoundFilter[HistogramSignature]):
     def signature(self, tree: TreeNode) -> HistogramSignature:
         return _build_signature(tree)
 
-    def store_signature(self, store, index: int) -> HistogramSignature:
+    def store_signature(self, store: "FeatureStore", index: int) -> HistogramSignature:
         features = store.features(index)
         return HistogramSignature(
             features.labels, features.degrees, features.heights, features.size

@@ -15,12 +15,15 @@ does not scale).
 
 from __future__ import annotations
 
-from typing import List, NamedTuple
+from typing import TYPE_CHECKING, List, NamedTuple
 
 from repro.editdist.string_ed import string_edit_distance, string_edit_distance_bounded
 from repro.filters.base import LowerBoundFilter
 from repro.trees.node import TreeNode
 from repro.trees.traversal import postorder_labels, preorder_labels
+
+if TYPE_CHECKING:
+    from repro.features.store import FeatureStore
 
 __all__ = ["TraversalStringSignature", "TraversalStringFilter"]
 
@@ -41,7 +44,7 @@ class TraversalStringFilter(LowerBoundFilter[TraversalStringSignature]):
     def signature(self, tree: TreeNode) -> TraversalStringSignature:
         return TraversalStringSignature(preorder_labels(tree), postorder_labels(tree))
 
-    def store_signature(self, store, index: int) -> TraversalStringSignature:
+    def store_signature(self, store: "FeatureStore", index: int) -> TraversalStringSignature:
         features = store.features(index)
         return TraversalStringSignature(features.pre_labels, features.post_labels)
 

@@ -52,7 +52,7 @@ class _Epsilon:
     def __repr__(self) -> str:
         return "ε"
 
-    def __reduce__(self):
+    def __reduce__(self) -> Tuple[type, Tuple[()]]:
         return (_Epsilon, ())
 
 

@@ -32,7 +32,7 @@ ARRAY_LABEL = "[]"
 NULL_LABEL = "null"
 
 
-def _scalar_label(value) -> str:
+def _scalar_label(value: Any) -> str:
     if value is None:
         return NULL_LABEL
     if isinstance(value, bool):

@@ -8,7 +8,7 @@ controllable random trees; the shared primitives live here.
 from __future__ import annotations
 
 import random
-from typing import List, Optional, Sequence
+from typing import Any, List, Optional, Sequence
 
 from repro.trees.node import Label, TreeNode
 
@@ -68,7 +68,7 @@ def random_forest(
     rng: random.Random,
     count: int,
     labels: Sequence[Label],
-    **tree_kwargs,
+    **tree_kwargs: Any,
 ) -> List[TreeNode]:
     """Generate ``count`` independent random trees."""
     return [random_tree(rng, labels, **tree_kwargs) for _ in range(count)]

@@ -16,7 +16,7 @@ Only the Python standard library (:mod:`xml.etree.ElementTree`) is used.
 from __future__ import annotations
 
 import xml.etree.ElementTree as ET
-from typing import List, Optional
+from typing import Any, List, Optional
 
 from repro.exceptions import TreeParseError
 from repro.trees.node import TreeNode
@@ -121,7 +121,7 @@ def tree_to_xml(tree: TreeNode) -> ET.Element:
     return element
 
 
-def parse_xml_string(text: str, **kwargs) -> TreeNode:
+def parse_xml_string(text: str, **kwargs: Any) -> TreeNode:
     """Parse an XML document from a string into a tree."""
     try:
         element = ET.fromstring(text)
@@ -130,7 +130,7 @@ def parse_xml_string(text: str, **kwargs) -> TreeNode:
     return xml_to_tree(element, **kwargs)
 
 
-def parse_xml_file(path: str, **kwargs) -> TreeNode:
+def parse_xml_file(path: str, **kwargs: Any) -> TreeNode:
     """Parse an XML document from a file into a tree."""
     try:
         element = ET.parse(path).getroot()

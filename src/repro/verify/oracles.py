@@ -52,13 +52,20 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 from repro.core.vectors import branch_distance
 from repro.core.positional import search_lower_bound
 from repro.core.qlevel import qlevel_bound_factor
+from repro.editdist.costs import weighted_costs
 from repro.editdist.zhang_shasha import tree_edit_distance
 from repro.exceptions import InvalidParameterError
 from repro.features.store import FeatureStore
 from repro.filters.base import LowerBoundFilter
 from repro.filters.binary_branch import BinaryBranchFilter, BranchCountFilter
 from repro.filters.composite import MaxCompositeFilter, SizeDifferenceFilter
-from repro.filters.histogram import HistogramFilter
+from repro.filters.cost_scaled import CostScaledFilter
+from repro.filters.histogram import (
+    DegreeHistogramFilter,
+    HeightHistogramFilter,
+    HistogramFilter,
+    LabelHistogramFilter,
+)
 from repro.filters.traversal_string import TraversalStringFilter
 from repro.trees.node import TreeNode
 from repro.trees.parse import to_bracket
@@ -201,6 +208,56 @@ class FilterBoundOracle(PairOracle):
                     )
                 )
         return outcome
+
+
+class CostScaledBoundOracle(PairOracle):
+    """Soundness of :class:`CostScaledFilter` against the *weighted* EDist.
+
+    The generic ``bound:*`` oracles compare against the unit-cost distance,
+    which is the wrong reference here: the scaled bound may legitimately
+    exceed ``EDist_unit`` (that is the point of the scaling).  The contract
+    is ``c_min · unit_bound ≤ EDist_general``, so this oracle fits the
+    wrapped filter and compares against ``tree_edit_distance`` under the
+    same weighted cost model, including the ``refutes`` fast path.
+    """
+
+    name = "bound:CostScaled"
+    description = "cost-scaled bound soundness vs the weighted edit distance"
+
+    #: deliberately asymmetric so relabel ≠ delete+insert shortcuts show up
+    _COSTS = weighted_costs(2.0, 3.0, 1.5)
+
+    def _make_filter(self) -> CostScaledFilter:
+        return CostScaledFilter(BinaryBranchFilter(), self._COSTS)
+
+    def check_pair(self, t1: TreeNode, t2: TreeNode) -> Optional[Tuple[str, Dict]]:
+        costs = self._COSTS
+        flt = self._make_filter().fit([t2])
+        reference = tree_edit_distance(t1, t2, costs)
+        bound = flt.bounds(t1)[0]
+        if bound > reference + _EPS:
+            return (
+                f"{flt.name}: scaled bound {bound:g} exceeds weighted "
+                f"EDist {reference:g}",
+                {"bound": bound, "weighted_edist": reference, "kind": "bound"},
+            )
+        query_signature = flt.signature(t1)
+        data_signature = flt.data_signature(0)
+        for threshold in (0.0, costs.min_operation_cost, reference - 1.0):
+            if threshold < 0:
+                continue
+            if flt.refutes(query_signature, data_signature, threshold):
+                if reference <= threshold + _EPS:
+                    return (
+                        f"{flt.name}: refutes(τ={threshold:g}) but weighted "
+                        f"EDist is {reference:g}",
+                        {
+                            "threshold": threshold,
+                            "weighted_edist": reference,
+                            "kind": "refutes",
+                        },
+                    )
+        return None
 
 
 class DominanceOracle(PairOracle):
@@ -890,6 +947,9 @@ _STORE_FILTERS: List[Tuple[str, Callable[[], LowerBoundFilter]]] = [
     ),
     ("TraversalSED", TraversalStringFilter),
     ("SizeDiff", SizeDifferenceFilter),
+    ("HistoLabel", LabelHistogramFilter),
+    ("HistoDegree", DegreeHistogramFilter),
+    ("HistoHeight", HeightHistogramFilter),
     (
         "Composite",
         lambda: MaxCompositeFilter(
@@ -903,6 +963,7 @@ for _label, _factory in _STORE_FILTERS:
     ORACLE_FACTORIES[f"bound:{_label}"] = (
         lambda _f=_factory, _l=_label: FilterBoundOracle(_f, _l)
     )
+ORACLE_FACTORIES["bound:CostScaled"] = CostScaledBoundOracle
 ORACLE_FACTORIES["bound:dominance"] = DominanceOracle
 ORACLE_FACTORIES["editdist:metamorphic"] = EditScriptOracle
 ORACLE_FACTORIES["metric:bdist"] = BranchMetricOracle

@@ -1,0 +1,18 @@
+"""RL001 fixture: a filter override that drifts from the contract."""
+
+
+class LowerBoundFilter:
+    """Stand-in for repro.filters.base.LowerBoundFilter (name-matched)."""
+
+
+class DriftedFilter(LowerBoundFilter):
+    name = "Drifted"
+
+    def refutes(self, query, data):  # threshold parameter dropped
+        return False
+
+    def fit(self, trees, extra=None):  # extra parameter added
+        return self
+
+    def bound(self, query, data):
+        return 0.0

@@ -1,0 +1,15 @@
+"""RL001 fixture: a concrete filter the oracle registry never mentions."""
+
+
+class LowerBoundFilter:
+    """Stand-in for repro.filters.base.LowerBoundFilter (name-matched)."""
+
+
+class OrphanFilter(LowerBoundFilter):
+    name = "Orphan"
+
+    def signature(self, tree):
+        return tree
+
+    def bound(self, query, data):
+        return 0.0

@@ -1,0 +1,5 @@
+"""RL001 fixture: an oracle registry that forgot OrphanFilter."""
+
+ORACLE_FACTORIES = {
+    "bound:Other": lambda: None,
+}

@@ -1,0 +1,16 @@
+"""RL002 fixture: a lock-guarded attribute mutated without the lock."""
+
+import threading
+
+
+class Racy:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._hits = 0  # construction is exempt
+
+    def record(self):
+        with self._lock:
+            self._hits += 1
+
+    def reset(self):
+        self._hits = 0  # unlocked write to a guarded attribute

@@ -1,0 +1,14 @@
+"""RL003 fixture: a span opened without a context manager."""
+
+
+def span(name):
+    return name
+
+
+def traced_ok():
+    with span("good"):
+        pass
+
+
+def leaky():
+    span("orphan")  # never entered, never finished

@@ -1,0 +1,12 @@
+"""RL004 fixture: an unbounded metric label value."""
+
+
+class _Counter:
+    def inc(self, amount=1, **labels):
+        pass
+
+
+def observe_query(registry, tree_id):
+    counter = _Counter()
+    counter.inc(1, kind="range")  # bounded literal: fine
+    counter.inc(1, tree=f"tree-{tree_id}")  # unbounded f-string label

@@ -1,0 +1,18 @@
+"""RL005 fixture: naive recursion down the tree structure."""
+
+
+def count_nodes(node):
+    total = 1
+    for child in node.children:
+        total += count_nodes(child)  # no depth guard
+    return total
+
+
+def count_iterative(node):
+    total = 0
+    stack = [node]
+    while stack:
+        current = stack.pop()
+        total += 1
+        stack.extend(current.children)  # iterative: fine
+    return total

@@ -1,0 +1,25 @@
+"""RL006 fixture: refinement-grade work on the filter hot path."""
+
+
+def tree_edit_distance(t1, t2):
+    return 0.0
+
+
+class LowerBoundFilter:
+    """Stand-in for repro.filters.base.LowerBoundFilter (name-matched)."""
+
+
+class CheatingFilter(LowerBoundFilter):
+    name = "Cheat"
+
+    def signature(self, tree):
+        return tree
+
+    def bound(self, query, data):
+        return tree_edit_distance(query, data)  # the bound IS the refinement
+
+    def refutes(self, query, data, threshold):
+        for candidate in [data]:
+            if self.signature(candidate):  # extraction inside the loop
+                return True
+        return False

@@ -1,0 +1,7 @@
+"""RL007 fixture: __all__ out of sync with the module's bindings."""
+
+__all__ = ["exported", "ghost", "exported"]
+
+
+def exported():
+    return 1

@@ -1,0 +1,5 @@
+"""RL007 fixture: a package re-export missing from __all__."""
+
+from tests.analysis.fixtures.rl007_pkg.inner import hidden, visible  # noqa: F401
+
+__all__ = ["visible"]

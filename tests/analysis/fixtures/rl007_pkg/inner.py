@@ -1,0 +1,11 @@
+"""Definitions the RL007 package fixture re-exports."""
+
+__all__ = ["hidden", "visible"]
+
+
+def visible():
+    return 1
+
+
+def hidden():
+    return 2

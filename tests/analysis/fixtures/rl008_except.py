@@ -1,0 +1,15 @@
+"""RL008 fixture: blanket exception handlers."""
+
+
+def swallow(fn):
+    try:
+        return fn()
+    except Exception:
+        return None
+
+
+def swallow_everything(fn):
+    try:
+        return fn()
+    except:  # noqa: E722
+        return None

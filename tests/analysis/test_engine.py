@@ -1,0 +1,174 @@
+"""Engine mechanics: pragmas, baselines, fingerprints, reporters, CLI."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import (
+    Baseline,
+    analyze_paths,
+    partition,
+    render_json,
+    render_text,
+)
+from repro.cli import main
+
+BAD_EXCEPT = """def f(fn):
+    try:
+        return fn()
+    except Exception:
+        return None
+"""
+
+
+def write(tmp_path: Path, source: str, name: str = "mod.py") -> Path:
+    path = tmp_path / name
+    path.write_text(source)
+    return path
+
+
+def run(tmp_path: Path, source: str, name: str = "mod.py"):
+    return analyze_paths([write(tmp_path, source, name)], root=tmp_path)
+
+
+class TestPragmas:
+    def test_same_line_pragma_suppresses(self, tmp_path):
+        source = BAD_EXCEPT.replace(
+            "except Exception:", "except Exception:  # repro-lint: disable=RL008"
+        )
+        result = run(tmp_path, source)
+        assert result.findings == []
+        assert result.suppressed == 1
+
+    def test_standalone_pragma_shields_next_line(self, tmp_path):
+        source = BAD_EXCEPT.replace(
+            "    except Exception:",
+            "    # repro-lint: disable=RL008\n    except Exception:",
+        )
+        result = run(tmp_path, source)
+        assert result.findings == []
+        assert result.suppressed == 1
+
+    def test_pragma_for_other_rule_does_not_suppress(self, tmp_path):
+        source = BAD_EXCEPT.replace(
+            "except Exception:", "except Exception:  # repro-lint: disable=RL005"
+        )
+        result = run(tmp_path, source)
+        assert [f.rule for f in result.findings] == ["RL008"]
+        assert result.suppressed == 0
+
+    def test_disable_all(self, tmp_path):
+        source = BAD_EXCEPT.replace(
+            "except Exception:", "except Exception:  # repro-lint: disable=all"
+        )
+        assert run(tmp_path, source).findings == []
+
+
+class TestFingerprints:
+    def test_line_shift_keeps_fingerprint(self, tmp_path):
+        before = run(tmp_path, BAD_EXCEPT, "a.py").findings
+        shifted = run(tmp_path, "# a comment\n\n" + BAD_EXCEPT, "a.py").findings
+        assert len(before) == len(shifted) == 1
+        assert before[0].line != shifted[0].line
+        assert before[0].fingerprint == shifted[0].fingerprint
+
+    def test_distinct_paths_distinct_fingerprints(self, tmp_path):
+        one = run(tmp_path, BAD_EXCEPT, "a.py").findings[0]
+        two = run(tmp_path, BAD_EXCEPT, "b.py").findings[0]
+        assert one.fingerprint != two.fingerprint
+
+
+class TestBaseline:
+    def test_roundtrip_and_partition(self, tmp_path):
+        findings = run(tmp_path, BAD_EXCEPT).findings
+        baseline_path = tmp_path / "baseline.json"
+        Baseline.from_findings(findings, comment="legacy").save(baseline_path)
+        loaded = Baseline.load(baseline_path)
+        new, old = partition(findings, loaded)
+        assert new == [] and old == findings
+        record = next(iter(loaded.entries.values()))
+        assert record["comment"] == "legacy"
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert len(Baseline.load(tmp_path / "absent.json")) == 0
+
+    def test_wrong_format_rejected(self, tmp_path):
+        bogus = tmp_path / "bogus.json"
+        bogus.write_text(json.dumps({"format": "something-else"}))
+        with pytest.raises(ValueError, match="not a repro-lint-baseline"):
+            Baseline.load(bogus)
+
+
+class TestReporters:
+    def test_text_report_lists_location_and_counts(self, tmp_path):
+        result = run(tmp_path, BAD_EXCEPT)
+        text = render_text(result.findings, [], result.suppressed, 1)
+        assert "mod.py:4: RL008 [error]" in text
+        assert "1 finding(s) in 1 file(s)" in text
+
+    def test_json_report_schema(self, tmp_path):
+        result = run(tmp_path, BAD_EXCEPT)
+        payload = json.loads(
+            render_json(result.findings, [], result.suppressed, result.files)
+        )
+        assert payload["format"] == "repro-lint-report"
+        assert payload["summary"]["new"] == 1
+        (finding,) = payload["findings"]
+        assert finding["rule"] == "RL008"
+        assert finding["fingerprint"]
+
+    def test_syntax_error_reported_as_rl000(self, tmp_path):
+        result = run(tmp_path, "def broken(:\n")
+        assert [f.rule for f in result.findings] == ["RL000"]
+
+
+class TestCli:
+    def test_clean_run_exits_zero(self, tmp_path, monkeypatch, capsys):
+        write(tmp_path, "x = 1\n")
+        monkeypatch.chdir(tmp_path)
+        assert main(["lint", "mod.py"]) == 0
+        assert "0 finding(s)" in capsys.readouterr().out
+
+    def test_findings_exit_one(self, tmp_path, monkeypatch, capsys):
+        write(tmp_path, BAD_EXCEPT)
+        monkeypatch.chdir(tmp_path)
+        assert main(["lint", "mod.py"]) == 1
+        assert "RL008" in capsys.readouterr().out
+
+    def test_write_baseline_then_clean(self, tmp_path, monkeypatch, capsys):
+        write(tmp_path, BAD_EXCEPT)
+        monkeypatch.chdir(tmp_path)
+        assert main(["lint", "mod.py", "--write-baseline"]) == 0
+        assert (tmp_path / ".repro-lint-baseline.json").exists()
+        assert main(["lint", "mod.py"]) == 0
+        out = capsys.readouterr().out
+        assert "1 baselined" in out
+        assert main(["lint", "mod.py", "--no-baseline"]) == 1
+
+    def test_json_flag(self, tmp_path, monkeypatch, capsys):
+        write(tmp_path, BAD_EXCEPT)
+        monkeypatch.chdir(tmp_path)
+        assert main(["lint", "mod.py", "--json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["summary"]["new"] == 1
+
+    def test_explain(self, capsys):
+        assert main(["lint", "--explain", "RL006"]) == 0
+        out = capsys.readouterr().out
+        assert "RL006" in out and "hot-path-purity" in out
+
+    def test_explain_unknown_rule(self, capsys):
+        assert main(["lint", "--explain", "RL999"]) == 2
+
+    def test_rules_selection(self, tmp_path, monkeypatch, capsys):
+        write(tmp_path, BAD_EXCEPT)
+        monkeypatch.chdir(tmp_path)
+        assert main(["lint", "mod.py", "--rules", "RL005"]) == 0
+        assert main(["lint", "mod.py", "--rules", "RL008"]) == 1
+
+    def test_fix_hints(self, tmp_path, monkeypatch, capsys):
+        write(tmp_path, BAD_EXCEPT)
+        monkeypatch.chdir(tmp_path)
+        assert main(["lint", "mod.py", "--fix-hints"]) == 1
+        assert "hint:" in capsys.readouterr().out

@@ -1,0 +1,37 @@
+"""The repository's own code passes its own linter.
+
+This is the enforcement test behind the CI gate: every rule active, the
+checked-in baseline honored, zero new findings.  A change that violates a
+project invariant fails here (tier-1) before any workflow runs.
+"""
+
+from pathlib import Path
+
+from repro.analysis import Baseline, analyze_paths, partition
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def test_src_repro_lints_clean_against_checked_in_baseline():
+    run = analyze_paths([REPO_ROOT / "src" / "repro"], root=REPO_ROOT)
+    assert not run.parse_failures
+    baseline = Baseline.load(REPO_ROOT / ".repro-lint-baseline.json")
+    new, _grandfathered = partition(run.findings, baseline)
+    assert new == [], "\n".join(
+        f"{f.location}: {f.rule} {f.message}" for f in new
+    )
+
+
+def test_baseline_entries_are_all_still_live():
+    """Fixed findings must leave the baseline (no stale grandfathering)."""
+    run = analyze_paths([REPO_ROOT / "src" / "repro"], root=REPO_ROOT)
+    baseline = Baseline.load(REPO_ROOT / ".repro-lint-baseline.json")
+    live = {finding.fingerprint for finding in run.findings}
+    stale = set(baseline.entries) - live
+    assert not stale, f"baseline entries no longer observed: {sorted(stale)}"
+
+
+def test_every_baseline_entry_carries_a_comment():
+    baseline = Baseline.load(REPO_ROOT / ".repro-lint-baseline.json")
+    for record in baseline.entries.values():
+        assert str(record.get("comment", "")).strip(), record

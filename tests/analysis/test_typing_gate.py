@@ -1,0 +1,19 @@
+"""The mypy strict gate over repro.core / repro.filters / repro.trees.
+
+mypy is not a runtime dependency; when it is absent (minimal environments)
+the gate is enforced by the CI ``typing`` job instead and this test skips.
+"""
+
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def test_mypy_strict_on_gated_packages(monkeypatch):
+    api = pytest.importorskip("mypy.api", reason="mypy not installed")
+    # `files`/`mypy_path` in pyproject.toml are repo-root-relative
+    monkeypatch.chdir(REPO_ROOT)
+    stdout, stderr, status = api.run(["--config-file", "pyproject.toml"])
+    assert status == 0, f"mypy failed:\n{stdout}\n{stderr}"

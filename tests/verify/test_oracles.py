@@ -124,3 +124,55 @@ class TestPairOraclePredicate:
         a, b = parse_bracket("a"), parse_bracket("b")
         assert AlwaysSad().violates(a, b)
         assert not NeverSad().violates(a, b)
+
+
+class TestFilterRegistrationCoverage:
+    """Regression for the RL001 findings this linter surfaced: four shipped
+    filters (CostScaledFilter and the three histogram ablations) had no
+    soundness oracle at all, so `repro verify` never exercised their
+    lower-bound contracts."""
+
+    def test_every_previously_unregistered_filter_now_has_an_oracle(self):
+        names = set(default_oracle_names())
+        for required in (
+            "bound:CostScaled",
+            "bound:HistoLabel",
+            "bound:HistoDegree",
+            "bound:HistoHeight",
+        ):
+            assert required in names
+
+    def test_cost_scaled_oracle_compares_weighted_distance(self):
+        # The generic bound:* oracles use the unit-cost reference, which the
+        # scaled bound may legitimately exceed — the dedicated oracle must
+        # hold against the *weighted* distance on a real corpus.
+        corpus = build_corpus(seed=0, budget="small")
+        (oracle,) = make_oracles(["bound:CostScaled"])
+        assert oracle.run(corpus, distance=None).ok
+
+    def test_cost_scaled_oracle_catches_a_broken_scaling(self):
+        from repro.editdist.costs import weighted_costs
+        from repro.filters.binary_branch import BinaryBranchFilter
+        from repro.filters.cost_scaled import CostScaledFilter
+        from repro.verify.oracles import CostScaledBoundOracle
+
+        class OverScaledOracle(CostScaledBoundOracle):
+            """Builds a filter that scales by 10 instead of c_min —
+            the kind of cost-model drift the oracle exists to catch."""
+
+            def _make_filter(self):
+                flt = CostScaledFilter(BinaryBranchFilter(), self._COSTS)
+                flt.costs = weighted_costs(
+                    2.0, 3.0, 1.5, min_operation_cost=10.0
+                )
+                return flt
+
+        corpus = build_corpus(seed=0, budget="small")
+        assert not OverScaledOracle().run(corpus, distance=None).ok
+
+    def test_histogram_ablation_oracles_pass(self):
+        corpus = build_corpus(seed=0, budget="small")
+        for oracle in make_oracles(
+            ["bound:HistoLabel", "bound:HistoDegree", "bound:HistoHeight"]
+        ):
+            assert oracle.run(corpus, distance=None).ok
