@@ -87,3 +87,73 @@ def test_service_throughput(benchmark):
     assert snapshot["seconds"]["refine"] > 0.0
     for kind_histogram in snapshot["latency"].values():
         assert kind_histogram["p50_seconds"] <= kind_histogram["p99_seconds"]
+
+
+def test_sharded_service_throughput(benchmark):
+    """Shard-parallel scatter-gather vs the single-process service.
+
+    A fresh-query workload (no repeats — the multi-shard path has no
+    result cache, so repeats would only flatter the baseline) is replayed
+    at shards ∈ {1, 2, 4}.  Answers must be bit-identical at every shard
+    count; the ≥2× shards=4 speedup is asserted only when the host
+    actually exposes ≥4 CPUs (a single-core container can't parallelise).
+    """
+    import os
+
+    from repro.sharding import ShardedTreeService
+
+    scale = current_scale()
+    dataset_size = max(60, scale.dataset_size // 2)
+    trees = generate_dataset(SPEC, count=dataset_size, seed=11)
+    workload = generate_workload(
+        trees,
+        WorkloadSpec(
+            queries=max(24, scale.query_count * 4),
+            range_fraction=0.5,
+            threshold=3.0,
+            k=3,
+            repeat_fraction=0.0,
+            seed=13,
+        ),
+    )
+
+    def run_at(shards):
+        with ShardedTreeService(
+            trees,
+            shards=shards,
+            max_workers=4,
+            cache_size=0,  # no result cache anywhere: raw scatter-gather
+        ) as service:
+            return replay(service, workload, clients=4)
+
+    answers = {}
+    reports = {}
+    for shards in (1, 2):
+        answers[shards], reports[shards] = run_at(shards)
+    answers[4], reports[4] = benchmark.pedantic(
+        lambda: run_at(4), rounds=1, iterations=1
+    )
+
+    lines = [
+        "Shard-parallel serving throughput (fresh-query workload)",
+        "",
+        f"dataset: {dataset_size} trees · "
+        f"{len(workload)} queries · 4 client threads",
+        "",
+    ]
+    base = reports[1].wall_seconds
+    for shards in (1, 2, 4):
+        report = reports[shards]
+        lines.append(
+            f"shards={shards}:  wall {report.wall_seconds:.4f} s · "
+            f"{report.throughput_qps:.1f} queries/s · "
+            f"speedup {base / max(report.wall_seconds, 1e-9):.2f}x"
+        )
+    save_report("service_sharding", "\n".join(lines))
+
+    # sharding must be invisible in the answers, at every layout
+    assert answers[2] == answers[1]
+    assert answers[4] == answers[1]
+    # the scaling claim needs actual cores to stand on
+    if len(os.sched_getaffinity(0)) >= 4:
+        assert reports[4].wall_seconds * 2.0 <= base

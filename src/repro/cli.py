@@ -37,6 +37,7 @@ from repro.filters import (
     TraversalStringFilter,
 )
 from repro.search import knn_query, range_query, similarity_self_join
+from repro.sharding.partition import PARTITIONERS
 from repro.storage import load_forest, load_xml_directory, save_forest
 from repro.trees import dataset_summary, parse_bracket, to_bracket
 from repro.trees.json_io import parse_json_string
@@ -114,6 +115,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--filter", choices=sorted(_FILTERS), default="bibranch"
     )
     search.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="serve the query scatter-gather over N shard worker processes "
+        "(1 = in-process, no workers)",
+    )
+    search.add_argument(
+        "--partitioner",
+        choices=sorted(PARTITIONERS),
+        default="round-robin",
+        help="shard placement policy (used with --shards > 1)",
+    )
+    search.add_argument(
         "--stats-json",
         action="store_true",
         help="print the SearchStats snapshot as JSON instead of the "
@@ -186,6 +200,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve_bench.add_argument(
         "--filter", choices=sorted(_FILTERS), default="bibranch"
+    )
+    serve_bench.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="partition the corpus over N shard worker processes and serve "
+        "scatter-gather (1 = single-process TreeSearchService)",
+    )
+    serve_bench.add_argument(
+        "--partitioner",
+        choices=sorted(PARTITIONERS),
+        default="round-robin",
+        help="shard placement policy (used with --shards > 1)",
     )
     serve_bench.add_argument(
         "--json",
@@ -454,7 +481,6 @@ def _cmd_search(args) -> int:
         print("dataset is empty", file=sys.stderr)
         return 1
     query = parse_bracket(args.query)
-    flt = _FILTERS[args.filter]().fit(trees)
     import contextlib
 
     tracer = set_tracer(Tracer()) if args.trace else None
@@ -463,10 +489,29 @@ def _cmd_search(args) -> int:
         with contextlib.ExitStack() as stack:
             if args.funnel:
                 sink = stack.enter_context(collect_funnels())
-            if args.range_threshold is not None:
-                matches, stats = range_query(trees, query, args.range_threshold, flt)
+            if args.shards != 1:
+                from repro.sharding import ShardedTreeService
+
+                service = stack.enter_context(
+                    ShardedTreeService(
+                        trees,
+                        shards=args.shards,
+                        filter_name=args.filter,
+                        partitioner=args.partitioner,
+                    )
+                )
+                if args.range_threshold is not None:
+                    matches, stats = service.range(query, args.range_threshold)
+                else:
+                    matches, stats = service.knn(query, args.knn_k)
             else:
-                matches, stats = knn_query(trees, query, args.knn_k, flt)
+                flt = _FILTERS[args.filter]().fit(trees)
+                if args.range_threshold is not None:
+                    matches, stats = range_query(
+                        trees, query, args.range_threshold, flt
+                    )
+                else:
+                    matches, stats = knn_query(trees, query, args.knn_k, flt)
     finally:
         if tracer is not None:
             set_tracer(None)
@@ -538,7 +583,6 @@ def _cmd_serve_bench(args) -> int:
         seed=args.seed,
     )
     workload = generate_workload(trees, spec)
-    database = TreeDatabase(trees, flt=_FILTERS[args.filter]().fit(trees))
     collecting = args.funnel or args.funnel_export
     tracer = set_tracer(Tracer()) if args.chrome_trace else None
     sink = None
@@ -546,11 +590,30 @@ def _cmd_serve_bench(args) -> int:
         with contextlib.ExitStack() as stack:
             if collecting:
                 sink = stack.enter_context(collect_funnels())
-            service = stack.enter_context(
-                TreeSearchService(
-                    database, max_workers=args.clients, cache_size=args.cache_size
+            if args.shards != 1:
+                from repro.sharding import ShardedTreeService
+
+                service = stack.enter_context(
+                    ShardedTreeService(
+                        trees,
+                        shards=args.shards,
+                        filter_name=args.filter,
+                        partitioner=args.partitioner,
+                        max_workers=args.clients,
+                        cache_size=args.cache_size,
+                    )
                 )
-            )
+            else:
+                database = TreeDatabase(
+                    trees, flt=_FILTERS[args.filter]().fit(trees)
+                )
+                service = stack.enter_context(
+                    TreeSearchService(
+                        database,
+                        max_workers=args.clients,
+                        cache_size=args.cache_size,
+                    )
+                )
             _, report = replay(service, workload, clients=args.clients)
     finally:
         if tracer is not None:

@@ -11,6 +11,8 @@ __all__ = [
     "InvalidParameterError",
     "SignatureMismatchError",
     "FilterStateError",
+    "SharedPlaneClosedError",
+    "ShardError",
 ]
 
 
@@ -49,3 +51,17 @@ class SignatureMismatchError(ReproError, ValueError):
 
 class FilterStateError(ReproError, RuntimeError):
     """A filter was used outside its fit → add/bounds lifecycle."""
+
+
+class SharedPlaneClosedError(ReproError, RuntimeError):
+    """A buffer-backed vector was used after its shared plane was closed.
+
+    Packed vectors built over a :mod:`multiprocessing.shared_memory`
+    segment borrow the segment's buffer; once the owning plane is closed
+    (and possibly unlinked) the memory is gone, so any further comparison
+    through such a vector raises this instead of reading freed memory.
+    """
+
+
+class ShardError(ReproError, RuntimeError):
+    """A shard worker process failed or the scatter protocol broke down."""

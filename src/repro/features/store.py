@@ -62,7 +62,9 @@ class FeatureStore:
         if not self.q_levels:
             raise InvalidParameterError("feature store needs at least one q level")
         self.vocabulary = Vocabulary()
-        self._features: List[TreeFeatures] = []
+        #: one entry per tree; ``None`` for trees adopted in packed-only
+        #: form from a shared plane (see :meth:`from_packed`)
+        self._features: List[Optional[TreeFeatures]] = []
         self._packed: Dict[int, List[PackedVector]] = {q: [] for q in self.q_levels}
         #: bumped once per mutation *after* the initial fit; consumers (the
         #: service result cache) key freshness decisions off this counter.
@@ -75,6 +77,42 @@ class FeatureStore:
     # ------------------------------------------------------------------
     # Construction
     # ------------------------------------------------------------------
+    @classmethod
+    def from_packed(
+        cls,
+        vocabulary: Vocabulary,
+        packed: Dict[int, Sequence[PackedVector]],
+        q_levels: Sequence[int],
+    ) -> "FeatureStore":
+        """Adopt externally built packed vectors as a packed-only store.
+
+        This is how a shard worker turns an attached shared-memory plane
+        into a store without re-extracting anything: the vectors (usually
+        buffer-backed, zero-copy) and the interning vocabulary come from
+        the coordinator.  Only the packed accessors (:meth:`packed_vector`,
+        :meth:`packed_vectors`, :meth:`pack_query`, :meth:`tree_size`) work
+        for adopted trees; :meth:`features`/:meth:`profile` raise, since
+        the full artifacts were never shipped.  :meth:`add` still works and
+        appends fully extracted trees on top of the adopted prefix.
+        """
+        store = cls(q_levels)
+        store.vocabulary = vocabulary
+        lengths = {len(vectors) for vectors in packed.values()}
+        if len(lengths) > 1:
+            raise InvalidParameterError(
+                f"packed columns disagree on tree count: {sorted(lengths)}"
+            )
+        count = lengths.pop() if lengths else 0
+        for q in store.q_levels:
+            if q not in packed:
+                raise InvalidParameterError(
+                    f"packed vectors missing for q={q} "
+                    f"(given: {sorted(packed)})"
+                )
+            store._packed[q] = list(packed[q])
+        store._features = [None] * count
+        return store
+
     def fit(self, trees: Sequence[TreeNode]) -> "FeatureStore":
         """Extract all artifacts for ``trees`` (one traversal each)."""
         with tracing.span(
@@ -127,12 +165,23 @@ class FeatureStore:
     def __len__(self) -> int:
         return len(self._features)
 
-    def __iter__(self) -> Iterator[TreeFeatures]:
+    def __iter__(self) -> Iterator[Optional[TreeFeatures]]:
         return iter(self._features)
 
     def features(self, index: int) -> TreeFeatures:
-        """The full artifact record of one tree."""
-        return self._features[index]
+        """The full artifact record of one tree.
+
+        Raises for trees adopted packed-only from a shared plane — their
+        profiles/histograms were never transferred, only the packed
+        columns (see :meth:`from_packed`).
+        """
+        features = self._features[index]
+        if features is None:
+            raise InvalidParameterError(
+                f"tree {index} was adopted packed-only (from a shared "
+                "plane); its full feature record is unavailable"
+            )
+        return features
 
     def _check_q(self, q: Optional[int]) -> int:
         if q is None:
@@ -145,11 +194,15 @@ class FeatureStore:
 
     def tree_size(self, index: int) -> int:
         """``|T|`` of an indexed tree."""
-        return self._features[index].size
+        features = self._features[index]
+        if features is None:
+            # adopted packed-only: the packed vector carries the size
+            return self._packed[self.q_levels[0]][index].tree_size
+        return features.size
 
     def profile(self, index: int, q: Optional[int] = None) -> PositionalProfile:
         """Positional profile of one tree at branch level ``q``."""
-        return self._features[index].profiles[self._check_q(q)]
+        return self.features(index).profiles[self._check_q(q)]
 
     def packed_vector(self, index: int, q: Optional[int] = None) -> PackedVector:
         """Packed branch vector of one tree at branch level ``q``."""
@@ -183,7 +236,9 @@ class FeatureStore:
             "vocabulary_size": len(self.vocabulary),
             "generation": self.generation,
             "extraction_passes": self.extraction_passes,
-            "total_nodes": sum(f.size for f in self._features),
+            "total_nodes": sum(
+                self.tree_size(index) for index in range(len(self._features))
+            ),
             "packed_dimensions": {
                 q: sum(len(v.dims) for v in vectors)
                 for q, vectors in self._packed.items()

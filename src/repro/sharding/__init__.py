@@ -1,0 +1,36 @@
+"""repro.sharding — shard-parallel scatter-gather serving.
+
+The corpus is partitioned into N shards (:mod:`repro.sharding.partition`),
+each hosted by a persistent worker process
+(:mod:`repro.sharding.worker`) whose packed feature columns live in a
+shared-memory plane (:mod:`repro.sharding.plane`), and the
+:class:`~repro.sharding.coordinator.ShardedTreeService` scatters range
+queries shard-parallel and merges per-shard lower-bound frontiers for
+distributed optimal multi-step k-NN — answer-identical to the
+single-process path (see ``docs/SHARDING.md`` for the argument and the
+``service:shard-equivalence`` oracle for the enforcement).
+"""
+
+from repro.sharding.coordinator import ShardedTreeService, encode_query
+from repro.sharding.partition import (
+    PARTITIONERS,
+    Partitioner,
+    RoundRobinPartitioner,
+    ShardAssignment,
+    SizeBandedPartitioner,
+    make_partitioner,
+)
+from repro.sharding.plane import PlaneHandle, SharedFeaturePlane
+
+__all__ = [
+    "ShardedTreeService",
+    "encode_query",
+    "PARTITIONERS",
+    "Partitioner",
+    "RoundRobinPartitioner",
+    "SizeBandedPartitioner",
+    "ShardAssignment",
+    "make_partitioner",
+    "PlaneHandle",
+    "SharedFeaturePlane",
+]

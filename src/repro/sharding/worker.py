@@ -1,0 +1,236 @@
+"""Shard worker process: one corpus partition served over a pipe.
+
+Each worker owns one shard end-to-end — the shard's trees (shipped as
+bracket strings; the recursive ``TreeNode`` objects never cross a pipe),
+a packed-only :class:`~repro.features.store.FeatureStore` attached
+zero-copy over the coordinator's shared-memory plane, a locally fitted
+lower-bound filter, and a persistent
+:class:`~repro.editdist.zhang_shasha.EditDistanceCounter` whose
+prepared-tree cache survives across queries.
+
+The protocol is a strict request/response loop over a
+``multiprocessing.Pipe`` connection: the coordinator serialises access per
+worker, so the worker is single-threaded and lock-free.  Requests are
+tuples ``(op, *operands)``; replies are ``("ok", result)`` or
+``("error", exception_type, message)``.  Ops:
+
+=================  =====================================================
+``ping``           liveness / shard summary
+``range``          one complete range query over the shard
+``knn_begin``      compute + sort this shard's lower bounds, stream the
+                   first frontier chunk of ``(bound, local_index)`` pairs
+``knn_more``       next frontier chunk for an open k-NN cursor
+``knn_refine``     exact edit distance to one local tree
+``knn_end``        drop a k-NN cursor
+``add``            insert one tree (bracket form) into the shard
+``info``           counters for diagnostics
+``shutdown``       acknowledge and exit the loop
+=================  =====================================================
+
+k-NN is split into begin/more/refine because Algorithm 2's optimal
+stopping is a *global* decision: the coordinator merges every shard's
+ascending frontier and asks for exact distances one candidate at a time,
+so the distributed query refines exactly the candidates the
+single-process run refines (see ``docs/SHARDING.md``).
+"""
+
+from __future__ import annotations
+
+import time
+from multiprocessing.connection import Connection
+from typing import Any, Dict, List, Optional, Tuple, Type
+
+from repro.editdist.costs import UNIT_COSTS
+from repro.editdist.zhang_shasha import EditDistanceCounter, PreparedTreeCache
+from repro.exceptions import InvalidParameterError, ShardError
+from repro.filters.base import LowerBoundFilter
+from repro.filters.binary_branch import BinaryBranchFilter, BranchCountFilter
+from repro.filters.histogram import HistogramFilter
+from repro.filters.traversal_string import TraversalStringFilter
+from repro.obs.funnel import collect_funnels
+from repro.search.database import TreeDatabase
+from repro.search.range_query import range_query
+from repro.sharding.plane import PlaneHandle, SharedFeaturePlane
+from repro.trees.parse import parse_bracket
+
+__all__ = ["FILTER_FACTORIES", "FRONTIER_CHUNK", "run_worker"]
+
+#: Filter constructors a worker can instantiate by name (CLI spellings).
+FILTER_FACTORIES: Dict[str, Type[LowerBoundFilter]] = {
+    "bibranch": BinaryBranchFilter,
+    "bibranchcount": BranchCountFilter,
+    "histogram": HistogramFilter,
+    "traversal": TraversalStringFilter,
+}
+
+#: ``(bound, local_index)`` pairs per k-NN frontier message.  Chunking
+#: bounds the per-message payload while keeping the common case (the
+#: merge stops early) to a single round trip per shard.
+FRONTIER_CHUNK = 64
+
+#: Ops the request loop will dispatch; anything else is a protocol error.
+_OPS = frozenset(
+    {"ping", "range", "knn_begin", "knn_more", "knn_refine", "knn_end",
+     "add", "info"}
+)
+
+
+class _ShardState:
+    """Everything one worker process holds between requests."""
+
+    def __init__(self, payload: Dict[str, Any]) -> None:
+        self.shard: int = payload["shard"]
+        trees = [parse_bracket(bracket) for bracket in payload["brackets"]]
+        handle: PlaneHandle = payload["plane"]
+        self.plane = SharedFeaturePlane.attach(handle)
+        store = self.plane.store(payload["vocabulary"])
+        flt = self._fit_filter(payload["filter"], store, trees)
+        self.db = TreeDatabase(trees, flt=flt, feature_store=store)
+        self.counter = EditDistanceCounter(
+            UNIT_COSTS,
+            cache=PreparedTreeCache(payload.get("prepared_cache_size", 4096)),
+        )
+        #: open k-NN cursors: qid -> (query tree, sorted order, bounds)
+        self._knn: Dict[int, Tuple[Any, List[int], List[float]]] = {}
+
+    @staticmethod
+    def _fit_filter(
+        name: str, store: Any, trees: List[Any]
+    ) -> LowerBoundFilter:
+        """Fit the shard filter, zero-copy from the plane when possible.
+
+        Filters whose signatures are packed vectors (BiBranchCount) fit
+        straight off the attached store — no tree traversal at all, and
+        the store's vocabulary (the coordinator's) keeps query-side
+        interning identical across shards.  Filters needing artifacts the
+        plane does not carry (positional profiles, histograms) fall back
+        to a local fit over the shard's trees; their signatures are
+        per-tree, so the bounds still match the single-process filter.
+        """
+        factory = FILTER_FACTORIES[name]
+        flt = factory()
+        if flt.supports_store:
+            try:
+                return flt.fit_from_store(store)
+            except InvalidParameterError:
+                flt = factory()  # discard the partially fitted instance
+        return flt.fit(trees)
+
+    # ------------------------------------------------------------------
+    # Ops
+    # ------------------------------------------------------------------
+    def ping(self) -> Dict[str, Any]:
+        return {"shard": self.shard, "trees": len(self.db)}
+
+    def range(
+        self, bracket: str, threshold: float, want_funnel: bool
+    ) -> Dict[str, Any]:
+        query = parse_bracket(bracket)
+        stages: Optional[List[Tuple[str, int, int, float]]] = None
+        if want_funnel:
+            with collect_funnels() as sink:
+                matches, stats = range_query(
+                    self.db.trees, query, threshold, self.db.filter, self.counter
+                )
+            funnel = sink.funnels[0]
+            stages = [
+                (stage.name, stage.entered, stage.survivors, stage.seconds)
+                for stage in funnel.stages
+            ]
+        else:
+            matches, stats = range_query(
+                self.db.trees, query, threshold, self.db.filter, self.counter
+            )
+        return {
+            "matches": matches,
+            "candidates": stats.candidates,
+            "results": stats.results,
+            "filter_seconds": stats.filter_seconds,
+            "refine_seconds": stats.refine_seconds,
+            "stages": stages,
+        }
+
+    def knn_begin(self, qid: int, bracket: str) -> Dict[str, Any]:
+        query = parse_bracket(bracket)
+        start = time.perf_counter()
+        bounds = self.db.filter.bounds(query)
+        order = sorted(range(len(bounds)), key=lambda index: (bounds[index], index))
+        filter_seconds = time.perf_counter() - start
+        self._knn[qid] = (query, order, bounds)
+        return {
+            "filter_seconds": filter_seconds,
+            "total": len(order),
+            "chunk": self._chunk(qid, 0),
+        }
+
+    def knn_more(self, qid: int, start: int) -> Dict[str, Any]:
+        return {"chunk": self._chunk(qid, start)}
+
+    def _chunk(self, qid: int, start: int) -> List[Tuple[float, int]]:
+        _, order, bounds = self._cursor(qid)
+        window = order[start : start + FRONTIER_CHUNK]
+        return [(bounds[index], index) for index in window]
+
+    def knn_refine(self, qid: int, local: int) -> Dict[str, Any]:
+        query, _, _ = self._cursor(qid)
+        return {"distance": self.counter.distance(query, self.db.trees[local])}
+
+    def knn_end(self, qid: int) -> None:
+        self._knn.pop(qid, None)
+
+    def _cursor(self, qid: int) -> Tuple[Any, List[int], List[float]]:
+        try:
+            return self._knn[qid]
+        except KeyError:
+            raise ShardError(
+                f"shard {self.shard}: no open k-NN cursor {qid}"
+            ) from None
+
+    def add(self, bracket: str) -> Dict[str, Any]:
+        local = self.db.add(parse_bracket(bracket))
+        return {"local": local, "trees": len(self.db)}
+
+    def info(self) -> Dict[str, Any]:
+        return {
+            "shard": self.shard,
+            "trees": len(self.db),
+            "filter": self.db.filter.name,
+            "distance_computations": self.counter.calls,
+            "open_cursors": len(self._knn),
+        }
+
+    def close(self) -> None:
+        self._knn.clear()
+        self.plane.close()
+
+
+def run_worker(conn: Connection, payload: Dict[str, Any]) -> None:
+    """Process entry point: serve the shard until ``shutdown`` or EOF.
+
+    Every per-request failure is reported back to the coordinator as an
+    ``("error", type, message)`` reply — the worker must survive a bad
+    query to keep serving the shard, and the coordinator re-raises the
+    error in the caller's process, so nothing is swallowed.
+    """
+    state = _ShardState(payload)
+    try:
+        while True:
+            try:
+                message = conn.recv()
+            except EOFError:
+                break  # coordinator went away; exit quietly
+            op = message[0]
+            if op == "shutdown":
+                conn.send(("ok", None))
+                break
+            try:
+                if op not in _OPS:
+                    raise ShardError(f"unknown shard op {op!r}")
+                result = getattr(state, op)(*message[1:])
+            except Exception as error:  # repro-lint: disable=RL008 -- protocol boundary: the failure is shipped to the coordinator and re-raised there
+                conn.send(("error", type(error).__name__, str(error)))
+            else:
+                conn.send(("ok", result))
+    finally:
+        state.close()
+        conn.close()

@@ -34,6 +34,15 @@ Each oracle audits one class of invariant over a
     Under interleaved add/query traffic, every answer the (caching,
     selectively-invalidating) service returns equals a cold answer
     computed on a fresh database at the same generation.
+``service:shard-equivalence``
+    Scatter-gather serving (:mod:`repro.sharding`) over N worker shards
+    returns bit-identical answers — member ids, distances, tie order — to
+    the single-process path, under interleaved add/query traffic, across
+    partitioners and filters.
+``shard:knn-optimality``
+    The coordinator's merged-frontier k-NN refines *exactly* the
+    candidates the single-process Algorithm 2 refines: distributing the
+    corpus never gives up the optimal multi-step stopping guarantee.
 ``obs:funnel-consistency``
     The funnel telemetry (:mod:`repro.obs.funnel`) tells the truth: the
     per-stage survivor counts a traced query reports equal an independent
@@ -795,6 +804,193 @@ class ServiceCacheOracle(Oracle):
 
 
 # ----------------------------------------------------------------------
+# service:shard-equivalence / shard:knn-optimality — sharding is invisible
+# ----------------------------------------------------------------------
+class ShardEquivalenceOracle(Oracle):
+    """Sharded scatter-gather answers equal single-process answers.
+
+    Replays the corpus's interleaved add/query schedule through a
+    :class:`~repro.sharding.coordinator.ShardedTreeService` at several
+    ``(shards, partitioner, filter)`` layouts; every served answer —
+    member ids, distances, tie order — must be bit-identical to a cold
+    single-process answer computed on a fresh database over the same
+    trees with the same filter family.  Adds route through the
+    coordinator, so the check also covers post-mutation layouts where
+    the workers' vocabularies have diverged from the coordinator's.
+    """
+
+    name = "service:shard-equivalence"
+    description = "sharded answers equal single-process answers at every step"
+
+    #: layouts under test: both partitioners, an uneven shard count, and
+    #: a second filter family (count bound ⇒ different frontier orders)
+    _CONFIGS = (
+        (2, "round-robin", "bibranch"),
+        (3, "size-banded", "bibranch"),
+        (2, "round-robin", "bibranchcount"),
+    )
+
+    def run(self, corpus: VerifyCorpus, distance: DistanceFn) -> OracleOutcome:
+        from repro.search.database import TreeDatabase
+        from repro.search.knn import knn_query
+        from repro.search.range_query import range_query
+        from repro.sharding.coordinator import ShardedTreeService
+        from repro.sharding.worker import FILTER_FACTORIES
+
+        outcome = OracleOutcome(self.name)
+        for shards, partitioner, filter_name in self._CONFIGS:
+            shadow: List[TreeNode] = list(corpus.trees)
+            service = ShardedTreeService(
+                shadow,
+                shards=shards,
+                partitioner=partitioner,
+                filter_name=filter_name,
+                max_workers=1,
+            )
+            try:
+                for step, entry in enumerate(corpus.service_schedule):
+                    if entry[0] == "add":
+                        service.add(entry[1])
+                        shadow.append(entry[1])
+                        continue
+                    _, kind, query, parameter = entry
+                    outcome.checks += 1
+                    reference = TreeDatabase(
+                        list(shadow), flt=FILTER_FACTORIES[filter_name]()
+                    )
+                    if kind == "range":
+                        served = service.range(query, parameter)[0]
+                        expected = range_query(
+                            reference.trees, query, parameter,
+                            reference.filter, reference.counter,
+                        )[0]
+                    else:
+                        served = service.knn(query, int(parameter))[0]
+                        expected = knn_query(
+                            reference.trees, query, int(parameter),
+                            reference.filter, reference.counter,
+                        )[0]
+                    if served != expected:
+                        outcome.record(
+                            Violation(
+                                oracle=self.name,
+                                message=(
+                                    f"{kind} answer over {shards} "
+                                    f"{partitioner}/{filter_name} shards "
+                                    f"diverged from single-process at "
+                                    f"schedule step {step}"
+                                ),
+                                t1=query,
+                                details={
+                                    "step": step,
+                                    "kind": kind,
+                                    "parameter": parameter,
+                                    "shards": shards,
+                                    "partitioner": partitioner,
+                                    "filter": filter_name,
+                                    "served": served,
+                                    "expected": expected,
+                                },
+                            )
+                        )
+            finally:
+                service.close()
+        return outcome
+
+
+class ShardKnnOptimalityOracle(Oracle):
+    """Distributed k-NN refines exactly the single-process candidate set.
+
+    Algorithm 2's optimality theorem says the multi-step search refines
+    the unique minimal candidate set the lower bounds permit.  The
+    coordinator's merged-frontier protocol claims to preserve that:
+    per-shard frontiers ascend in ``(bound, local)``, the merge heap
+    restores the global ``(bound, index)`` order, and the stop test runs
+    *before* each refinement.  This oracle replays k-NN queries at
+    several ``k`` against both paths and requires identical neighbours
+    **and** an identical refined-candidate count — a sharded run that
+    refines even one extra tree breaks the guarantee.
+    """
+
+    name = "shard:knn-optimality"
+    description = "sharded k-NN refines exactly the single-process candidates"
+
+    _CONFIGS = (
+        (2, "round-robin", "bibranch"),
+        (3, "size-banded", "bibranch"),
+    )
+    _KS = (1, 2, 4)
+
+    def run(self, corpus: VerifyCorpus, distance: DistanceFn) -> OracleOutcome:
+        from repro.search.database import TreeDatabase
+        from repro.search.knn import knn_query
+        from repro.sharding.coordinator import ShardedTreeService
+        from repro.sharding.worker import FILTER_FACTORIES
+
+        outcome = OracleOutcome(self.name)
+        trees = list(corpus.trees)
+        queries = [pair.t2 for pair in corpus.pairs[:6]]
+        for shards, partitioner, filter_name in self._CONFIGS:
+            reference = TreeDatabase(
+                list(trees), flt=FILTER_FACTORIES[filter_name]()
+            )
+            service = ShardedTreeService(
+                trees,
+                shards=shards,
+                partitioner=partitioner,
+                filter_name=filter_name,
+                max_workers=1,
+            )
+            try:
+                for query in queries:
+                    for k in self._KS:
+                        if k > len(trees):
+                            continue
+                        outcome.checks += 1
+                        served, stats = service.knn(query, k)
+                        expected, ref_stats = knn_query(
+                            reference.trees, query, k,
+                            reference.filter, reference.counter,
+                        )
+                        problem = None
+                        if served != expected:
+                            problem = "neighbours differ"
+                        elif stats.candidates != ref_stats.candidates:
+                            problem = (
+                                f"refined {stats.candidates} candidates, "
+                                f"single-process refined "
+                                f"{ref_stats.candidates}"
+                            )
+                        if problem is not None:
+                            outcome.record(
+                                Violation(
+                                    oracle=self.name,
+                                    message=(
+                                        f"knn(k={k}) over {shards} "
+                                        f"{partitioner}/{filter_name} shards: "
+                                        f"{problem}"
+                                    ),
+                                    t1=query,
+                                    details={
+                                        "k": k,
+                                        "shards": shards,
+                                        "partitioner": partitioner,
+                                        "filter": filter_name,
+                                        "served": served,
+                                        "expected": expected,
+                                        "served_candidates": stats.candidates,
+                                        "expected_candidates": (
+                                            ref_stats.candidates
+                                        ),
+                                    },
+                                )
+                            )
+            finally:
+                service.close()
+        return outcome
+
+
+# ----------------------------------------------------------------------
 # obs:funnel-consistency — telemetry vs independent recount
 # ----------------------------------------------------------------------
 class FunnelConsistencyOracle(Oracle):
@@ -972,6 +1168,8 @@ ORACLE_FACTORIES["store:identity"] = lambda: StoreIdentityOracle(_STORE_FILTERS)
 ORACLE_FACTORIES["storage:roundtrip"] = RoundTripOracle
 ORACLE_FACTORIES["search:completeness"] = SearchCompletenessOracle
 ORACLE_FACTORIES["service:cache-transparency"] = ServiceCacheOracle
+ORACLE_FACTORIES["service:shard-equivalence"] = ShardEquivalenceOracle
+ORACLE_FACTORIES["shard:knn-optimality"] = ShardKnnOptimalityOracle
 ORACLE_FACTORIES["obs:funnel-consistency"] = FunnelConsistencyOracle
 
 

@@ -1,0 +1,106 @@
+"""Property test: sharding is answer-invisible.
+
+For every seed, shard count, partitioner and filter sampled here, the
+sharded scatter-gather service must return *bit-identical* answers —
+member ids, exact distances, tie order — to the single-process path, and
+the distributed k-NN must refine exactly as many candidates (the
+Algorithm 2 optimality guarantee).  The same must hold after incremental
+adds routed through the coordinator, where the workers' vocabularies
+have diverged from the coordinator's.
+"""
+
+import random
+
+import pytest
+
+from repro.datasets.synthetic import SyntheticSpec, generate_dataset
+from repro.search.database import TreeDatabase
+from repro.search.knn import knn_query
+from repro.search.range_query import range_query
+from repro.sharding import ShardedTreeService
+from repro.sharding.worker import FILTER_FACTORIES
+from repro.trees.edits import random_edit_script
+
+SPEC = SyntheticSpec(
+    fanout_mean=2.5,
+    fanout_stddev=0.8,
+    size_mean=12.0,
+    size_stddev=3.0,
+    label_count=4,
+    decay=0.15,
+)
+
+
+def _corpus(seed, count=14):
+    return generate_dataset(SPEC, count=count, seed_count=3, seed=seed)
+
+
+def _reference(trees, filter_name):
+    return TreeDatabase(list(trees), flt=FILTER_FACTORIES[filter_name]())
+
+
+def _check_equivalence(service, trees, filter_name, queries):
+    reference = _reference(trees, filter_name)
+    for query in queries:
+        for threshold in (0.0, 2.0, 5.0):
+            served = service.range(query, threshold)
+            expected = range_query(
+                reference.trees, query, threshold,
+                reference.filter, reference.counter,
+            )
+            assert served[0] == expected[0]
+            assert served[1].candidates == expected[1].candidates
+        for k in (1, 3, 6):
+            served = service.knn(query, k)
+            expected = knn_query(
+                reference.trees, query, k, reference.filter, reference.counter
+            )
+            assert served[0] == expected[0]
+            # optimality: identical refined-candidate count, not just answers
+            assert served[1].candidates == expected[1].candidates
+
+
+@pytest.mark.parametrize("seed", [0, 1])
+@pytest.mark.parametrize(
+    "shards,partitioner", [(2, "round-robin"), (3, "size-banded")]
+)
+def test_sharded_answers_equal_single_process(seed, shards, partitioner):
+    trees = _corpus(seed)
+    queries = _corpus(seed + 100, count=3)
+    with ShardedTreeService(
+        trees, shards=shards, partitioner=partitioner, max_workers=2
+    ) as service:
+        _check_equivalence(service, trees, "bibranch", queries)
+
+
+@pytest.mark.parametrize(
+    "filter_name", sorted(set(FILTER_FACTORIES) - {"bibranch"})
+)
+def test_every_filter_family_is_equivalent(filter_name):
+    trees = _corpus(7)
+    queries = _corpus(107, count=2)
+    with ShardedTreeService(
+        trees, shards=2, filter_name=filter_name, max_workers=2
+    ) as service:
+        _check_equivalence(service, trees, filter_name, queries)
+
+
+@pytest.mark.parametrize("shards", [2, 3])
+def test_equivalence_survives_incremental_adds(shards):
+    seed = 5
+    trees = _corpus(seed)
+    queries = _corpus(seed + 100, count=3)
+    labels = sorted(
+        {str(node.label) for tree in trees for node in tree.iter_preorder()}
+    )
+    rng = random.Random(seed)
+    with ShardedTreeService(trees, shards=shards, max_workers=2) as service:
+        shadow = list(trees)
+        for _ in range(4):
+            mutated, _script = random_edit_script(
+                rng.choice(shadow), rng.randint(1, 3), labels, rng
+            )
+            assert service.add(mutated) == len(shadow)
+            shadow.append(mutated)
+            _check_equivalence(service, shadow, "bibranch", queries[:2])
+        assert service.generation == 4

@@ -261,6 +261,55 @@ class TestServeBench:
         assert "hit rate 0.0%" in out
 
 
+class TestShardedCli:
+    def test_sharded_range_matches_single_process(self, dataset_file, capsys):
+        args = ["search", dataset_file, "--query", "a(b,c)", "--range", "1"]
+        assert main(args) == 0
+        single = capsys.readouterr().out
+        assert main(args + ["--shards", "2"]) == 0
+        assert capsys.readouterr().out == single
+
+    def test_sharded_knn_matches_single_process(self, dataset_file, capsys):
+        args = ["search", dataset_file, "--query", "a(b,c)", "--knn", "3"]
+        assert main(args) == 0
+        single = capsys.readouterr().out
+        assert main(args + ["--shards", "2", "--partitioner", "size-banded"]) == 0
+        assert capsys.readouterr().out == single
+
+    def test_invalid_shard_count_errors_cleanly(self, dataset_file, capsys):
+        assert main(
+            ["search", dataset_file, "--query", "a", "--knn", "1",
+             "--shards", "0"]
+        ) == 2
+
+    def test_unknown_partitioner_rejected_by_parser(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["search", "f", "--query", "a", "--knn", "1",
+                 "--partitioner", "hash-ring"]
+            )
+
+    def test_serve_bench_sharded(self, dataset_file, capsys):
+        assert main(
+            ["serve-bench", dataset_file, "--queries", "10", "--shards", "2",
+             "--clients", "2", "--seed", "1"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "throughput" in out
+
+    def test_serve_bench_sharded_funnel_export(self, dataset_file, tmp_path, capsys):
+        import json
+
+        export = tmp_path / "funnel.json"
+        assert main(
+            ["serve-bench", dataset_file, "--queries", "8", "--shards", "2",
+             "--funnel-export", str(export)]
+        ) == 0
+        document = json.loads(export.read_text())
+        assert document["invariant_violations"] == []
+        assert document["funnels_collected"] > 0
+
+
 class TestFeaturesCommands:
     def test_build_and_stats(self, dataset_file, tmp_path, capsys):
         out_path = str(tmp_path / "plane.json")
