@@ -128,6 +128,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="shard placement policy (used with --shards > 1)",
     )
     search.add_argument(
+        "--candidate-source",
+        choices=["auto", "loop", "vectorized"],
+        default="auto",
+        help="candidate generation path: 'loop' scores per candidate, "
+        "'vectorized' runs the filter cascade over corpus-level matrix "
+        "planes, 'auto' vectorizes when a feature store is available",
+    )
+    search.add_argument(
         "--stats-json",
         action="store_true",
         help="print the SearchStats snapshot as JSON instead of the "
@@ -213,6 +221,14 @@ def build_parser() -> argparse.ArgumentParser:
         choices=sorted(PARTITIONERS),
         default="round-robin",
         help="shard placement policy (used with --shards > 1)",
+    )
+    serve_bench.add_argument(
+        "--candidate-source",
+        choices=["auto", "loop", "vectorized"],
+        default="auto",
+        help="candidate generation path for the service (and each shard "
+        "worker): 'loop' per-candidate, 'vectorized' matrix cascade, "
+        "'auto' vectorize when possible",
     )
     serve_bench.add_argument(
         "--json",
@@ -498,6 +514,7 @@ def _cmd_search(args) -> int:
                         shards=args.shards,
                         filter_name=args.filter,
                         partitioner=args.partitioner,
+                        candidate_source=args.candidate_source,
                     )
                 )
                 if args.range_threshold is not None:
@@ -505,13 +522,35 @@ def _cmd_search(args) -> int:
                 else:
                     matches, stats = service.knn(query, args.knn_k)
             else:
-                flt = _FILTERS[args.filter]().fit(trees)
+                # unfitted filter: the database fits it from its feature
+                # store when supported, which is what gives the matrix
+                # planes something to scatter from
+                from repro.search.database import TreeDatabase
+
+                database = TreeDatabase(trees, flt=_FILTERS[args.filter]())
+                matrices = (
+                    None
+                    if args.candidate_source == "loop"
+                    else database.matrices()
+                )
+                if args.candidate_source == "vectorized" and matrices is None:
+                    print(
+                        f"repro: error: filter {args.filter!r} has no "
+                        "feature store to vectorize over",
+                        file=sys.stderr,
+                    )
+                    return 2
+                flt = database.filter
                 if args.range_threshold is not None:
                     matches, stats = range_query(
-                        trees, query, args.range_threshold, flt
+                        trees, query, args.range_threshold, flt,
+                        database.counter, matrices=matrices,
                     )
                 else:
-                    matches, stats = knn_query(trees, query, args.knn_k, flt)
+                    matches, stats = knn_query(
+                        trees, query, args.knn_k, flt,
+                        database.counter, matrices=matrices,
+                    )
     finally:
         if tracer is not None:
             set_tracer(None)
@@ -553,6 +592,11 @@ def _cmd_features(args) -> int:
     store = load_feature_plane(args.file)
     for key, value in store.stats().items():
         print(f"{key}: {value}")
+    for family, shape in store.matrices().stats().items():
+        print(
+            f"matrix.{family}: rows={shape['rows']} width={shape['width']} "
+            f"dtype={shape['dtype']} bytes={shape['bytes']}"
+        )
     return 0
 
 
@@ -601,17 +645,19 @@ def _cmd_serve_bench(args) -> int:
                         partitioner=args.partitioner,
                         max_workers=args.clients,
                         cache_size=args.cache_size,
+                        candidate_source=args.candidate_source,
                     )
                 )
             else:
-                database = TreeDatabase(
-                    trees, flt=_FILTERS[args.filter]().fit(trees)
-                )
+                # unfitted: let the database fit from its feature store so
+                # the vectorized candidate path has planes to work with
+                database = TreeDatabase(trees, flt=_FILTERS[args.filter]())
                 service = stack.enter_context(
                     TreeSearchService(
                         database,
                         max_workers=args.clients,
                         cache_size=args.cache_size,
+                        candidate_source=args.candidate_source,
                     )
                 )
             _, report = replay(service, workload, clients=args.clients)

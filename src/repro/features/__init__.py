@@ -11,12 +11,15 @@ share.  See ``docs/FEATURES.md``.
 
 from repro.features.extract import TreeFeatures, extract_features
 from repro.features.io import load_feature_plane, save_feature_plane
+from repro.features.matrix import FeatureMatrices, MatrixPlane
 from repro.features.packed import PackedVector, pack_counts
 from repro.features.store import FeatureStore
 from repro.features.vocabulary import Vocabulary
 
 __all__ = [
+    "FeatureMatrices",
     "FeatureStore",
+    "MatrixPlane",
     "PackedVector",
     "TreeFeatures",
     "Vocabulary",

@@ -19,6 +19,15 @@ is *derived* at load time from those, without touching any tree:
   vocabulary is restored in id order);
 * traversal strings / label histogram: the branch key's root label is the
   label of the node at that branch's preorder (and postorder) position.
+
+Next to the JSON plane lives an optional binary *matrix sidecar*
+(``<path>.matrices.npz``): the dense corpus-level branch planes of
+:mod:`repro.features.matrix`, so a reloaded database starts with its
+vectorized candidate-generation kernels warm instead of re-scattering
+every packed vector on first query.  The sidecar is strictly an
+accelerator — it is validated against the store (version, generation,
+tree count) and silently ignored when stale or absent, in which case the
+planes are rebuilt lazily as usual.
 """
 
 from __future__ import annotations
@@ -28,6 +37,8 @@ import os
 from collections import Counter
 from typing import Dict, List, Union
 
+import numpy as np
+
 from repro.core.branches import BinaryBranch
 from repro.core.index_io import _decode_label, _encode_label
 from repro.core.positional import PositionalProfile
@@ -36,12 +47,23 @@ from repro.exceptions import TreeParseError
 from repro.features.extract import TreeFeatures
 from repro.features.store import FeatureStore
 
-__all__ = ["save_feature_plane", "load_feature_plane"]
+__all__ = [
+    "save_feature_plane",
+    "load_feature_plane",
+    "matrix_sidecar_path",
+    "save_matrix_sidecar",
+    "load_matrix_sidecar",
+]
 
 _FORMAT = "repro-features"
 _VERSION = 1
 
 PathLike = Union[str, os.PathLike]
+
+
+def matrix_sidecar_path(path: PathLike) -> str:
+    """Where the dense matrix sidecar of plane ``path`` lives."""
+    return f"{os.fspath(path)}.matrices.npz"
 
 
 def _encode_key(key) -> List:
@@ -100,6 +122,62 @@ def save_feature_plane(store: FeatureStore, path: PathLike) -> None:
     }
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(document, handle)
+    save_matrix_sidecar(store, path)
+
+
+def save_matrix_sidecar(store: FeatureStore, path: PathLike) -> str:
+    """Persist the store's dense branch planes next to the JSON plane.
+
+    Only the branch planes are written — they are the rebuild-heavy
+    families; histogram planes key on arbitrary labels and are cheap to
+    rebuild from the restored features.  Returns the sidecar path.
+    """
+    matrices = store.matrices()
+    payload: Dict[str, np.ndarray] = {
+        "meta": np.asarray(
+            [_VERSION, store.generation, len(store)], dtype=np.int64
+        ),
+        "q_levels": np.asarray(store.q_levels, dtype=np.int64),
+    }
+    for q in store.q_levels:
+        plane = matrices.branch_plane(q)
+        payload[f"branch_q{q}"] = plane.matrix
+        payload[f"branch_q{q}_totals"] = plane.row_totals
+    sidecar = matrix_sidecar_path(path)
+    with open(sidecar, "wb") as handle:
+        np.savez_compressed(handle, **payload)
+    return sidecar
+
+
+def load_matrix_sidecar(store: FeatureStore, path: PathLike) -> bool:
+    """Adopt a matrix sidecar into ``store`` if present and fresh.
+
+    Returns True when the dense planes were installed; False (store
+    untouched, planes rebuilt lazily later) when the sidecar is missing
+    or does not match the store's version/generation/size.
+    """
+    sidecar = matrix_sidecar_path(path)
+    if not os.path.exists(sidecar):
+        return False
+    with np.load(sidecar) as data:
+        meta = data["meta"]
+        if (
+            int(meta[0]) != _VERSION
+            or int(meta[1]) != store.generation
+            or int(meta[2]) != len(store)
+        ):
+            return False
+        if tuple(int(q) for q in data["q_levels"]) != store.q_levels:
+            return False
+        for q in store.q_levels:
+            key = f"branch_q{q}"
+            if key not in data or f"{key}_totals" not in data:
+                return False
+        for q in store.q_levels:
+            store.matrices().adopt_branch_plane(
+                q, data[f"branch_q{q}"], data[f"branch_q{q}_totals"]
+            )
+    return True
 
 
 def load_feature_plane(path: PathLike) -> FeatureStore:
@@ -159,4 +237,5 @@ def load_feature_plane(path: PathLike) -> FeatureStore:
         )
         store._append(features)
     store.generation = document.get("generation", 0)
+    load_matrix_sidecar(store, path)
     return store

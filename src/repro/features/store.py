@@ -21,7 +21,7 @@ The layers above consume it instead of re-traversing the corpus:
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.core.positional import PositionalProfile
 from repro.exceptions import InvalidParameterError
@@ -30,6 +30,9 @@ from repro.features.packed import PackedVector, pack_counts
 from repro.features.vocabulary import Vocabulary
 from repro.obs import tracing
 from repro.trees.node import TreeNode
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.features.matrix import FeatureMatrices
 
 __all__ = ["FeatureStore"]
 
@@ -73,6 +76,8 @@ class FeatureStore:
         #: plane restored from disk starts at 0 and stays there until the
         #: next `add` — the round-trip tests assert on exactly this.
         self.extraction_passes = 0
+        #: lazily-built corpus-level matrix planes (vectorized kernels)
+        self._matrices: Optional["FeatureMatrices"] = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -227,6 +232,19 @@ class FeatureStore:
             q,
             grow=False,
         )
+
+    def matrices(self) -> "FeatureMatrices":
+        """Corpus-level dense matrix planes over this store.
+
+        Built lazily and cached; the returned bundle re-syncs itself
+        against the store (row appends, column widening) before every
+        kernel call, so it stays valid across incremental :meth:`add`.
+        """
+        if self._matrices is None:
+            from repro.features.matrix import FeatureMatrices
+
+            self._matrices = FeatureMatrices(self)
+        return self._matrices
 
     def stats(self) -> Dict[str, object]:
         """Summary counters for the CLI / diagnostics."""

@@ -28,6 +28,7 @@ from typing import (
     Callable,
     Generic,
     List,
+    Optional,
     Sequence,
     Tuple,
     TypeVar,
@@ -37,6 +38,7 @@ from repro.exceptions import FilterStateError
 from repro.trees.node import TreeNode
 
 if TYPE_CHECKING:  # import cycle: features.store fits via filter signatures
+    from repro.features.matrix import FeatureMatrices
     from repro.features.store import FeatureStore
 
 __all__ = ["LowerBoundFilter", "Signature"]
@@ -176,6 +178,67 @@ class LowerBoundFilter(ABC, Generic[Signature]):
         override this for range queries.
         """
         return self.bound(query, data) > threshold
+
+    # ------------------------------------------------------------------
+    # Vectorized (matrix-plane) candidate generation
+    # ------------------------------------------------------------------
+    def lower_bounds_matrix(
+        self, query: Signature, matrices: "FeatureMatrices"
+    ) -> Optional[Sequence[float]]:
+        """Per-row lower bounds against *every* indexed tree, or ``None``.
+
+        Filters whose numeric bound is exactly computable from a
+        corpus-level :class:`~repro.features.matrix.MatrixPlane` override
+        this to return one value per tree (equal, row by row, to
+        ``bound(query, data_signature(row))``).  ``None`` means "no exact
+        vectorized bound" and callers fall back to :meth:`bounds` — knn
+        ordering must never use an approximation, or optimal-stopping
+        refined-candidate counts would drift from the reference path.
+        """
+        return None
+
+    def refute_rows(
+        self,
+        query: Signature,
+        threshold: float,
+        rows: Sequence[int],
+        matrices: "FeatureMatrices",
+    ) -> Sequence[int]:
+        """Survivors of ``rows`` — exactly those :meth:`refutes` keeps.
+
+        The vectorized range cascade shrinks the active-row set through
+        each funnel stage with this method.  Overrides may prescreen
+        with matrix kernels, but the contract is strict set equality
+        with the per-candidate loop: ``refute_rows(q, t, rows, m) ==
+        [i for i in rows if not refutes(q, sig[i], t)]`` — pinned by the
+        ``search:vectorized-equivalence`` oracle.  This default *is*
+        that loop, so every filter is cascade-correct out of the box.
+        """
+        signatures = self._signatures
+        return [
+            index
+            for index in rows
+            if not self.refutes(query, signatures[index], threshold)
+        ]
+
+    def matrix_funnel_components(
+        self,
+    ) -> List[
+        Tuple[
+            str,
+            Callable[
+                [Signature, float, Sequence[int], "FeatureMatrices"],
+                Sequence[int],
+            ],
+        ]
+    ]:
+        """Vectorized counterpart of :meth:`funnel_components`.
+
+        Same stage names, same pruning attribution — each stage maps the
+        active-row set to its survivors, so funnel telemetry comes from
+        ``len(rows)`` before/after instead of per-candidate counting.
+        """
+        return [(self.name, self.refute_rows)]
 
     def funnel_components(
         self,

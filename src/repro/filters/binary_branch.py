@@ -20,7 +20,7 @@ corpus (``fit_from_store``).
 from __future__ import annotations
 
 from collections import Counter
-from typing import TYPE_CHECKING, Tuple
+from typing import TYPE_CHECKING, Optional, Sequence, Tuple
 
 from repro.core.branches import iter_branches
 from repro.core.positional import (
@@ -30,12 +30,19 @@ from repro.core.positional import (
     search_lower_bound,
 )
 from repro.core.qlevel import iter_qlevel_branches, qlevel_bound_factor
+from repro.exceptions import InvalidParameterError
+from repro.features.matrix import (
+    branch_count_bounds,
+    branch_l1_counts,
+    keep_at_most,
+)
 from repro.features.packed import PackedVector, pack_counts
 from repro.features.vocabulary import Vocabulary
 from repro.filters.base import LowerBoundFilter
 from repro.trees.node import TreeNode
 
 if TYPE_CHECKING:
+    from repro.features.matrix import FeatureMatrices
     from repro.features.store import FeatureStore
 
 __all__ = ["BinaryBranchFilter", "BranchCountFilter"]
@@ -88,6 +95,39 @@ class BinaryBranchFilter(LowerBoundFilter[PositionalProfile]):
             query, data, pr, exact=self.exact_matching
         )
         return distance > self.factor * pr
+
+    def refute_rows(
+        self,
+        query: PositionalProfile,
+        threshold: float,
+        rows: Sequence[int],
+        matrices: "FeatureMatrices",
+    ) -> Sequence[int]:
+        """Vectorized count-L1 prescreen, then the exact positional test.
+
+        Soundness: ``PosBDist(pr) ≥ BDist`` for every range ``pr``
+        (positions only add constraints to the matching), so a row with
+        ``BDist > factor·τ`` has ``PosBDist(⌊τ⌋) ≥ BDist > factor·τ ≥
+        factor·⌊τ⌋`` and is refuted by :meth:`refutes` too.  The matrix
+        pass therefore prunes only loop-refuted rows; the surviving few
+        get the exact per-candidate test, making the final survivor set
+        identical to the pure loop.
+        """
+        try:
+            counts = {
+                branch: len(positions)
+                for branch, positions in query.pre_positions.items()
+            }
+            distances = branch_l1_counts(matrices, self.q, counts, rows)
+        except InvalidParameterError:
+            return super().refute_rows(query, threshold, rows, matrices)
+        candidates = keep_at_most(rows, distances, self.factor * threshold)
+        signatures = self._signatures
+        return [
+            index
+            for index in candidates
+            if not self.refutes(query, signatures[index], threshold)
+        ]
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"BinaryBranchFilter(q={self.q}, trees={self.size})"
@@ -144,3 +184,34 @@ class BranchCountFilter(LowerBoundFilter[PackedVector]):
 
     def bound(self, query: PackedVector, data: PackedVector) -> float:
         return -(-query.l1_distance(data) // self.factor)
+
+    def lower_bounds_matrix(
+        self, query: PackedVector, matrices: "FeatureMatrices"
+    ) -> Optional[Sequence[float]]:
+        """Exact per-row ``⌈L1/factor⌉`` from the branch plane.
+
+        L1 between count vectors is invariant under re-interning, so the
+        kernel translates standalone-fitted queries through their branch
+        keys and matches :meth:`bound` exactly, row for row.
+        """
+        try:
+            return branch_count_bounds(
+                matrices, self.q, query, self._vocabulary, self.factor, None
+            )
+        except InvalidParameterError:
+            return None
+
+    def refute_rows(
+        self,
+        query: PackedVector,
+        threshold: float,
+        rows: Sequence[int],
+        matrices: "FeatureMatrices",
+    ) -> Sequence[int]:
+        try:
+            bounds = branch_count_bounds(
+                matrices, self.q, query, self._vocabulary, self.factor, rows
+            )
+        except InvalidParameterError:
+            return super().refute_rows(query, threshold, rows, matrices)
+        return keep_at_most(rows, bounds, threshold)

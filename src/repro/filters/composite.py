@@ -8,12 +8,15 @@ compose freely; Kailing et al. combine their three histograms this way, and
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any, Callable, List, Sequence, Tuple
+from typing import TYPE_CHECKING, Any, Callable, List, Optional, Sequence, Tuple
 
+from repro.exceptions import InvalidParameterError
+from repro.features.matrix import elementwise_max, keep_at_most, size_bounds
 from repro.filters.base import LowerBoundFilter
 from repro.trees.node import TreeNode
 
 if TYPE_CHECKING:
+    from repro.features.matrix import FeatureMatrices
     from repro.features.store import FeatureStore
 
 #: A composite signature: one opaque component signature per sub-filter.
@@ -36,6 +39,27 @@ class SizeDifferenceFilter(LowerBoundFilter[int]):
 
     def bound(self, query: int, data: int) -> float:
         return abs(query - data)
+
+    def lower_bounds_matrix(
+        self, query: int, matrices: "FeatureMatrices"
+    ) -> Optional[Sequence[float]]:
+        try:
+            return size_bounds(matrices, query, None)
+        except InvalidParameterError:
+            return None
+
+    def refute_rows(
+        self,
+        query: int,
+        threshold: float,
+        rows: Sequence[int],
+        matrices: "FeatureMatrices",
+    ) -> Sequence[int]:
+        try:
+            bounds = size_bounds(matrices, query, rows)
+        except InvalidParameterError:
+            return super().refute_rows(query, threshold, rows, matrices)
+        return keep_at_most(rows, bounds, threshold)
 
 
 class MaxCompositeFilter(LowerBoundFilter[CompositeSignature]):
@@ -100,6 +124,101 @@ class MaxCompositeFilter(LowerBoundFilter[CompositeSignature]):
             child.refutes(q, d, threshold)
             for child, q, d in zip(self.filters, query, data)
         )
+
+    def lower_bounds_matrix(
+        self, query: CompositeSignature, matrices: "FeatureMatrices"
+    ) -> Optional[Sequence[float]]:
+        """Elementwise max of the children's exact vectorized bounds.
+
+        Exact only when *every* child is — one child without a kernel
+        makes the whole composite fall back (a partial max would be a
+        weaker bound and would change knn refined-candidate counts).
+        """
+        columns: List[Sequence[float]] = []
+        for position, child in enumerate(self.filters):
+            column = child.lower_bounds_matrix(query[position], matrices)
+            if column is None:
+                return None
+            columns.append(column)
+        return elementwise_max(columns)
+
+    def _sync_child_signatures(self) -> None:
+        """Mirror each child's signature components into the child.
+
+        The composite indexes only tuples; children are never fitted on
+        their own, so a child's per-row fallback (``refute_rows`` without
+        a kernel, the histogram height loop) would find an empty
+        signature list.  Before delegating, extend each child's list
+        with its slice of the composite tuples — pure references, no
+        recomputation.  Assumes children were handed over unfitted (the
+        only supported construction); a child somehow longer than the
+        composite is reset and rebuilt from the tuples.
+        """
+        for position, child in enumerate(self.filters):
+            if len(child._signatures) > len(self._signatures):
+                child._signatures = []
+            have = len(child._signatures)
+            if have < len(self._signatures):
+                child._signatures.extend(
+                    signature[position]
+                    for signature in self._signatures[have:]
+                )
+
+    def refute_rows(
+        self,
+        query: CompositeSignature,
+        threshold: float,
+        rows: Sequence[int],
+        matrices: "FeatureMatrices",
+    ) -> Sequence[int]:
+        """Cascade the children over a shrinking row set.
+
+        Equivalent to the ``any``-refutation of :meth:`refutes` because
+        each child's ``refute_rows`` keeps exactly its own survivors.
+        """
+        self._sync_child_signatures()
+        for position, child in enumerate(self.filters):
+            rows = child.refute_rows(query[position], threshold, rows, matrices)
+        return rows
+
+    def matrix_funnel_components(
+        self,
+    ) -> List[
+        Tuple[
+            str,
+            Callable[
+                [CompositeSignature, float, Sequence[int], "FeatureMatrices"],
+                Sequence[int],
+            ],
+        ]
+    ]:
+        """Vectorized cascade, one stage per sub-filter (names as loop path)."""
+        components: List[
+            Tuple[
+                str,
+                Callable[
+                    [CompositeSignature, float, Sequence[int], "FeatureMatrices"],
+                    Sequence[int],
+                ],
+            ]
+        ] = []
+        for position, child in enumerate(self.filters):
+
+            def refute_rows(
+                query: CompositeSignature,
+                threshold: float,
+                rows: Sequence[int],
+                matrices: "FeatureMatrices",
+                _child: LowerBoundFilter[Any] = child,
+                _position: int = position,
+            ) -> Sequence[int]:
+                self._sync_child_signatures()
+                return _child.refute_rows(
+                    query[_position], threshold, rows, matrices
+                )
+
+            components.append((f"{position}:{child.name}", refute_rows))
+        return components
 
     def funnel_components(
         self,

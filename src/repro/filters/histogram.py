@@ -41,11 +41,14 @@ from typing import TYPE_CHECKING, Dict, List, NamedTuple, Optional, Sequence
 
 from repro.core.positional import greedy_interval_matching
 from repro.core.vectors import branch_vector
+from repro.exceptions import InvalidParameterError
+from repro.features.matrix import ceil_div, histogram_l1, keep_at_most
 from repro.filters.base import LowerBoundFilter
 from repro.trees.node import TreeNode
 
 if TYPE_CHECKING:
     from repro.features.extract import TreeFeatures
+    from repro.features.matrix import FeatureMatrices
     from repro.features.store import FeatureStore
 
 __all__ = [
@@ -249,6 +252,40 @@ class HistogramFilter(LowerBoundFilter[HistogramSignature]):
             return True
         return _height_deficit(query, data, tau) > tau
 
+    def refute_rows(
+        self,
+        query: HistogramSignature,
+        threshold: float,
+        rows: Sequence[int],
+        matrices: "FeatureMatrices",
+    ) -> Sequence[int]:
+        """Vectorized label+degree L1 stages, then the height loop.
+
+        Only sound on *unfolded* configurations: the matrix planes hold
+        raw histograms, and folding merges bins, which can only shrink
+        L1 — testing unfolded values against a folded filter's loop
+        would prune rows the loop keeps.  Folded filters (and
+        packed-only shard stores, where histograms never crossed the
+        shared plane) fall back to the per-candidate loop.
+        """
+        if self.label_bins is not None or self.degree_bins is not None:
+            return super().refute_rows(query, threshold, rows, matrices)
+        try:
+            label_l1 = histogram_l1(matrices, "labels", query.labels, rows)
+        except InvalidParameterError:
+            return super().refute_rows(query, threshold, rows, matrices)
+        rows = keep_at_most(rows, ceil_div(label_l1, 2), threshold)
+        if len(rows):
+            degree_l1 = histogram_l1(matrices, "degrees", query.degrees, rows)
+            rows = keep_at_most(rows, ceil_div(degree_l1, 3), threshold)
+        tau = int(threshold)
+        signatures = self._signatures
+        return [
+            index
+            for index in rows
+            if _height_deficit(query, signatures[index], tau) <= tau
+        ]
+
 
 def space_parity_histogram_filter(trees: "Sequence[TreeNode]") -> HistogramFilter:
     """A :class:`HistogramFilter` folded to the paper's space budget.
@@ -282,6 +319,12 @@ class _UnfoldedHistogramFilter(LowerBoundFilter[HistogramSignature]):
 
     supports_store = True
 
+    #: matrix family + L1 divisor of the single histogram this ablation
+    #: uses; ``None`` (the height filter — its bound is a binary search,
+    #: not an L1 quotient) keeps the per-candidate defaults.
+    _matrix_family: Optional[str] = None
+    _matrix_divisor: int = 1
+
     def signature(self, tree: TreeNode) -> HistogramSignature:
         return _build_signature(tree)
 
@@ -291,11 +334,46 @@ class _UnfoldedHistogramFilter(LowerBoundFilter[HistogramSignature]):
             features.labels, features.degrees, features.heights, features.size
         )
 
+    def _matrix_counts(self, query: HistogramSignature) -> Dict:
+        return query.labels if self._matrix_family == "labels" else query.degrees
+
+    def lower_bounds_matrix(
+        self, query: HistogramSignature, matrices: "FeatureMatrices"
+    ) -> Optional[Sequence[float]]:
+        if self._matrix_family is None:
+            return None
+        try:
+            values = histogram_l1(
+                matrices, self._matrix_family, self._matrix_counts(query), None
+            )
+        except InvalidParameterError:
+            return None
+        return ceil_div(values, self._matrix_divisor)
+
+    def refute_rows(
+        self,
+        query: HistogramSignature,
+        threshold: float,
+        rows: Sequence[int],
+        matrices: "FeatureMatrices",
+    ) -> Sequence[int]:
+        if self._matrix_family is None:
+            return super().refute_rows(query, threshold, rows, matrices)
+        try:
+            values = histogram_l1(
+                matrices, self._matrix_family, self._matrix_counts(query), rows
+            )
+        except InvalidParameterError:
+            return super().refute_rows(query, threshold, rows, matrices)
+        return keep_at_most(rows, ceil_div(values, self._matrix_divisor), threshold)
+
 
 class LabelHistogramFilter(_UnfoldedHistogramFilter):
     """Label histogram only (component ablation)."""
 
     name = "Histo-label"
+    _matrix_family = "labels"
+    _matrix_divisor = 2
 
     def bound(self, query: HistogramSignature, data: HistogramSignature) -> float:
         return label_histogram_bound(query, data)
@@ -305,6 +383,8 @@ class DegreeHistogramFilter(_UnfoldedHistogramFilter):
     """Degree histogram only (component ablation)."""
 
     name = "Histo-degree"
+    _matrix_family = "degrees"
+    _matrix_divisor = 3
 
     def bound(self, query: HistogramSignature, data: HistogramSignature) -> float:
         return degree_histogram_bound(query, data)

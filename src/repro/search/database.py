@@ -19,7 +19,7 @@ Examples
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Tuple
+from typing import TYPE_CHECKING, Iterable, List, Optional, Tuple
 
 from repro.core.inverted_file import InvertedFileIndex
 from repro.editdist.costs import UNIT_COSTS, CostModel
@@ -33,6 +33,9 @@ from repro.search.range_query import range_query
 from repro.search.sequential import sequential_knn_query, sequential_range_query
 from repro.search.statistics import SearchStats
 from repro.trees.node import TreeNode
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.features.matrix import FeatureMatrices
 
 __all__ = ["TreeDatabase"]
 
@@ -153,6 +156,18 @@ class TreeDatabase:
     def features(self) -> Optional[FeatureStore]:
         """The shared feature plane, if one backs this database."""
         return self._features
+
+    def matrices(self) -> Optional["FeatureMatrices"]:
+        """Corpus-level matrix planes for vectorized candidate generation.
+
+        ``None`` when no feature store backs this database (prefitted
+        store-less filters) — callers then stay on the per-candidate
+        reference path.  The bundle re-syncs itself against the store, so
+        it remains valid across :meth:`add`.
+        """
+        if self._features is None:
+            return None
+        return self._features.matrices()
 
     @property
     def generation(self) -> int:

@@ -24,6 +24,7 @@ from typing import List, Optional, Sequence, Tuple
 
 from repro.editdist.zhang_shasha import EditDistanceCounter
 from repro.exceptions import QueryError
+from repro.features.matrix import FeatureMatrices, stable_order
 from repro.filters.base import LowerBoundFilter
 from repro.obs import tracing
 from repro.obs.funnel import FilterFunnel, FunnelStage, active_sink
@@ -39,6 +40,8 @@ def knn_query(
     k: int,
     flt: LowerBoundFilter,
     counter: Optional[EditDistanceCounter] = None,
+    *,
+    matrices: Optional[FeatureMatrices] = None,
 ) -> Tuple[List[Tuple[int, float]], SearchStats]:
     """The ``k`` database trees closest to ``query`` in edit distance.
 
@@ -47,6 +50,12 @@ def knn_query(
     index).  Distance ties at the ``k``-th position are resolved by keeping
     the first-processed object, like the paper's Algorithm 2 (heap
     replacement only on strictly better keys at capacity).
+
+    With ``matrices``, the ordering pass uses the filter's exact
+    vectorized bounds (:meth:`LowerBoundFilter.lower_bounds_matrix`)
+    when available — the values are identical to :meth:`bounds`, so the
+    optimal-stopping refined-candidate count cannot drift; filters
+    without an exact kernel fall back to the per-candidate loop.
     """
     if k < 1:
         raise QueryError(f"k must be >= 1, got {k}")
@@ -66,8 +75,19 @@ def knn_query(
     ) as root:
         start = time.perf_counter()
         with tracing.span(f"filter.{flt.name}"):
-            bounds = flt.bounds(query)
-            order = sorted(range(len(trees)), key=lambda index: (bounds[index], index))
+            vectorized = None
+            if matrices is not None:
+                vectorized = flt.lower_bounds_matrix(
+                    flt.signature(query), matrices
+                )
+            if vectorized is not None:
+                bounds: Sequence[float] = vectorized
+                order = stable_order(vectorized)
+            else:
+                bounds = flt.bounds(query)
+                order = sorted(
+                    range(len(trees)), key=lambda index: (bounds[index], index)
+                )
         stats.filter_seconds = time.perf_counter() - start
 
         # max-heap of (−distance, −index) so the worst current neighbor is on top

@@ -15,6 +15,7 @@ from typing import List, Optional, Sequence, Tuple
 
 from repro.editdist.zhang_shasha import EditDistanceCounter
 from repro.exceptions import QueryError
+from repro.features.matrix import FeatureMatrices, as_indices
 from repro.filters.base import LowerBoundFilter
 from repro.obs import tracing
 from repro.obs.funnel import FilterFunnel, FunnelStage, active_sink
@@ -30,6 +31,8 @@ def range_query(
     threshold: float,
     flt: LowerBoundFilter,
     counter: Optional[EditDistanceCounter] = None,
+    *,
+    matrices: Optional[FeatureMatrices] = None,
 ) -> Tuple[List[Tuple[int, float]], SearchStats]:
     """All trees with ``EDist(query, tree) ≤ threshold``.
 
@@ -46,6 +49,13 @@ def range_query(
     counter:
         Optional shared :class:`EditDistanceCounter` (reuses prepared trees
         across queries and accumulates the distance-computation count).
+    matrices:
+        Optional corpus-level matrix planes over the same trees.  When
+        given, the filter cascade runs vectorized (each funnel stage maps
+        the active-row set to its survivors via matrix kernels) instead
+        of per candidate — same survivor set, same stage names, same
+        funnel invariants; the loop below stays the reference
+        implementation.
 
     Returns
     -------
@@ -73,7 +83,34 @@ def range_query(
         start = time.perf_counter()
         with tracing.span("search.filter"):
             query_signature = flt.signature(query)
-            if not observing:
+            if matrices is not None:
+                rows: Sequence[int] = range(len(trees))
+                if not observing:
+                    for _, refute_rows in flt.matrix_funnel_components():
+                        rows = refute_rows(
+                            query_signature, threshold, rows, matrices
+                        )
+                else:
+                    for name, refute_rows in flt.matrix_funnel_components():
+                        with tracing.span(f"filter.{name}") as stage_span:
+                            entered = len(rows)
+                            stage_start = time.perf_counter()
+                            rows = refute_rows(
+                                query_signature, threshold, rows, matrices
+                            )
+                            stage_seconds = time.perf_counter() - stage_start
+                            stages.append(
+                                FunnelStage(
+                                    name, entered, len(rows), stage_seconds
+                                )
+                            )
+                            stage_span.set(
+                                entered=entered,
+                                survivors=len(rows),
+                                refuted=entered - len(rows),
+                            )
+                survivors = as_indices(rows)
+            elif not observing:
                 survivors = [
                     index
                     for index in range(len(trees))

@@ -3,6 +3,11 @@
 The paper's CPU-time comparison line: every query computes the exact edit
 distance against every database object.  These implementations are also the
 ground truth the integration tests compare the filtered algorithms against.
+
+There is deliberately no ``matrices`` parameter here: a sequential scan has
+no filter stage to vectorize — every object is refined exactly — so these
+baselines are identical under either ``candidate_source`` and stay the
+fixed reference the vectorized cascade is ultimately validated against.
 """
 
 from __future__ import annotations

@@ -36,7 +36,13 @@ from typing import List, Optional, Sequence, Tuple
 from repro.core.positional import PositionalProfile, search_lower_bound
 from repro.core.qlevel import qlevel_bound_factor
 from repro.editdist.zhang_shasha import EditDistanceCounter
-from repro.exceptions import QueryError
+from repro.exceptions import InvalidParameterError, QueryError
+from repro.features.matrix import (
+    FeatureMatrices,
+    branch_l1_counts,
+    ceil_div,
+    stable_order,
+)
 from repro.filters.binary_branch import BinaryBranchFilter
 from repro.obs import tracing
 from repro.obs.funnel import FilterFunnel, FunnelStage, active_sink
@@ -64,12 +70,20 @@ def tiered_knn_query(
     k: int,
     flt: BinaryBranchFilter,
     counter: Optional[EditDistanceCounter] = None,
+    *,
+    matrices: Optional[FeatureMatrices] = None,
 ) -> Tuple[List[Tuple[int, float]], SearchStats]:
     """k-NN with count-bound ordering and lazy positional tightening.
 
     ``flt`` must be a fitted :class:`BinaryBranchFilter` (its positional
     profiles serve both tiers).  Returns the same answer as
     :func:`repro.search.knn.knn_query` with that filter.
+
+    With ``matrices``, the cheap ordering tier runs as one matrix pass:
+    ``_count_bound`` is exactly ``⌈L1(branch counts)/factor⌉`` (each node
+    contributes one branch, and counts are the lengths of the positional
+    lists), so the vectorized values — and hence the scan order, stopping
+    point and refined count — are identical to the loop's.
     """
     if k < 1:
         raise QueryError(f"k must be >= 1, got {k}")
@@ -91,11 +105,31 @@ def tiered_knn_query(
         start = time.perf_counter()
         with tracing.span("filter.count-bound"):
             query_signature = flt.signature(query)
-            cheap = [
-                _count_bound(query_signature, flt.data_signature(index), factor)
-                for index in range(len(trees))
-            ]
-            order = sorted(range(len(trees)), key=lambda index: (cheap[index], index))
+            vectorized: Optional[Sequence[float]] = None
+            if matrices is not None:
+                try:
+                    counts = {
+                        branch: len(positions)
+                        for branch, positions in (
+                            query_signature.pre_positions.items()
+                        )
+                    }
+                    vectorized = ceil_div(
+                        branch_l1_counts(matrices, flt.q, counts, None), factor
+                    )
+                except InvalidParameterError:
+                    vectorized = None
+            if vectorized is not None:
+                cheap: Sequence[float] = vectorized
+                order = stable_order(vectorized)
+            else:
+                cheap = [
+                    _count_bound(query_signature, flt.data_signature(index), factor)
+                    for index in range(len(trees))
+                ]
+                order = sorted(
+                    range(len(trees)), key=lambda index: (cheap[index], index)
+                )
         stats.filter_seconds = time.perf_counter() - start
 
         heap: List[Tuple[float, int]] = []  # (-distance, -index) max-heap

@@ -58,7 +58,7 @@ from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.editdist.zhang_shasha import EditDistanceCounter, PreparedTreeCache
-from repro.exceptions import QueryError
+from repro.exceptions import InvalidParameterError, QueryError
 from repro.obs import tracing
 from repro.search.database import TreeDatabase
 from repro.search.knn import knn_query
@@ -232,6 +232,14 @@ class TreeSearchService:
     metrics:
         Optional externally owned :class:`ServiceMetrics` (e.g. one shared
         by several services); a private instance is created by default.
+    candidate_source:
+        How the filter stage generates candidates: ``"loop"`` — the pure
+        per-candidate reference path; ``"vectorized"`` — corpus-level
+        matrix kernels (requires a feature-store-backed database, raises
+        otherwise); ``"auto"`` (default) — vectorized when the database
+        has a feature store, loop otherwise.  Answers and refined-candidate
+        counts are bit-identical either way (pinned by the
+        ``search:vectorized-equivalence`` oracle).
     """
 
     def __init__(
@@ -241,10 +249,27 @@ class TreeSearchService:
         cache_size: int = 1024,
         prepared_cache_size: int = 8192,
         metrics: Optional[ServiceMetrics] = None,
+        candidate_source: str = "auto",
     ) -> None:
         if max_workers < 1:
             raise ValueError(f"max_workers must be >= 1, got {max_workers}")
+        if candidate_source not in ("auto", "loop", "vectorized"):
+            raise ValueError(
+                "candidate_source must be 'auto', 'loop' or 'vectorized', "
+                f"got {candidate_source!r}"
+            )
         self.database = database
+        self.candidate_source = candidate_source
+        if candidate_source == "loop":
+            self._matrices = None
+        else:
+            self._matrices = database.matrices()
+            if self._matrices is None and candidate_source == "vectorized":
+                raise InvalidParameterError(
+                    "candidate_source='vectorized' requires a database "
+                    "backed by a feature store (store-less prefitted "
+                    "filters have no matrix planes)"
+                )
         self.metrics = metrics if metrics is not None else ServiceMetrics()
         self.max_workers = max_workers
         self._cache = _ResultCache(cache_size)
@@ -434,6 +459,7 @@ class TreeSearchService:
                         request.threshold,
                         self.database.filter,
                         counter,
+                        matrices=self._matrices,
                     )
                 else:
                     matches, stats = knn_query(
@@ -442,6 +468,7 @@ class TreeSearchService:
                         request.k,
                         self.database.filter,
                         counter,
+                        matrices=self._matrices,
                     )
                 generation = self.database.generation
             finally:

@@ -176,6 +176,12 @@ class ShardedTreeService:
         Per-worker prepared-tree cache bound.
     metrics:
         Optional externally owned :class:`ServiceMetrics`.
+    candidate_source:
+        Forwarded to every worker (and to the ``shards=1`` delegate):
+        ``"loop"`` keeps the per-candidate reference path, ``"vectorized"``
+        /``"auto"`` run each shard's filter cascade over the matrix planes
+        it scatters zero-copy out of its shared-memory columns.  Answers
+        and refined-candidate counts are identical either way.
     """
 
     def __init__(
@@ -188,6 +194,7 @@ class ShardedTreeService:
         cache_size: int = 1024,
         prepared_cache_size: int = 8192,
         metrics: Optional[ServiceMetrics] = None,
+        candidate_source: str = "auto",
     ) -> None:
         if shards < 1:
             raise InvalidParameterError(f"need >= 1 shards, got {shards}")
@@ -196,8 +203,14 @@ class ShardedTreeService:
                 f"unknown filter {filter_name!r} "
                 f"(choose from {sorted(FILTER_FACTORIES)})"
             )
+        if candidate_source not in ("auto", "loop", "vectorized"):
+            raise InvalidParameterError(
+                "candidate_source must be 'auto', 'loop' or 'vectorized', "
+                f"got {candidate_source!r}"
+            )
         self.shards = shards
         self.filter_name = filter_name
+        self.candidate_source = candidate_source
         self._closed = False
         self._delegate: Optional[TreeSearchService] = None
 
@@ -212,6 +225,7 @@ class ShardedTreeService:
                 cache_size=cache_size,
                 prepared_cache_size=prepared_cache_size,
                 metrics=metrics,
+                candidate_source=candidate_source,
             )
             self.metrics = self._delegate.metrics
             return
@@ -258,6 +272,7 @@ class ShardedTreeService:
                     "plane": plane.handle,
                     "vocabulary": store.vocabulary,
                     "prepared_cache_size": prepared_cache_size,
+                    "candidate_source": candidate_source,
                 }
                 process = context.Process(
                     target=run_worker,

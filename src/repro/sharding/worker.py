@@ -86,6 +86,15 @@ class _ShardState:
         store = self.plane.store(payload["vocabulary"])
         flt = self._fit_filter(payload["filter"], store, trees)
         self.db = TreeDatabase(trees, flt=flt, feature_store=store)
+        #: corpus-level matrix planes over the attached store.  The dense
+        #: rows are scattered zero-copy out of the shared-memory columns
+        #: (np.frombuffer over the borrowed memoryviews — no intermediate
+        #: python lists); filters whose kernels need artifacts the plane
+        #: does not carry (histograms) fall back per stage to the loop.
+        if payload.get("candidate_source", "auto") == "loop":
+            self.matrices = None
+        else:
+            self.matrices = store.matrices()
         self.counter = EditDistanceCounter(
             UNIT_COSTS,
             cache=PreparedTreeCache(payload.get("prepared_cache_size", 4096)),
@@ -130,7 +139,8 @@ class _ShardState:
         if want_funnel:
             with collect_funnels() as sink:
                 matches, stats = range_query(
-                    self.db.trees, query, threshold, self.db.filter, self.counter
+                    self.db.trees, query, threshold, self.db.filter,
+                    self.counter, matrices=self.matrices,
                 )
             funnel = sink.funnels[0]
             stages = [
@@ -139,7 +149,8 @@ class _ShardState:
             ]
         else:
             matches, stats = range_query(
-                self.db.trees, query, threshold, self.db.filter, self.counter
+                self.db.trees, query, threshold, self.db.filter,
+                self.counter, matrices=self.matrices,
             )
         return {
             "matches": matches,
@@ -153,7 +164,19 @@ class _ShardState:
     def knn_begin(self, qid: int, bracket: str) -> Dict[str, Any]:
         query = parse_bracket(bracket)
         start = time.perf_counter()
-        bounds = self.db.filter.bounds(query)
+        bounds: Optional[List[float]] = None
+        flt = self.db.filter
+        if self.matrices is not None:
+            # exact vectorized bounds only — the coordinator's global
+            # optimal-stopping merge compares these values across shards,
+            # so an approximation would change refined-candidate counts
+            vectorized = flt.lower_bounds_matrix(
+                flt.signature(query), self.matrices
+            )
+            if vectorized is not None:
+                bounds = [float(value) for value in vectorized]
+        if bounds is None:
+            bounds = flt.bounds(query)
         order = sorted(range(len(bounds)), key=lambda index: (bounds[index], index))
         filter_seconds = time.perf_counter() - start
         self._knn[qid] = (query, order, bounds)

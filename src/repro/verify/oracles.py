@@ -30,6 +30,11 @@ Each oracle audits one class of invariant over a
     zero re-extraction.
 ``search:completeness``
     Filter-and-refine range/k-NN answers equal brute-force sequential scans.
+``search:vectorized-equivalence``
+    The corpus-level matrix candidate funnel (:mod:`repro.features.matrix`)
+    returns bit-identical answers and identical refined-candidate counts to
+    the per-candidate loop — per filter family, in the tiered k-NN, and
+    through vectorized shard workers — including under interleaved adds.
 ``service:cache-transparency``
     Under interleaved add/query traffic, every answer the (caching,
     selectively-invalidating) service returns equals a cold answer
@@ -991,6 +996,234 @@ class ShardKnnOptimalityOracle(Oracle):
 
 
 # ----------------------------------------------------------------------
+# search:vectorized-equivalence — matrix kernels equal the loop path
+# ----------------------------------------------------------------------
+class VectorizedEquivalenceOracle(Oracle):
+    """The vectorized candidate funnel is answer- and effort-identical.
+
+    Three legs, all replaying interleaved add/query traffic so the
+    incremental plane sync (row appends + vocabulary widening) is on the
+    hook, not just the cold build:
+
+    * **single-process**: per filter family, every scheduled range/k-NN
+      query is answered twice over the same fitted filter — once with
+      ``matrices=None`` (the pure per-candidate reference path) and once
+      over :class:`~repro.features.matrix.FeatureMatrices` — and must
+      return identical matches **and** an identical refined-candidate
+      count (``stats.candidates``), so the matrix cascade prunes exactly
+      the loop's refutations, never more, never fewer.
+    * **tiered**: :func:`~repro.search.tiered_knn.tiered_knn_query`'s
+      cheap ordering tier vectorized vs loop — same neighbours, same
+      refined count (the ⌈L1/factor⌉ ≡ ``_count_bound`` identity).
+    * **sharded**: a :class:`~repro.sharding.coordinator.ShardedTreeService`
+      pinned to ``candidate_source="vectorized"`` (planes scattered
+      zero-copy from shared memory) against a fresh loop-path reference
+      database at every schedule step.
+    """
+
+    name = "search:vectorized-equivalence"
+    description = "matrix candidate generation equals the per-candidate loop"
+
+    _FAMILIES: Sequence[Tuple[str, Callable[[], LowerBoundFilter]]] = (
+        ("BiBranch", BinaryBranchFilter),
+        ("BiBranchCount", BranchCountFilter),
+        ("Histo", HistogramFilter),
+        (
+            "HistoFolded",
+            lambda: HistogramFilter(label_bins=4, degree_bins=4, height_cap=4),
+        ),
+        ("SizeDiff", SizeDifferenceFilter),
+        (
+            "Composite",
+            lambda: MaxCompositeFilter(
+                [BranchCountFilter(), SizeDifferenceFilter(), HistogramFilter()]
+            ),
+        ),
+    )
+    _SHARD_CONFIGS = (
+        (2, "round-robin", "bibranch"),
+        (2, "size-banded", "bibranchcount"),
+    )
+
+    def run(self, corpus: VerifyCorpus, distance: DistanceFn) -> OracleOutcome:
+        from repro.search.database import TreeDatabase
+        from repro.search.knn import knn_query
+        from repro.search.range_query import range_query
+        from repro.search.tiered_knn import tiered_knn_query
+
+        outcome = OracleOutcome(self.name)
+
+        def record(message: str, query: TreeNode, details: Dict) -> None:
+            outcome.record(
+                Violation(
+                    oracle=self.name, message=message, t1=query, details=details
+                )
+            )
+
+        # --- single-process leg: every family, loop vs matrices --------
+        for label, factory in self._FAMILIES:
+            shadow: List[TreeNode] = list(corpus.trees)
+            flt = factory().fit(shadow)
+            store = FeatureStore(flt.required_q_levels() or (2,)).fit(shadow)
+            matrices = store.matrices()
+            for step, entry in enumerate(corpus.service_schedule):
+                if entry[0] == "add":
+                    shadow.append(entry[1])
+                    flt.add(entry[1])
+                    store.add(entry[1])
+                    continue
+                _, kind, query, parameter = entry
+                outcome.checks += 1
+                if kind == "range":
+                    loop_answer, loop_stats = range_query(
+                        shadow, query, parameter, flt
+                    )
+                    fast_answer, fast_stats = range_query(
+                        shadow, query, parameter, flt, matrices=matrices
+                    )
+                else:
+                    k = min(int(parameter), len(shadow))
+                    loop_answer, loop_stats = knn_query(shadow, query, k, flt)
+                    fast_answer, fast_stats = knn_query(
+                        shadow, query, k, flt, matrices=matrices
+                    )
+                problem = None
+                if fast_answer != loop_answer:
+                    problem = "answers differ"
+                elif fast_stats.candidates != loop_stats.candidates:
+                    problem = (
+                        f"vectorized refined {fast_stats.candidates} "
+                        f"candidates, loop refined {loop_stats.candidates}"
+                    )
+                if problem is not None:
+                    record(
+                        f"{label} {kind} at schedule step {step}: {problem}",
+                        query,
+                        {
+                            "filter": label,
+                            "kind": kind,
+                            "step": step,
+                            "parameter": parameter,
+                            "loop": loop_answer,
+                            "vectorized": fast_answer,
+                            "loop_candidates": loop_stats.candidates,
+                            "vectorized_candidates": fast_stats.candidates,
+                        },
+                    )
+
+        # --- tiered leg: count-bound tier vectorized vs loop -----------
+        shadow = list(corpus.trees)
+        flt = BinaryBranchFilter().fit(shadow)
+        store = FeatureStore(flt.required_q_levels() or (2,)).fit(shadow)
+        matrices = store.matrices()
+        queries = [pair.t2 for pair in corpus.pairs[:6]]
+        extra = corpus.trees[0]
+        for phase in ("fit", "add"):
+            if phase == "add":
+                clone = extra.clone()
+                shadow.append(clone)
+                flt.add(clone)
+                store.add(clone)
+            for query in queries:
+                for k in (1, 3):
+                    if k > len(shadow):
+                        continue
+                    outcome.checks += 1
+                    loop_answer, loop_stats = tiered_knn_query(
+                        shadow, query, k, flt
+                    )
+                    fast_answer, fast_stats = tiered_knn_query(
+                        shadow, query, k, flt, matrices=matrices
+                    )
+                    if (
+                        fast_answer != loop_answer
+                        or fast_stats.candidates != loop_stats.candidates
+                    ):
+                        record(
+                            f"tiered knn(k={k}) after {phase}: vectorized "
+                            f"tier diverged from loop",
+                            query,
+                            {
+                                "k": k,
+                                "phase": phase,
+                                "loop": loop_answer,
+                                "vectorized": fast_answer,
+                                "loop_candidates": loop_stats.candidates,
+                                "vectorized_candidates": fast_stats.candidates,
+                            },
+                        )
+
+        # --- sharded leg: vectorized workers vs loop reference ----------
+        from repro.sharding.coordinator import ShardedTreeService
+        from repro.sharding.worker import FILTER_FACTORIES
+
+        for shards, partitioner, filter_name in self._SHARD_CONFIGS:
+            shadow = list(corpus.trees)
+            service = ShardedTreeService(
+                shadow,
+                shards=shards,
+                partitioner=partitioner,
+                filter_name=filter_name,
+                max_workers=1,
+                candidate_source="vectorized",
+            )
+            try:
+                for step, entry in enumerate(corpus.service_schedule):
+                    if entry[0] == "add":
+                        service.add(entry[1])
+                        shadow.append(entry[1])
+                        continue
+                    _, kind, query, parameter = entry
+                    outcome.checks += 1
+                    reference = TreeDatabase(
+                        list(shadow), flt=FILTER_FACTORIES[filter_name]()
+                    )
+                    if kind == "range":
+                        served, stats = service.range(query, parameter)
+                        expected, ref_stats = range_query(
+                            reference.trees, query, parameter,
+                            reference.filter, reference.counter,
+                        )
+                    else:
+                        k = min(int(parameter), len(shadow))
+                        served, stats = service.knn(query, k)
+                        expected, ref_stats = knn_query(
+                            reference.trees, query, k,
+                            reference.filter, reference.counter,
+                        )
+                    problem = None
+                    if served != expected:
+                        problem = "answers differ"
+                    elif stats.candidates != ref_stats.candidates:
+                        problem = (
+                            f"vectorized shards refined {stats.candidates} "
+                            f"candidates, loop refined {ref_stats.candidates}"
+                        )
+                    if problem is not None:
+                        record(
+                            f"{kind} over {shards} {partitioner}/"
+                            f"{filter_name} vectorized shards at schedule "
+                            f"step {step}: {problem}",
+                            query,
+                            {
+                                "step": step,
+                                "kind": kind,
+                                "parameter": parameter,
+                                "shards": shards,
+                                "partitioner": partitioner,
+                                "filter": filter_name,
+                                "served": served,
+                                "expected": expected,
+                                "served_candidates": stats.candidates,
+                                "expected_candidates": ref_stats.candidates,
+                            },
+                        )
+            finally:
+                service.close()
+        return outcome
+
+
+# ----------------------------------------------------------------------
 # obs:funnel-consistency — telemetry vs independent recount
 # ----------------------------------------------------------------------
 class FunnelConsistencyOracle(Oracle):
@@ -1167,6 +1400,7 @@ ORACLE_FACTORIES["features:packed-l1"] = PackedVectorOracle
 ORACLE_FACTORIES["store:identity"] = lambda: StoreIdentityOracle(_STORE_FILTERS)
 ORACLE_FACTORIES["storage:roundtrip"] = RoundTripOracle
 ORACLE_FACTORIES["search:completeness"] = SearchCompletenessOracle
+ORACLE_FACTORIES["search:vectorized-equivalence"] = VectorizedEquivalenceOracle
 ORACLE_FACTORIES["service:cache-transparency"] = ServiceCacheOracle
 ORACLE_FACTORIES["service:shard-equivalence"] = ShardEquivalenceOracle
 ORACLE_FACTORIES["shard:knn-optimality"] = ShardKnnOptimalityOracle

@@ -1,0 +1,279 @@
+"""Tests for the corpus-level matrix planes (repro.features.matrix).
+
+The load-bearing property: for every filter family, the vectorized
+``refute_rows`` cascade keeps exactly the rows the per-candidate loop
+keeps — on random corpora, including after incremental adds — and the
+exact ``lower_bounds_matrix`` kernels return exactly ``bounds``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import InvalidParameterError
+from repro.features.io import (
+    load_feature_plane,
+    load_matrix_sidecar,
+    matrix_sidecar_path,
+    save_feature_plane,
+)
+from repro.features.matrix import FeatureMatrices, MatrixPlane
+from repro.features.store import FeatureStore
+from repro.filters.binary_branch import BinaryBranchFilter, BranchCountFilter
+from repro.filters.composite import MaxCompositeFilter, SizeDifferenceFilter
+from repro.filters.histogram import (
+    DegreeHistogramFilter,
+    HistogramFilter,
+    LabelHistogramFilter,
+)
+from repro.trees.parse import parse_bracket
+
+from tests.strategies import trees
+
+FAMILIES = [
+    ("bibranch", BinaryBranchFilter),
+    ("bibranchcount", BranchCountFilter),
+    ("histogram", HistogramFilter),
+    (
+        "histogram-folded",
+        lambda: HistogramFilter(label_bins=3, degree_bins=3, height_cap=3),
+    ),
+    ("histo-label", LabelHistogramFilter),
+    ("histo-degree", DegreeHistogramFilter),
+    ("sizediff", SizeDifferenceFilter),
+    (
+        "composite",
+        lambda: MaxCompositeFilter(
+            [BranchCountFilter(), SizeDifferenceFilter(), HistogramFilter()]
+        ),
+    ),
+]
+
+
+def _loop_survivors(flt, query_signature, threshold, count):
+    return [
+        index
+        for index in range(count)
+        if not flt.refutes(query_signature, flt.data_signature(index), threshold)
+    ]
+
+
+# ----------------------------------------------------------------------
+# MatrixPlane unit behavior
+# ----------------------------------------------------------------------
+class TestMatrixPlane:
+    def test_append_grows_both_axes(self):
+        plane = MatrixPlane("t")
+        for row in range(20):
+            plane.append([row], [row + 1])
+        assert plane.rows == 20
+        assert plane.width == 20
+        assert plane.matrix[7, 7] == 8
+        assert plane.matrix[7, 3] == 0
+        assert plane.row_totals[7] == 8
+
+    def test_append_unsorted_dims(self):
+        plane = MatrixPlane("t")
+        plane.append([5, 1, 9], [2, 3, 4])
+        assert plane.width == 10
+        assert plane.matrix[0, 9] == 4
+        assert plane.row_totals[0] == 9
+
+    def test_widen_exposes_zero_columns(self):
+        plane = MatrixPlane("t")
+        plane.append([0], [7])
+        plane.ensure_width(100)
+        assert plane.width == 100
+        assert plane.matrix.shape == (1, 100)
+        assert plane.matrix[0, 99] == 0
+
+    def test_explicit_total_overrides_sum(self):
+        plane = MatrixPlane("t")
+        plane.append([0, 1], [1, 1], total=5)
+        assert plane.row_totals[0] == 5
+
+    def test_l1_matches_dict_l1(self):
+        plane = MatrixPlane("t")
+        rows = [{0: 2, 3: 1}, {1: 4}, {0: 1, 1: 1, 2: 1}]
+        for counts in rows:
+            plane.append(list(counts), list(counts.values()))
+        query = {0: 1, 2: 2, 7: 3}  # dim 7 is outside the plane
+
+        def dict_l1(a, b):
+            keys = set(a) | set(b)
+            return sum(abs(a.get(k, 0) - b.get(k, 0)) for k in keys)
+
+        dims = np.array([0, 2], dtype=np.int64)
+        counts = np.array([1, 2], dtype=np.int64)
+        got = plane.l1(dims, counts, total=6)
+        expected = [dict_l1(query, row) for row in rows]
+        assert list(got) == expected
+        # row-subset gather agrees with the full pass
+        got_subset = plane.l1(dims, counts, total=6, rows=[2, 0])
+        assert list(got_subset) == [expected[2], expected[0]]
+
+    def test_adopt_rejects_misaligned(self):
+        plane = MatrixPlane("t")
+        with pytest.raises(InvalidParameterError):
+            plane.adopt(np.zeros((3, 2)), np.zeros(2))
+
+
+# ----------------------------------------------------------------------
+# Survivor-set equivalence: matrix cascade == per-candidate loop
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("label,factory", FAMILIES)
+@settings(max_examples=25, deadline=None)
+@given(
+    corpus=st.lists(trees(max_leaves=6), min_size=3, max_size=8),
+    added=st.lists(trees(max_leaves=6), min_size=0, max_size=3),
+    query=trees(max_leaves=6),
+    threshold=st.sampled_from([0.0, 1.0, 2.0, 4.0]),
+)
+def test_refute_rows_equals_loop(label, factory, corpus, added, query, threshold):
+    flt = factory().fit(corpus)
+    store = FeatureStore(flt.required_q_levels() or (2,)).fit(corpus)
+    matrices = store.matrices()
+    for phase_trees in ([], added):
+        for tree in phase_trees:
+            flt.add(tree)
+            store.add(tree)
+        count = flt.size
+        query_signature = flt.signature(query)
+        expected = _loop_survivors(flt, query_signature, threshold, count)
+        got = list(
+            flt.refute_rows(query_signature, threshold, range(count), matrices)
+        )
+        assert [int(i) for i in got] == expected, (
+            f"{label}: matrix survivors diverge at τ={threshold}"
+        )
+
+
+@pytest.mark.parametrize(
+    "label,factory",
+    [
+        ("bibranchcount", BranchCountFilter),
+        ("sizediff", SizeDifferenceFilter),
+        ("histo-label", LabelHistogramFilter),
+        ("histo-degree", DegreeHistogramFilter),
+        (
+            "composite",
+            lambda: MaxCompositeFilter(
+                [BranchCountFilter(), SizeDifferenceFilter()]
+            ),
+        ),
+    ],
+)
+@settings(max_examples=25, deadline=None)
+@given(
+    corpus=st.lists(trees(max_leaves=6), min_size=3, max_size=8),
+    query=trees(max_leaves=6),
+)
+def test_lower_bounds_matrix_exact(label, factory, corpus, query):
+    """Exact kernels must reproduce ``bounds`` to the last bit (knn rule)."""
+    flt = factory().fit(corpus)
+    store = FeatureStore(flt.required_q_levels() or (2,)).fit(corpus)
+    matrices = store.matrices()
+    query_signature = flt.signature(query)
+    vectorized = flt.lower_bounds_matrix(query_signature, matrices)
+    assert vectorized is not None, f"{label}: kernel unexpectedly unavailable"
+    assert [float(v) for v in vectorized] == [
+        float(b) for b in flt.bounds(query)
+    ]
+
+
+def test_folded_histogram_falls_back_to_loop():
+    corpus = [parse_bracket(b) for b in ["a(b,c)", "a(b(c,d))", "e"]]
+    flt = HistogramFilter(label_bins=2, degree_bins=2, height_cap=2).fit(corpus)
+    store = FeatureStore((2,)).fit(corpus)
+    query = parse_bracket("a(b)")
+    signature = flt.signature(query)
+    got = list(flt.refute_rows(signature, 1.0, range(3), store.matrices()))
+    assert got == _loop_survivors(flt, signature, 1.0, 3)
+    assert flt.lower_bounds_matrix(signature, store.matrices()) is None
+
+
+def test_standalone_filter_translates_vocabulary():
+    """A filter fitted outside the store still gets loop-identical values."""
+    corpus = [parse_bracket(b) for b in ["a(b,c)", "x(y)", "a(b(c))", "d"]]
+    flt = BranchCountFilter().fit(corpus)  # own vocabulary
+    store = FeatureStore((2,)).fit(list(reversed(corpus)))  # different ids
+    matrices = store.matrices()
+    query = parse_bracket("a(b,z)")
+    signature = flt.signature(query)
+    vectorized = flt.lower_bounds_matrix(signature, matrices)
+    # the store indexes the corpus reversed, so compare per-tree by content
+    reference = BranchCountFilter().fit(list(reversed(corpus)))
+    assert [float(v) for v in vectorized] == [
+        float(b) for b in reference.bounds(query)
+    ]
+
+
+# ----------------------------------------------------------------------
+# FeatureMatrices sync + stats
+# ----------------------------------------------------------------------
+def test_matrices_sync_after_add():
+    store = FeatureStore((2,)).fit([parse_bracket("a(b)"), parse_bracket("c")])
+    matrices = store.matrices()
+    assert matrices.branch_plane(2).rows == 2
+    store.add(parse_bracket("a(b,c)"))
+    assert matrices.branch_plane(2).rows == 3
+    assert len(matrices.size_column()) == 3
+    assert int(matrices.size_column()[2]) == 3
+
+
+def test_stats_reports_every_family():
+    store = FeatureStore((2,)).fit(
+        [parse_bracket("a(b,c)"), parse_bracket("a(b(d))")]
+    )
+    stats = store.matrices().stats()
+    assert set(stats) == {
+        "branch-q2", "histogram-labels", "histogram-degrees", "sizes"
+    }
+    for shape in stats.values():
+        assert shape["rows"] == 2
+        assert shape["dtype"] == "int64"
+        assert shape["bytes"] > 0
+
+
+# ----------------------------------------------------------------------
+# Sidecar persistence
+# ----------------------------------------------------------------------
+def test_sidecar_roundtrip(tmp_path):
+    corpus = [parse_bracket(b) for b in ["a(b,c)", "a(b(d),c)", "x(y,z(w))"]]
+    store = FeatureStore((2,)).fit(corpus)
+    fresh = store.matrices().branch_plane(2)
+    path = tmp_path / "plane.json"
+    save_feature_plane(store, str(path))
+    assert (tmp_path / "plane.json.matrices.npz").exists()
+    assert matrix_sidecar_path(str(path)).endswith(".matrices.npz")
+
+    restored = load_feature_plane(str(path))
+    adopted = restored.matrices().branch_plane(2)
+    assert np.array_equal(adopted.matrix, fresh.matrix)
+    assert np.array_equal(adopted.row_totals, fresh.row_totals)
+    # incremental add keeps working on an adopted plane
+    restored.add(parse_bracket("q(r)"))
+    assert restored.matrices().branch_plane(2).rows == 4
+
+
+def test_stale_sidecar_is_rejected(tmp_path):
+    corpus = [parse_bracket(b) for b in ["a(b)", "c(d)"]]
+    store = FeatureStore((2,)).fit(corpus)
+    path = tmp_path / "plane.json"
+    save_feature_plane(store, str(path))
+    other = FeatureStore((2,)).fit(corpus + [parse_bracket("e")])
+    assert load_matrix_sidecar(other, str(path)) is False
+
+
+def test_missing_sidecar_rebuilds_lazily(tmp_path):
+    corpus = [parse_bracket(b) for b in ["a(b)", "c(d)"]]
+    store = FeatureStore((2,)).fit(corpus)
+    path = tmp_path / "plane.json"
+    save_feature_plane(store, str(path))
+    (tmp_path / "plane.json.matrices.npz").unlink()
+    restored = load_feature_plane(str(path))
+    rebuilt = restored.matrices().branch_plane(2)
+    assert np.array_equal(rebuilt.matrix, store.matrices().branch_plane(2).matrix)
