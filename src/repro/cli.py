@@ -10,6 +10,8 @@ Commands
 ``search``     range or k-NN query over a dataset file
 ``features``   build (``features build``) or inspect (``features stats``)
                a dataset's shared feature plane
+``index``      build (``index build``) or inspect (``index stats``) a
+               sublinear candidate-index sidecar over a feature plane
 ``serve-bench``  replay synthetic query traffic through TreeSearchService
 ``trace``      run one query fully traced: span tree + filter funnel
 ``metrics``    dump the process-wide metrics registry (Prometheus text)
@@ -36,6 +38,7 @@ from repro.filters import (
     HistogramFilter,
     TraversalStringFilter,
 )
+from repro.index import CANDIDATE_SOURCES, INDEX_KINDS
 from repro.search import knn_query, range_query, similarity_self_join
 from repro.sharding.partition import PARTITIONERS
 from repro.storage import load_forest, load_xml_directory, save_forest
@@ -129,11 +132,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     search.add_argument(
         "--candidate-source",
-        choices=["auto", "loop", "vectorized"],
+        choices=list(CANDIDATE_SOURCES),
         default="auto",
         help="candidate generation path: 'loop' scores per candidate, "
         "'vectorized' runs the filter cascade over corpus-level matrix "
-        "planes, 'auto' vectorizes when a feature store is available",
+        "planes, 'vptree'/'ifi' prune candidates through a BDist metric "
+        "index first, 'auto' vectorizes when a feature store is available",
     )
     search.add_argument(
         "--stats-json",
@@ -176,6 +180,45 @@ def build_parser() -> argparse.ArgumentParser:
         "stats", help="summary counters of a feature-plane JSON file"
     )
     features_stats.add_argument("file", help="feature-plane JSON file")
+
+    index_cmd = commands.add_parser(
+        "index",
+        help="build or inspect a sublinear candidate-index sidecar "
+        "(<plane>.index.json) over a feature plane",
+    )
+    index_commands = index_cmd.add_subparsers(dest="index_command", required=True)
+    index_build = index_commands.add_parser(
+        "build",
+        help="build a candidate index over a feature-plane JSON and "
+        "persist its sidecar next to the plane",
+    )
+    index_build.add_argument(
+        "file", help="feature-plane JSON file (see `features build`)"
+    )
+    index_build.add_argument(
+        "--kind", choices=list(INDEX_KINDS), default="vptree"
+    )
+    index_build.add_argument(
+        "--q",
+        type=int,
+        default=None,
+        help="branch level to index (default: the plane's first level)",
+    )
+    index_stats = index_commands.add_parser(
+        "stats",
+        help="structural counters of the index over a feature-plane JSON "
+        "(restored from the sidecar when present and fresh, else built)",
+    )
+    index_stats.add_argument("file", help="feature-plane JSON file")
+    index_stats.add_argument(
+        "--kind", choices=list(INDEX_KINDS), default="vptree"
+    )
+    index_stats.add_argument(
+        "--q",
+        type=int,
+        default=None,
+        help="branch level to index (default: the plane's first level)",
+    )
 
     serve_bench = commands.add_parser(
         "serve-bench",
@@ -224,11 +267,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve_bench.add_argument(
         "--candidate-source",
-        choices=["auto", "loop", "vectorized"],
+        choices=list(CANDIDATE_SOURCES),
         default="auto",
         help="candidate generation path for the service (and each shard "
         "worker): 'loop' per-candidate, 'vectorized' matrix cascade, "
-        "'auto' vectorize when possible",
+        "'vptree'/'ifi' metric-index pruning, 'auto' vectorize when "
+        "possible",
     )
     serve_bench.add_argument(
         "--json",
@@ -533,23 +577,32 @@ def _cmd_search(args) -> int:
                     if args.candidate_source == "loop"
                     else database.matrices()
                 )
-                if args.candidate_source == "vectorized" and matrices is None:
+                if (
+                    args.candidate_source not in ("auto", "loop")
+                    and matrices is None
+                ):
                     print(
                         f"repro: error: filter {args.filter!r} has no "
-                        "feature store to vectorize over",
+                        "feature store for candidate source "
+                        f"{args.candidate_source!r}",
                         file=sys.stderr,
                     )
                     return 2
+                index = (
+                    database.candidate_index(args.candidate_source)
+                    if args.candidate_source in INDEX_KINDS
+                    else None
+                )
                 flt = database.filter
                 if args.range_threshold is not None:
                     matches, stats = range_query(
                         trees, query, args.range_threshold, flt,
-                        database.counter, matrices=matrices,
+                        database.counter, matrices=matrices, index=index,
                     )
                 else:
                     matches, stats = knn_query(
                         trees, query, args.knn_k, flt,
-                        database.counter, matrices=matrices,
+                        database.counter, matrices=matrices, index=index,
                     )
     finally:
         if tracer is not None:
@@ -597,6 +650,30 @@ def _cmd_features(args) -> int:
             f"matrix.{family}: rows={shape['rows']} width={shape['width']} "
             f"dtype={shape['dtype']} bytes={shape['bytes']}"
         )
+    return 0
+
+
+def _cmd_index(args) -> int:
+    from repro.features import load_feature_plane
+    from repro.index import build_candidate_index
+    from repro.index.io import load_index_sidecar, save_index_sidecar
+
+    store = load_feature_plane(args.file)
+    if args.index_command == "build":
+        index = build_candidate_index(args.kind, store, args.q)
+        sidecar = save_index_sidecar(index, args.file)
+        print(
+            f"wrote {index.kind} index over {len(index)} trees "
+            f"(q={index.q}) to {sidecar}"
+        )
+        return 0
+    index = load_index_sidecar(store, args.file, kind=args.kind)
+    restored = index is not None
+    if index is None:
+        index = build_candidate_index(args.kind, store, args.q)
+    print(f"restored_from_sidecar: {restored}")
+    for key, value in index.stats().items():
+        print(f"{key}: {value}")
     return 0
 
 
@@ -942,6 +1019,7 @@ _HANDLERS = {
     "stats": _cmd_stats,
     "search": _cmd_search,
     "features": _cmd_features,
+    "index": _cmd_index,
     "serve-bench": _cmd_serve_bench,
     "trace": _cmd_trace,
     "metrics": _cmd_metrics,

@@ -34,6 +34,8 @@ from __future__ import annotations
 
 import json
 import os
+import warnings
+import zipfile
 from collections import Counter
 from typing import Dict, List, Union
 
@@ -53,12 +55,32 @@ __all__ = [
     "matrix_sidecar_path",
     "save_matrix_sidecar",
     "load_matrix_sidecar",
+    "sidecar_fallback",
 ]
 
 _FORMAT = "repro-features"
 _VERSION = 1
 
 PathLike = Union[str, os.PathLike]
+
+
+def sidecar_fallback(sidecar: str, reason: str) -> None:
+    """Record that a sidecar was ignored in favour of a lazy rebuild.
+
+    Sidecars (the ``.matrices.npz`` dense planes, the ``.index.json``
+    candidate index) are strictly accelerators: a corrupt or stale one is
+    skipped, never fatal.  That degradation must still be *observable* —
+    this bumps ``repro_sidecar_fallback_total{sidecar,reason}`` on the
+    process-wide registry so a fleet silently rebuilding on every load
+    shows up on dashboards instead of only in latency.
+    """
+    from repro.obs.metrics import get_registry
+
+    get_registry().counter(
+        "repro_sidecar_fallback_total",
+        "sidecar files ignored (corrupt/stale/version) in favour of rebuild",
+        ("sidecar", "reason"),
+    ).inc(sidecar=sidecar, reason=reason)
 
 
 def matrix_sidecar_path(path: PathLike) -> str:
@@ -159,24 +181,37 @@ def load_matrix_sidecar(store: FeatureStore, path: PathLike) -> bool:
     sidecar = matrix_sidecar_path(path)
     if not os.path.exists(sidecar):
         return False
-    with np.load(sidecar) as data:
-        meta = data["meta"]
-        if (
-            int(meta[0]) != _VERSION
-            or int(meta[1]) != store.generation
-            or int(meta[2]) != len(store)
-        ):
-            return False
-        if tuple(int(q) for q in data["q_levels"]) != store.q_levels:
-            return False
-        for q in store.q_levels:
-            key = f"branch_q{q}"
-            if key not in data or f"{key}_totals" not in data:
+    try:
+        with np.load(sidecar) as data:
+            meta = data["meta"]
+            if int(meta[0]) != _VERSION:
+                sidecar_fallback("matrices", "version")
                 return False
-        for q in store.q_levels:
-            store.matrices().adopt_branch_plane(
-                q, data[f"branch_q{q}"], data[f"branch_q{q}_totals"]
-            )
+            if int(meta[1]) != store.generation or int(meta[2]) != len(store):
+                sidecar_fallback("matrices", "stale")
+                return False
+            if tuple(int(q) for q in data["q_levels"]) != store.q_levels:
+                sidecar_fallback("matrices", "stale")
+                return False
+            for q in store.q_levels:
+                key = f"branch_q{q}"
+                if key not in data or f"{key}_totals" not in data:
+                    sidecar_fallback("matrices", "stale")
+                    return False
+            for q in store.q_levels:
+                store.matrices().adopt_branch_plane(
+                    q, data[f"branch_q{q}"], data[f"branch_q{q}_totals"]
+                )
+    except (OSError, ValueError, KeyError, IndexError, zipfile.BadZipFile) as error:
+        # truncated/garbled archive: np.load (zip layer) raises a mix of
+        # these depending on where the corruption sits — never fatal, the
+        # planes rebuild lazily exactly as if the sidecar were absent
+        warnings.warn(
+            f"ignoring corrupt matrix sidecar {sidecar}: {error}",
+            stacklevel=2,
+        )
+        sidecar_fallback("matrices", "corrupt")
+        return False
     return True
 
 

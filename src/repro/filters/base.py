@@ -63,6 +63,15 @@ class LowerBoundFilter(ABC, Generic[Signature]):
     #: Whether this filter can derive its signatures from a FeatureStore.
     supports_store: bool = False
 
+    #: Whether ``bound(q, d) ≥ ⌈BDist_q(q, d) / (4(q−1)+1)⌉`` holds row by
+    #: row at this filter's own ``q`` level.  Index-accelerated k-NN
+    #: (:mod:`repro.index.ordering`) relies on exactly this dominance to
+    #: reorder an ascending-BDist stream into the reference ``(bound, row)``
+    #: order lazily; filters that cannot guarantee it (histogram,
+    #: traversal, size) leave it False and k-NN ignores the index for
+    #: them — answers are unaffected, only the ordering pass stays linear.
+    bdist_dominant: bool = False
+
     def __init__(self) -> None:
         self._signatures: List[Signature] = []
         self._fitted = False

@@ -61,6 +61,10 @@ class BinaryBranchFilter(LowerBoundFilter[PositionalProfile]):
     """
 
     supports_store = True
+    #: SearchLBound starts its binary search at ``max(⌈BDist/factor⌉,
+    #: size difference)`` and only ever moves up, so it dominates the
+    #: count bound at this q — which licenses index-accelerated k-NN.
+    bdist_dominant = True
 
     def __init__(self, q: int = 2, exact_matching: bool = False) -> None:
         super().__init__()
@@ -148,6 +152,8 @@ class BranchCountFilter(LowerBoundFilter[PackedVector]):
     """
 
     supports_store = True
+    #: the bound *is* ``⌈BDist/factor⌉`` — dominance holds with equality
+    bdist_dominant = True
 
     def __init__(self, q: int = 2) -> None:
         super().__init__()

@@ -1,0 +1,130 @@
+"""Persistence of a candidate index next to its feature plane.
+
+The VP-tree costs Θ(n log n) BDist evaluations to build; persisting its
+shape next to the feature plane (``<plane>.index.json``) lets a reloaded
+database answer its first indexed query without paying that again.  The
+sidecar follows the same strict-accelerator contract as the matrix
+sidecar (:mod:`repro.features.io`): it is validated against the live
+store — format, version, kind, q level, generation, tree count — and a
+corrupt or stale sidecar is *ignored* (warning + the
+``repro_sidecar_fallback_total`` metric), never fatal; the index is then
+rebuilt lazily from the store.
+
+The IFI persists no payload: its build is a single linear pass over the
+packed vectors, cheaper than parsing a JSON copy of its postings.  A
+sidecar of kind ``ifi`` therefore only records that the plane had an IFI
+attached; loading it re-derives the postings from the store.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import warnings
+from typing import Optional, Union
+
+from repro.features.io import sidecar_fallback
+from repro.features.store import FeatureStore
+
+from repro.index.base import CandidateIndex
+
+__all__ = [
+    "index_sidecar_path",
+    "save_index_sidecar",
+    "load_index_sidecar",
+]
+
+_FORMAT = "repro-index"
+_VERSION = 1
+
+PathLike = Union[str, os.PathLike]
+
+
+def index_sidecar_path(path: PathLike) -> str:
+    """Where the candidate-index sidecar of plane ``path`` lives."""
+    return f"{os.fspath(path)}.index.json"
+
+
+def save_index_sidecar(index: CandidateIndex, path: PathLike) -> str:
+    """Persist ``index`` next to the feature plane at ``path``.
+
+    The index must be synced (a stale one would stamp a generation it
+    does not reflect).  Returns the sidecar path.
+    """
+    if index.stale():
+        index.sync()
+    document = {
+        "format": _FORMAT,
+        "version": _VERSION,
+        "kind": index.kind,
+        "q": index.q,
+        "generation": index._generation,
+        "trees": len(index),
+        "structure": index.structure(),
+    }
+    sidecar = index_sidecar_path(path)
+    with open(sidecar, "w", encoding="utf-8") as handle:
+        json.dump(document, handle)
+    return sidecar
+
+
+def load_index_sidecar(
+    store: FeatureStore, path: PathLike, kind: Optional[str] = None
+) -> Optional[CandidateIndex]:
+    """Restore the candidate index persisted next to plane ``path``.
+
+    Returns ``None`` — after bumping the fallback metric where a sidecar
+    exists but cannot be used — when the sidecar is missing, corrupt, of
+    an unexpected ``kind``, or stale relative to ``store``.  Callers fall
+    back to building the index fresh from the store.
+    """
+    sidecar = index_sidecar_path(path)
+    if not os.path.exists(sidecar):
+        return None
+    try:
+        with open(sidecar, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+        if (
+            document.get("format") != _FORMAT
+            or document.get("version") != _VERSION
+        ):
+            sidecar_fallback("index", "version")
+            return None
+        if kind is not None and document.get("kind") != kind:
+            sidecar_fallback("index", "kind")
+            return None
+        if (
+            document.get("generation") != store.generation
+            or document.get("trees") != len(store)
+            or document.get("q") not in store.q_levels
+        ):
+            sidecar_fallback("index", "stale")
+            return None
+        return _restore(store, document)
+    except (OSError, ValueError, KeyError, TypeError) as error:
+        # json.JSONDecodeError is a ValueError; a structurally mangled
+        # document trips the decoder's Key/Type errors instead
+        warnings.warn(
+            f"ignoring corrupt index sidecar {sidecar}: {error}",
+            stacklevel=2,
+        )
+        sidecar_fallback("index", "corrupt")
+        return None
+
+
+def _restore(store: FeatureStore, document: dict) -> CandidateIndex:
+    from repro.index import build_candidate_index
+    from repro.index.vptree import VPTreeIndex
+
+    index_kind = document["kind"]
+    q = int(document["q"])
+    if index_kind == "vptree":
+        index = VPTreeIndex(store, q, _structure=document["structure"])
+        rows = sorted(index._root.rows()) if index._root is not None else []
+        if rows != list(range(int(document["trees"]))):
+            raise ValueError(
+                "vptree structure rows do not cover the store prefix"
+            )
+        return index
+    # ifi (and any future linear-build kind): re-derive from the store
+    return build_candidate_index(index_kind, store, q)

@@ -1,0 +1,116 @@
+"""Lazy exact ``(bound, row)`` ordering on top of an ascending index stream.
+
+The k-NN search (:mod:`repro.search.knn`, the Seidl–Kriegel optimal
+multi-step algorithm) consumes database rows in ascending ``(filter
+bound, row)`` order.  The reference path materializes every bound and
+sorts; a candidate index instead yields rows in ascending *BDist* order,
+and for filters whose bound dominates the count bound —
+
+    ``flt.bound(q, row) ≥ ⌈BDist(q, row) / factor⌉``
+
+(:attr:`~repro.filters.base.LowerBoundFilter.bdist_dominant`) — that
+stream can be reordered lazily into the **exact** reference order:
+
+score rows off the stream into a pending min-heap keyed ``(bound, row)``;
+the heap head ``(f, row)`` is safe to emit once the stream head's count
+bound ``⌈L1/factor⌉`` strictly exceeds ``f``, because every unscored row
+then has ``bound ≥ ⌈L1/factor⌉ > f``.  Emission order — including
+tie-breaks on the row id — matches ``sorted(rows, key=(bound, row))``
+bit for bit, so funnel counts and answers are identical to the reference
+path; only the number of rows *scored* shrinks.
+"""
+
+from __future__ import annotations
+
+from heapq import heappop, heappush
+from typing import Iterator, List, Optional, Tuple
+
+from repro.index.base import CandidateIndex
+
+__all__ = ["AscendingCountBounds", "OrderedBoundStream"]
+
+
+class OrderedBoundStream:
+    """Iterate ``(bound, row)`` in exact ascending order, scoring lazily.
+
+    Parameters
+    ----------
+    index:
+        A synced candidate index (supplies the ascending BDist stream).
+    score:
+        ``row → filter bound``; must dominate the count bound (the caller
+        checks :attr:`~repro.filters.base.LowerBoundFilter.bdist_dominant`
+        before constructing one of these).
+    vector:
+        The query's packed vector at the index's q level.
+
+    Attributes
+    ----------
+    scored:
+        Rows pulled off the stream and scored so far — the funnel
+        ``survivors`` figure for the index stage, and the lazy-win
+        measure (``scored < corpus`` once early stopping kicks in).
+    """
+
+    def __init__(self, index, score, vector) -> None:  # type: ignore[no-untyped-def]
+        self._stream = index.ascending(vector)
+        self._score = score
+        self._factor = index.factor
+        self.scored = 0
+
+    def __iter__(self) -> Iterator[Tuple[int, int]]:
+        stream = self._stream
+        score = self._score
+        factor = self._factor
+        pending: List[Tuple[int, int]] = []
+        head: Optional[Tuple[int, int]] = next(stream, None)
+        while True:
+            # pull while an unscored row could still sort at or before
+            # the pending head: its bound is ≥ ⌈L1/factor⌉ of the stream
+            # head, so strict excess makes the head safe to emit
+            while head is not None and (
+                not pending or -(-head[0] // factor) <= pending[0][0]
+            ):
+                row = head[1]
+                heappush(pending, (score(row), row))
+                self.scored += 1
+                head = next(stream, None)
+            if not pending:
+                return
+            yield heappop(pending)
+
+
+class AscendingCountBounds:
+    """Iterate ``(⌈L1/factor⌉, row)`` in exact ``(bound, row)`` order.
+
+    The count bound is a monotone function of L1, so the index's
+    ascending stream is already sorted by it — but rows inside one
+    count-bound plateau arrive in L1-then-heap order, not row order.
+    Buffering each plateau and sorting it by row restores the reference
+    ``sorted(rows, key=(bound, row))`` sequence exactly, which is what
+    the tiered k-NN's optimal stopping and funnel accounting replay.
+    ``scored`` counts rows actually pulled off the index stream.
+    """
+
+    def __init__(self, index: CandidateIndex, vector) -> None:  # type: ignore[no-untyped-def]
+        self._stream = index.ascending(vector)
+        self._factor = index.factor
+        self.scored = 0
+
+    def __iter__(self) -> Iterator[Tuple[int, int]]:
+        factor = self._factor
+        group: List[int] = []
+        group_bound = 0
+        for l1, row in self._stream:
+            bound = -(-l1 // factor)
+            if group and bound != group_bound:
+                group.sort()
+                for buffered in group:
+                    yield group_bound, buffered
+                group = []
+            group_bound = bound
+            group.append(row)
+            self.scored += 1
+        group.sort()
+        for buffered in group:
+            yield group_bound, buffered

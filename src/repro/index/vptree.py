@@ -1,0 +1,311 @@
+"""VP-tree metric index over BDist vectors.
+
+A vantage-point tree (Yianilos' VP-tree; see "Search Efficiency in
+Indexing Structures for Similarity Searching" in PAPERS.md) partitions the
+corpus recursively: each internal node holds one *vantage* row and its
+median distance ``radius`` to the remaining rows; rows at distance
+``≤ radius`` from the vantage go to the inner child, the rest to the
+outer child.  Because BDist is a metric (the ``metric:bdist`` oracle
+proves the triangle inequality corpus-wide), one distance computation
+``dq = BDist(query, vantage)`` bounds a whole subtree:
+
+* every inner row ``x`` has ``BDist(q, x) ≥ dq − radius``
+  (``dq ≤ BDist(q,x) + BDist(x,v) ≤ BDist(q,x) + radius``), and
+* every outer row ``x`` has ``BDist(q, x) ≥ radius − dq``
+  (``BDist(x,v) ≤ BDist(q,x) + dq`` and ``BDist(x,v) > radius``).
+
+A range traversal with budget ``b`` therefore skips the inner child when
+``dq − radius > b`` and the outer child when ``radius − dq > b`` — whole
+subtrees pruned per one examined vector.  The same bounds drive a
+best-first heap for the lazy ascending stream used by k-NN.
+
+Construction is deterministic (vantage = first row of the slice, radius =
+exact median), so two indexes built over the same corpus — or one built
+incrementally through leaf-bucket overflow splits — answer identically
+even if their internal shapes differ.  Leaves hold up to
+:data:`LEAF_CAPACITY` rows in a flat bucket; incremental ``add`` descends
+by the metric test and appends to a bucket, splitting it into a subtree
+on overflow.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.features.packed import PackedVector
+from repro.features.store import FeatureStore
+
+from repro.index.base import CandidateIndex
+
+__all__ = ["VPTreeIndex", "LEAF_CAPACITY"]
+
+#: Rows a leaf bucket holds before an insert splits it into a subtree.
+LEAF_CAPACITY = 16
+
+
+class _Node:
+    """One VP-tree node: either internal (vantage/radius/children) or leaf.
+
+    A node is a leaf iff ``bucket is not None``; leaves have no vantage.
+    """
+
+    __slots__ = ("vantage", "radius", "inner", "outer", "bucket")
+
+    def __init__(
+        self,
+        vantage: int = -1,
+        radius: int = 0,
+        inner: Optional["_Node"] = None,
+        outer: Optional["_Node"] = None,
+        bucket: Optional[List[int]] = None,
+    ) -> None:
+        self.vantage = vantage
+        self.radius = radius
+        self.inner = inner
+        self.outer = outer
+        self.bucket = bucket
+
+    def rows(self) -> Iterator[int]:
+        """Every row in this subtree (audit/serialization helper)."""
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            if node.bucket is not None:
+                yield from node.bucket
+            else:
+                yield node.vantage
+                stack.append(node.outer)  # type: ignore[arg-type]
+                stack.append(node.inner)  # type: ignore[arg-type]
+
+
+class VPTreeIndex(CandidateIndex):
+    """Triangle-inequality pruned candidate generation (``kind="vptree"``)."""
+
+    kind = "vptree"
+
+    def __init__(
+        self,
+        store: FeatureStore,
+        q: Optional[int] = None,
+        _structure: Optional[object] = None,
+    ) -> None:
+        self._root: Optional[_Node] = None
+        self._distance_calls = 0
+        self._restored = 0
+        if _structure is not None:
+            # sidecar restore: adopt the serialized shape; the base class
+            # fast-forwards past the restored prefix (``_preinstalled``)
+            # and its sync() installs only rows added after the save
+            self._root, self._restored = _decode_node(_structure)
+        super().__init__(store, q)
+
+    def _preinstalled(self) -> int:
+        return self._restored
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def _insert_row(self, row: int) -> None:
+        if self._root is None:
+            self._root = _Node(bucket=[row])
+            return
+        vector = self._vector(row)
+        node = self._root
+        while node.bucket is None:
+            self._distance_calls += 1
+            if vector.l1_distance(self._vector(node.vantage)) <= node.radius:
+                node = node.inner  # type: ignore[assignment]
+            else:
+                node = node.outer  # type: ignore[assignment]
+        node.bucket.append(row)
+        if len(node.bucket) > LEAF_CAPACITY:
+            split = self._build(node.bucket)
+            node.vantage = split.vantage
+            node.radius = split.radius
+            node.inner = split.inner
+            node.outer = split.outer
+            node.bucket = split.bucket
+
+    def _build(self, rows: Sequence[int]) -> _Node:
+        """Deterministic median split of ``rows`` into a subtree."""
+        if len(rows) <= LEAF_CAPACITY:
+            return _Node(bucket=list(rows))
+        vantage = rows[0]
+        anchor = self._vector(vantage)
+        distances = []
+        for row in rows[1:]:
+            self._distance_calls += 1
+            distances.append((anchor.l1_distance(self._vector(row)), row))
+        distances.sort()
+        radius = distances[(len(distances) - 1) // 2][0]
+        inner = [row for d, row in distances if d <= radius]
+        outer = [row for d, row in distances if d > radius]
+        if not outer:
+            # every remaining row sits at the same distance: unsplittable
+            # by this vantage — keep an (oversized) leaf to terminate
+            return _Node(bucket=list(rows))
+        return _Node(
+            vantage=vantage,
+            radius=radius,
+            inner=self._build(inner),
+            outer=self._build(outer),
+        )
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def range_rows(
+        self,
+        vector: PackedVector,
+        budget: float,
+        audit: Optional[List[Tuple[float, List[int]]]] = None,
+    ) -> List[int]:
+        """Rows with ``L1 ≤ budget`` via triangle-inequality pruning.
+
+        ``audit`` (tests only) collects ``(lower_bound, subtree_rows)`` for
+        every pruned subtree, so the property suite can check that each
+        skipped row really satisfies ``L1 > budget`` and ``L1 ≥ bound``.
+        """
+        out: List[int] = []
+        examined = 0
+        if self._root is not None and budget >= 0:
+            stack = [self._root]
+            while stack:
+                node = stack.pop()
+                if node.bucket is not None:
+                    for row in node.bucket:
+                        examined += 1
+                        if self._distance(vector, row) <= budget:
+                            out.append(row)
+                    continue
+                examined += 1
+                dq = self._distance(vector, node.vantage)
+                if dq <= budget:
+                    out.append(node.vantage)
+                for child, bound in (
+                    (node.inner, dq - node.radius),
+                    (node.outer, node.radius - dq),
+                ):
+                    if bound > budget:
+                        if audit is not None:
+                            rows = list(child.rows())  # type: ignore[union-attr]
+                            audit.append((bound, rows))
+                        continue
+                    stack.append(child)  # type: ignore[arg-type]
+        self.last_examined = examined
+        out.sort()
+        return out
+
+    def ascending(self, vector: PackedVector) -> Iterator[Tuple[int, int]]:
+        """Best-first ``(L1, row)`` stream in non-decreasing L1 order.
+
+        The heap mixes subtree entries keyed by their triangle-inequality
+        lower bound with exact row entries; a popped row's distance is a
+        floor for everything still enqueued, so emission order is globally
+        sorted without scoring the whole corpus up front.
+        """
+        if self._root is None:
+            return
+        counter = itertools.count()
+        # entries: (key, is_node, seq, payload) — rows (is_node=0) drain
+        # ahead of subtrees whose lower bound equals the row's distance,
+        # which keeps the stream maximally lazy at ties
+        heap: List[Tuple[float, int, int, object]] = [
+            (0.0, 1, next(counter), self._root)
+        ]
+        self.last_examined = 0
+        while heap:
+            key, is_node, _, payload = heapq.heappop(heap)
+            if not is_node:
+                yield int(key), payload  # type: ignore[misc]
+                continue
+            node: _Node = payload  # type: ignore[assignment]
+            if node.bucket is not None:
+                for row in node.bucket:
+                    self.last_examined += 1
+                    heapq.heappush(
+                        heap,
+                        (self._distance(vector, row), 0, next(counter), row),
+                    )
+                continue
+            self.last_examined += 1
+            dq = self._distance(vector, node.vantage)
+            heapq.heappush(heap, (dq, 0, next(counter), node.vantage))
+            for child, bound in (
+                (node.inner, dq - node.radius),
+                (node.outer, node.radius - dq),
+            ):
+                heapq.heappush(
+                    heap, (max(key, bound), 1, next(counter), child)
+                )
+
+    # ------------------------------------------------------------------
+    # Introspection / persistence
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, object]:
+        nodes = leaves = bucketed = 0
+        depth = 0
+        if self._root is not None:
+            stack = [(self._root, 1)]
+            while stack:
+                node, level = stack.pop()
+                depth = max(depth, level)
+                if node.bucket is not None:
+                    leaves += 1
+                    bucketed += len(node.bucket)
+                else:
+                    nodes += 1
+                    stack.append((node.inner, level + 1))  # type: ignore[arg-type]
+                    stack.append((node.outer, level + 1))  # type: ignore[arg-type]
+        return {
+            "kind": self.kind,
+            "q": self.q,
+            "rows": self._built,
+            "internal_nodes": nodes,
+            "leaves": leaves,
+            "bucketed_rows": bucketed,
+            "depth": depth,
+            "leaf_capacity": LEAF_CAPACITY,
+            "distance_calls": self._distance_calls,
+        }
+
+    def structure(self) -> object:
+        """JSON-serializable tree shape for the ``.index.json`` sidecar."""
+        return _encode_node(self._root)
+
+
+def _encode_node(node: Optional[_Node]) -> object:
+    if node is None:
+        return None
+    if node.bucket is not None:
+        return {"b": node.bucket}
+    return {
+        "v": node.vantage,
+        "r": node.radius,
+        "in": _encode_node(node.inner),
+        "out": _encode_node(node.outer),
+    }
+
+
+def _decode_node(payload: object) -> Tuple[Optional[_Node], int]:
+    """Rebuild a node from sidecar JSON; returns (node, rows restored)."""
+    if payload is None:
+        return None, 0
+    if not isinstance(payload, dict):
+        raise ValueError("malformed vptree structure")
+    if "b" in payload:
+        bucket = [int(row) for row in payload["b"]]
+        return _Node(bucket=bucket), len(bucket)
+    inner, n_inner = _decode_node(payload["in"])
+    outer, n_outer = _decode_node(payload["out"])
+    if inner is None or outer is None:
+        raise ValueError("malformed vptree structure")
+    node = _Node(
+        vantage=int(payload["v"]),
+        radius=int(payload["r"]),
+        inner=inner,
+        outer=outer,
+    )
+    return node, n_inner + n_outer + 1

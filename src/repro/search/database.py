@@ -36,6 +36,7 @@ from repro.trees.node import TreeNode
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.features.matrix import FeatureMatrices
+    from repro.index.base import CandidateIndex
 
 __all__ = ["TreeDatabase"]
 
@@ -89,6 +90,7 @@ class TreeDatabase:
         self._mutations = 0
         self._index: Optional[InvertedFileIndex] = None
         self._profiles = None
+        self._candidate_indexes: dict = {}
         if build_index:
             self._build_index()
 
@@ -180,6 +182,30 @@ class TreeDatabase:
         if self._features is not None:
             return self._features.generation
         return self._mutations
+
+    def candidate_index(self, kind: str) -> "CandidateIndex":
+        """The sublinear candidate index of the given kind (built lazily).
+
+        Requires a feature store (indexes read packed vectors from the
+        plane); built once per kind and cached.  The index stays usable
+        across :meth:`add` — the query paths re-sync it against the store
+        before every probe.
+        """
+        index = self._candidate_indexes.get(kind)
+        if index is None:
+            if self._features is None:
+                raise InvalidParameterError(
+                    f"candidate index {kind!r} needs a feature store; this "
+                    "database was built from a prefitted store-less filter"
+                )
+            from repro.index import build_candidate_index
+
+            q = getattr(self.filter, "q", None)
+            if q is not None and q not in self._features.q_levels:
+                q = None  # index at the store's default level instead
+            index = build_candidate_index(kind, self._features, q)
+            self._candidate_indexes[kind] = index
+        return index
 
     @property
     def inverted_index(self) -> InvertedFileIndex:

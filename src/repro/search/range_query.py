@@ -11,7 +11,7 @@ the integration tests verify against a sequential scan.
 from __future__ import annotations
 
 import time
-from typing import List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
 
 from repro.editdist.zhang_shasha import EditDistanceCounter
 from repro.exceptions import QueryError
@@ -21,6 +21,9 @@ from repro.obs import tracing
 from repro.obs.funnel import FilterFunnel, FunnelStage, active_sink
 from repro.search.statistics import SearchStats
 from repro.trees.node import TreeNode
+
+if TYPE_CHECKING:  # import cycle: repro.index builds on the search layer's deps
+    from repro.index.base import CandidateIndex
 
 __all__ = ["range_query"]
 
@@ -33,6 +36,7 @@ def range_query(
     counter: Optional[EditDistanceCounter] = None,
     *,
     matrices: Optional[FeatureMatrices] = None,
+    index: Optional["CandidateIndex"] = None,
 ) -> Tuple[List[Tuple[int, float]], SearchStats]:
     """All trees with ``EDist(query, tree) ≤ threshold``.
 
@@ -56,6 +60,16 @@ def range_query(
         of per candidate — same survivor set, same stage names, same
         funnel invariants; the loop below stays the reference
         implementation.
+    index:
+        Optional :class:`~repro.index.base.CandidateIndex` over the same
+        corpus.  When given, candidate generation starts from the exact
+        BDist ball ``{row : BDist ≤ factor·τ}`` (one sublinear index
+        probe, reported as a leading ``index:<kind>`` funnel stage) and
+        the filter cascade runs over the ball only.  Answers are
+        unchanged for *any* filter: a row outside the ball has
+        ``EDist > τ`` by Theorem 3.2, so restricting the cascade to the
+        ball removes only rows refinement would reject — pinned by the
+        ``search:index-completeness`` oracle.
 
     Returns
     -------
@@ -81,10 +95,35 @@ def range_query(
     ) as root:
         stages: List[FunnelStage] = []
         start = time.perf_counter()
+        domain: Sequence[int] = range(len(trees))
+        if index is not None:
+            index.sync()
+            with tracing.span(
+                f"index.{index.kind}", budget=index.factor * threshold
+            ) as index_span:
+                stage_start = time.perf_counter()
+                domain = index.range_rows(
+                    index.pack(query), index.factor * threshold
+                )
+                stage_seconds = time.perf_counter() - stage_start
+                index_span.set(
+                    entered=len(trees),
+                    survivors=len(domain),
+                    examined=index.last_examined,
+                )
+            if observing:
+                stages.append(
+                    FunnelStage(
+                        f"index:{index.kind}",
+                        len(trees),
+                        len(domain),
+                        stage_seconds,
+                    )
+                )
         with tracing.span("search.filter"):
             query_signature = flt.signature(query)
             if matrices is not None:
-                rows: Sequence[int] = range(len(trees))
+                rows: Sequence[int] = domain
                 if not observing:
                     for _, refute_rows in flt.matrix_funnel_components():
                         rows = refute_rows(
@@ -112,17 +151,17 @@ def range_query(
                 survivors = as_indices(rows)
             elif not observing:
                 survivors = [
-                    index
-                    for index in range(len(trees))
+                    row
+                    for row in domain
                     if not flt.refutes(
-                        query_signature, flt.data_signature(index), threshold
+                        query_signature, flt.data_signature(row), threshold
                     )
                 ]
             else:
                 # staged cascade: same survivor set as the one-pass
                 # `refutes` (refutation is an `any` over the stages), but
                 # pruning is attributed to the stage that did it
-                survivors = list(range(len(trees)))
+                survivors = list(domain)
                 for name, refute in flt.funnel_components():
                     with tracing.span(f"filter.{name}") as stage_span:
                         entered = len(survivors)
@@ -150,10 +189,10 @@ def range_query(
         matches: List[Tuple[int, float]] = []
         start = time.perf_counter()
         with tracing.span("search.refine", candidates=len(survivors)) as refine_span:
-            for index in survivors:
-                distance = counter.distance(query, trees[index])
+            for row in survivors:
+                distance = counter.distance(query, trees[row])
                 if distance <= threshold:
-                    matches.append((index, distance))
+                    matches.append((row, distance))
             refine_span.set(results=len(matches))
         stats.refine_seconds = time.perf_counter() - start
         stats.candidates = len(survivors)

@@ -31,7 +31,7 @@ from __future__ import annotations
 
 import heapq
 import time
-from typing import List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.positional import PositionalProfile, search_lower_bound
 from repro.core.qlevel import qlevel_bound_factor
@@ -48,6 +48,9 @@ from repro.obs import tracing
 from repro.obs.funnel import FilterFunnel, FunnelStage, active_sink
 from repro.search.statistics import SearchStats
 from repro.trees.node import TreeNode
+
+if TYPE_CHECKING:  # import cycle: repro.index builds on the search layer's deps
+    from repro.index.base import CandidateIndex
 
 __all__ = ["tiered_knn_query"]
 
@@ -72,6 +75,7 @@ def tiered_knn_query(
     counter: Optional[EditDistanceCounter] = None,
     *,
     matrices: Optional[FeatureMatrices] = None,
+    index: Optional["CandidateIndex"] = None,
 ) -> Tuple[List[Tuple[int, float]], SearchStats]:
     """k-NN with count-bound ordering and lazy positional tightening.
 
@@ -84,6 +88,13 @@ def tiered_knn_query(
     contributes one branch, and counts are the lengths of the positional
     lists), so the vectorized values — and hence the scan order, stopping
     point and refined count — are identical to the loop's.
+
+    With ``index`` (a candidate index at ``flt.q``), the cheap tier
+    consumes the index's ascending-BDist stream lazily instead
+    (:class:`~repro.index.ordering.AscendingCountBounds`): the ordering
+    values *are* the count bound, so the scan sequence is the reference
+    one exactly and only the rows optimal stopping reaches are scored.
+    An index at a different q level is ignored.
     """
     if k < 1:
         raise QueryError(f"k must be >= 1, got {k}")
@@ -98,38 +109,52 @@ def tiered_knn_query(
     factor = qlevel_bound_factor(flt.q)
     stats = SearchStats(dataset_size=len(trees))
 
+    use_index = index is not None and index.q == flt.q
+    stream = None
     sink = active_sink()
     with tracing.span(
         "search.tiered_knn", dataset_size=len(trees), k=k, q=flt.q
     ) as root:
         start = time.perf_counter()
-        with tracing.span("filter.count-bound"):
-            query_signature = flt.signature(query)
-            vectorized: Optional[Sequence[float]] = None
-            if matrices is not None:
-                try:
-                    counts = {
-                        branch: len(positions)
-                        for branch, positions in (
-                            query_signature.pre_positions.items()
+        if use_index:
+            assert index is not None
+            with tracing.span(f"index.{index.kind}"):
+                index.sync()
+                from repro.index.ordering import AscendingCountBounds
+
+                query_signature = flt.signature(query)
+                stream = AscendingCountBounds(index, index.pack(query))
+                scan: Iterable[Tuple[float, int]] = stream
+        else:
+            with tracing.span("filter.count-bound"):
+                query_signature = flt.signature(query)
+                vectorized: Optional[Sequence[float]] = None
+                if matrices is not None:
+                    try:
+                        counts = {
+                            branch: len(positions)
+                            for branch, positions in (
+                                query_signature.pre_positions.items()
+                            )
+                        }
+                        vectorized = ceil_div(
+                            branch_l1_counts(matrices, flt.q, counts, None),
+                            factor,
                         )
-                    }
-                    vectorized = ceil_div(
-                        branch_l1_counts(matrices, flt.q, counts, None), factor
+                    except InvalidParameterError:
+                        vectorized = None
+                if vectorized is not None:
+                    cheap: Sequence[float] = vectorized
+                    order = stable_order(vectorized)
+                else:
+                    cheap = [
+                        _count_bound(query_signature, flt.data_signature(row), factor)
+                        for row in range(len(trees))
+                    ]
+                    order = sorted(
+                        range(len(trees)), key=lambda row: (cheap[row], row)
                     )
-                except InvalidParameterError:
-                    vectorized = None
-            if vectorized is not None:
-                cheap: Sequence[float] = vectorized
-                order = stable_order(vectorized)
-            else:
-                cheap = [
-                    _count_bound(query_signature, flt.data_signature(index), factor)
-                    for index in range(len(trees))
-                ]
-                order = sorted(
-                    range(len(trees)), key=lambda index: (cheap[index], index)
-                )
+                scan = ((cheap[row], row) for row in order)
         stats.filter_seconds = time.perf_counter() - start
 
         heap: List[Tuple[float, int]] = []  # (-distance, -index) max-heap
@@ -138,23 +163,23 @@ def tiered_knn_query(
         tight_skips = 0
         start = time.perf_counter()
         with tracing.span("search.refine") as refine_span:
-            for index in order:
-                if len(heap) == k and cheap[index] > -heap[0][0]:
+            for cheap_value, row in scan:
+                if len(heap) == k and cheap_value > -heap[0][0]:
                     break  # optimal stopping on the ordering bound
                 if len(heap) == k:
                     tight_evaluations += 1
                     tight = search_lower_bound(
-                        query_signature, flt.data_signature(index)
+                        query_signature, flt.data_signature(row)
                     )
                     if tight > -heap[0][0]:
                         tight_skips += 1
                         continue  # skip this object; the scan goes on
-                distance = counter.distance(query, trees[index])
+                distance = counter.distance(query, trees[row])
                 refined += 1
                 if len(heap) < k:
-                    heapq.heappush(heap, (-distance, -index))
+                    heapq.heappush(heap, (-distance, -row))
                 elif distance < -heap[0][0]:
-                    heapq.heapreplace(heap, (-distance, -index))
+                    heapq.heapreplace(heap, (-distance, -row))
             refine_span.set(
                 refined=refined,
                 tight_evaluations=tight_evaluations,
@@ -166,17 +191,26 @@ def tiered_knn_query(
         root.set(candidates=refined, results=len(heap))
 
     if sink is not None or tracing.enabled():
+        if stream is not None:
+            assert index is not None
+            ordered = stream.scored
+            order_stage = FunnelStage(
+                f"index:{index.kind}", len(trees), ordered, stats.filter_seconds
+            )
+        else:
+            ordered = len(trees)
+            order_stage = FunnelStage(
+                "order:count-bound", len(trees), ordered, stats.filter_seconds
+            )
         stats.funnel = FilterFunnel(
             kind="tiered_knn",
             corpus_size=len(trees),
             stages=[
-                FunnelStage(
-                    "order:count-bound", len(trees), len(trees), stats.filter_seconds
-                ),
+                order_stage,
                 FunnelStage(
                     "tighten:positional",
-                    len(trees),
-                    len(trees) - tight_skips,
+                    ordered,
+                    ordered - tight_skips,
                     0.0,
                 ),
             ],

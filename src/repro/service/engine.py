@@ -55,7 +55,7 @@ import time
 from collections import OrderedDict
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Callable, List, Optional, Sequence, Tuple
 
 from repro.editdist.zhang_shasha import EditDistanceCounter, PreparedTreeCache
 from repro.exceptions import InvalidParameterError, QueryError
@@ -67,6 +67,9 @@ from repro.search.statistics import SearchStats
 from repro.service.metrics import ServiceMetrics
 from repro.trees.node import TreeNode
 from repro.trees.parse import to_bracket
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.index.base import CandidateIndex
 
 __all__ = ["QueryRequest", "TreeSearchService"]
 
@@ -236,10 +239,15 @@ class TreeSearchService:
         How the filter stage generates candidates: ``"loop"`` — the pure
         per-candidate reference path; ``"vectorized"`` — corpus-level
         matrix kernels (requires a feature-store-backed database, raises
-        otherwise); ``"auto"`` (default) — vectorized when the database
-        has a feature store, loop otherwise.  Answers and refined-candidate
-        counts are bit-identical either way (pinned by the
-        ``search:vectorized-equivalence`` oracle).
+        otherwise); ``"vptree"`` / ``"ifi"`` — sublinear candidate
+        generation through a :mod:`repro.index` metric index
+        (VP-tree / extended inverted file; both require a feature store),
+        with the vectorized cascade running over the index's candidate
+        ball; ``"auto"`` (default) — vectorized when the database has a
+        feature store, loop otherwise.  Answers are bit-identical across
+        all sources and refined counts never exceed the vectorized path's
+        (pinned by the ``search:vectorized-equivalence`` and
+        ``search:index-completeness`` oracles).
     """
 
     def __init__(
@@ -253,23 +261,30 @@ class TreeSearchService:
     ) -> None:
         if max_workers < 1:
             raise ValueError(f"max_workers must be >= 1, got {max_workers}")
-        if candidate_source not in ("auto", "loop", "vectorized"):
+        from repro.index import CANDIDATE_SOURCES, INDEX_KINDS
+
+        if candidate_source not in CANDIDATE_SOURCES:
             raise ValueError(
-                "candidate_source must be 'auto', 'loop' or 'vectorized', "
+                f"candidate_source must be one of {CANDIDATE_SOURCES}, "
                 f"got {candidate_source!r}"
             )
         self.database = database
         self.candidate_source = candidate_source
+        self._index: Optional["CandidateIndex"] = None
         if candidate_source == "loop":
             self._matrices = None
         else:
             self._matrices = database.matrices()
-            if self._matrices is None and candidate_source == "vectorized":
+            if self._matrices is None and candidate_source != "auto":
                 raise InvalidParameterError(
-                    "candidate_source='vectorized' requires a database "
-                    "backed by a feature store (store-less prefitted "
-                    "filters have no matrix planes)"
+                    f"candidate_source={candidate_source!r} requires a "
+                    "database backed by a feature store (store-less "
+                    "prefitted filters have no matrix planes)"
                 )
+            if candidate_source in INDEX_KINDS:
+                # built eagerly so the first query does not pay for it
+                # inside the read lock; queries re-sync as needed
+                self._index = database.candidate_index(candidate_source)
         self.metrics = metrics if metrics is not None else ServiceMetrics()
         self.max_workers = max_workers
         self._cache = _ResultCache(cache_size)
@@ -338,6 +353,10 @@ class TreeSearchService:
             self._rwlock.acquire_write()
             try:
                 index = self.database.add(tree)
+                if self._index is not None:
+                    # extend the candidate index while writes are exclusive,
+                    # so queries never pay the sync inside the read section
+                    self._index.sync()
                 with tracing.span("service.invalidate") as inv_span:
                     retained, evicted = self._cache.prune(
                         self._entry_survives_add(index), self.database.generation
@@ -450,6 +469,14 @@ class TreeSearchService:
             counter = EditDistanceCounter(
                 self.database.counter.costs, cache=self._prepared
             )
+            if self._index is not None and self._index.stale():
+                # out-of-band database/store mutation: catch the index up
+                # under the write lock before queries race over it
+                self._rwlock.acquire_write()
+                try:
+                    self._index.sync()
+                finally:
+                    self._rwlock.release_write()
             self._rwlock.acquire_read()
             try:
                 if request.kind == "range":
@@ -460,6 +487,7 @@ class TreeSearchService:
                         self.database.filter,
                         counter,
                         matrices=self._matrices,
+                        index=self._index,
                     )
                 else:
                     matches, stats = knn_query(
@@ -469,6 +497,7 @@ class TreeSearchService:
                         self.database.filter,
                         counter,
                         matrices=self._matrices,
+                        index=self._index,
                     )
                 generation = self.database.generation
             finally:

@@ -47,6 +47,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.exceptions import InvalidParameterError, QueryError, ShardError
 from repro.features.store import FeatureStore
+from repro.index import CANDIDATE_SOURCES, INDEX_KINDS
 from repro.obs import tracing
 from repro.obs.funnel import FilterFunnel, FunnelStage, active_sink
 from repro.search.database import TreeDatabase
@@ -180,8 +181,12 @@ class ShardedTreeService:
         Forwarded to every worker (and to the ``shards=1`` delegate):
         ``"loop"`` keeps the per-candidate reference path, ``"vectorized"``
         /``"auto"`` run each shard's filter cascade over the matrix planes
-        it scatters zero-copy out of its shared-memory columns.  Answers
-        and refined-candidate counts are identical either way.
+        it scatters zero-copy out of its shared-memory columns;
+        ``"vptree"``/``"ifi"`` additionally build a shard-local
+        :mod:`repro.index` candidate index over the attached store, so
+        range scatters prune branch-disjoint rows before the cascade and
+        k-NN frontiers stream lazily off the index.  Answers and
+        refined-candidate counts are identical across all sources.
     """
 
     def __init__(
@@ -203,9 +208,9 @@ class ShardedTreeService:
                 f"unknown filter {filter_name!r} "
                 f"(choose from {sorted(FILTER_FACTORIES)})"
             )
-        if candidate_source not in ("auto", "loop", "vectorized"):
+        if candidate_source not in CANDIDATE_SOURCES:
             raise InvalidParameterError(
-                "candidate_source must be 'auto', 'loop' or 'vectorized', "
+                f"candidate_source must be one of {CANDIDATE_SOURCES}, "
                 f"got {candidate_source!r}"
             )
         self.shards = shards
@@ -245,8 +250,17 @@ class ShardedTreeService:
             ("shard", "kind"),
         )
         #: funnel stage name of the distributed k-NN ordering pass; matches
-        #: the single-process ``order:<filter>`` stage for oracle parity
-        self._order_stage = f"order:{probe.name}"
+        #: the single-process ``order:<filter>`` stage for oracle parity.
+        #: On an index source with a BDist-dominant filter the workers use
+        #: the lazy frontier, so the stage mirrors the single-process
+        #: ``index:<kind>`` stage (survivors = frontier rows materialized).
+        self._index_knn = (
+            candidate_source in INDEX_KINDS and probe.bdist_dominant
+        )
+        if self._index_knn:
+            self._order_stage = f"index:{candidate_source}"
+        else:
+            self._order_stage = f"order:{probe.name}"
 
         assignment = ShardAssignment(shards)
         for index, tree in enumerate(trees):
@@ -514,11 +528,17 @@ class ShardedTreeService:
             refine_seconds=refine_seconds,
         )
         if sink is not None or tracing.enabled():
+            if self._index_knn:
+                # lazy frontiers: only the rows the global merge actually
+                # pulled were ever materialized/scored on the workers
+                ordered = sum(frontier.fetched for frontier in frontiers)
+            else:
+                ordered = total
             stats.funnel = FilterFunnel(
                 kind="knn",
                 corpus_size=total,
                 stages=[
-                    FunnelStage(self._order_stage, total, total, filter_seconds)
+                    FunnelStage(self._order_stage, total, ordered, filter_seconds)
                 ],
                 refined=refined,
                 results=len(heap),

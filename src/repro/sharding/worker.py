@@ -75,6 +75,46 @@ _OPS = frozenset(
 )
 
 
+class _KnnCursor:
+    """Ascending ``(bound, local)`` frontier for one open k-NN query.
+
+    The eager path materializes the whole shard's frontier at
+    ``knn_begin``.  The index path instead holds the lazy
+    :class:`~repro.index.ordering.OrderedBoundStream` iterator and only
+    extends the materialized prefix when the coordinator's global merge
+    actually asks for a deeper window — values and order are the exact
+    reference frontier either way, so the coordinator cannot tell the
+    two apart (and the refined-candidate counts stay bit-identical).
+    """
+
+    def __init__(
+        self,
+        query: Any,
+        pairs: List[Tuple[float, int]],
+        stream: Optional[Any] = None,
+    ) -> None:
+        self.query = query
+        self._pairs = pairs
+        self._stream = stream
+
+    def window(self, start: int, size: int) -> List[Tuple[float, int]]:
+        while self._stream is not None and len(self._pairs) < start + size:
+            head = next(self._stream, None)
+            if head is None:
+                self._stream = None
+            else:
+                self._pairs.append((float(head[0]), head[1]))
+        return self._pairs[start : start + size]
+
+    def drain(self) -> None:
+        """Materialize the rest of the frontier (pre-mutation snapshot)."""
+        if self._stream is not None:
+            self._pairs.extend(
+                (float(bound), local) for bound, local in self._stream
+            )
+            self._stream = None
+
+
 class _ShardState:
     """Everything one worker process holds between requests."""
 
@@ -91,16 +131,24 @@ class _ShardState:
         #: (np.frombuffer over the borrowed memoryviews — no intermediate
         #: python lists); filters whose kernels need artifacts the plane
         #: does not carry (histograms) fall back per stage to the loop.
-        if payload.get("candidate_source", "auto") == "loop":
+        source = payload.get("candidate_source", "auto")
+        if source == "loop":
             self.matrices = None
         else:
             self.matrices = store.matrices()
+        #: shard-local candidate index (vptree/ifi sources); built over the
+        #: attached store, so its BDist vectors are the coordinator's rows
+        from repro.index import INDEX_KINDS
+
+        self.index = (
+            self.db.candidate_index(source) if source in INDEX_KINDS else None
+        )
         self.counter = EditDistanceCounter(
             UNIT_COSTS,
             cache=PreparedTreeCache(payload.get("prepared_cache_size", 4096)),
         )
-        #: open k-NN cursors: qid -> (query tree, sorted order, bounds)
-        self._knn: Dict[int, Tuple[Any, List[int], List[float]]] = {}
+        #: open k-NN cursors: qid -> ascending (bound, local) frontier
+        self._knn: Dict[int, _KnnCursor] = {}
 
     @staticmethod
     def _fit_filter(
@@ -140,7 +188,7 @@ class _ShardState:
             with collect_funnels() as sink:
                 matches, stats = range_query(
                     self.db.trees, query, threshold, self.db.filter,
-                    self.counter, matrices=self.matrices,
+                    self.counter, matrices=self.matrices, index=self.index,
                 )
             funnel = sink.funnels[0]
             stages = [
@@ -150,7 +198,7 @@ class _ShardState:
         else:
             matches, stats = range_query(
                 self.db.trees, query, threshold, self.db.filter,
-                self.counter, matrices=self.matrices,
+                self.counter, matrices=self.matrices, index=self.index,
             )
         return {
             "matches": matches,
@@ -164,25 +212,47 @@ class _ShardState:
     def knn_begin(self, qid: int, bracket: str) -> Dict[str, Any]:
         query = parse_bracket(bracket)
         start = time.perf_counter()
-        bounds: Optional[List[float]] = None
         flt = self.db.filter
-        if self.matrices is not None:
-            # exact vectorized bounds only — the coordinator's global
-            # optimal-stopping merge compares these values across shards,
-            # so an approximation would change refined-candidate counts
-            vectorized = flt.lower_bounds_matrix(
-                flt.signature(query), self.matrices
+        use_index = (
+            self.index is not None
+            and flt.bdist_dominant
+            and getattr(flt, "q", None) == self.index.q
+        )
+        if use_index:
+            assert self.index is not None
+            self.index.sync()
+            from repro.index.ordering import OrderedBoundStream
+
+            query_signature = flt.signature(query)
+            stream = OrderedBoundStream(
+                self.index,
+                lambda row: flt.bound(query_signature, flt.data_signature(row)),
+                self.index.pack(query),
             )
-            if vectorized is not None:
-                bounds = [float(value) for value in vectorized]
-        if bounds is None:
-            bounds = flt.bounds(query)
-        order = sorted(range(len(bounds)), key=lambda index: (bounds[index], index))
+            self._knn[qid] = _KnnCursor(query, [], iter(stream))
+        else:
+            bounds: Optional[List[float]] = None
+            if self.matrices is not None:
+                # exact vectorized bounds only — the coordinator's global
+                # optimal-stopping merge compares these values across
+                # shards, so an approximation would change refined counts
+                vectorized = flt.lower_bounds_matrix(
+                    flt.signature(query), self.matrices
+                )
+                if vectorized is not None:
+                    bounds = [float(value) for value in vectorized]
+            if bounds is None:
+                bounds = flt.bounds(query)
+            order = sorted(
+                range(len(bounds)), key=lambda index: (bounds[index], index)
+            )
+            self._knn[qid] = _KnnCursor(
+                query, [(float(bounds[local]), local) for local in order]
+            )
         filter_seconds = time.perf_counter() - start
-        self._knn[qid] = (query, order, bounds)
         return {
             "filter_seconds": filter_seconds,
-            "total": len(order),
+            "total": len(self.db),
             "chunk": self._chunk(qid, 0),
         }
 
@@ -190,18 +260,16 @@ class _ShardState:
         return {"chunk": self._chunk(qid, start)}
 
     def _chunk(self, qid: int, start: int) -> List[Tuple[float, int]]:
-        _, order, bounds = self._cursor(qid)
-        window = order[start : start + FRONTIER_CHUNK]
-        return [(bounds[index], index) for index in window]
+        return self._cursor(qid).window(start, FRONTIER_CHUNK)
 
     def knn_refine(self, qid: int, local: int) -> Dict[str, Any]:
-        query, _, _ = self._cursor(qid)
+        query = self._cursor(qid).query
         return {"distance": self.counter.distance(query, self.db.trees[local])}
 
     def knn_end(self, qid: int) -> None:
         self._knn.pop(qid, None)
 
-    def _cursor(self, qid: int) -> Tuple[Any, List[int], List[float]]:
+    def _cursor(self, qid: int) -> _KnnCursor:
         try:
             return self._knn[qid]
         except KeyError:
@@ -210,6 +278,11 @@ class _ShardState:
             ) from None
 
     def add(self, bracket: str) -> Dict[str, Any]:
+        # open lazy cursors iterate over the candidate index; snapshot
+        # them before the mutation so they keep their begin-time frontier
+        # (matching the eager path's materialize-at-begin semantics)
+        for cursor in self._knn.values():
+            cursor.drain()
         local = self.db.add(parse_bracket(bracket))
         return {"local": local, "trees": len(self.db)}
 

@@ -35,6 +35,11 @@ Each oracle audits one class of invariant over a
     returns bit-identical answers and identical refined-candidate counts to
     the per-candidate loop — per filter family, in the tiered k-NN, and
     through vectorized shard workers — including under interleaved adds.
+``search:index-completeness``
+    Metric-index candidate generation (:mod:`repro.index` — VP-tree and
+    extended inverted file) answers exactly like the sequential scan and
+    never refines more candidates than the vectorized cascade — single
+    process and through index-pinned shard workers, under interleaved adds.
 ``service:cache-transparency``
     Under interleaved add/query traffic, every answer the (caching,
     selectively-invalidating) service returns equals a cold answer
@@ -1224,6 +1229,209 @@ class VectorizedEquivalenceOracle(Oracle):
 
 
 # ----------------------------------------------------------------------
+# search:index-completeness — metric-index candidates are exact
+# ----------------------------------------------------------------------
+class IndexCompletenessOracle(Oracle):
+    """Metric-index candidate generation is exact and never over-refines.
+
+    Two legs per index kind (``vptree``, ``ifi``), both replaying the
+    interleaved add/query schedule so the generation-stamped incremental
+    sync is on the hook, not just the cold build:
+
+    * **single-process**: per filter family, every scheduled range query
+      is answered three ways over the same fitted filter — sequential
+      scan (ground truth), vectorized cascade, and index-pruned cascade.
+      The index answers must equal the sequential matches exactly (the
+      triangle-inequality pruning may never drop a true result) and must
+      refine **at most** as many candidates as the vectorized path (the
+      BDist ball only shrinks the cascade's domain).  k-NN answers must
+      equal the reference loop bit-for-bit with refined counts exactly
+      equal — the lazy :class:`~repro.index.ordering.OrderedBoundStream`
+      replays the reference ``(bound, row)`` order, including tie-breaks.
+    * **sharded**: a :class:`~repro.sharding.coordinator.ShardedTreeService`
+      pinned to ``candidate_source=<kind>`` (each worker builds its own
+      index over the shared-memory plane) against a fresh loop-path
+      reference database at every schedule step — identical answers,
+      identical refined counts.
+    """
+
+    name = "search:index-completeness"
+    description = "vptree/ifi index candidates: exact answers, <= vectorized work"
+
+    _FAMILIES: Sequence[Tuple[str, Callable[[], LowerBoundFilter]]] = (
+        ("BiBranch", BinaryBranchFilter),
+        ("BiBranchCount", BranchCountFilter),
+        ("Histo", HistogramFilter),
+    )
+    _SHARD_CONFIGS = (
+        (2, "round-robin", "bibranch", "vptree"),
+        (2, "size-banded", "bibranchcount", "ifi"),
+    )
+
+    def run(self, corpus: VerifyCorpus, distance: DistanceFn) -> OracleOutcome:
+        from repro.index import INDEX_KINDS, build_candidate_index
+        from repro.search.knn import knn_query
+        from repro.search.range_query import range_query
+        from repro.search.sequential import sequential_range_query
+
+        outcome = OracleOutcome(self.name)
+
+        def record(message: str, query: TreeNode, details: Dict) -> None:
+            outcome.record(
+                Violation(
+                    oracle=self.name, message=message, t1=query, details=details
+                )
+            )
+
+        # --- single-process leg: sequential vs vectorized vs index ------
+        for kind in INDEX_KINDS:
+            for label, factory in self._FAMILIES:
+                shadow: List[TreeNode] = list(corpus.trees)
+                flt = factory().fit(shadow)
+                store = FeatureStore(flt.required_q_levels() or (2,)).fit(shadow)
+                matrices = store.matrices()
+                q = getattr(flt, "q", None)
+                if q is not None and q not in store.q_levels:
+                    q = None
+                index = build_candidate_index(kind, store, q)
+                for step, entry in enumerate(corpus.service_schedule):
+                    if entry[0] == "add":
+                        shadow.append(entry[1])
+                        flt.add(entry[1])
+                        store.add(entry[1])
+                        continue  # the index re-syncs at the next probe
+                    _, query_kind, query, parameter = entry
+                    outcome.checks += 1
+                    problem = None
+                    details: Dict = {
+                        "index": kind,
+                        "filter": label,
+                        "kind": query_kind,
+                        "step": step,
+                        "parameter": parameter,
+                    }
+                    if query_kind == "range":
+                        sequential, _ = sequential_range_query(
+                            shadow, query, parameter
+                        )
+                        fast_answer, fast_stats = range_query(
+                            shadow, query, parameter, flt, matrices=matrices
+                        )
+                        indexed, indexed_stats = range_query(
+                            shadow, query, parameter, flt,
+                            matrices=matrices, index=index,
+                        )
+                        if indexed != sequential:
+                            problem = "range answers differ from sequential"
+                            details["sequential"] = sequential
+                        elif indexed_stats.candidates > fast_stats.candidates:
+                            problem = (
+                                f"index refined {indexed_stats.candidates} "
+                                f"candidates, vectorized only "
+                                f"{fast_stats.candidates}"
+                            )
+                    else:
+                        k = min(int(parameter), len(shadow))
+                        fast_answer, fast_stats = knn_query(
+                            shadow, query, k, flt, matrices=matrices
+                        )
+                        indexed, indexed_stats = knn_query(
+                            shadow, query, k, flt,
+                            matrices=matrices, index=index,
+                        )
+                        if indexed != fast_answer:
+                            problem = "knn answers differ from reference"
+                        elif indexed_stats.candidates != fast_stats.candidates:
+                            problem = (
+                                f"index refined {indexed_stats.candidates} "
+                                f"candidates, reference refined "
+                                f"{fast_stats.candidates}"
+                            )
+                    if problem is not None:
+                        details["reference"] = fast_answer
+                        details["indexed"] = indexed
+                        details["reference_candidates"] = fast_stats.candidates
+                        details["indexed_candidates"] = indexed_stats.candidates
+                        record(
+                            f"{kind}/{label} {query_kind} at schedule step "
+                            f"{step}: {problem}",
+                            query,
+                            details,
+                        )
+
+        # --- sharded leg: index workers vs loop reference ---------------
+        from repro.search.database import TreeDatabase
+        from repro.sharding.coordinator import ShardedTreeService
+        from repro.sharding.worker import FILTER_FACTORIES
+
+        for shards, partitioner, filter_name, kind in self._SHARD_CONFIGS:
+            shadow = list(corpus.trees)
+            service = ShardedTreeService(
+                shadow,
+                shards=shards,
+                partitioner=partitioner,
+                filter_name=filter_name,
+                max_workers=1,
+                candidate_source=kind,
+            )
+            try:
+                for step, entry in enumerate(corpus.service_schedule):
+                    if entry[0] == "add":
+                        service.add(entry[1])
+                        shadow.append(entry[1])
+                        continue
+                    _, query_kind, query, parameter = entry
+                    outcome.checks += 1
+                    reference = TreeDatabase(
+                        list(shadow), flt=FILTER_FACTORIES[filter_name]()
+                    )
+                    if query_kind == "range":
+                        served, stats = service.range(query, parameter)
+                        expected, ref_stats = range_query(
+                            reference.trees, query, parameter,
+                            reference.filter, reference.counter,
+                        )
+                    else:
+                        k = min(int(parameter), len(shadow))
+                        served, stats = service.knn(query, k)
+                        expected, ref_stats = knn_query(
+                            reference.trees, query, k,
+                            reference.filter, reference.counter,
+                        )
+                    problem = None
+                    if served != expected:
+                        problem = "answers differ"
+                    elif stats.candidates > ref_stats.candidates:
+                        problem = (
+                            f"index shards refined {stats.candidates} "
+                            f"candidates, loop refined {ref_stats.candidates}"
+                        )
+                    if problem is not None:
+                        record(
+                            f"{query_kind} over {shards} {partitioner}/"
+                            f"{filter_name} {kind} shards at schedule step "
+                            f"{step}: {problem}",
+                            query,
+                            {
+                                "step": step,
+                                "kind": query_kind,
+                                "parameter": parameter,
+                                "shards": shards,
+                                "partitioner": partitioner,
+                                "filter": filter_name,
+                                "index": kind,
+                                "served": served,
+                                "expected": expected,
+                                "served_candidates": stats.candidates,
+                                "expected_candidates": ref_stats.candidates,
+                            },
+                        )
+            finally:
+                service.close()
+        return outcome
+
+
+# ----------------------------------------------------------------------
 # obs:funnel-consistency — telemetry vs independent recount
 # ----------------------------------------------------------------------
 class FunnelConsistencyOracle(Oracle):
@@ -1401,6 +1609,7 @@ ORACLE_FACTORIES["store:identity"] = lambda: StoreIdentityOracle(_STORE_FILTERS)
 ORACLE_FACTORIES["storage:roundtrip"] = RoundTripOracle
 ORACLE_FACTORIES["search:completeness"] = SearchCompletenessOracle
 ORACLE_FACTORIES["search:vectorized-equivalence"] = VectorizedEquivalenceOracle
+ORACLE_FACTORIES["search:index-completeness"] = IndexCompletenessOracle
 ORACLE_FACTORIES["service:cache-transparency"] = ServiceCacheOracle
 ORACLE_FACTORIES["service:shard-equivalence"] = ShardEquivalenceOracle
 ORACLE_FACTORIES["shard:knn-optimality"] = ShardKnnOptimalityOracle

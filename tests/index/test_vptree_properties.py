@@ -1,0 +1,128 @@
+"""Property-based pins for the VP-tree candidate index.
+
+Hypothesis drives random corpora (small label alphabet — maximal branch
+collisions, the adversarial regime for a metric index) through four
+invariant classes:
+
+* **ball exactness** — ``range_rows`` returns exactly the brute-force
+  BDist ball, so index-restricted range answers equal sequential scans;
+* **incremental adds** — an index grown by ``sync`` over interleaved
+  ``store.add`` calls answers identically to a fresh cold build;
+* **pruning soundness** — every subtree the traversal prunes is audited:
+  each skipped row provably satisfies the recorded triangle-inequality
+  bound, and that bound genuinely exceeds the budget;
+* **ascending stream** — complete, keys equal the true BDist, sorted.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.features.store import FeatureStore
+from repro.filters.binary_branch import BinaryBranchFilter
+from repro.index import LEAF_CAPACITY, VPTreeIndex
+from repro.search.range_query import range_query
+from repro.search.sequential import sequential_range_query
+from tests.strategies import trees
+
+corpora = st.lists(trees(max_leaves=6), min_size=1, max_size=3 * LEAF_CAPACITY)
+
+
+def _brute_ball(index: VPTreeIndex, vector, budget: int) -> list:
+    store = index._store
+    return sorted(
+        row
+        for row in range(len(store))
+        if vector.l1_distance(store.packed_vector(row, index.q)) <= budget
+    )
+
+
+class TestRangeRows:
+    @given(corpora, trees(max_leaves=6), st.integers(min_value=0, max_value=30))
+    @settings(max_examples=60, deadline=None)
+    def test_ball_is_exact(self, corpus, query, budget):
+        store = FeatureStore((2,)).fit(corpus)
+        index = VPTreeIndex(store)
+        vector = index.pack(query)
+        assert index.range_rows(vector, budget) == _brute_ball(
+            index, vector, budget
+        )
+
+    @given(corpora, trees(max_leaves=6), st.floats(min_value=0, max_value=4))
+    @settings(max_examples=40, deadline=None)
+    def test_range_query_equals_sequential(self, corpus, query, threshold):
+        store = FeatureStore((2,)).fit(corpus)
+        flt = BinaryBranchFilter().fit_from_store(store)
+        index = VPTreeIndex(store)
+        indexed, _ = range_query(corpus, query, threshold, flt, index=index)
+        sequential, _ = sequential_range_query(corpus, query, threshold)
+        assert indexed == sequential
+
+
+class TestIncrementalAdds:
+    @given(
+        corpora,
+        st.lists(trees(max_leaves=6), min_size=1, max_size=LEAF_CAPACITY + 2),
+        trees(max_leaves=6),
+        st.integers(min_value=0, max_value=20),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_grown_index_equals_cold_build(self, corpus, added, query, budget):
+        store = FeatureStore((2,)).fit(corpus)
+        grown = VPTreeIndex(store)
+        for position, tree in enumerate(added):
+            store.add(tree)
+            if position % 2 == 0:
+                grown.sync()  # interleave syncs with raw store growth
+        grown.sync()
+        assert len(grown) == len(store)
+        assert not grown.stale()
+
+        cold = VPTreeIndex(store)
+        vector = grown.pack(query)
+        assert grown.range_rows(vector, budget) == cold.range_rows(
+            vector, budget
+        )
+        assert grown.range_rows(vector, budget) == _brute_ball(
+            grown, vector, budget
+        )
+
+
+class TestPruningSoundness:
+    @given(corpora, trees(max_leaves=6), st.integers(min_value=0, max_value=12))
+    @settings(max_examples=60, deadline=None)
+    def test_pruned_rows_satisfy_recorded_bound(self, corpus, query, budget):
+        store = FeatureStore((2,)).fit(corpus)
+        index = VPTreeIndex(store)
+        vector = index.pack(query)
+        audit = []
+        survivors = index.range_rows(vector, budget, audit=audit)
+        pruned = [row for _, rows in audit for row in rows]
+        # partition: every row is either distance-examined (and kept or
+        # individually rejected) or sits in exactly one audited subtree
+        assert len(pruned) + index.last_examined == len(corpus)
+        assert not set(survivors) & set(pruned)
+        assert len(pruned) == len(set(pruned))
+        for bound, rows in audit:
+            assert bound > budget  # pruning only ever fires past the budget
+            for row in rows:
+                actual = vector.l1_distance(store.packed_vector(row, index.q))
+                # the triangle inequality promised at least `bound`; the
+                # true distance must honour it (and hence exceed budget)
+                assert actual >= bound
+
+
+class TestAscendingStream:
+    @given(corpora, trees(max_leaves=6))
+    @settings(max_examples=60, deadline=None)
+    def test_complete_sorted_and_exact(self, corpus, query):
+        store = FeatureStore((2,)).fit(corpus)
+        index = VPTreeIndex(store)
+        vector = index.pack(query)
+        emitted = list(index.ascending(vector))
+        assert sorted(row for _, row in emitted) == list(range(len(corpus)))
+        keys = [key for key, _ in emitted]
+        assert keys == sorted(keys)
+        for key, row in emitted:
+            assert key == vector.l1_distance(store.packed_vector(row, index.q))
