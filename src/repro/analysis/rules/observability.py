@@ -6,7 +6,9 @@ leaked open span corrupts the parent chain of every span recorded after it
 on that context.  RL004 keeps metric label sets enumerable: a label value
 interpolated from unbounded data (tree ids, queries, error strings) makes
 the registry grow one time series per distinct value until snapshotting and
-Prometheus scraping fall over.
+Prometheus scraping fall over.  The same rule holds span names to the same
+vocabulary bar, because span paths key the sampling profiler's sample table
+(:mod:`repro.obs.profile`) and trace groupings.
 """
 
 from __future__ import annotations
@@ -110,7 +112,7 @@ _FORMATTING_CALLS = frozenset({"str", "repr", "format"})
 
 @register
 class MetricLabelCardinalityRule(Rule):
-    """RL004: metric label values are literals/constants, never interpolated."""
+    """RL004: metric labels and span names come from bounded vocabularies."""
 
     rule_id = "RL004"
     title = "metric-label-cardinality"
@@ -120,18 +122,35 @@ class MetricLabelCardinalityRule(Rule):
         "combination. A label built with an f-string (or str()/%/+) of an "
         "unbounded value - tree ids, thresholds, error messages - grows the "
         "registry without limit, bloating every snapshot and Prometheus "
-        "scrape until the process pays O(corpus) per observation."
+        "scrape until the process pays O(corpus) per observation. Span "
+        "names are held to the same bar: span paths key the sampling "
+        "profiler's sample table and every trace grouping, so a name "
+        "interpolating a computed value (a call result, a subscript) makes "
+        "the profile vocabulary unbounded too. Attribute/name "
+        "interpolations (f\"filter.{name}\") stay allowed - they draw from "
+        "small closed sets the code already enumerates."
     )
     hint = (
         "pass a value from a bounded enumeration (literal, constant, or a "
         "small closed set computed upstream); unbounded detail belongs in "
-        "span attributes, not metric labels"
+        "span attributes, not metric labels or span names"
     )
 
     def check(self, module: ModuleInfo, project: ProjectModel) -> Iterator[Finding]:
         for node in ast.walk(module.tree):
             if not isinstance(node, ast.Call):
                 continue
+            if call_name(node) in _SPAN_CALLS and node.args:
+                problem = self._span_name_interpolation(node.args[0])
+                if problem:
+                    yield self.finding(
+                        module,
+                        node.args[0].lineno,
+                        f"span name for `{call_name(node)}(...)` is built "
+                        f"with {problem}; span paths key profiler samples, "
+                        "so their vocabulary must stay bounded",
+                        symbol=_enclosing_symbol(node),
+                    )
             if not isinstance(node.func, ast.Attribute):
                 continue
             if node.func.attr not in _LABEL_METHODS:
@@ -165,3 +184,17 @@ class MetricLabelCardinalityRule(Rule):
                 if isinstance(side, ast.JoinedStr):
                     return "string concatenation of an f-string"
         return ""
+
+    @classmethod
+    def _span_name_interpolation(cls, value: ast.expr) -> str:
+        """Like :meth:`_interpolation`, but f-strings interpolating plain
+        names/attributes are allowed — `f"filter.{name}"` draws from the
+        registered filter set, a bounded vocabulary by construction."""
+        if isinstance(value, ast.JoinedStr):
+            for part in value.values:
+                if isinstance(part, ast.FormattedValue) and not isinstance(
+                    part.value, (ast.Name, ast.Attribute)
+                ):
+                    return "an f-string interpolating a computed value"
+            return ""
+        return cls._interpolation(value)

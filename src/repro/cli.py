@@ -13,6 +13,9 @@ Commands
 ``index``      build (``index build``) or inspect (``index stats``) a
                sublinear candidate-index sidecar over a feature plane
 ``serve-bench``  replay synthetic query traffic through TreeSearchService
+``bench``      run (``bench run``) the declared perf-ledger suite to a
+               ``BENCH_<n>.json`` record, or diff two records with
+               noise-aware regression gates (``bench compare``)
 ``trace``      run one query fully traced: span tree + filter funnel
 ``metrics``    dump the process-wide metrics registry (Prometheus text)
 ``verify``     run the differential/metamorphic oracle harness
@@ -155,6 +158,26 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="collect the filter funnel and print its table on stderr "
         "(with --stats-json the funnel also rides in the JSON)",
+    )
+    search.add_argument(
+        "--cost-report",
+        action="store_true",
+        help="collect the filter funnel and print the per-stage cost "
+        "ledger (unit costs, refinements saved, net benefit) on stderr",
+    )
+    search.add_argument(
+        "--profile",
+        metavar="PATH",
+        help="sample the query under the span-attributed profiler and "
+        "write flamegraph collapsed stacks to PATH (JSON when PATH ends "
+        "in .json)",
+    )
+    search.add_argument(
+        "--profile-interval",
+        type=float,
+        default=0.001,
+        help="profiler sampling interval in seconds (0 = every call "
+        "event via the deterministic setprofile backend)",
     )
 
     features = commands.add_parser(
@@ -301,6 +324,97 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="trace the replay and write a chrome://tracing event file",
     )
+    serve_bench.add_argument(
+        "--cost-report",
+        action="store_true",
+        help="collect funnels and print the per-stage cost ledger "
+        "(with --json the report also rides in the JSON)",
+    )
+    serve_bench.add_argument(
+        "--health-interval",
+        type=float,
+        default=0.0,
+        help="with --shards > 1: seconds between background shard-health "
+        "polls (0 = one explicit snapshot after the replay)",
+    )
+
+    bench = commands.add_parser(
+        "bench",
+        help="run or compare the machine-readable perf ledger",
+        description="`bench run` executes the declared benchmark suite "
+        "(serve throughput, vectorized filters, index candidates) over a "
+        "dataset file or a generated synthetic corpus and writes one "
+        "schema-versioned BENCH_<n>.json record; `bench compare` diffs "
+        "two records with noise-aware thresholds and exits 1 on any "
+        "regression (deterministic candidate counts are gated exactly).",
+    )
+    bench_commands = bench.add_subparsers(dest="bench_command", required=True)
+    bench_run = bench_commands.add_parser(
+        "run", help="run the declared suite and write a ledger record"
+    )
+    bench_run.add_argument(
+        "file",
+        nargs="?",
+        help="optional .trees dataset; omitted = generate a synthetic "
+        "corpus from --spec/--count/--corpus-seed",
+    )
+    bench_run.add_argument("--out", required=True, help="output JSON path")
+    bench_run.add_argument(
+        "--label",
+        default=None,
+        help="record label (default: the output file's stem)",
+    )
+    bench_run.add_argument("--queries", type=int, default=40)
+    bench_run.add_argument("--threshold", type=float, default=1.5)
+    bench_run.add_argument("--knn-k", type=int, default=3, dest="k")
+    bench_run.add_argument(
+        "--seed", type=int, default=0, help="query-stream seed"
+    )
+    bench_run.add_argument(
+        "--count", type=int, default=120, help="synthetic corpus size"
+    )
+    bench_run.add_argument(
+        "--spec",
+        default="N{4,0.5}N{50,2}L8D0.05",
+        help="synthetic spec in the paper's caption notation",
+    )
+    bench_run.add_argument(
+        "--corpus-seed", type=int, default=0, help="synthetic corpus seed"
+    )
+    bench_compare = bench_commands.add_parser(
+        "compare",
+        help="diff two ledger records; exit 1 on regression",
+    )
+    bench_compare.add_argument("baseline", help="baseline BENCH_*.json")
+    bench_compare.add_argument("current", help="current BENCH_*.json")
+    bench_compare.add_argument(
+        "--noise",
+        type=float,
+        default=0.5,
+        help="relative tolerance for time/rate metrics (0.5 = flag only "
+        "changes beyond 1.5x)",
+    )
+    bench_compare.add_argument(
+        "--count-noise",
+        type=float,
+        default=0.0,
+        help="relative tolerance for deterministic counters (0 = exact)",
+    )
+    bench_compare.add_argument(
+        "--allow-corpus-mismatch",
+        action="store_true",
+        help="compare records measured over different corpora anyway",
+    )
+    bench_compare.add_argument(
+        "--verbose",
+        action="store_true",
+        help="show every compared metric, not just regressions",
+    )
+    bench_compare.add_argument(
+        "--json",
+        action="store_true",
+        help="print the comparison as JSON",
+    )
 
     trace = commands.add_parser(
         "trace",
@@ -345,6 +459,14 @@ def build_parser() -> argparse.ArgumentParser:
     metrics_dump.add_argument("--seed", type=int, default=0)
     metrics_dump.add_argument(
         "--filter", choices=sorted(_FILTERS), default="bibranch"
+    )
+    metrics_dump.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="serve the seeded workload over N shard worker processes and "
+        "take a health snapshot, so the dump includes the per-shard "
+        "repro_shard_* gauges",
     )
     metrics_dump.add_argument(
         "--json",
@@ -543,12 +665,21 @@ def _cmd_search(args) -> int:
     query = parse_bracket(args.query)
     import contextlib
 
-    tracer = set_tracer(Tracer()) if args.trace else None
+    # the profiler attributes samples to span paths, so profiling turns
+    # the tracer on even without --trace (the tree only prints for --trace)
+    tracer = set_tracer(Tracer()) if (args.trace or args.profile) else None
+    profiler = None
     sink = None
     try:
         with contextlib.ExitStack() as stack:
-            if args.funnel:
+            if args.funnel or args.cost_report:
                 sink = stack.enter_context(collect_funnels())
+            if args.profile:
+                from repro.obs import SamplingProfiler
+
+                profiler = stack.enter_context(
+                    SamplingProfiler(interval=args.profile_interval)
+                )
             if args.shards != 1:
                 from repro.sharding import ShardedTreeService
 
@@ -621,10 +752,28 @@ def _cmd_search(args) -> int:
             f"({stats.accessed_percentage:.1f}%)",
             file=sys.stderr,
         )
-    if sink is not None:
+    if sink is not None and args.funnel:
         for funnel in sink.funnels:
             print(funnel.format_table(), file=sys.stderr)
-    if tracer is not None:
+    if args.cost_report:
+        from repro.perf import format_cost_reports
+
+        print(format_cost_reports(sink.aggregate().cost_report()), file=sys.stderr)
+    if profiler is not None:
+        import json
+
+        with open(args.profile, "w", encoding="utf-8") as handle:
+            if args.profile.endswith(".json"):
+                json.dump(profiler.to_dict(), handle, indent=2, sort_keys=True)
+                handle.write("\n")
+            else:
+                handle.write(profiler.collapsed() + "\n")
+        print(
+            f"wrote {profiler.total} profile samples "
+            f"({profiler.mode} mode) to {args.profile}",
+            file=sys.stderr,
+        )
+    if tracer is not None and args.trace:
         print(tracer.format_tree(), file=sys.stderr)
     return 0
 
@@ -704,9 +853,10 @@ def _cmd_serve_bench(args) -> int:
         seed=args.seed,
     )
     workload = generate_workload(trees, spec)
-    collecting = args.funnel or args.funnel_export
+    collecting = args.funnel or args.funnel_export or args.cost_report
     tracer = set_tracer(Tracer()) if args.chrome_trace else None
     sink = None
+    health = None
     try:
         with contextlib.ExitStack() as stack:
             if collecting:
@@ -723,6 +873,7 @@ def _cmd_serve_bench(args) -> int:
                         max_workers=args.clients,
                         cache_size=args.cache_size,
                         candidate_source=args.candidate_source,
+                        health_interval=args.health_interval,
                     )
                 )
             else:
@@ -738,6 +889,10 @@ def _cmd_serve_bench(args) -> int:
                     )
                 )
             _, report = replay(service, workload, clients=args.clients)
+            if args.shards != 1:
+                # final snapshot after the replay so the gauges (and any
+                # imbalance warnings) reflect the full run, poller or not
+                health = service.health()
     finally:
         if tracer is not None:
             set_tracer(None)
@@ -770,15 +925,29 @@ def _cmd_serve_bench(args) -> int:
             json.dump(document, handle, sort_keys=True)
         print(f"wrote funnel statistics to {args.funnel_export}", file=sys.stderr)
 
+    cost = sink.aggregate().cost_report() if args.cost_report else None
     if args.json:
         summary = report.to_dict()
         if sink is not None:
             summary["funnel"] = sink.aggregate().to_dict()
+        if cost is not None:
+            summary["cost_report"] = {
+                kind: entry.to_dict() for kind, entry in cost.items()
+            }
+        if health is not None:
+            summary["health"] = health
         print(json.dumps(summary, sort_keys=True))
     else:
         print(format_report(report))
         if args.funnel:
             print(sink.aggregate().format_table())
+        if cost is not None:
+            from repro.perf import format_cost_reports
+
+            print(format_cost_reports(cost))
+        if health is not None:
+            for warning in health["warnings"]:
+                print(f"shard health: {warning}", file=sys.stderr)
     if violations:
         for violation in violations:
             print(f"funnel invariant violated: {violation}", file=sys.stderr)
@@ -860,15 +1029,96 @@ def _cmd_metrics(args) -> int:
             queries=args.queries, k=min(3, len(trees)), seed=args.seed
         )
         workload = generate_workload(trees, spec)
-        database = TreeDatabase(trees, flt=_FILTERS[args.filter]().fit(trees))
         metrics = ServiceMetrics(registry=registry)
-        with TreeSearchService(database, metrics=metrics) as service:
-            replay(service, workload)
+        if args.shards != 1:
+            from repro.sharding import ShardedTreeService
+
+            with ShardedTreeService(
+                trees,
+                shards=args.shards,
+                filter_name=args.filter,
+                metrics=metrics,
+            ) as service:
+                replay(service, workload)
+                # publish the per-shard repro_shard_* gauges into the dump
+                service.health()
+        else:
+            database = TreeDatabase(trees, flt=_FILTERS[args.filter]().fit(trees))
+            with TreeSearchService(database, metrics=metrics) as service:
+                replay(service, workload)
     if args.json:
         print(registry.to_json(indent=2))
     else:
         sys.stdout.write(registry.prometheus_text())
     return 0
+
+
+def _cmd_bench(args) -> int:
+    import json
+    import os
+
+    from repro.perf import (
+        compare_records,
+        format_comparison,
+        load_record,
+        make_record,
+        save_record,
+    )
+
+    if args.bench_command == "run":
+        from repro.bench.suite import run_bench_suite
+
+        if args.file:
+            trees = load_forest(args.file)
+            corpus: dict = {
+                "kind": "file",
+                "file": os.path.basename(args.file),
+                "trees": len(trees),
+            }
+        else:
+            spec = parse_spec(args.spec)
+            trees = generate_dataset(
+                spec, count=args.count, seed=args.corpus_seed
+            )
+            corpus = {
+                "kind": "synthetic",
+                "spec": args.spec,
+                "count": args.count,
+                "seed": args.corpus_seed,
+            }
+        if not trees:
+            print("dataset is empty", file=sys.stderr)
+            return 1
+        corpus.update(
+            queries=args.queries,
+            threshold=args.threshold,
+            k=args.k,
+            query_seed=args.seed,
+        )
+        label = args.label or os.path.splitext(os.path.basename(args.out))[0]
+        suites = run_bench_suite(
+            trees,
+            queries=args.queries,
+            threshold=args.threshold,
+            k=args.k,
+            seed=args.seed,
+        )
+        save_record(make_record(label, corpus, suites), args.out)
+        print(f"wrote ledger record {label} ({len(suites)} suites) to {args.out}")
+        return 0
+
+    comparison = compare_records(
+        load_record(args.baseline),
+        load_record(args.current),
+        noise=args.noise,
+        count_noise=args.count_noise,
+        allow_corpus_mismatch=args.allow_corpus_mismatch,
+    )
+    if args.json:
+        print(json.dumps(comparison.to_dict(), sort_keys=True))
+    else:
+        print(format_comparison(comparison, verbose=args.verbose))
+    return 0 if comparison.ok else 1
 
 
 def _cmd_verify(args) -> int:
@@ -1021,6 +1271,7 @@ _HANDLERS = {
     "features": _cmd_features,
     "index": _cmd_index,
     "serve-bench": _cmd_serve_bench,
+    "bench": _cmd_bench,
     "trace": _cmd_trace,
     "metrics": _cmd_metrics,
     "verify": _cmd_verify,

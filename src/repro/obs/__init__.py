@@ -11,6 +11,10 @@ A zero-dependency observability layer threaded through the whole stack:
   records (corpus → survivors per filter stage → refined → results, with
   per-stage seconds and false-positive counts) and corpus-level
   selectivity aggregation;
+* :mod:`repro.obs.profile` — a zero-dependency sampling profiler
+  (``setitimer`` signals with a thread-safe ``sys.setprofile`` fallback)
+  whose samples are attributed to the active span path, exported as
+  flamegraph collapsed stacks or schema-versioned JSON;
 * :mod:`repro.obs.metrics` — a process-wide
   :class:`~repro.obs.metrics.MetricsRegistry` (counters, gauges,
   histograms) with Prometheus text exposition and JSON snapshots; the
@@ -37,10 +41,16 @@ from repro.obs.metrics import (
     default_latency_bounds,
     get_registry,
 )
+from repro.obs.profile import (
+    SamplingProfiler,
+    get_profiler,
+    profiling_enabled,
+)
 from repro.obs.tracing import (
     NOOP_SPAN,
     Span,
     Tracer,
+    current_path,
     current_span,
     enabled,
     get_tracer,
@@ -55,8 +65,12 @@ __all__ = [
     "span",
     "enabled",
     "current_span",
+    "current_path",
     "get_tracer",
     "set_tracer",
+    "SamplingProfiler",
+    "get_profiler",
+    "profiling_enabled",
     "FilterFunnel",
     "FunnelStage",
     "FunnelSink",

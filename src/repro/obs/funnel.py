@@ -56,8 +56,14 @@ class FunnelStage:
 
     @property
     def selectivity(self) -> float:
-        """Fraction of entrants that survive (1.0 for an empty stage)."""
-        return self.survivors / self.entered if self.entered else 1.0
+        """Fraction of entrants that survive (0.0 for an empty stage).
+
+        An empty stage (empty corpus, or a cascade that pruned everything
+        upstream) has no entrants to select from; reporting 0.0 keeps the
+        value a safe ratio — never a ZeroDivisionError, and never the
+        misleading "kept 100%" an empty stage used to report.
+        """
+        return self.survivors / self.entered if self.entered else 0.0
 
     def to_dict(self) -> Dict[str, object]:
         return {
@@ -94,6 +100,15 @@ class FilterFunnel:
     def survivors(self) -> int:
         """Survivors of the last filter stage (corpus size with no stages)."""
         return self.stages[-1].survivors if self.stages else self.corpus_size
+
+    @property
+    def selectivity(self) -> float:
+        """End-to-end filter selectivity: last survivors / corpus size.
+
+        0.0 on an empty corpus (a ratio over nothing is no survivors, not
+        a division error).
+        """
+        return self.survivors / self.corpus_size if self.corpus_size else 0.0
 
     @property
     def filter_seconds(self) -> float:
@@ -262,7 +277,8 @@ class _StageAggregate:
 
     @property
     def selectivity(self) -> float:
-        return self.survivors / self.entered if self.entered else 1.0
+        # 0.0 for an empty cell, mirroring FunnelStage.selectivity
+        return self.survivors / self.entered if self.entered else 0.0
 
     def to_dict(self) -> Dict[str, object]:
         return {
@@ -317,6 +333,18 @@ class FunnelAggregate:
             cell.entered += stage.entered
             cell.survivors += stage.survivors
             cell.seconds += stage.seconds
+
+    def cost_report(self):
+        """Per-stage cost accounting over the folded funnels.
+
+        Joins each stage's survivor counts with its measured seconds into
+        per-candidate unit costs and a predicted-vs-actual cascade cost
+        comparison; see :func:`repro.perf.costs.cost_reports`.  Returns
+        ``{kind: CascadeCostReport}``.
+        """
+        from repro.perf.costs import cost_reports  # local: perf builds on obs
+
+        return cost_reports(self)
 
     def to_dict(self) -> Dict[str, object]:
         """JSON-serialisable summary (what ``--funnel-export`` writes)."""

@@ -1,0 +1,338 @@
+"""Zero-dependency sampling profiler attributed to the active span path.
+
+Where tracing answers "how long did each operation take", the profiler
+answers "*which code* was running inside it".  :class:`SamplingProfiler`
+periodically captures the interrupted Python frame stack and keys every
+sample on the innermost live span's root-to-leaf path
+(:func:`repro.obs.tracing.current_path`), so a collapsed-stack export
+reads ``search.range;filter.BiBranch;repro.filters...:refutes 42`` — the
+span cascade the paper's cost model talks about, with the concrete
+frames under it.
+
+Two sampling backends:
+
+* ``signal`` — :func:`signal.setitimer` fires ``SIGPROF`` (CPU time) or
+  ``SIGALRM`` (wall time) every ``interval`` seconds; the handler samples
+  the interrupted frame.  Lowest overhead and unbiased, but POSIX-only
+  and main-thread-only (signal handlers always run on the main thread).
+* ``setprofile`` — :func:`sys.setprofile` + :func:`threading.setprofile`
+  install a per-thread callback that records a sample when at least
+  ``interval`` seconds have elapsed on that thread (``interval=0``
+  records every call event — deterministic, useful for tests).  Works on
+  every platform and every thread, at higher overhead.
+
+``mode="auto"`` picks ``signal`` when possible, else ``setprofile``.
+
+The **disabled path is a true NOOP**: nothing in the library calls into
+this module per-operation; an uninstalled profiler costs instrumented
+code zero work (the overhead-guard test in ``tests/obs/test_profile.py``
+pins this).  Samples are bounded (``max_samples`` distinct keys beyond
+which new keys are dropped and counted), and export is available as a
+flamegraph-compatible collapsed-stack text or a schema-versioned JSON
+document (``repro-profile`` v1).
+"""
+
+from __future__ import annotations
+
+import signal
+import sys
+import threading
+import time
+from typing import Dict, List, Optional, Tuple
+
+from repro.obs import tracing
+
+__all__ = [
+    "SamplingProfiler",
+    "get_profiler",
+    "profiling_enabled",
+    "PROFILE_FORMAT",
+    "PROFILE_VERSION",
+]
+
+PROFILE_FORMAT = "repro-profile"
+PROFILE_VERSION = 1
+
+#: span-path segment used for samples taken outside any live span
+NO_SPAN = "(no span)"
+
+#: frames deeper than this are truncated (innermost kept)
+_MAX_DEPTH = 64
+
+_ACTIVE_PROFILER: Optional["SamplingProfiler"] = None
+
+
+def get_profiler() -> Optional["SamplingProfiler"]:
+    """The currently started profiler, or ``None`` when profiling is off."""
+    return _ACTIVE_PROFILER
+
+
+def profiling_enabled() -> bool:
+    """Whether a profiler is currently sampling this process."""
+    return _ACTIVE_PROFILER is not None
+
+
+def _frame_id(frame) -> str:
+    """``module:function`` for one frame (bounded: code objects, not data)."""
+    code = frame.f_code
+    module = frame.f_globals.get("__name__", "?")
+    return f"{module}:{code.co_name}"
+
+
+def _walk_stack(frame) -> Tuple[str, ...]:
+    """Root-first ``module:function`` tuple for ``frame`` and its callers."""
+    frames: List[str] = []
+    while frame is not None and len(frames) < _MAX_DEPTH:
+        frames.append(_frame_id(frame))
+        frame = frame.f_back
+    frames.reverse()
+    return tuple(frames)
+
+
+class SamplingProfiler:
+    """Samples Python stacks, attributed to the active span path.
+
+    Parameters
+    ----------
+    interval:
+        Seconds between samples.  In ``setprofile`` mode, ``0.0`` records
+        a sample on *every* call event (deterministic; for tests).
+    mode:
+        ``"signal"``, ``"setprofile"``, or ``"auto"`` (signal when the
+        platform and thread allow it, else the setprofile fallback).
+    timer:
+        ``"cpu"`` (``ITIMER_PROF``/``SIGPROF`` — samples only while this
+        process burns CPU) or ``"wall"`` (``ITIMER_REAL``/``SIGALRM``).
+        Signal mode only.
+    max_samples:
+        Bound on *distinct* sample keys; samples for new keys beyond the
+        bound are counted in :attr:`dropped`, never stored.
+    """
+
+    def __init__(
+        self,
+        interval: float = 0.005,
+        mode: str = "auto",
+        timer: str = "cpu",
+        max_samples: int = 100_000,
+    ) -> None:
+        if interval < 0:
+            raise ValueError(f"interval must be >= 0, got {interval}")
+        if mode not in ("auto", "signal", "setprofile"):
+            raise ValueError(f"unknown profiler mode {mode!r}")
+        if timer not in ("cpu", "wall"):
+            raise ValueError(f"timer must be 'cpu' or 'wall', got {timer!r}")
+        if max_samples < 1:
+            raise ValueError(f"max_samples must be >= 1, got {max_samples}")
+        self.interval = interval
+        self.requested_mode = mode
+        self.timer = timer
+        self.max_samples = max_samples
+        self.mode: Optional[str] = None  # resolved at start()
+        self.dropped = 0
+        self.total = 0
+        self._lock = threading.Lock()
+        self._samples: Dict[Tuple[str, Tuple[str, ...]], int] = {}
+        self._started = False
+        self._prev_handler = None
+        self._prev_profilers: Dict[int, object] = {}
+        self._thread_last: Dict[int, float] = {}
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "SamplingProfiler":
+        """Begin sampling; installs as the process-wide active profiler."""
+        global _ACTIVE_PROFILER
+        if self._started:
+            raise RuntimeError("profiler already started")
+        if _ACTIVE_PROFILER is not None:
+            raise RuntimeError("another profiler is already active")
+        mode = self.requested_mode
+        if mode == "auto":
+            # interval=0 means "every call event" — only setprofile can do
+            # that; signal mode needs a positive timer period
+            mode = (
+                "signal"
+                if self.interval > 0 and self._signal_possible()
+                else "setprofile"
+            )
+        if mode == "signal":
+            self._start_signal()
+        else:
+            self._start_setprofile()
+        self.mode = mode
+        self._started = True
+        _ACTIVE_PROFILER = self
+        return self
+
+    def stop(self) -> "SamplingProfiler":
+        """Stop sampling and restore the previous handlers/hooks."""
+        global _ACTIVE_PROFILER
+        if not self._started:
+            return self
+        if self.mode == "signal":
+            self._stop_signal()
+        else:
+            self._stop_setprofile()
+        self._started = False
+        if _ACTIVE_PROFILER is self:
+            _ACTIVE_PROFILER = None
+        return self
+
+    def __enter__(self) -> "SamplingProfiler":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> bool:
+        self.stop()
+        return False
+
+    @staticmethod
+    def _signal_possible() -> bool:
+        return (
+            hasattr(signal, "setitimer")
+            and threading.current_thread() is threading.main_thread()
+        )
+
+    # ------------------------------------------------------------------
+    # signal backend
+    # ------------------------------------------------------------------
+    def _start_signal(self) -> None:
+        if not hasattr(signal, "setitimer"):
+            raise RuntimeError("signal mode needs signal.setitimer (POSIX)")
+        if threading.current_thread() is not threading.main_thread():
+            raise RuntimeError("signal mode must be started from the main thread")
+        if self.interval <= 0:
+            raise ValueError("signal mode needs a positive interval")
+        which, signum = self._timer_pair()
+        self._prev_handler = signal.signal(signum, self._on_signal)
+        signal.setitimer(which, self.interval, self.interval)
+
+    def _stop_signal(self) -> None:
+        which, signum = self._timer_pair()
+        signal.setitimer(which, 0.0, 0.0)
+        if self._prev_handler is not None:
+            signal.signal(signum, self._prev_handler)
+            self._prev_handler = None
+
+    def _timer_pair(self):
+        if self.timer == "cpu":
+            return signal.ITIMER_PROF, signal.SIGPROF
+        return signal.ITIMER_REAL, signal.SIGALRM
+
+    def _on_signal(self, signum, frame) -> None:
+        if frame is not None:
+            self._record(frame)
+
+    # ------------------------------------------------------------------
+    # setprofile backend
+    # ------------------------------------------------------------------
+    def _start_setprofile(self) -> None:
+        # threads started after this call inherit the hook; already-running
+        # worker threads are not retroactively hooked (documented limit)
+        threading.setprofile(self._on_event)
+        sys.setprofile(self._on_event)
+
+    def _stop_setprofile(self) -> None:
+        threading.setprofile(None)
+        sys.setprofile(None)
+        self._thread_last.clear()
+
+    def _on_event(self, frame, event, arg) -> None:
+        if event not in ("call", "return"):
+            return
+        if self.interval > 0.0:
+            ident = threading.get_ident()
+            now = time.perf_counter()
+            last = self._thread_last.get(ident, 0.0)
+            if now - last < self.interval:
+                return
+            self._thread_last[ident] = now
+        self._record(frame)
+
+    # ------------------------------------------------------------------
+    # Sample storage
+    # ------------------------------------------------------------------
+    def _record(self, frame) -> None:
+        if frame.f_globals.get("__name__") == __name__:
+            return  # never sample the profiler's own machinery
+        path = tracing.current_path() or NO_SPAN
+        key = (path, _walk_stack(frame))
+        # signal mode runs this inside a handler *on the main thread*; if
+        # that same thread already holds the lock (it was interrupted inside
+        # samples()/clear()) a blocking acquire would deadlock — drop the
+        # sample instead.  setprofile mode runs on ordinary threads where
+        # blocking is safe (CPython disables the hook inside the hook).
+        if not self._lock.acquire(self.mode != "signal"):
+            self.dropped += 1  # repro-lint: disable=RL002 -- advisory counter bumped exactly when the lock is unavailable; signal handlers cannot block
+            return
+        try:
+            count = self._samples.get(key)
+            if count is None:
+                if len(self._samples) >= self.max_samples:
+                    self.dropped += 1  # repro-lint: disable=RL002 -- guarded by the manual acquire above (non-blocking form, so no `with` block)
+                    return
+                self._samples[key] = 1
+            else:
+                self._samples[key] = count + 1
+            self.total += 1  # repro-lint: disable=RL002 -- guarded by the manual acquire above (non-blocking form, so no `with` block)
+        finally:
+            self._lock.release()
+
+    def samples(self) -> Dict[Tuple[str, Tuple[str, ...]], int]:
+        """Snapshot: ``(span_path, frames root-first) -> count``."""
+        with self._lock:
+            return dict(self._samples)
+
+    def by_span_path(self) -> Dict[str, int]:
+        """Sample counts folded down to the span path alone."""
+        folded: Dict[str, int] = {}
+        for (path, _frames), count in self.samples().items():
+            folded[path] = folded.get(path, 0) + count
+        return folded
+
+    def clear(self) -> None:
+        with self._lock:
+            self._samples.clear()
+            self.total = 0
+            self.dropped = 0
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+    def collapsed(self) -> str:
+        """Flamegraph folded format: ``seg;seg;frame;frame count`` lines.
+
+        The span path's ``/`` separators become stack frames, so a
+        flamegraph renders the span cascade as the upper layers and the
+        Python frames under each leaf span.  Feed to ``flamegraph.pl``
+        or https://www.speedscope.app (paste as "collapsed").
+        """
+        lines = []
+        for (path, frames), count in sorted(self.samples().items()):
+            stack = ";".join(path.split("/") + list(frames))
+            lines.append(f"{stack} {count}")
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, object]:
+        """Schema-versioned JSON document of every sample."""
+        records = [
+            {"span_path": path, "frames": list(frames), "count": count}
+            for (path, frames), count in sorted(self.samples().items())
+        ]
+        return {
+            "format": PROFILE_FORMAT,
+            "version": PROFILE_VERSION,
+            "mode": self.mode or self.requested_mode,
+            "timer": self.timer,
+            "interval_seconds": self.interval,
+            "total_samples": self.total,
+            "dropped": self.dropped,
+            "samples": records,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"SamplingProfiler(mode={self.mode or self.requested_mode!r}, "
+            f"interval={self.interval}, samples={self.total})"
+        )

@@ -42,6 +42,7 @@ __all__ = [
     "span",
     "enabled",
     "current_span",
+    "current_path",
     "get_tracer",
     "set_tracer",
 ]
@@ -113,6 +114,7 @@ class Span:
     __slots__ = (
         "tracer",
         "name",
+        "path",
         "span_id",
         "parent_id",
         "trace_id",
@@ -132,9 +134,15 @@ class Span:
         parent_id: Optional[int],
         trace_id: int,
         attributes: Dict[str, object],
+        path: Optional[str] = None,
     ) -> None:
         self.tracer = tracer
         self.name = name
+        #: "/"-joined span names from the trace root down to this span
+        #: (``search.range/filter.BiBranch``).  Computed once at creation so
+        #: the sampling profiler can key samples on it with a single
+        #: attribute read from inside an interrupt handler.
+        self.path = path if path is not None else name
         self.span_id = span_id
         self.parent_id = parent_id
         self.trace_id = trace_id
@@ -172,6 +180,7 @@ class Span:
         """JSON-serialisable record of one finished span."""
         record: Dict[str, object] = {
             "name": self.name,
+            "path": self.path,
             "span_id": self.span_id,
             "parent_id": self.parent_id,
             "trace_id": self.trace_id,
@@ -245,7 +254,13 @@ class Tracer:
         if type(parent) is _UnrecordedSpan:
             return NOOP_SPAN
         return Span(
-            self, name, next(self._ids), parent.span_id, parent.trace_id, attributes
+            self,
+            name,
+            next(self._ids),
+            parent.span_id,
+            parent.trace_id,
+            attributes,
+            path=parent.path + "/" + name,
         )
 
     def _finish(self, span: Span) -> None:
@@ -404,3 +419,15 @@ def current_span():
     if current is None or type(current) is _UnrecordedSpan:
         return None
     return current
+
+
+def current_path() -> Optional[str]:
+    """The innermost live span's root-to-leaf path (``None`` outside spans).
+
+    One ContextVar read and one attribute read — cheap enough to call from
+    a profiler's sampling interrupt.
+    """
+    current = _CURRENT.get()
+    if current is None or type(current) is _UnrecordedSpan:
+        return None
+    return current.path  # type: ignore[union-attr]

@@ -1,0 +1,59 @@
+"""repro.perf — performance intelligence: cost accounting and the ledger.
+
+The paper's efficiency claim is a cost argument: cheap lower-bound
+filters are worth running exactly when the refinement seconds they save
+exceed the seconds they cost.  This package makes that argument
+continuously measurable:
+
+* :mod:`repro.perf.costs` — joins
+  :class:`~repro.obs.funnel.FunnelAggregate` survivor counts with the
+  measured per-stage seconds into per-candidate unit costs, per-stage
+  net benefit, and a predicted-vs-actual cascade cost report
+  (``repro search --cost-report``, ``repro serve-bench --cost-report``);
+* :mod:`repro.perf.ledger` — schema-versioned ``BENCH_<n>.json`` records
+  (machine, corpus parameters, suite measurements) plus a noise-aware
+  comparator that gates CI on regressions (``repro bench run`` /
+  ``repro bench compare``);
+* :mod:`repro.perf.resources` — tiny process-resource probes (RSS) used
+  by the shard health telemetry and the ledger's machine stanza.
+
+See ``docs/PERF.md``.
+"""
+
+from repro.perf.costs import (
+    CascadeCostReport,
+    StageCost,
+    cost_reports,
+    format_cost_reports,
+)
+from repro.perf.ledger import (
+    LEDGER_FORMAT,
+    LEDGER_VERSION,
+    ComparisonEntry,
+    LedgerComparison,
+    compare_records,
+    format_comparison,
+    load_record,
+    machine_info,
+    make_record,
+    save_record,
+)
+from repro.perf.resources import rss_bytes
+
+__all__ = [
+    "StageCost",
+    "CascadeCostReport",
+    "cost_reports",
+    "format_cost_reports",
+    "LEDGER_FORMAT",
+    "LEDGER_VERSION",
+    "ComparisonEntry",
+    "LedgerComparison",
+    "machine_info",
+    "make_record",
+    "save_record",
+    "load_record",
+    "compare_records",
+    "format_comparison",
+    "rss_bytes",
+]

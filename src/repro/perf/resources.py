@@ -1,0 +1,32 @@
+"""Process resource probes: tiny, dependency-free, never raising.
+
+Used by the shard health telemetry (each worker reports its own RSS over
+the control pipe) and by the perf ledger's machine stanza.  On platforms
+without :mod:`resource` (Windows) the probes degrade to 0 rather than
+fail — health telemetry must never take a worker down.
+"""
+
+from __future__ import annotations
+
+import sys
+
+__all__ = ["rss_bytes"]
+
+try:
+    import resource as _resource
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    _resource = None
+
+
+def rss_bytes() -> int:
+    """Peak resident set size of the calling process, in bytes (0 unknown).
+
+    ``ru_maxrss`` is kilobytes on Linux and bytes on macOS; normalise to
+    bytes so the ``repro_shard_rss_bytes`` gauge means one thing.
+    """
+    if _resource is None:
+        return 0
+    peak = _resource.getrusage(_resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":
+        return int(peak)
+    return int(peak) * 1024

@@ -107,6 +107,44 @@ class _ShardClient:
         self.label = str(shard)
 
 
+#: (metric name, worker health-reply key, help) for the scalar health gauges
+_HEALTH_GAUGES = (
+    ("repro_shard_trees", "trees", "Trees resident on the shard."),
+    (
+        "repro_shard_uptime_seconds",
+        "uptime_seconds",
+        "Seconds since the shard worker started.",
+    ),
+    (
+        "repro_shard_rss_bytes",
+        "rss_bytes",
+        "Peak resident set size of the shard worker process.",
+    ),
+    (
+        "repro_shard_requests_total",
+        "requests_total",
+        "Requests the shard worker has served.",
+    ),
+    (
+        "repro_shard_open_cursors",
+        "open_cursors",
+        "k-NN frontier cursors currently open on the shard.",
+    ),
+    (
+        "repro_shard_distance_computations",
+        "distance_computations",
+        "Exact tree-edit distances the shard has computed.",
+    ),
+)
+
+#: trees max/min ratio beyond which health() flags a placement imbalance
+_TREE_IMBALANCE_RATIO = 1.5
+#: busy-seconds max/min ratio beyond which health() flags a load imbalance
+_LOAD_IMBALANCE_RATIO = 4.0
+#: ignore load skew until the busiest shard has at least this much work
+_LOAD_IMBALANCE_FLOOR_SECONDS = 0.05
+
+
 def _shutdown_backends(
     clients: List[_ShardClient], planes: List[SharedFeaturePlane]
 ) -> None:
@@ -177,6 +215,12 @@ class ShardedTreeService:
         Per-worker prepared-tree cache bound.
     metrics:
         Optional externally owned :class:`ServiceMetrics`.
+    health_interval:
+        Seconds between background :meth:`health` polls (a daemon thread
+        ships queue depth, in-flight queries, per-stage seconds, RSS and
+        uptime from every worker into the metrics registry).  ``0.0``
+        (the default) disables the poller; :meth:`health` can always be
+        called explicitly.
     candidate_source:
         Forwarded to every worker (and to the ``shards=1`` delegate):
         ``"loop"`` keeps the per-candidate reference path, ``"vectorized"``
@@ -200,9 +244,14 @@ class ShardedTreeService:
         prepared_cache_size: int = 8192,
         metrics: Optional[ServiceMetrics] = None,
         candidate_source: str = "auto",
+        health_interval: float = 0.0,
     ) -> None:
         if shards < 1:
             raise InvalidParameterError(f"need >= 1 shards, got {shards}")
+        if health_interval < 0:
+            raise InvalidParameterError(
+                f"health_interval must be >= 0, got {health_interval}"
+            )
         if filter_name not in FILTER_FACTORIES:
             raise InvalidParameterError(
                 f"unknown filter {filter_name!r} "
@@ -219,6 +268,7 @@ class ShardedTreeService:
         self._closed = False
         self._delegate: Optional[TreeSearchService] = None
 
+        self._started_monotonic = time.monotonic()
         factory = FILTER_FACTORIES[filter_name]
         probe = factory()
         trees = list(trees)
@@ -248,6 +298,24 @@ class ShardedTreeService:
             "repro_shard_latency_seconds",
             "Coordinator-observed per-shard round-trip latency.",
             ("shard", "kind"),
+        )
+        #: live per-shard load gauges, maintained around every RPC:
+        #: queue depth counts callers waiting on the per-worker pipe lock,
+        #: in-flight counts exchanges currently on the wire
+        self._queue_depth = self.metrics.registry.gauge(
+            "repro_shard_queue_depth",
+            "Coordinator threads waiting for a worker's pipe lock.",
+            ("shard",),
+        )
+        self._inflight = self.metrics.registry.gauge(
+            "repro_shard_inflight_requests",
+            "Requests currently on the wire to a worker.",
+            ("shard",),
+        )
+        self._imbalance_warnings = self.metrics.registry.counter(
+            "repro_shard_imbalance_warnings_total",
+            "health() snapshots that flagged a shard imbalance.",
+            ("dimension",),
         )
         #: funnel stage name of the distributed k-NN ordering pass; matches
         #: the single-process ``order:<filter>`` stage for oracle parity.
@@ -316,6 +384,16 @@ class ShardedTreeService:
         self._batch_pool = ThreadPoolExecutor(
             max_workers=max_workers, thread_name_prefix="repro-shard-batch"
         )
+        self._health_stop = threading.Event()
+        self._health_thread: Optional[threading.Thread] = None
+        if health_interval > 0:
+            self._health_thread = threading.Thread(
+                target=self._health_loop,
+                args=(health_interval,),
+                name="repro-shard-health",
+                daemon=True,
+            )
+            self._health_thread.start()
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -326,6 +404,9 @@ class ShardedTreeService:
             self._delegate.close()
             return
         self._closed = True
+        self._health_stop.set()
+        if self._health_thread is not None:
+            self._health_thread.join(timeout=5)
         self._scatter_pool.shutdown(wait=True)
         self._batch_pool.shutdown(wait=True)
         self._finalizer()  # runs _shutdown_backends at most once
@@ -364,7 +445,13 @@ class ShardedTreeService:
         """One request/response exchange with a worker (serialised)."""
         client = self._clients[shard]
         start = time.perf_counter()
+        # queue depth counts callers parked on the pipe lock; in-flight
+        # counts exchanges on the wire.  Both are gauges so a health
+        # snapshot taken from another thread sees live load, not history.
+        self._queue_depth.inc(shard=client.label)
         with client.lock:
+            self._queue_depth.dec(shard=client.label)
+            self._inflight.inc(shard=client.label)
             try:
                 client.conn.send(message)
                 reply = client.conn.recv()
@@ -373,6 +460,8 @@ class ShardedTreeService:
                     f"shard {shard} worker is gone "
                     f"({type(error).__name__}: {error})"
                 ) from error
+            finally:
+                self._inflight.dec(shard=client.label)
         self._shard_latency.observe(
             time.perf_counter() - start, shard=client.label, kind=kind
         )
@@ -664,3 +753,119 @@ class ShardedTreeService:
                 }
             ]
         return list(self._scatter(("info",), "control"))
+
+    def health(self) -> Dict[str, object]:
+        """One shard-health snapshot: poll every worker, publish the gauges.
+
+        Returns ``{"shards": [...], "warnings": [...]}`` where each shard
+        entry is the worker's health reply (tree count, uptime, peak RSS,
+        request counts, per-stage busy seconds, open k-NN cursors,
+        distance computations).  Every scalar also lands in the metrics
+        registry as a ``repro_shard_*`` gauge labelled by shard, and the
+        per-stage seconds as ``repro_shard_stage_seconds{shard,stage}``,
+        so ``repro metrics dump`` and the Prometheus exposition see the
+        same numbers.  Imbalance warnings (tree placement skew, busy-time
+        skew) are returned as strings and counted on
+        ``repro_shard_imbalance_warnings_total{dimension}``.
+        """
+        if self._delegate is not None:
+            database = self._delegate.database
+            from repro.perf.resources import rss_bytes  # local: perf builds on obs
+
+            # the engine runs a fresh per-query counter (race-free `calls`),
+            # so the database counter stays 0 — the metrics counter of
+            # refined candidates is the accurate equivalent, and the phase
+            # counters give the same per-stage seconds the workers report
+            metrics = self.metrics
+            queries = metrics._queries.values()
+            phase = metrics._phase_seconds.values()
+            snapshot: Dict[str, object] = {
+                "shard": 0,
+                "trees": len(database),
+                "uptime_seconds": time.monotonic() - self._started_monotonic,
+                "rss_bytes": rss_bytes(),
+                "requests": {
+                    labels[0]: int(count) for labels, count in queries.items()
+                },
+                "requests_total": int(sum(queries.values())),
+                "stage_seconds": {
+                    "filter": sum(
+                        seconds
+                        for labels, seconds in phase.items()
+                        if labels[0] == "filter"
+                    ),
+                    "refine": sum(
+                        seconds
+                        for labels, seconds in phase.items()
+                        if labels[0] == "refine"
+                    ),
+                },
+                "open_cursors": 0,
+                "distance_computations": int(metrics._candidates.value()),
+            }
+            self._publish_health([snapshot])
+            return {"shards": [snapshot], "warnings": []}
+        if self._closed:
+            raise RuntimeError("service is closed")
+        shards = list(self._scatter(("health",), "control"))
+        warnings = self._publish_health(shards)
+        return {"shards": shards, "warnings": warnings}
+
+    def _publish_health(self, shards: List[Dict[str, object]]) -> List[str]:
+        """Set the per-shard gauges and derive imbalance warnings.
+
+        Gauges are fetched get-or-create from the registry (not cached on
+        the service) so the ``shards=1`` delegate path — which skips the
+        multi-shard constructor — publishes identically.
+        """
+        registry = self.metrics.registry
+        stage_gauge = registry.gauge(
+            "repro_shard_stage_seconds",
+            "Cumulative busy seconds per pipeline stage on the shard.",
+            ("shard", "stage"),
+        )
+        for snapshot in shards:
+            label = str(snapshot["shard"])
+            for name, key, help_text in _HEALTH_GAUGES:
+                gauge = registry.gauge(name, help_text, ("shard",))
+                gauge.set(float(snapshot[key]), shard=label)
+            for stage, seconds in snapshot["stage_seconds"].items():
+                stage_gauge.set(float(seconds), shard=label, stage=stage)
+
+        warnings: List[str] = []
+        if len(shards) < 2:
+            return warnings
+        imbalance = registry.counter(
+            "repro_shard_imbalance_warnings_total",
+            "health() snapshots that flagged a shard imbalance.",
+            ("dimension",),
+        )
+        trees = [int(snapshot["trees"]) for snapshot in shards]
+        if max(trees) > max(min(trees), 1) * _TREE_IMBALANCE_RATIO:
+            warnings.append(
+                f"tree placement skew: {min(trees)}..{max(trees)} trees per "
+                f"shard exceeds the {_TREE_IMBALANCE_RATIO:g}x balance ratio"
+            )
+            imbalance.inc(dimension="trees")
+        busy = [
+            sum(snapshot["stage_seconds"].values()) for snapshot in shards
+        ]
+        busiest = max(busy)
+        if (
+            busiest > _LOAD_IMBALANCE_FLOOR_SECONDS
+            and busiest > max(min(busy), 1e-9) * _LOAD_IMBALANCE_RATIO
+        ):
+            warnings.append(
+                f"busy-time skew: {min(busy):.3f}s..{busiest:.3f}s per shard "
+                f"exceeds the {_LOAD_IMBALANCE_RATIO:g}x balance ratio"
+            )
+            imbalance.inc(dimension="busy_seconds")
+        return warnings
+
+    def _health_loop(self, interval: float) -> None:
+        """Daemon poller: one :meth:`health` snapshot per interval."""
+        while not self._health_stop.wait(interval):
+            try:
+                self.health()
+            except (RuntimeError, ShardError, OSError):
+                break  # racing shutdown — the poller just stops

@@ -24,6 +24,8 @@ tuples ``(op, *operands)``; replies are ``("ok", result)`` or
 ``knn_end``        drop a k-NN cursor
 ``add``            insert one tree (bracket form) into the shard
 ``info``           counters for diagnostics
+``health``         health telemetry: per-op request counts, cumulative
+                   per-stage seconds, open cursors, RSS, uptime
 ``shutdown``       acknowledge and exit the loop
 =================  =====================================================
 
@@ -71,7 +73,7 @@ FRONTIER_CHUNK = 64
 #: Ops the request loop will dispatch; anything else is a protocol error.
 _OPS = frozenset(
     {"ping", "range", "knn_begin", "knn_more", "knn_refine", "knn_end",
-     "add", "info"}
+     "add", "info", "health"}
 )
 
 
@@ -149,6 +151,10 @@ class _ShardState:
         )
         #: open k-NN cursors: qid -> ascending (bound, local) frontier
         self._knn: Dict[int, _KnnCursor] = {}
+        #: health telemetry, all cumulative since worker start
+        self.started = time.monotonic()
+        self.requests: Dict[str, int] = {}
+        self.stage_seconds: Dict[str, float] = {"filter": 0.0, "refine": 0.0}
 
     @staticmethod
     def _fit_filter(
@@ -200,6 +206,8 @@ class _ShardState:
                 self.db.trees, query, threshold, self.db.filter,
                 self.counter, matrices=self.matrices, index=self.index,
             )
+        self.stage_seconds["filter"] += stats.filter_seconds
+        self.stage_seconds["refine"] += stats.refine_seconds
         return {
             "matches": matches,
             "candidates": stats.candidates,
@@ -250,6 +258,7 @@ class _ShardState:
                 query, [(float(bounds[local]), local) for local in order]
             )
         filter_seconds = time.perf_counter() - start
+        self.stage_seconds["filter"] += filter_seconds
         return {
             "filter_seconds": filter_seconds,
             "total": len(self.db),
@@ -264,7 +273,10 @@ class _ShardState:
 
     def knn_refine(self, qid: int, local: int) -> Dict[str, Any]:
         query = self._cursor(qid).query
-        return {"distance": self.counter.distance(query, self.db.trees[local])}
+        start = time.perf_counter()
+        distance = self.counter.distance(query, self.db.trees[local])
+        self.stage_seconds["refine"] += time.perf_counter() - start
+        return {"distance": distance}
 
     def knn_end(self, qid: int) -> None:
         self._knn.pop(qid, None)
@@ -295,6 +307,31 @@ class _ShardState:
             "open_cursors": len(self._knn),
         }
 
+    def note_request(self, op: str) -> None:
+        """Count one dispatched request (op names are the bounded _OPS set)."""
+        self.requests[op] = self.requests.get(op, 0) + 1
+
+    def health(self) -> Dict[str, Any]:
+        """Everything the coordinator's health snapshot needs, one reply.
+
+        All values are cumulative since worker start (the coordinator
+        turns them into gauges); RSS comes from ``getrusage`` so the
+        probe costs no /proc reads on the serving process.
+        """
+        from repro.perf.resources import rss_bytes
+
+        return {
+            "shard": self.shard,
+            "trees": len(self.db),
+            "uptime_seconds": time.monotonic() - self.started,
+            "rss_bytes": rss_bytes(),
+            "requests": dict(self.requests),
+            "requests_total": sum(self.requests.values()),
+            "stage_seconds": dict(self.stage_seconds),
+            "open_cursors": len(self._knn),
+            "distance_computations": self.counter.calls,
+        }
+
     def close(self) -> None:
         self._knn.clear()
         self.plane.close()
@@ -322,6 +359,7 @@ def run_worker(conn: Connection, payload: Dict[str, Any]) -> None:
             try:
                 if op not in _OPS:
                     raise ShardError(f"unknown shard op {op!r}")
+                state.note_request(op)
                 result = getattr(state, op)(*message[1:])
             except Exception as error:  # repro-lint: disable=RL008 -- protocol boundary: the failure is shipped to the coordinator and re-raised there
                 conn.send(("error", type(error).__name__, str(error)))

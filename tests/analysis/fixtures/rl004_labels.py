@@ -1,4 +1,6 @@
-"""RL004 fixture: an unbounded metric label value."""
+"""RL004 fixture: unbounded metric label values and span names."""
+
+import contextlib
 
 
 class _Counter:
@@ -6,7 +8,25 @@ class _Counter:
         pass
 
 
+@contextlib.contextmanager
+def span(name):
+    yield
+
+
 def observe_query(registry, tree_id):
     counter = _Counter()
     counter.inc(1, kind="range")  # bounded literal: fine
     counter.inc(1, tree=f"tree-{tree_id}")  # unbounded f-string label
+
+
+def traced_query(filter_name, tree_id):
+    with span("search.range"):  # literal: fine
+        pass
+    with span(f"filter.{filter_name}"):  # name interpolation: fine
+        pass
+    with span(f"tree.{compute_key(tree_id)}"):  # computed value: unbounded
+        pass
+
+
+def compute_key(tree_id):
+    return tree_id * 7

@@ -65,10 +65,21 @@ class TestRL003SpanHygiene:
 class TestRL004MetricLabels:
     def test_fstring_label(self):
         findings = lint("rl004_labels.py")
-        assert brief(findings) == [("RL004", "observe_query")]
+        assert brief(findings) == [
+            ("RL004", "observe_query"),
+            ("RL004", "traced_query"),
+        ]
         assert "'tree'" in findings[0].message
         assert "f-string" in findings[0].message
         assert findings[0].severity == "warning"
+
+    def test_span_name_interpolation(self):
+        findings = lint("rl004_labels.py")
+        span_findings = [f for f in findings if "span name" in f.message]
+        assert len(span_findings) == 1
+        assert "computed value" in span_findings[0].message
+        # literal names and f"filter.{name}" interpolations are not flagged
+        assert span_findings[0].symbol == "traced_query"
 
 
 class TestRL005UnboundedRecursion:

@@ -195,3 +195,32 @@ class TestMatrixSidecar:
             matrices=store.matrices(),
         )
         return matches, stats.candidates
+
+
+class TestFallbackExposition:
+    def test_both_sidecar_labels_in_prometheus_text(self, tmp_path, corpus):
+        """Both sidecar families report through the one unified counter:
+        after one fallback each, the Prometheus exposition carries a
+        ``repro_sidecar_fallback_total`` series for ``sidecar="index"``
+        AND ``sidecar="matrices"``."""
+        path = str(tmp_path / "plane.json")
+        store = FeatureStore((2,)).fit(corpus)
+        save_feature_plane(store, path)
+        save_index_sidecar(build_candidate_index("vptree", store), path)
+        with open(index_sidecar_path(path), "w") as handle:
+            handle.write("{ not json !!!")
+        with open(matrix_sidecar_path(path), "wb") as handle:
+            handle.write(b"this is not a zip archive")
+
+        with pytest.warns(UserWarning, match="corrupt matrix sidecar"):
+            damaged = load_feature_plane(path)
+        with pytest.warns(UserWarning, match="corrupt index sidecar"):
+            assert load_index_sidecar(damaged, path) is None
+
+        fallback_lines = [
+            line
+            for line in get_registry().prometheus_text().splitlines()
+            if line.startswith("repro_sidecar_fallback_total{")
+        ]
+        assert any('sidecar="index"' in line for line in fallback_lines)
+        assert any('sidecar="matrices"' in line for line in fallback_lines)

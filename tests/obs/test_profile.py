@@ -1,0 +1,244 @@
+"""The sampling profiler: span attribution, backends, export, overhead."""
+
+from __future__ import annotations
+
+import signal
+import threading
+import time
+
+import pytest
+
+from repro.datasets import generate_dataset, parse_spec
+from repro.filters.binary_branch import BinaryBranchFilter
+from repro.obs import SamplingProfiler, Tracer, get_profiler, profiling_enabled, set_tracer
+from repro.obs.profile import NO_SPAN, PROFILE_FORMAT, PROFILE_VERSION
+from repro.obs.tracing import span
+from repro.search.range_query import range_query
+
+
+@pytest.fixture
+def corpus():
+    spec = parse_spec("N{3,0.5}N{20,2}L6D0.05")
+    return generate_dataset(spec, count=30, seed=7)
+
+
+@pytest.fixture
+def traced():
+    tracer = Tracer(sample_rate=1.0)
+    set_tracer(tracer)
+    try:
+        yield tracer
+    finally:
+        set_tracer(None)
+
+
+class TestLifecycle:
+    def test_enabled_flag_follows_start_stop(self):
+        profiler = SamplingProfiler(interval=0.0, mode="setprofile")
+        assert not profiling_enabled()
+        profiler.start()
+        try:
+            assert profiling_enabled()
+            assert get_profiler() is profiler
+        finally:
+            profiler.stop()
+        assert not profiling_enabled()
+        assert get_profiler() is None
+
+    def test_double_start_rejected(self):
+        profiler = SamplingProfiler(interval=0.0, mode="setprofile")
+        with profiler:
+            with pytest.raises(RuntimeError, match="already"):
+                profiler.start()
+            other = SamplingProfiler(interval=0.0, mode="setprofile")
+            with pytest.raises(RuntimeError, match="another profiler"):
+                other.start()
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            SamplingProfiler(interval=-1)
+        with pytest.raises(ValueError):
+            SamplingProfiler(mode="perf")
+        with pytest.raises(ValueError):
+            SamplingProfiler(timer="gps")
+        with pytest.raises(ValueError):
+            SamplingProfiler(max_samples=0)
+
+    def test_auto_mode_with_zero_interval_is_setprofile(self):
+        with SamplingProfiler(interval=0.0) as profiler:
+            assert profiler.mode == "setprofile"
+
+
+def _busy(n=4000):
+    total = 0
+    for i in range(n):
+        total += i * i
+    return total
+
+
+class TestSpanAttribution:
+    def test_samples_keyed_on_span_path(self):
+        with SamplingProfiler(interval=0.0, mode="setprofile") as profiler:
+            tracer = Tracer(sample_rate=1.0)
+            set_tracer(tracer)
+            try:
+                with span("outer"):
+                    with span("inner"):
+                        _busy()
+            finally:
+                set_tracer(None)
+        by_path = profiler.by_span_path()
+        assert "outer/inner" in by_path
+        assert by_path["outer/inner"] > 0
+
+    def test_no_span_samples_use_sentinel(self):
+        with SamplingProfiler(interval=0.0, mode="setprofile") as profiler:
+            _busy()
+        assert set(profiler.by_span_path()) == {NO_SPAN}
+
+    def test_search_samples_attribute_to_search_span(self, corpus, traced):
+        """>= 90% of samples taken during a range query land under the
+        ``search.range`` span path (the rest is harness machinery)."""
+        flt = BinaryBranchFilter().fit(corpus)
+        with SamplingProfiler(interval=0.0, mode="setprofile") as profiler:
+            range_query(corpus, corpus[0], 2.0, flt)
+        by_path = profiler.by_span_path()
+        total = sum(by_path.values())
+        attributed = sum(
+            count
+            for path, count in by_path.items()
+            if path.startswith("search.range")
+        )
+        assert total > 0
+        assert attributed / total >= 0.9
+        # the cascade's inner spans appear as deeper paths
+        assert any("/" in path for path in by_path if path != NO_SPAN)
+
+
+class TestAnswersUnchanged:
+    def test_profiling_never_changes_answers(self, corpus):
+        flt = BinaryBranchFilter().fit(corpus)
+        reference, ref_stats = range_query(corpus, corpus[0], 2.0, flt)
+        with SamplingProfiler(interval=0.0, mode="setprofile"):
+            profiled, prof_stats = range_query(corpus, corpus[0], 2.0, flt)
+        assert profiled == reference
+        assert prof_stats.candidates == ref_stats.candidates
+
+
+class TestSignalBackend:
+    def test_signal_mode_samples_and_restores_handler(self):
+        if not hasattr(signal, "setitimer"):
+            pytest.skip("POSIX-only")
+        before = signal.getsignal(signal.SIGPROF)
+        with SamplingProfiler(interval=0.001, mode="signal", timer="cpu") as profiler:
+            assert profiler.mode == "signal"
+            deadline = time.time() + 2.0
+            while profiler.total == 0 and time.time() < deadline:
+                _busy(20000)
+        assert profiler.total > 0
+        assert signal.getsignal(signal.SIGPROF) == before
+
+    def test_signal_mode_rejects_zero_interval(self):
+        with pytest.raises(ValueError, match="positive interval"):
+            SamplingProfiler(interval=0.0, mode="signal").start()
+
+    def test_signal_mode_rejects_worker_thread(self):
+        if not hasattr(signal, "setitimer"):
+            pytest.skip("POSIX-only")
+        errors = []
+
+        def _try():
+            try:
+                SamplingProfiler(interval=0.01, mode="signal").start()
+            except RuntimeError as error:
+                errors.append(str(error))
+
+        worker = threading.Thread(target=_try)
+        worker.start()
+        worker.join()
+        assert errors and "main thread" in errors[0]
+
+
+class TestBounds:
+    def test_max_samples_caps_distinct_keys(self):
+        profiler = SamplingProfiler(interval=0.0, mode="setprofile", max_samples=1)
+        with profiler:
+            with span("a"):
+                _busy(100)
+            _busy(100)
+        assert len(profiler.samples()) == 1
+        assert profiler.dropped > 0
+
+    def test_clear_resets(self):
+        with SamplingProfiler(interval=0.0, mode="setprofile") as profiler:
+            _busy(100)
+        assert profiler.total > 0
+        profiler.clear()
+        assert profiler.total == 0
+        assert profiler.samples() == {}
+
+
+class TestExport:
+    def test_collapsed_format(self):
+        with SamplingProfiler(interval=0.0, mode="setprofile") as profiler:
+            tracer = Tracer(sample_rate=1.0)
+            set_tracer(tracer)
+            try:
+                with span("outer"):
+                    with span("inner"):
+                        _busy()
+            finally:
+                set_tracer(None)
+        lines = profiler.collapsed().splitlines()
+        assert lines
+        for line in lines:
+            stack, _, count = line.rpartition(" ")
+            assert int(count) > 0
+            assert stack
+        # span paths become leading frames, '/' folded to ';'
+        assert any(line.startswith("outer;inner;") for line in lines)
+
+    def test_to_dict_schema(self):
+        with SamplingProfiler(interval=0.0, mode="setprofile") as profiler:
+            _busy(100)
+        document = profiler.to_dict()
+        assert document["format"] == PROFILE_FORMAT
+        assert document["version"] == PROFILE_VERSION
+        assert document["mode"] == "setprofile"
+        assert document["total_samples"] == profiler.total
+        record = document["samples"][0]
+        assert {"span_path", "frames", "count"} <= set(record)
+
+
+class TestOverhead:
+    def test_disabled_profiler_is_noop_for_search(self, corpus):
+        """With no profiler installed, the search loop pays nothing for the
+        profiling subsystem: the hot path never calls into repro.obs.profile.
+        Pinned by timing a search loop before/after an install/uninstall
+        cycle — min-of-N keeps CI jitter out; the 1.05x bound is the
+        satellite's <= 5% requirement with margin for timer noise."""
+        flt = BinaryBranchFilter().fit(corpus)
+        query = corpus[0]
+
+        def loop_seconds():
+            best = float("inf")
+            for _ in range(5):
+                start = time.perf_counter()
+                range_query(corpus, query, 2.0, flt)
+                best = min(best, time.perf_counter() - start)
+            return best
+
+        loop_seconds()  # warm caches
+        before = loop_seconds()
+        SamplingProfiler(interval=0.0, mode="setprofile").start().stop()
+        after = loop_seconds()
+        assert after <= before * 1.05 + 0.002
+        # and truly nothing is installed
+        assert not profiling_enabled()
+        assert sys_getprofile_is_clear()
+
+
+def sys_getprofile_is_clear():
+    import sys
+
+    return sys.getprofile() is None

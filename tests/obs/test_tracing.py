@@ -188,3 +188,49 @@ class TestExport:
     def test_format_tree_empty(self):
         tracer = tracing.set_tracer(Tracer())
         assert tracer.format_tree() == "(no spans recorded)"
+
+
+class TestSpanPaths:
+    """Root-to-leaf span paths — the profiler's sample keys."""
+
+    def test_root_path_is_its_name(self):
+        tracer = tracing.set_tracer(Tracer())
+        with tracing.span("search.range"):
+            pass
+        assert tracer.finished_spans()[0].path == "search.range"
+
+    def test_child_paths_concatenate(self):
+        tracer = tracing.set_tracer(Tracer())
+        with tracing.span("search.range"):
+            with tracing.span("filter.BiBranch"):
+                with tracing.span("zs.distance"):
+                    pass
+        paths = {s.path for s in tracer.finished_spans()}
+        assert paths == {
+            "search.range",
+            "search.range/filter.BiBranch",
+            "search.range/filter.BiBranch/zs.distance",
+        }
+
+    def test_current_path_tracks_nesting(self):
+        assert tracing.current_path() is None
+        tracing.set_tracer(Tracer())
+        with tracing.span("outer"):
+            assert tracing.current_path() == "outer"
+            with tracing.span("inner"):
+                assert tracing.current_path() == "outer/inner"
+            assert tracing.current_path() == "outer"
+        assert tracing.current_path() is None
+
+    def test_current_path_none_when_sampled_out(self):
+        tracing.set_tracer(Tracer(sample_rate=0.0))
+        with tracing.span("unrecorded"):
+            assert tracing.current_path() is None
+
+    def test_to_dict_carries_path(self):
+        tracer = tracing.set_tracer(Tracer())
+        with tracing.span("a"):
+            with tracing.span("b"):
+                pass
+        documents = {s.name: s.to_dict() for s in tracer.finished_spans()}
+        assert documents["b"]["path"] == "a/b"

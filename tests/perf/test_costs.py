@@ -1,0 +1,139 @@
+"""Per-stage cost accounting over funnel aggregates."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.funnel import FilterFunnel, FunnelAggregate, FunnelStage
+from repro.perf.costs import (
+    CascadeCostReport,
+    StageCost,
+    cost_reports,
+    format_cost_reports,
+)
+
+
+def _aggregate(funnels):
+    aggregate = FunnelAggregate()
+    for funnel in funnels:
+        aggregate.add(funnel)
+    return aggregate
+
+
+def _range_funnel(corpus=100, survivors=20, refined=20, results=5):
+    return FilterFunnel(
+        kind="range",
+        corpus_size=corpus,
+        stages=[FunnelStage("BiBranch", corpus, survivors, seconds=0.01)],
+        refined=refined,
+        results=results,
+        refine_seconds=0.4,
+        parameter=2.0,
+    )
+
+
+class TestStageCost:
+    def test_unit_cost_and_net_benefit(self):
+        stage = StageCost(
+            name="BiBranch",
+            queries=1,
+            entered=100,
+            survivors=20,
+            seconds=0.01,
+            refine_unit_cost=0.02,
+        )
+        assert stage.refuted == 80
+        assert stage.selectivity == pytest.approx(0.2)
+        assert stage.unit_cost == pytest.approx(0.0001)
+        # 80 refinements avoided at 20ms each, minus the stage's own 10ms
+        assert stage.saved_refine_seconds == pytest.approx(1.6)
+        assert stage.net_benefit_seconds == pytest.approx(1.59)
+
+    def test_empty_stage_reports_zero_not_crash(self):
+        stage = StageCost(
+            name="BiBranch",
+            queries=0,
+            entered=0,
+            survivors=0,
+            seconds=0.0,
+            refine_unit_cost=0.0,
+        )
+        assert stage.selectivity == 0.0
+        assert stage.unit_cost == 0.0
+        assert stage.net_benefit_seconds == 0.0
+
+
+class TestCascadeCostReport:
+    def test_predicted_matches_actual_by_construction(self):
+        reports = cost_reports(_aggregate([_range_funnel()]))
+        report = reports["range"]
+        assert isinstance(report, CascadeCostReport)
+        # the linear model priced from measured unit costs reproduces the
+        # measured total exactly when the inputs are self-consistent
+        assert report.predicted_seconds == pytest.approx(report.actual_seconds)
+
+    def test_speedup_vs_unfiltered(self):
+        report = cost_reports(_aggregate([_range_funnel()]))["range"]
+        # refine unit = 0.4s / 20 = 20ms; unfiltered = 100 * 20ms = 2.0s;
+        # actual = 0.01 + 0.4 = 0.41s
+        assert report.refine_unit_cost == pytest.approx(0.02)
+        assert report.predicted_unfiltered_seconds == pytest.approx(2.0)
+        assert report.speedup_vs_unfiltered == pytest.approx(2.0 / 0.41)
+
+    def test_kinds_reported_separately(self):
+        knn = FilterFunnel(
+            kind="knn",
+            corpus_size=100,
+            stages=[FunnelStage("order:BiBranch", 100, 100, seconds=0.002)],
+            refined=7,
+            results=3,
+            refine_seconds=0.14,
+            parameter=3.0,
+        )
+        reports = cost_reports(_aggregate([_range_funnel(), knn]))
+        assert sorted(reports) == ["knn", "range"]
+        assert reports["knn"].stages[0].name == "order:BiBranch"
+
+    def test_zero_refinement_is_all_zeros(self):
+        funnel = _range_funnel(refined=0, results=0)
+        funnel.refine_seconds = 0.0
+        report = cost_reports(_aggregate([funnel]))["range"]
+        assert report.refine_unit_cost == 0.0
+        assert report.predicted_unfiltered_seconds == 0.0
+        assert report.speedup_vs_unfiltered == 0.0
+
+    def test_to_dict_keys(self):
+        report = cost_reports(_aggregate([_range_funnel()]))["range"]
+        document = report.to_dict()
+        for key in (
+            "kind",
+            "queries",
+            "refined",
+            "actual_seconds",
+            "predicted_seconds",
+            "predicted_unfiltered_seconds",
+            "speedup_vs_unfiltered",
+            "stages",
+        ):
+            assert key in document
+        assert document["stages"][0]["name"] == "BiBranch"
+        assert "net_benefit_seconds" in document["stages"][0]
+
+
+class TestFunnelAggregateCostReport:
+    def test_aggregate_method_delegates(self):
+        aggregate = _aggregate([_range_funnel()])
+        reports = aggregate.cost_report()
+        assert reports["range"].queries == 1
+
+    def test_empty_aggregate(self):
+        assert FunnelAggregate().cost_report() == {}
+        assert "nothing to cost" in format_cost_reports({})
+
+
+class TestFormatting:
+    def test_format_mentions_stages_and_speedup(self):
+        text = format_cost_reports(cost_reports(_aggregate([_range_funnel()])))
+        assert "BiBranch" in text
+        assert "speedup" in text
+        assert "refine" in text

@@ -1,0 +1,11 @@
+"""Process resource probes used by health telemetry and ledger records."""
+
+from repro.perf.resources import rss_bytes
+
+
+def test_rss_bytes_positive_on_posix():
+    value = rss_bytes()
+    assert isinstance(value, int)
+    # any live CPython process is at least a few MB resident; 0 is the
+    # documented "unavailable" sentinel for platforms without resource
+    assert value == 0 or value > 1_000_000

@@ -1,0 +1,52 @@
+"""The declared benchmark suite behind ``repro bench run``.
+
+The ledger's count metrics gate exactly, so the suite must be
+deterministic in everything except wall-clock: two runs over the same
+corpus and seed must agree on every non-timing metric.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.suite import SUITE_NAMES, run_bench_suite
+from repro.datasets import generate_dataset, parse_spec
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    spec = parse_spec("N{3,0.5}N{15,2}L6D0.05")
+    return generate_dataset(spec, count=24, seed=3)
+
+
+def _counts(suites):
+    return {
+        (name, key): value
+        for name, metrics in suites.items()
+        for key, value in metrics.items()
+        if isinstance(value, int) and not isinstance(value, bool)
+    }
+
+
+class TestSuiteShape:
+    def test_all_declared_suites_present(self, corpus):
+        suites = run_bench_suite(corpus, queries=4)
+        assert set(suites) == set(SUITE_NAMES)
+        for metrics in suites.values():
+            assert metrics, "every suite reports at least one metric"
+
+    def test_empty_corpus_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            run_bench_suite([])
+
+    def test_zero_queries_rejected(self, corpus):
+        with pytest.raises(ValueError, match="queries"):
+            run_bench_suite(corpus, queries=0)
+
+
+class TestDeterminism:
+    def test_count_metrics_identical_across_runs(self, corpus):
+        first = run_bench_suite(corpus, queries=4, seed=11)
+        second = run_bench_suite(corpus, queries=4, seed=11)
+        assert _counts(first) == _counts(second)
+        assert _counts(first), "the exact-gated count metrics exist"

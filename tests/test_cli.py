@@ -394,3 +394,133 @@ class TestVerify:
         )
         assert main(["verify", "--replay", str(path)]) == 0
         assert "no longer violates" in capsys.readouterr().out
+
+
+class TestBenchLedger:
+    def _run(self, tmp_path, name, **overrides):
+        out = str(tmp_path / name)
+        args = [
+            "bench", "run", "--out", out,
+            "--count", "20", "--queries", "4",
+            "--spec", "N{3,0.5}N{15,2}L6D0.05",
+        ]
+        for flag, value in overrides.items():
+            args.extend([f"--{flag}", str(value)])
+        assert main(args) == 0
+        return out
+
+    def test_run_emits_schema_versioned_record(self, tmp_path, capsys):
+        import json
+
+        out = self._run(tmp_path, "BENCH_A.json")
+        with open(out, encoding="utf-8") as handle:
+            record = json.load(handle)
+        assert record["format"] == "repro-bench"
+        assert record["version"] == 1
+        assert record["label"] == "BENCH_A"
+        assert set(record["suites"]) == {
+            "serve_throughput", "vectorized_filters", "index_candidates"
+        }
+        assert "wrote" in capsys.readouterr().out
+
+    def test_self_compare_exits_zero(self, tmp_path, capsys):
+        out = self._run(tmp_path, "BENCH_A.json")
+        assert main(["bench", "compare", out, out]) == 0
+        assert "0 regression(s)" in capsys.readouterr().out
+
+    def test_injected_regression_exits_nonzero(self, tmp_path, capsys):
+        import json
+
+        baseline = self._run(tmp_path, "BENCH_A.json")
+        with open(baseline, encoding="utf-8") as handle:
+            record = json.load(handle)
+        for metrics in record["suites"].values():
+            for key, value in metrics.items():
+                if isinstance(value, int) and not isinstance(value, bool):
+                    metrics[key] = value + 17
+        worse = tmp_path / "BENCH_B.json"
+        worse.write_text(json.dumps(record))
+        assert main(["bench", "compare", baseline, str(worse)]) == 1
+        assert "regression" in capsys.readouterr().out
+
+    def test_compare_json_output(self, tmp_path, capsys):
+        import json
+
+        out = self._run(tmp_path, "BENCH_A.json")
+        capsys.readouterr()  # drain the `bench run` status line
+        assert main(["bench", "compare", out, out, "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["ok"] is True
+        assert report["regressions"] == 0
+
+    def test_corpus_mismatch_refused(self, tmp_path, capsys):
+        baseline = self._run(tmp_path, "BENCH_A.json")
+        other = self._run(tmp_path, "BENCH_B.json", **{"corpus-seed": "9"})
+        assert main(["bench", "compare", baseline, other]) == 2
+        assert "corpus" in capsys.readouterr().err
+
+    def test_garbage_baseline_exits_two(self, tmp_path, capsys):
+        junk = tmp_path / "junk.json"
+        junk.write_text("{\"format\": \"other\"}")
+        current = self._run(tmp_path, "BENCH_A.json")
+        assert main(["bench", "compare", str(junk), current]) == 2
+        assert capsys.readouterr().err
+
+
+class TestCostReportAndProfile:
+    def test_search_cost_report_on_stderr(self, dataset_file, capsys):
+        assert main(
+            ["search", dataset_file, "--query", "a(b,c)", "--range", "1",
+             "--cost-report"]
+        ) == 0
+        err = capsys.readouterr().err
+        assert "speedup" in err
+        assert "BiBranch" in err
+
+    def test_search_profile_writes_collapsed_stacks(self, dataset_file,
+                                                    tmp_path, capsys):
+        out = tmp_path / "profile.txt"
+        assert main(
+            ["search", dataset_file, "--query", "a(b,c)", "--range", "1",
+             "--profile", str(out), "--profile-interval", "0"]
+        ) == 0
+        assert "profile samples" in capsys.readouterr().err
+        lines = out.read_text().strip().splitlines()
+        assert lines
+        for line in lines:
+            stack, _, count = line.rpartition(" ")
+            assert stack and int(count) > 0
+
+    def test_search_profile_json_document(self, dataset_file, tmp_path):
+        import json
+
+        out = tmp_path / "profile.json"
+        assert main(
+            ["search", dataset_file, "--query", "a(b,c)", "--knn", "2",
+             "--profile", str(out), "--profile-interval", "0"]
+        ) == 0
+        document = json.loads(out.read_text())
+        assert document["format"] == "repro-profile"
+        assert document["total_samples"] > 0
+
+    def test_serve_bench_cost_report_and_health(self, dataset_file, capsys):
+        assert main(
+            ["serve-bench", dataset_file, "--queries", "8", "--shards", "2",
+             "--cost-report", "--json"]
+        ) == 0
+        import json
+
+        report = json.loads(capsys.readouterr().out)
+        assert "cost_report" in report
+        assert len(report["health"]["shards"]) == 2
+
+
+class TestMetricsShards:
+    def test_dump_includes_shard_health_gauges(self, dataset_file, capsys):
+        assert main(
+            ["metrics", "dump", dataset_file, "--queries", "6", "--shards", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert 'repro_shard_trees{shard="0"}' in out
+        assert 'repro_shard_trees{shard="1"}' in out
+        assert "repro_shard_stage_seconds" in out
