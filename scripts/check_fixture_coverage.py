@@ -2,8 +2,8 @@
 
 A rule whose detection silently breaks would leave `repro lint` green
 forever; this script runs the full rule set over
-``tests/analysis/fixtures`` and exits non-zero unless all eight rules
-(RL001–RL008) produce at least one finding.  The per-rule *exactness*
+``tests/analysis/fixtures`` and exits non-zero unless every rule
+(RL001–RL012) produces at least one finding.  The per-rule *exactness*
 checks live in ``tests/analysis/test_rules.py``; this is the cheap
 end-to-end canary the CI lint job runs next to the real lint pass.
 """
@@ -20,7 +20,7 @@ FIXTURES = REPO_ROOT / "tests" / "analysis" / "fixtures"
 def main() -> int:
     run = analyze_paths([FIXTURES], root=FIXTURES)
     fired = {finding.rule for finding in run.findings}
-    expected = {f"RL00{n}" for n in range(1, 9)}
+    expected = {f"RL{n:03d}" for n in range(1, 13)}
     missing = sorted(expected - fired)
     if missing:
         print(f"rules produced no fixture findings: {', '.join(missing)}")

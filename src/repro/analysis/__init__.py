@@ -3,10 +3,15 @@
 An AST-based linter whose rules encode *this repository's* contracts —
 filter soundness registration, lock discipline, span hygiene, metric label
 cardinality, recursion safety, export surfaces — rather than generic style.
-See ``docs/ANALYSIS.md`` for the rule catalog and the baseline workflow.
+Since PR 10 the engine is interprocedural: a project-wide call graph
+(:mod:`repro.analysis.callgraph`) and an intraprocedural dataflow layer
+(:mod:`repro.analysis.dataflow`) back the lock-order, RPC-pickle-safety,
+schema-drift and exception-contract rules.  See ``docs/ANALYSIS.md`` for
+the rule catalog and the baseline workflow.
 """
 
 from repro.analysis.baseline import Baseline, partition
+from repro.analysis.callgraph import CallEdge, CallGraph, FunctionInfo, UnresolvedCall
 from repro.analysis.engine import (
     ClassInfo,
     LintRun,
@@ -14,6 +19,7 @@ from repro.analysis.engine import (
     ProjectModel,
     analyze_paths,
     collect_files,
+    load_project,
 )
 from repro.analysis.findings import SEVERITIES, Finding
 from repro.analysis.registry import Rule, all_rules, get_rule, register
@@ -21,17 +27,22 @@ from repro.analysis.report import render_json, render_text
 
 __all__ = [
     "Baseline",
+    "CallEdge",
+    "CallGraph",
     "ClassInfo",
     "Finding",
+    "FunctionInfo",
     "LintRun",
     "ModuleInfo",
     "ProjectModel",
     "Rule",
     "SEVERITIES",
+    "UnresolvedCall",
     "all_rules",
     "analyze_paths",
     "collect_files",
     "get_rule",
+    "load_project",
     "partition",
     "register",
     "render_json",

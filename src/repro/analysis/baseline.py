@@ -58,6 +58,10 @@ class Baseline:
     ) -> "Baseline":
         entries: Dict[str, Dict[str, object]] = {}
         for finding in findings:
+            # symbol/message/comment are never machine-read back: they
+            # exist so a reviewer of the checked-in baseline file can see
+            # what each fingerprint grandfathers and why
+            # repro-lint: disable=RL011
             entries[finding.fingerprint] = {
                 "fingerprint": finding.fingerprint,
                 "rule": finding.rule,

@@ -1,0 +1,521 @@
+"""Project-wide call graph over the :class:`~repro.analysis.engine.ProjectModel`.
+
+The per-function rules of PR 5 see one body at a time; the concurrency and
+serialization contracts this repository actually depends on (lock order,
+what reaches a shard pipe) span calls.  This module gives every rule the
+same interprocedural substrate: one :class:`CallGraph` per analysis run,
+built purely from names — the analyzer never imports the code it checks.
+
+Resolution is deliberately *conservative over-approximation*:
+
+* ``f(...)`` resolves to the module-local (or from-imported) definition,
+  falling back to a unique project-wide top-level function of that name;
+* ``self.m(...)`` resolves through the class hierarchy (nearest ancestor
+  definition) **plus** every subclass override — dynamic dispatch may pick
+  any of them at runtime, and a lock-order rule must see all;
+* ``obj.m(...)`` with an untyped receiver resolves to *every* project
+  method named ``m``, unless the name is a common builtin-container method
+  or the candidate set is implausibly wide (:data:`ATTR_CANDIDATE_CAP`), in
+  which case the call is recorded as **unresolved** rather than guessed;
+* anything else (stdlib calls, computed callees) is unresolved.
+
+Unresolved calls are first-class: they are kept per caller so rules can
+stay sound — a rule that needs "no blocking call can happen here" must
+treat an unresolved callee by *name* (e.g. ``.recv``) rather than assume
+it is harmless.
+
+The graph exports to DOT and JSON (``repro lint --callgraph``) so call
+structure can be diffed across PRs in CI.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.astutils import FunctionNode, call_name
+from repro.analysis.engine import ClassInfo, ModuleInfo, ProjectModel
+
+__all__ = [
+    "ATTR_CANDIDATE_CAP",
+    "BUILTIN_METHOD_NAMES",
+    "CallEdge",
+    "CallGraph",
+    "FunctionInfo",
+    "UnresolvedCall",
+]
+
+#: Methods of builtin containers/strings that an untyped attribute call must
+#: never resolve to a project method of the same name (``d.get``, ``l.pop``,
+#: ``s.update`` … are overwhelmingly builtin receivers in this codebase).
+BUILTIN_METHOD_NAMES = frozenset(
+    {
+        "add", "append", "clear", "copy", "count", "decode", "discard",
+        "encode", "endswith", "extend", "find", "format", "get", "index",
+        "insert", "items", "join", "keys", "lower", "pop", "popitem",
+        "remove", "replace", "reverse", "rfind", "rsplit", "setdefault",
+        "sort", "split", "startswith", "strip", "title", "update", "upper",
+        "values",
+    }
+)
+
+#: An untyped ``obj.m(...)`` linking to more defining classes than this is
+#: treated as unresolved — a wildcard edge set that wide carries no signal.
+ATTR_CANDIDATE_CAP = 8
+
+
+@dataclass(frozen=True)
+class UnresolvedCall:
+    """A call site the graph could not (or refused to) link."""
+
+    name: str  # trailing identifier, "" for computed callees
+    line: int
+    reason: str  # "unknown" | "builtin-method" | "too-wide" | "computed"
+
+
+class FunctionInfo:
+    """One function or method definition as a call-graph node."""
+
+    __slots__ = ("module", "node", "class_name", "name", "qualname", "key")
+
+    def __init__(
+        self, module: ModuleInfo, node: FunctionNode, class_name: str
+    ) -> None:
+        self.module = module
+        self.node = node
+        self.class_name = class_name
+        self.name = node.name
+        self.qualname = f"{class_name}.{node.name}" if class_name else node.name
+        #: globally unique node id: ``path::Class.method``
+        self.key = f"{module.display_path}::{self.qualname}"
+
+    def __repr__(self) -> str:
+        return f"FunctionInfo({self.key})"
+
+
+@dataclass(frozen=True)
+class CallEdge:
+    """One resolved call: ``caller`` invokes ``callee`` at ``line``."""
+
+    caller: str
+    callee: str
+    line: int
+    kind: str  # "direct" | "self" | "attr" | "module" | "constructor"
+
+
+def _module_dotted(module: ModuleInfo) -> str:
+    """Best-effort dotted module name from the display path."""
+    parts = list(module.path.with_suffix("").parts)
+    if "src" in parts:
+        parts = parts[parts.index("src") + 1 :]
+    else:
+        parts = parts[-2:] if len(parts) >= 2 else parts
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+class _ModuleScope:
+    """Per-module name environment: imports and top-level definitions."""
+
+    def __init__(self, module: ModuleInfo) -> None:
+        self.module = module
+        #: top-level function name -> node
+        self.functions: Dict[str, FunctionNode] = {}
+        #: top-level class name -> node
+        self.classes: Dict[str, ast.ClassDef] = {}
+        #: local alias -> dotted module name (``import a.b as c``)
+        self.module_aliases: Dict[str, str] = {}
+        #: local name -> (dotted source module, original symbol name)
+        self.imported_symbols: Dict[str, Tuple[str, str]] = {}
+        for node in module.tree.body:
+            self._scan(node)
+
+    def _scan(self, node: ast.stmt) -> None:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            self.functions[node.name] = node
+        elif isinstance(node, ast.ClassDef):
+            self.classes[node.name] = node
+        elif isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.split(".")[0]
+                self.module_aliases[local] = alias.name
+        elif isinstance(node, ast.ImportFrom):
+            source = node.module or ""
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname or alias.name
+                # ``from pkg import mod`` aliases a module; ``from mod
+                # import f`` imports a symbol.  Record both readings — the
+                # resolver checks the module table first.
+                self.module_aliases.setdefault(
+                    local, f"{source}.{alias.name}" if source else alias.name
+                )
+                self.imported_symbols[local] = (source, alias.name)
+        elif isinstance(node, (ast.If, ast.Try)):
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, ast.stmt):
+                    self._scan(child)
+
+
+class CallGraph:
+    """The project call graph: nodes, resolved edges, unresolved calls."""
+
+    def __init__(self, project: ProjectModel) -> None:
+        self.project = project
+        self.functions: Dict[str, FunctionInfo] = {}
+        self.edges: List[CallEdge] = []
+        #: caller key -> unresolved call records
+        self.unresolved: Dict[str, List[UnresolvedCall]] = {}
+        self._callees: Dict[str, Set[str]] = {}
+        self._by_node_id: Dict[int, FunctionInfo] = {}
+        #: plain function name -> infos (top-level defs only)
+        self._top_level: Dict[str, List[FunctionInfo]] = {}
+        #: method name -> infos (defined inside a class body)
+        self._methods: Dict[str, List[FunctionInfo]] = {}
+        #: dotted module name -> scope
+        self._scopes: Dict[str, _ModuleScope] = {}
+        self._scope_by_module: Dict[int, _ModuleScope] = {}
+        #: root class name -> transitive subclass ClassInfos
+        self._subclasses: Dict[str, List[ClassInfo]] = {}
+        self._transitive_cache: Dict[str, Set[str]] = {}
+        self._build()
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def _build(self) -> None:
+        for module in self.project.modules:
+            scope = _ModuleScope(module)
+            self._scopes[_module_dotted(module)] = scope
+            self._scope_by_module[id(module)] = scope
+            for info in self._collect_functions(module):
+                self.functions[info.key] = info
+                self._by_node_id[id(info.node)] = info
+                if info.class_name:
+                    self._methods.setdefault(info.name, []).append(info)
+                else:
+                    self._top_level.setdefault(info.name, []).append(info)
+        for infos in self.project.classes_by_name.values():
+            for info in infos:
+                for ancestor in self.project.ancestry(info):
+                    self._subclasses.setdefault(ancestor, []).append(info)
+        for info in list(self.functions.values()):
+            self._link_calls(info)
+
+    @staticmethod
+    def _collect_functions(module: ModuleInfo) -> Iterator[FunctionInfo]:
+        """Every def in the module, tagged with its enclosing class name.
+
+        Nested defs are graph nodes of their own (their bodies may run on
+        any thread); the enclosing *class* is the nearest ClassDef ancestor
+        so ``Class.method`` stays stable for doubly nested helpers.
+        """
+        stack: List[Tuple[ast.AST, str]] = [(module.tree, "")]
+        while stack:
+            node, class_name = stack.pop()
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, ast.ClassDef):
+                    stack.append((child, child.name))
+                elif isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    yield FunctionInfo(module, child, class_name)
+                    stack.append((child, class_name))
+                else:
+                    stack.append((child, class_name))
+
+    def _link_calls(self, caller: FunctionInfo) -> None:
+        callees = self._callees.setdefault(caller.key, set())
+        for node in ast.walk(caller.node):
+            if not isinstance(node, ast.Call):
+                continue
+            targets, kind, unresolved = self._resolve(caller, node)
+            for target in targets:
+                callees.add(target.key)
+                self.edges.append(
+                    CallEdge(caller.key, target.key, node.lineno, kind)
+                )
+            if unresolved is not None:
+                self.unresolved.setdefault(caller.key, []).append(unresolved)
+
+    # ------------------------------------------------------------------
+    # Resolution
+    # ------------------------------------------------------------------
+    def _resolve(
+        self, caller: FunctionInfo, call: ast.Call
+    ) -> Tuple[List[FunctionInfo], str, Optional[UnresolvedCall]]:
+        func = call.func
+        if isinstance(func, ast.Name):
+            return self._resolve_name(caller, func.id, call.lineno)
+        if isinstance(func, ast.Attribute):
+            return self._resolve_attribute(caller, func, call.lineno)
+        return [], "", UnresolvedCall("", call.lineno, "computed")
+
+    def _resolve_name(
+        self, caller: FunctionInfo, name: str, line: int
+    ) -> Tuple[List[FunctionInfo], str, Optional[UnresolvedCall]]:
+        scope = self._scope_by_module[id(caller.module)]
+        if name in scope.functions:
+            info = self._by_node_id.get(id(scope.functions[name]))
+            if info is not None:
+                return [info], "direct", None
+        if name in scope.classes:
+            return self._constructor(name), "constructor", None
+        if name in scope.imported_symbols:
+            source, symbol = scope.imported_symbols[name]
+            target_scope = self._lookup_scope(source)
+            if target_scope is not None:
+                if symbol in target_scope.functions:
+                    info = self._by_node_id.get(
+                        id(target_scope.functions[symbol])
+                    )
+                    if info is not None:
+                        return [info], "direct", None
+                if symbol in target_scope.classes:
+                    return self._constructor(symbol), "constructor", None
+        # unique project-wide top-level function of that name
+        candidates = self._top_level.get(name, [])
+        if len(candidates) == 1:
+            return [candidates[0]], "direct", None
+        if name in self.project.classes_by_name:
+            return self._constructor(name), "constructor", None
+        return [], "", UnresolvedCall(name, line, "unknown")
+
+    def _constructor(self, class_name: str) -> List[FunctionInfo]:
+        """``C(...)`` links to every analyzed ``C.__init__`` (name identity)."""
+        out = []
+        for info in self.project.classes_by_name.get(class_name, ()):
+            init = info.methods.get("__init__")
+            if init is not None:
+                node_info = self._by_node_id.get(id(init))
+                if node_info is not None:
+                    out.append(node_info)
+        return out
+
+    def _resolve_attribute(
+        self, caller: FunctionInfo, func: ast.Attribute, line: int
+    ) -> Tuple[List[FunctionInfo], str, Optional[UnresolvedCall]]:
+        method = func.attr
+        receiver = func.value
+        # self.m(...): hierarchy resolution + subclass overrides
+        if (
+            isinstance(receiver, ast.Name)
+            and receiver.id == "self"
+            and caller.class_name
+        ):
+            targets = self._resolve_self_call(caller, method)
+            if targets:
+                return targets, "self", None
+            return [], "", UnresolvedCall(method, line, "unknown")
+        # module alias: tracing.span(...)
+        if isinstance(receiver, ast.Name):
+            scope = self._scope_by_module[id(caller.module)]
+            dotted = scope.module_aliases.get(receiver.id)
+            if dotted is not None:
+                target_scope = self._lookup_scope(dotted)
+                if target_scope is not None and method in target_scope.functions:
+                    info = self._by_node_id.get(
+                        id(target_scope.functions[method])
+                    )
+                    if info is not None:
+                        return [info], "module", None
+            # class attribute call: SomeClass.m(...)
+            for cls in self.project.classes_by_name.get(receiver.id, ()):
+                fn = cls.methods.get(method)
+                if fn is not None:
+                    info = self._by_node_id.get(id(fn))
+                    if info is not None:
+                        return [info], "attr", None
+        # untyped receiver: every project method of that name, capped
+        if method in BUILTIN_METHOD_NAMES:
+            return [], "", UnresolvedCall(method, line, "builtin-method")
+        candidates = self._methods.get(method, [])
+        defining_classes = {info.class_name for info in candidates}
+        if not candidates:
+            return [], "", UnresolvedCall(method, line, "unknown")
+        if len(defining_classes) > ATTR_CANDIDATE_CAP:
+            return [], "", UnresolvedCall(method, line, "too-wide")
+        return list(candidates), "attr", None
+
+    def _resolve_self_call(
+        self, caller: FunctionInfo, method: str
+    ) -> List[FunctionInfo]:
+        out: List[FunctionInfo] = []
+        seen: Set[int] = set()
+        for cls in self.project.classes_by_name.get(caller.class_name, ()):
+            resolved = self.project.resolve_method(cls, method)
+            if resolved is not None and id(resolved) not in seen:
+                info = self._by_node_id.get(id(resolved))
+                if info is not None:
+                    seen.add(id(resolved))
+                    out.append(info)
+        # dynamic dispatch: subclasses may override the method
+        for sub in self._subclasses.get(caller.class_name, ()):
+            fn = sub.methods.get(method)
+            if fn is not None and id(fn) not in seen:
+                info = self._by_node_id.get(id(fn))
+                if info is not None:
+                    seen.add(id(fn))
+                    out.append(info)
+        return out
+
+    def _lookup_scope(self, dotted: str) -> Optional[_ModuleScope]:
+        """Match an import path against analyzed modules, suffix-tolerant."""
+        if dotted in self._scopes:
+            return self._scopes[dotted]
+        for name, scope in self._scopes.items():
+            if name.endswith(f".{dotted}") or dotted.endswith(f".{name}"):
+                return scope
+        tail = dotted.rsplit(".", 1)[-1]
+        for name, scope in self._scopes.items():
+            if name.rsplit(".", 1)[-1] == tail:
+                return scope
+        return None
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def function_for(self, node: FunctionNode) -> Optional[FunctionInfo]:
+        return self._by_node_id.get(id(node))
+
+    def callees(self, key: str) -> Set[str]:
+        return self._callees.get(key, set())
+
+    def unresolved_calls(self, key: str) -> List[UnresolvedCall]:
+        return self.unresolved.get(key, [])
+
+    def transitive_callees(self, key: str) -> Set[str]:
+        """Every function reachable from ``key`` (excluding itself unless
+        it participates in a cycle)."""
+        cached = self._transitive_cache.get(key)
+        if cached is not None:
+            return cached
+        seen: Set[str] = set()
+        stack = list(self._callees.get(key, ()))
+        while stack:
+            current = stack.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            stack.extend(self._callees.get(current, ()))
+        self._transitive_cache[key] = seen
+        return seen
+
+    def cycles(self) -> List[List[str]]:
+        """Strongly connected components with >1 node, plus self-loops.
+
+        Iterative Tarjan — the analyzer must not itself die on deep call
+        chains (RL005's own medicine).
+        """
+        index: Dict[str, int] = {}
+        low: Dict[str, int] = {}
+        on_stack: Set[str] = set()
+        stack: List[str] = []
+        counter = [0]
+        components: List[List[str]] = []
+
+        for root in sorted(self.functions):
+            if root in index:
+                continue
+            work: List[Tuple[str, int]] = [(root, 0)]
+            while work:
+                node, child_index = work[-1]
+                if child_index == 0:
+                    index[node] = low[node] = counter[0]
+                    counter[0] += 1
+                    stack.append(node)
+                    on_stack.add(node)
+                children = sorted(self._callees.get(node, ()))
+                children = [c for c in children if c in self.functions]
+                advanced = False
+                while child_index < len(children):
+                    child = children[child_index]
+                    child_index += 1
+                    if child not in index:
+                        work[-1] = (node, child_index)
+                        work.append((child, 0))
+                        advanced = True
+                        break
+                    if child in on_stack:
+                        low[node] = min(low[node], index[child])
+                if advanced:
+                    continue
+                work.pop()
+                if low[node] == index[node]:
+                    component: List[str] = []
+                    while True:
+                        member = stack.pop()
+                        on_stack.discard(member)
+                        component.append(member)
+                        if member == node:
+                            break
+                    if len(component) > 1 or node in self._callees.get(
+                        node, set()
+                    ):
+                        components.append(sorted(component))
+                if work:
+                    parent = work[-1][0]
+                    low[parent] = min(low[parent], low[node])
+        return components
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+    def to_json(self) -> Dict[str, object]:
+        """Schema-versioned graph document (CI diffs this across PRs)."""
+        return {
+            "format": "repro-callgraph",
+            "version": 1,
+            "functions": [
+                {
+                    "key": info.key,
+                    "path": info.module.display_path,
+                    "qualname": info.qualname,
+                    "line": info.node.lineno,
+                }
+                for info in sorted(
+                    self.functions.values(), key=lambda f: f.key
+                )
+            ],
+            "edges": [
+                {
+                    "caller": edge.caller,
+                    "callee": edge.callee,
+                    "line": edge.line,
+                    "kind": edge.kind,
+                }
+                for edge in sorted(
+                    self.edges, key=lambda e: (e.caller, e.callee, e.line)
+                )
+            ],
+            "unresolved": {
+                key: [
+                    {"name": rec.name, "line": rec.line, "reason": rec.reason}
+                    for rec in records
+                ]
+                for key, records in sorted(self.unresolved.items())
+            },
+        }
+
+    def to_dot(self) -> str:
+        """Graphviz rendering, one cluster per module."""
+        lines = ["digraph callgraph {", "  rankdir=LR;", "  node [shape=box];"]
+        by_module: Dict[str, List[FunctionInfo]] = {}
+        for info in self.functions.values():
+            by_module.setdefault(info.module.display_path, []).append(info)
+        for cluster_index, (path, infos) in enumerate(sorted(by_module.items())):
+            lines.append(f'  subgraph "cluster_{cluster_index}" {{')
+            lines.append(f'    label="{path}";')
+            for info in sorted(infos, key=lambda f: f.qualname):
+                lines.append(f'    "{info.key}" [label="{info.qualname}"];')
+            lines.append("  }")
+        seen: Set[Tuple[str, str]] = set()
+        for edge in sorted(self.edges, key=lambda e: (e.caller, e.callee)):
+            pair = (edge.caller, edge.callee)
+            if pair in seen:
+                continue
+            seen.add(pair)
+            lines.append(f'  "{edge.caller}" -> "{edge.callee}";')
+        lines.append("}")
+        return "\n".join(lines) + "\n"

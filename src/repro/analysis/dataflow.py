@@ -1,0 +1,264 @@
+"""Intraprocedural dataflow shared by the interprocedural rules.
+
+Two small analyses, both deliberately *flow-insensitive or structurally
+scoped* — cheap enough to run over the whole repository on every lint
+pass, precise enough for the contracts the rules encode:
+
+* **Reaching assignments** (:func:`reaching_assignments`,
+  :func:`resolve_name`): for each local name, every expression ever
+  assigned to it in the function.  RL010 uses this to trace what flows
+  into a ``Connection.send`` — a name bound to ``parse_bracket(...)``
+  *may* be a recursive tree at the send site, and the rule must see
+  through the intermediate binding.
+* **Lock-held-set propagation** (:func:`lock_events`): a structural walk
+  of a function body tracking which lock identities are held at every
+  call site and every nested acquisition.  ``with`` nesting is the only
+  acquisition form the project convention allows (RL003's argument about
+  context managers applies to locks just as much), so the held set is
+  syntactic and exact per function; the interprocedural extension (what a
+  *callee* acquires) lives in the RL009 rule on top of the call graph.
+
+Lock identity is name-based, like everything in this analyzer: ``self._x``
+inside ``class C`` is ``"C._x"`` (two classes' ``_lock`` attributes are
+different locks), any other dotted path keeps its trailing two segments
+(``client.lock``), a bare name keeps itself.  Identities never embed line
+numbers, so finding fingerprints survive unrelated edits.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.astutils import FunctionNode
+
+__all__ = [
+    "LOCK_ATTR_PATTERN",
+    "LockAcquisition",
+    "CallUnderLocks",
+    "lock_constructor_kinds",
+    "lock_identity",
+    "lock_events",
+    "reaching_assignments",
+    "resolve_name",
+    "parameter_names",
+]
+
+#: ``self.<attr>`` / ``obj.<attr>`` names that count as locks when used as a
+#: context manager (same vocabulary as RL002's per-class discipline check).
+LOCK_ATTR_PATTERN = re.compile(r"lock|mutex|condition|sema", re.IGNORECASE)
+
+_SCOPE_NODES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+
+
+# ----------------------------------------------------------------------
+# Reaching assignments
+# ----------------------------------------------------------------------
+def parameter_names(fn: FunctionNode) -> List[str]:
+    """Every parameter name of ``fn``, positional-only through ``**kwargs``."""
+    args = fn.args
+    names = [arg.arg for arg in args.posonlyargs + args.args + args.kwonlyargs]
+    if args.vararg:
+        names.append(args.vararg.arg)
+    if args.kwarg:
+        names.append(args.kwarg.arg)
+    return names
+
+
+def reaching_assignments(fn: FunctionNode) -> Dict[str, List[ast.expr]]:
+    """Flow-insensitive ``name -> [assigned value expressions]`` for ``fn``.
+
+    Covers plain/annotated/augmented assignment, ``with ... as name`` and
+    walrus bindings.  Tuple-unpacked and loop-bound names map to an empty
+    marker list entry (the binding exists, its value is opaque) so callers
+    can distinguish "never assigned locally" (absent — likely a parameter
+    or closure) from "assigned something we cannot decompose".
+    """
+    out: Dict[str, List[ast.expr]] = {}
+
+    def bind(target: ast.expr, value: Optional[ast.expr]) -> None:
+        if isinstance(target, ast.Name):
+            bucket = out.setdefault(target.id, [])
+            if value is not None:
+                bucket.append(value)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                bind(element, None)
+        elif isinstance(target, ast.Starred):
+            bind(target.value, None)
+
+    stack: List[ast.AST] = list(fn.body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, _SCOPE_NODES):
+            continue  # nested scopes bind their own names
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                bind(target, node.value)
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            bind(node.target, node.value)
+        elif isinstance(node, ast.AugAssign):
+            bind(node.target, None)
+        elif isinstance(node, ast.NamedExpr):
+            bind(node.target, node.value)
+        elif isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                if item.optional_vars is not None:
+                    bind(item.optional_vars, item.context_expr)
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            bind(node.target, None)
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            # a nested def binds its name to a function object
+            out.setdefault(node.name, []).append(
+                ast.Lambda(args=node.args, body=ast.Constant(value=None))
+            )
+        stack.extend(ast.iter_child_nodes(node))
+    return out
+
+
+def resolve_name(
+    name: str,
+    env: Dict[str, List[ast.expr]],
+    depth: int = 4,
+) -> List[ast.expr]:
+    """Transitively chase ``name`` through ``env`` to non-Name expressions.
+
+    Returns the value expressions that may reach ``name``; an empty list
+    means the name is opaque (parameter, loop variable, closure) — callers
+    must treat that conservatively.  ``depth`` bounds alias chains.
+    """
+    results: List[ast.expr] = []
+    seen: Set[str] = set()
+
+    def walk(current: str, remaining: int) -> None:
+        if current in seen or remaining < 0:
+            return
+        seen.add(current)
+        for value in env.get(current, ()):
+            if isinstance(value, ast.Name):
+                walk(value.id, remaining - 1)
+            else:
+                results.append(value)
+
+    walk(name, depth)
+    return results
+
+
+# ----------------------------------------------------------------------
+# Lock identity and held-set propagation
+# ----------------------------------------------------------------------
+def lock_identity(expr: ast.expr, class_name: str = "") -> Optional[str]:
+    """Name-based lock identity of a context-manager expression.
+
+    ``self._lock`` inside ``class C`` -> ``"C._lock"``; ``client.lock`` ->
+    ``"client.lock"``; a bare ``LOCK`` name -> ``"LOCK"``.  Returns ``None``
+    when the expression does not look like a lock at all.
+    """
+    if isinstance(expr, ast.Attribute):
+        if not LOCK_ATTR_PATTERN.search(expr.attr):
+            return None
+        base = expr.value
+        if isinstance(base, ast.Name):
+            if base.id == "self" and class_name:
+                return f"{class_name}.{expr.attr}"
+            return f"{base.id}.{expr.attr}"
+        if isinstance(base, ast.Attribute):
+            return f"{base.attr}.{expr.attr}"
+        return expr.attr
+    if isinstance(expr, ast.Name) and LOCK_ATTR_PATTERN.search(expr.id):
+        return expr.id
+    return None
+
+
+@dataclass(frozen=True)
+class LockAcquisition:
+    """One ``with <lock>:`` entry and the locks already held there."""
+
+    lock: str
+    held_before: Tuple[str, ...]
+    line: int
+
+
+@dataclass(frozen=True)
+class CallUnderLocks:
+    """One call site annotated with the lock identities held around it."""
+
+    call: ast.Call
+    held: Tuple[str, ...]
+    line: int
+
+
+def lock_events(
+    fn: FunctionNode, class_name: str = ""
+) -> Tuple[List[LockAcquisition], List[CallUnderLocks]]:
+    """Acquisitions and lock-annotated call sites of one function body.
+
+    The walk is structural: a ``with`` item whose context expression has a
+    lock identity pushes that identity for the body.  Nested defs and
+    lambdas are skipped — their bodies execute on whatever thread calls
+    them and are analyzed as their own call-graph nodes.
+    """
+    acquisitions: List[LockAcquisition] = []
+    calls: List[CallUnderLocks] = []
+    stack: List[Tuple[ast.AST, Tuple[str, ...]]] = [
+        (child, ()) for child in fn.body
+    ]
+    while stack:
+        node, held = stack.pop()
+        if isinstance(node, _SCOPE_NODES):
+            continue
+        entered = held
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                identity = lock_identity(item.context_expr, class_name)
+                if identity is not None:
+                    acquisitions.append(
+                        LockAcquisition(identity, entered, node.lineno)
+                    )
+                    if identity not in entered:
+                        entered = entered + (identity,)
+        if isinstance(node, ast.Call):
+            calls.append(CallUnderLocks(node, held, node.lineno))
+        for child in ast.iter_child_nodes(node):
+            stack.append((child, entered))
+    return acquisitions, calls
+
+
+def lock_constructor_kinds(tree: ast.AST) -> Dict[str, str]:
+    """Map lock identity -> constructor kind (``Lock``/``RLock``/…).
+
+    Scans ``self.<attr> = threading.Lock()``-style assignments anywhere in
+    ``tree`` (which must have parents attached, as every
+    :class:`~repro.analysis.engine.ModuleInfo` tree does) and qualifies
+    ``self`` targets with the enclosing class.  RL009 uses the kinds to
+    avoid flagging re-entrant self-cycles on ``RLock``.
+    """
+    from repro.analysis.astutils import parent_chain
+
+    kinds: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Assign) or not isinstance(
+            node.value, ast.Call
+        ):
+            continue
+        ctor = node.value.func
+        ctor_name = (
+            ctor.attr if isinstance(ctor, ast.Attribute) else
+            ctor.id if isinstance(ctor, ast.Name) else ""
+        )
+        if ctor_name not in {
+            "Lock", "RLock", "Condition", "Semaphore", "BoundedSemaphore"
+        }:
+            continue
+        owner = ""
+        for ancestor in parent_chain(node):
+            if isinstance(ancestor, ast.ClassDef):
+                owner = ancestor.name
+                break
+        for target in node.targets:
+            identity = lock_identity(target, owner)
+            if identity is not None:
+                kinds[identity] = ctor_name
+    return kinds

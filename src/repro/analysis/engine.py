@@ -19,7 +19,19 @@ from __future__ import annotations
 import ast
 import re
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+if TYPE_CHECKING:  # circular at runtime only: callgraph builds on this module
+    from repro.analysis.callgraph import CallGraph
 
 from repro.analysis.astutils import (
     attach_parents,
@@ -35,6 +47,7 @@ __all__ = [
     "ProjectModel",
     "analyze_paths",
     "collect_files",
+    "load_project",
 ]
 
 #: ``# repro-lint: disable=RL001`` or ``disable=RL001,RL005`` or ``disable=all``
@@ -125,6 +138,7 @@ class ProjectModel:
         self.classes_by_name: Dict[str, List[ClassInfo]] = {}
         self.oracle_names: Set[str] = set()
         self.has_oracles_module = False
+        self._callgraph: Optional[CallGraph] = None
         for module in self.modules:
             for node in ast.walk(module.tree):
                 if isinstance(node, ast.ClassDef):
@@ -137,6 +151,18 @@ class ProjectModel:
                         self.oracle_names.add(node.id)
                     elif isinstance(node, ast.Attribute):
                         self.oracle_names.add(node.attr)
+
+    def callgraph(self) -> CallGraph:
+        """The project call graph, built once per model (lazily).
+
+        Imported here, not at module top, because
+        :mod:`repro.analysis.callgraph` depends on this module's types.
+        """
+        if self._callgraph is None:
+            from repro.analysis.callgraph import CallGraph
+
+            self._callgraph = CallGraph(self)
+        return self._callgraph
 
     def ancestry(self, info: ClassInfo) -> Set[str]:
         """Transitive base-class *names* of ``info`` (excluding itself)."""
@@ -233,21 +259,16 @@ def _display_path(path: Path, root: Path) -> str:
         return path.as_posix()
 
 
-def analyze_paths(
+def load_project(
     paths: Sequence[Path],
-    rules: Optional[Sequence[object]] = None,
     root: Optional[Path] = None,
-) -> LintRun:
-    """Run the rule set over ``paths``; the one entry point callers need.
+) -> Tuple[ProjectModel, List[str], List[Finding]]:
+    """Parse ``paths`` into a :class:`ProjectModel` without running rules.
 
-    ``root`` anchors the relative paths findings (and therefore baseline
-    fingerprints) carry — pass the repository root for stable baselines
-    regardless of the current directory.  ``rules`` defaults to the full
-    registry.
+    Returns ``(project, files, parse_failures)``.  This is the shared
+    front half of :func:`analyze_paths`; the CLI's ``--callgraph`` export
+    uses it directly (the call graph needs the model, not the findings).
     """
-    from repro.analysis.registry import all_rules
-
-    active = list(rules) if rules is not None else list(all_rules())
     root = root if root is not None else Path.cwd()
     modules: List[ModuleInfo] = []
     parse_failures: List[Finding] = []
@@ -271,7 +292,26 @@ def analyze_paths(
                     hint="fix the syntax error; unparseable files are invisible to every other rule",
                 )
             )
-    project = ProjectModel(modules)
+    return ProjectModel(modules), files, parse_failures
+
+
+def analyze_paths(
+    paths: Sequence[Path],
+    rules: Optional[Sequence[object]] = None,
+    root: Optional[Path] = None,
+) -> LintRun:
+    """Run the rule set over ``paths``; the one entry point callers need.
+
+    ``root`` anchors the relative paths findings (and therefore baseline
+    fingerprints) carry — pass the repository root for stable baselines
+    regardless of the current directory.  ``rules`` defaults to the full
+    registry.
+    """
+    from repro.analysis.registry import all_rules
+
+    active = list(rules) if rules is not None else list(all_rules())
+    project, files, parse_failures = load_project(paths, root)
+    modules = project.modules
     findings: List[Finding] = []
     suppressed = 0
     for module in modules:

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass
-from typing import Dict
+from typing import Dict, Tuple
 
 __all__ = ["Finding", "SEVERITIES"]
 
@@ -48,7 +48,7 @@ class Finding:
         """Clickable ``path:line``."""
         return f"{self.path}:{self.line}"
 
-    def sort_key(self) -> tuple:
+    def sort_key(self) -> Tuple[str, int, str, str]:
         return (self.path, self.line, self.rule, self.message)
 
     def to_dict(self) -> Dict[str, object]:

@@ -10,13 +10,30 @@ Each module groups rules by the subsystem contract they protect:
   (RL003 span-hygiene, RL004 metric-label-cardinality)
 - :mod:`~repro.analysis.rules.structure` — repo-wide structural hygiene
   (RL005 unbounded-recursion, RL007 export-surface, RL008 bare-except)
+- :mod:`~repro.analysis.rules.interprocedural` — call-graph-driven
+  concurrency/RPC contracts (RL009 lock-order, RL010 rpc-pickle-safety)
+- :mod:`~repro.analysis.rules.schema` — versioned artifact schemas
+  (RL011 schema-drift)
+- :mod:`~repro.analysis.rules.exceptions_contract` — the typed-exception
+  taxonomy (RL012 exception-contract)
 """
 
 from repro.analysis.rules import (  # noqa: F401
     concurrency,
     contracts,
+    exceptions_contract,
+    interprocedural,
     observability,
+    schema,
     structure,
 )
 
-__all__ = ["concurrency", "contracts", "observability", "structure"]
+__all__ = [
+    "concurrency",
+    "contracts",
+    "exceptions_contract",
+    "interprocedural",
+    "observability",
+    "schema",
+    "structure",
+]

@@ -527,8 +527,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the project-invariant static checker",
         description="AST-based checks of this repository's own contracts: "
         "filter soundness registration, lock discipline, span hygiene, "
-        "metric label cardinality, recursion safety, export surfaces and "
-        "blanket excepts. Exits 1 on findings not in the baseline.",
+        "metric label cardinality, recursion safety, export surfaces, "
+        "blanket excepts, and the interprocedural rules built on the "
+        "project call graph - lock-order cycles, shard-RPC pickle "
+        "safety, versioned-schema drift and the typed-exception "
+        "contract. Exits 1 on findings not in the baseline.",
     )
     lint.add_argument(
         "paths",
@@ -568,6 +571,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--explain",
         metavar="RL00x",
         help="print one rule's rationale and exit",
+    )
+    lint.add_argument(
+        "--callgraph",
+        metavar="FILE",
+        help="export the project call graph instead of linting: JSON by "
+        "default, Graphviz DOT when FILE ends in .dot, stdout when FILE "
+        "is '-'",
     )
 
     convert = commands.add_parser(
@@ -1211,6 +1221,37 @@ def _cmd_lint(args) -> int:
         if rule.hint:
             print()
             print(f"fix: {rule.hint}")
+        return 0
+
+    if args.callgraph:
+        import json as json_module
+
+        project, files, parse_failures = analysis.load_project(
+            [Path(p) for p in args.paths], root=Path.cwd()
+        )
+        if parse_failures:
+            for failure in parse_failures:
+                print(
+                    f"repro lint: {failure.path}:{failure.line}: "
+                    f"{failure.message}",
+                    file=sys.stderr,
+                )
+            return 2
+        graph = project.callgraph()
+        if args.callgraph.endswith(".dot"):
+            payload = graph.to_dot()
+        else:
+            payload = json_module.dumps(graph.to_json(), indent=2, sort_keys=True)
+        if args.callgraph == "-":
+            print(payload)
+        else:
+            Path(args.callgraph).write_text(payload + "\n", encoding="utf-8")
+            print(
+                f"call graph over {len(files)} file(s): "
+                f"{len(graph.functions)} functions, {len(graph.edges)} "
+                f"edges, {len(graph.cycles())} cycle(s) -> {args.callgraph}",
+                file=sys.stderr,
+            )
         return 0
 
     rules = None

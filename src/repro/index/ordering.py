@@ -23,8 +23,9 @@ path; only the number of rows *scored* shrinks.
 from __future__ import annotations
 
 from heapq import heappop, heappush
-from typing import Iterator, List, Optional, Tuple
+from typing import Callable, Iterator, List, Optional, Tuple
 
+from repro.features.packed import PackedVector
 from repro.index.base import CandidateIndex
 
 __all__ = ["AscendingCountBounds", "OrderedBoundStream"]
@@ -52,7 +53,12 @@ class OrderedBoundStream:
         measure (``scored < corpus`` once early stopping kicks in).
     """
 
-    def __init__(self, index, score, vector) -> None:  # type: ignore[no-untyped-def]
+    def __init__(
+        self,
+        index: CandidateIndex,
+        score: Callable[[int], int],
+        vector: PackedVector,
+    ) -> None:
         self._stream = index.ascending(vector)
         self._score = score
         self._factor = index.factor
@@ -92,7 +98,7 @@ class AscendingCountBounds:
     ``scored`` counts rows actually pulled off the index stream.
     """
 
-    def __init__(self, index: CandidateIndex, vector) -> None:  # type: ignore[no-untyped-def]
+    def __init__(self, index: CandidateIndex, vector: PackedVector) -> None:
         self._stream = index.ascending(vector)
         self._factor = index.factor
         self.scored = 0

@@ -25,7 +25,18 @@ query path it measures.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Any, Dict, List, Protocol
+
+
+class _SupportsToDict(Protocol):
+    """What :func:`cost_reports` needs from a funnel aggregate.
+
+    A structural type instead of the concrete
+    :class:`~repro.obs.funnel.FunnelAggregate` keeps this module
+    importable (and type-checkable) without the obs package.
+    """
+
+    def to_dict(self) -> Dict[str, Any]: ...
 
 __all__ = [
     "StageCost",
@@ -156,12 +167,12 @@ class CascadeCostReport:
         }
 
 
-def cost_reports(aggregate) -> Dict[str, CascadeCostReport]:
+def cost_reports(aggregate: _SupportsToDict) -> Dict[str, CascadeCostReport]:
     """Build one :class:`CascadeCostReport` per query kind.
 
     ``aggregate`` is a :class:`~repro.obs.funnel.FunnelAggregate` (typed
-    loosely: only its :meth:`to_dict` schema is consumed, which keeps
-    this importable without the obs package at type-check time).
+    structurally: only its :meth:`to_dict` schema is consumed, which
+    keeps this importable without the obs package at type-check time).
     """
     reports: Dict[str, CascadeCostReport] = {}
     summary = aggregate.to_dict()

@@ -166,6 +166,16 @@ class ComparisonEntry:
         }
 
 
+def _machine_summary(machine: Dict[str, object]) -> str:
+    """One-line rendering of a record's ``machine`` provenance block."""
+    return (
+        f"{machine.get('platform', '?')} "
+        f"py{machine.get('python', '?')} "
+        f"({machine.get('implementation', '?')}, "
+        f"{machine.get('cpu_count', '?')} cpus)"
+    )
+
+
 @dataclass
 class LedgerComparison:
     """Every compared metric plus the gate verdict."""
@@ -174,6 +184,8 @@ class LedgerComparison:
     current_label: str
     noise: float
     count_noise: float
+    #: non-empty when the two records were measured on different machines
+    machine_caveat: str = ""
     entries: List[ComparisonEntry] = field(default_factory=list)
 
     @property
@@ -194,6 +206,7 @@ class LedgerComparison:
             "current": self.current_label,
             "noise": self.noise,
             "count_noise": self.count_noise,
+            "machine_caveat": self.machine_caveat,
             "ok": self.ok,
             "regressions": len(self.regressions),
             "improvements": len(self.improvements),
@@ -258,11 +271,26 @@ def compare_records(
             "timings over different corpora are not comparable "
             "(pass allow_corpus_mismatch/--allow-corpus-mismatch to override)"
         )
+    baseline_machine = baseline.get("machine") or {}
+    current_machine = current.get("machine") or {}
+    caveat = ""
+    if (
+        isinstance(baseline_machine, dict)
+        and isinstance(current_machine, dict)
+        and baseline_machine != current_machine
+    ):
+        # cross-machine timings still gate counts/ratios exactly, but the
+        # time/rate verdicts deserve a visible asterisk
+        caveat = (
+            f"baseline on {_machine_summary(baseline_machine)}, "
+            f"current on {_machine_summary(current_machine)}"
+        )
     comparison = LedgerComparison(
         baseline_label=str(baseline.get("label", "?")),
         current_label=str(current.get("label", "?")),
         noise=noise,
         count_noise=count_noise,
+        machine_caveat=caveat,
     )
     base_leaves = _leaves(baseline["suites"])
     current_leaves = _leaves(current["suites"])
@@ -303,6 +331,8 @@ def format_comparison(comparison: LedgerComparison, verbose: bool = False) -> st
         f"{comparison.baseline_label} "
         f"(noise {comparison.noise:g}, count noise {comparison.count_noise:g})"
     ]
+    if comparison.machine_caveat:
+        lines.append(f"  NOTE: machines differ — {comparison.machine_caveat}")
     shown: List[Tuple[str, ComparisonEntry]] = []
     for entry in comparison.entries:
         if entry.status == "regression":

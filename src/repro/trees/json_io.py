@@ -13,14 +13,17 @@ applies to JSON documents unchanged:
   ``num:3``, ``bool:true``, ``null``) so ``"1"`` and ``1`` stay distinct.
 
 The encoding is invertible (:func:`tree_to_json`); the round-trip is
-property-tested.  Conversion recurses over the document; anything
-:func:`json.loads` can produce is shallow enough by construction.
+property-tested.  :func:`json_to_tree` recurses over the *document*, whose
+depth is bounded by what :func:`json.loads` will parse; ``tree_to_json``
+is iterative (explicit stack), because its input is an arbitrary
+:class:`TreeNode` — a tree converted from XML or generated for the
+corpus can be deeper than any recursion limit.
 """
 
 from __future__ import annotations
 
 import json
-from typing import Any
+from typing import Any, Dict, List, Tuple, Union
 
 from repro.exceptions import TreeParseError
 from repro.trees.node import TreeNode
@@ -68,24 +71,8 @@ def json_to_tree(value: Any) -> TreeNode:
     )
 
 
-def tree_to_json(tree: TreeNode) -> Any:
-    """Invert :func:`json_to_tree`.
-
-    >>> tree_to_json(json_to_tree({"a": [1, "x"]}))
-    {'a': [1, 'x']}
-    """
+def _scalar_value(tree: TreeNode) -> Any:
     label = tree.label
-    if label == OBJECT_LABEL:
-        result = {}
-        for key_node in tree.children:
-            if key_node.degree != 1:
-                raise TreeParseError(
-                    f"object key {key_node.label!r} must hold exactly one value"
-                )
-            result[str(key_node.label)] = tree_to_json(key_node.children[0])
-        return result
-    if label == ARRAY_LABEL:
-        return [tree_to_json(child) for child in tree.children]
     if not tree.is_leaf:
         raise TreeParseError(f"scalar node {label!r} cannot have children")
     if not isinstance(label, str):
@@ -99,6 +86,51 @@ def tree_to_json(tree: TreeNode) -> Any:
     if label.startswith("str:"):
         return label[4:]
     raise TreeParseError(f"label {label!r} does not encode a JSON value")
+
+
+def tree_to_json(tree: TreeNode) -> Any:
+    """Invert :func:`json_to_tree`.
+
+    Iterative on an explicit stack: the input tree can come from any
+    source (XML conversion, corpus generators), so its depth is not
+    bounded by ``json.loads`` the way :func:`json_to_tree`'s input is.
+    Containers are allocated top-down with placeholder slots that child
+    stack entries fill in; children are pushed in reverse so they are
+    *processed* in document order (which is what dict insertion order —
+    and therefore duplicate-key last-wins — depends on).
+
+    >>> tree_to_json(json_to_tree({"a": [1, "x"]}))
+    {'a': [1, 'x']}
+    """
+    holder: List[Any] = [None]
+    stack: List[Tuple[TreeNode, Union[Dict[str, Any], List[Any]], Any]] = [
+        (tree, holder, 0)
+    ]
+    while stack:
+        node, container, slot = stack.pop()
+        label = node.label
+        if label == OBJECT_LABEL:
+            result: Dict[str, Any] = {}
+            for key_node in node.children:
+                if key_node.degree != 1:
+                    raise TreeParseError(
+                        f"object key {key_node.label!r} must hold exactly "
+                        "one value"
+                    )
+                result[str(key_node.label)] = None
+            container[slot] = result
+            for key_node in reversed(node.children):
+                stack.append(
+                    (key_node.children[0], result, str(key_node.label))
+                )
+        elif label == ARRAY_LABEL:
+            values: List[Any] = [None] * node.degree
+            container[slot] = values
+            for index in range(node.degree - 1, -1, -1):
+                stack.append((node.children[index], values, index))
+        else:
+            container[slot] = _scalar_value(node)
+    return holder[0]
 
 
 def parse_json_string(text: str) -> TreeNode:

@@ -156,9 +156,16 @@ def replay_repro_file(path: PathLike) -> Violation:
         raise ValueError(f"{path}: unknown oracle {name!r}")
     oracle = factory()
     if not isinstance(oracle, PairOracle):
+        seed = document.get("seed")
+        budget = document.get("budget")
+        rerun = "re-run `repro verify`"
+        if seed is not None:
+            rerun += f" --seed {seed}"
+            if budget is not None:
+                rerun += f" --budget {budget}"
         raise ValueError(
             f"{path}: oracle {name!r} is stateful and cannot be replayed "
-            "from a tree pair; re-run `repro verify` with its seed instead"
+            f"from a tree pair; {rerun} to reproduce the full run instead"
         )
     t1_text = document.get("shrunk1") or document.get("t1")
     t2_text = document.get("shrunk2") or document.get("t2")

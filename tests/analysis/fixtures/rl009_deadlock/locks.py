@@ -1,0 +1,17 @@
+"""Known-bad fixture half 1: takes beta_lock, then alpha_lock (RL009).
+
+The other half (``pipeline.py``) takes alpha_lock and then calls into
+this module while holding it — the classic two-thread deadlock, split
+across files so only an interprocedural analysis can see the cycle.
+"""
+
+import threading
+
+alpha_lock = threading.Lock()
+beta_lock = threading.Lock()
+
+
+def beta_then_alpha():
+    with beta_lock:
+        with alpha_lock:
+            return 1

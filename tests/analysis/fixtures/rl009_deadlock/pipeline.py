@@ -1,0 +1,19 @@
+"""Known-bad fixture half 2: alpha_lock -> (call) -> beta_lock (RL009).
+
+``alpha_then_beta`` holds alpha_lock while calling ``beta_then_alpha``,
+which acquires beta_lock then alpha_lock — closing the cross-file
+acquisition-order cycle.  ``flush`` separately holds a lock across a
+pipe send, the blocking-call half of the rule.
+"""
+
+from locks import alpha_lock, beta_then_alpha
+
+
+def alpha_then_beta():
+    with alpha_lock:
+        return beta_then_alpha()
+
+
+def flush(conn):
+    with alpha_lock:
+        conn.send(("flush",))

@@ -1,0 +1,30 @@
+"""Known-bad fixture: unpicklable payloads reaching a shard pipe (RL010).
+
+Four distinct bad shapes: a recursive tree through a local alias, a
+closure, a lock, and an open handle smuggled through a helper whose
+parameter flows to the wire (the interprocedural case).
+"""
+
+import threading
+
+
+def push_tree(conn, text):
+    tree = parse_bracket(text)
+    conn.send(("tree", tree))
+
+
+def push_callback(conn):
+    conn.send(lambda reply: reply)
+
+
+def push_lock(conn):
+    guard = threading.Lock()
+    conn.send(("guard", guard))
+
+
+def relay(conn, payload):
+    conn.send(payload)
+
+
+def enqueue(conn):
+    relay(conn, open("state.bin", "rb"))

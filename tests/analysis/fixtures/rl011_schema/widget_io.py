@@ -1,0 +1,35 @@
+"""Known-bad fixture: key drift on a versioned schema (RL011).
+
+The writer emits ``color`` that no loader reads (dead weight in every
+artifact), and the loader reads ``made_on`` that no writer emits (a
+silent ``None`` on every artifact this code ever writes).
+"""
+
+import json
+
+_FORMAT = "repro-widget"
+_VERSION = 1
+
+
+def save_widget(widget, path):
+    document = {
+        "format": _FORMAT,
+        "version": _VERSION,
+        "name": widget.name,
+        "mass": widget.mass,
+        "color": widget.color,
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle)
+
+
+def load_widget(path):
+    with open(path, "r", encoding="utf-8") as handle:
+        document = json.load(handle)
+    if document.get("format") != _FORMAT:
+        raise ValueError(f"{path}: not a {_FORMAT} file")
+    return {
+        "name": document["name"],
+        "mass": document["mass"],
+        "made_on": document.get("made_on"),
+    }

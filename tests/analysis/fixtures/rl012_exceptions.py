@@ -1,0 +1,37 @@
+"""Known-bad fixture: typed-exception contract violations (RL012).
+
+``GhostError`` is never raised; ``BareError`` is undocumented,
+unexported and unraised; ``MutedError`` is raised but silently
+swallowed by a handler.
+"""
+
+
+class ReproError(Exception):
+    """Taxonomy root (mirrors repro.exceptions.ReproError)."""
+
+
+class GhostError(ReproError):
+    """Documented and exported — but no code path ever raises it."""
+
+
+class MutedError(ReproError):
+    """Raised by ``trip`` and dropped on the floor by ``swallow``."""
+
+
+class BareError(ReproError):
+    pass
+
+
+__all__ = ["GhostError", "MutedError", "ReproError"]
+
+
+def trip():
+    raise MutedError("tripped")
+
+
+def swallow():
+    try:
+        return trip()
+    except MutedError:
+        pass
+    return None

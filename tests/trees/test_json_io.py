@@ -85,6 +85,43 @@ class TestDecoding:
         with pytest.raises(TreeParseError):
             tree_to_json(TreeNode(42))
 
+    def test_deep_tree_does_not_recurse(self):
+        # would have blown the recursion limit before the explicit-stack
+        # rewrite: tree inputs (unlike json.loads output) have no depth
+        # bound, e.g. trees converted from XML or corpus generators
+        import sys
+
+        depth = sys.getrecursionlimit() + 500
+        node = TreeNode("num:1")
+        for _ in range(depth):
+            node = TreeNode("[]", [node])
+        result = tree_to_json(node)
+        # verify iteratively too — comparing nested lists for equality
+        # would itself recurse in the interpreter
+        levels = 0
+        while isinstance(result, list):
+            assert len(result) == 1
+            result = result[0]
+            levels += 1
+        assert levels == depth
+        assert result == 1
+
+    def test_deep_object_chain_does_not_recurse(self):
+        import sys
+
+        depth = sys.getrecursionlimit() + 500
+        node = TreeNode("null")
+        for _ in range(depth):
+            key = TreeNode("k", [node])
+            node = TreeNode("{}", [key])
+        result = tree_to_json(node)
+        levels = 0
+        while isinstance(result, dict):
+            result = result["k"]
+            levels += 1
+        assert levels == depth
+        assert result is None
+
 
 class TestSimilarityUseCase:
     def test_small_change_small_distance(self):
